@@ -1,0 +1,69 @@
+//! Ablation benches for the design choices DESIGN.md calls out: what do
+//! the fidelity features (capture-noise modelling, the Windows
+//! granularity-regime process, fault injection, the full wire-format
+//! parse in capture matching) cost per repetition?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bnm_browser::BrowserKind;
+use bnm_core::{ExperimentCell, ExperimentRunner, RuntimeSel};
+use bnm_methods::MethodId;
+use bnm_time::{OsKind, TimingApiKind};
+
+fn cell(os: OsKind) -> ExperimentCell {
+    ExperimentCell::paper(
+        MethodId::JavaTcp,
+        RuntimeSel::Browser(BrowserKind::Firefox),
+        os,
+    )
+    .with_reps(1)
+}
+
+fn bench_granularity_regimes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/granularity");
+    // Windows carries the lazily-extended regime process; Ubuntu is a
+    // constant — the delta is the cost of the regime machinery.
+    g.bench_function("windows_regimes", |b| {
+        let cl = cell(OsKind::Windows7);
+        b.iter(|| ExperimentRunner::run_rep(&cl, 0).unwrap());
+    });
+    g.bench_function("ubuntu_constant", |b| {
+        let cl = cell(OsKind::Ubuntu1204);
+        b.iter(|| ExperimentRunner::run_rep(&cl, 0).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_capture_noise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/capture_noise");
+    g.bench_function("exact_stamps", |b| {
+        let cl = cell(OsKind::Ubuntu1204);
+        b.iter(|| ExperimentRunner::run_rep(&cl, 0).unwrap());
+    });
+    g.bench_function("noisy_stamps_0.3ms", |b| {
+        let mut cl = cell(OsKind::Ubuntu1204);
+        cl.capture_noise_ns = 300_000;
+        b.iter(|| ExperimentRunner::run_rep(&cl, 0).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_timing_api(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/timing_api");
+    g.bench_function("date_gettime", |b| {
+        let cl = cell(OsKind::Windows7);
+        b.iter(|| ExperimentRunner::run_rep(&cl, 0).unwrap());
+    });
+    g.bench_function("nanotime", |b| {
+        let cl = cell(OsKind::Windows7).with_timing(TimingApiKind::JavaNanoTime);
+        b.iter(|| ExperimentRunner::run_rep(&cl, 0).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_granularity_regimes, bench_capture_noise, bench_timing_api
+}
+criterion_main!(benches);

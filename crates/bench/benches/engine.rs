@@ -1,0 +1,153 @@
+//! Microbenchmarks of the simulation substrate: event loop throughput,
+//! wire-format codec, switch forwarding.
+
+use std::any::Any;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use bnm_sim::engine::{Ctx, Engine, Node, PortNo};
+use bnm_sim::link::LinkSpec;
+use bnm_sim::switch::Switch;
+use bnm_sim::wire::{
+    EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, ParsedPacket, TcpFlags, TcpSegment,
+};
+
+struct Echo;
+impl Node for Echo {
+    fn on_frame(&mut self, ctx: &mut Ctx, port: PortNo, frame: Bytes) {
+        ctx.send_frame(port, frame);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct Burst {
+    count: usize,
+    received: usize,
+}
+impl Node for Burst {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        for i in 0..self.count {
+            ctx.send_frame(0, Bytes::from(vec![i as u8; 64]));
+        }
+    }
+    fn on_frame(&mut self, _ctx: &mut Ctx, _port: PortNo, _frame: Bytes) {
+        self.received += 1;
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn bench_engine_pingpong(c: &mut Criterion) {
+    c.bench_function("engine/1000_frame_roundtrips", |b| {
+        b.iter_batched(
+            || {
+                let mut e = Engine::new();
+                let p = e.add_node(Box::new(Burst {
+                    count: 1000,
+                    received: 0,
+                }));
+                let s = e.add_node(Box::new(Echo));
+                e.connect(p, 0, s, 0, LinkSpec::fast_ethernet());
+                e
+            },
+            |mut e| {
+                e.run();
+                e.events_processed()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_switch_forwarding(c: &mut Criterion) {
+    c.bench_function("engine/switched_500_roundtrips", |b| {
+        b.iter_batched(
+            || {
+                let mut e = Engine::new();
+                let p = e.add_node(Box::new(Burst {
+                    count: 500,
+                    received: 0,
+                }));
+                let s = e.add_node(Box::new(Echo));
+                let sw = e.add_node(Box::new(Switch::new(2)));
+                e.connect(p, 0, sw, 0, LinkSpec::fast_ethernet());
+                e.connect(s, 0, sw, 1, LinkSpec::fast_ethernet());
+                e
+            },
+            |mut e| {
+                e.run();
+                e.events_processed()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let src = std::net::Ipv4Addr::new(192, 168, 1, 2);
+    let dst = std::net::Ipv4Addr::new(192, 168, 1, 10);
+    let seg = TcpSegment {
+        src_port: 49152,
+        dst_port: 80,
+        seq: 1000,
+        ack: 2000,
+        flags: TcpFlags::ACK | TcpFlags::PSH,
+        window: 65535,
+        mss: None,
+        payload: Bytes::from(vec![0x42u8; 512]),
+    };
+    let frame = EthernetFrame {
+        dst: MacAddr::local(1),
+        src: MacAddr::local(2),
+        ethertype: EtherType::Ipv4,
+        payload: Ipv4Packet {
+            src,
+            dst,
+            protocol: IpProtocol::Tcp,
+            ttl: 64,
+            ident: 7,
+            payload: seg.emit(src, dst),
+        }
+        .emit(),
+    }
+    .emit();
+    c.bench_function("wire/emit_tcp_frame_512B", |b| {
+        b.iter(|| {
+            let p = Ipv4Packet {
+                src,
+                dst,
+                protocol: IpProtocol::Tcp,
+                ttl: 64,
+                ident: 7,
+                payload: seg.emit(src, dst),
+            };
+            EthernetFrame {
+                dst: MacAddr::local(1),
+                src: MacAddr::local(2),
+                ethertype: EtherType::Ipv4,
+                payload: p.emit(),
+            }
+            .emit()
+        })
+    });
+    c.bench_function("wire/parse_tcp_frame_512B", |b| {
+        b.iter(|| ParsedPacket::parse(&frame).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engine_pingpong, bench_switch_forwarding, bench_wire_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Cost of simulating one full experiment repetition per method — the
+//! unit of work every figure regenerator multiplies by 50 × cells.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bnm_browser::BrowserKind;
+use bnm_core::{ExperimentCell, ExperimentRunner, RuntimeSel};
+use bnm_methods::MethodId;
+use bnm_stats::{BoxStats, Cdf, MeanCi};
+use bnm_time::OsKind;
+
+fn bench_single_reps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rep");
+    for (method, browser, os) in [
+        (MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204),
+        (MethodId::Dom, BrowserKind::Chrome, OsKind::Ubuntu1204),
+        (MethodId::WebSocket, BrowserKind::Chrome, OsKind::Ubuntu1204),
+        (MethodId::FlashGet, BrowserKind::Opera, OsKind::Windows7),
+        (MethodId::JavaTcp, BrowserKind::Firefox, OsKind::Windows7),
+        (MethodId::JavaUdp, BrowserKind::Firefox, OsKind::Windows7),
+    ] {
+        let cell = ExperimentCell::paper(method, RuntimeSel::Browser(browser), os).with_reps(1);
+        group.bench_function(
+            format!("{}_{}", method.label(), browser.initial()),
+            |b| {
+                b.iter(|| ExperimentRunner::run_rep(&cell, 0).expect("rep succeeds"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_cell(c: &mut Criterion) {
+    let cell = ExperimentCell::paper(
+        MethodId::WebSocket,
+        RuntimeSel::Browser(BrowserKind::Chrome),
+        OsKind::Ubuntu1204,
+    )
+    .with_reps(50);
+    c.bench_function("cell/websocket_50_reps", |b| {
+        b.iter(|| ExperimentRunner::run(&cell));
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..50).map(|i| 4.0 + (i % 7) as f64 * 0.31).collect();
+    c.bench_function("stats/boxstats_50", |b| b.iter(|| BoxStats::of(&samples)));
+    c.bench_function("stats/mean_ci_50", |b| b.iter(|| MeanCi::of(&samples)));
+    c.bench_function("stats/cdf_levels_50", |b| {
+        b.iter(|| Cdf::of(&samples).levels(2.0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_single_reps, bench_full_cell, bench_stats
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 3 regenerator: box plots of Δd1/Δd2 for the ten methods across
+//! the eight browser-OS combinations (panels (a)–(j)).
+
+use bnm_bench::{heading, master_seed, reps, run_cells, save};
+use bnm_core::config::figure3_combos;
+use bnm_core::report::{panel_rows, render_panel, to_csv};
+use bnm_core::ExperimentCell;
+use bnm_methods::MethodId;
+
+fn main() {
+    let seed = master_seed();
+    let n = reps();
+    println!("Figure 3 — delay overheads by method ({n} reps/cell, seed {seed:#x})");
+
+    let mut csv_all = String::new();
+    for method in MethodId::FIGURE3 {
+        let panel = method.figure3_panel().unwrap();
+        heading(&format!("({panel}) {}", method.display_name()));
+        let cells: Vec<ExperimentCell> = figure3_combos()
+            .into_iter()
+            .map(|(rt, os)| {
+                ExperimentCell::paper(method, rt, os)
+                    .with_reps(n)
+                    .with_seed(seed ^ (method as u64) << 8)
+            })
+            .filter(ExperimentCell::is_runnable)
+            .collect();
+        let mut results = run_cells(cells);
+        // Keep the paper's x-axis order (Ubuntu block then Windows block).
+        results.sort_by_key(|(c, _)| {
+            figure3_combos()
+                .iter()
+                .position(|(rt, os)| *rt == c.runtime && *os == c.os)
+                .unwrap()
+        });
+        let mut rows = Vec::new();
+        for (cell, result) in &results {
+            rows.extend(panel_rows(cell, result));
+            csv_all.push_str(&to_csv(cell, result));
+        }
+        print!("{}", render_panel(&format!("Δd (ms), {} reps", n), &rows, 58));
+    }
+    let path = save("fig3_deltas.csv", &csv_all);
+    println!("\nCSV written to {}", path.display());
+}

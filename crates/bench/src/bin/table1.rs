@@ -1,0 +1,41 @@
+//! Table 1 regenerator: the taxonomy of browser-based measurement
+//! methods and the tools using them.
+
+use bnm_bench::{heading, save};
+use bnm_methods::table1_rows;
+
+fn main() {
+    heading("Table 1: A summary of the browser-based network measurement methods and tools");
+    println!(
+        "{:<13} {:<12} {:<13} {:<10} {:<12} {:<16} {}",
+        "Approach", "Technology", "Availability", "Method", "Same-origin", "Metrics", "Tools / Services"
+    );
+    println!("{}", "-".repeat(120));
+    let mut csv = String::from("approach,technology,availability,method,same_origin,metrics,tools\n");
+    let mut last_approach = "";
+    for row in table1_rows() {
+        let approach = if row.approach == last_approach {
+            ""
+        } else {
+            last_approach = row.approach;
+            row.approach
+        };
+        println!(
+            "{:<13} {:<12} {:<13} {:<10} {:<12} {:<16} {}",
+            approach, row.technology, row.availability, row.method, row.same_origin, row.metrics, row.tools
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},\"{}\",\"{}\"\n",
+            row.approach,
+            row.technology,
+            row.availability,
+            row.method,
+            row.same_origin,
+            row.metrics,
+            row.tools
+        ));
+    }
+    println!("\nNote: \"Yes*\" — the same-origin policy can be bypassed.");
+    let path = save("table1.csv", &csv);
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,43 @@
+//! Table 2 regenerator: browser and system configurations of the testbed.
+
+use bnm_bench::{heading, save};
+use bnm_methods::table2_rows;
+
+fn main() {
+    heading("Table 2: Configurations of the browsers and systems used in the experiments");
+    println!(
+        "{:<12} {:<10} {:<9} {:<10} {:<6} {}",
+        "OS", "Browser", "Version", "Flash", "Java", "WebSocket"
+    );
+    println!("{}", "-".repeat(62));
+    let mut csv = String::from("os,browser,version,flash,java,websocket\n");
+    let mut last_os = String::new();
+    for row in table2_rows() {
+        let os_cell = if row.os.name() == last_os {
+            "".to_string()
+        } else {
+            last_os = row.os.name().to_string();
+            row.os.name().to_string()
+        };
+        println!(
+            "{:<12} {:<10} {:<9} {:<10} {:<6} {}",
+            os_cell,
+            row.browser.name(),
+            row.version,
+            row.flash,
+            row.java,
+            if row.websocket { "yes" } else { "no" }
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            row.os.name(),
+            row.browser.name(),
+            row.version,
+            row.flash,
+            row.java,
+            row.websocket
+        ));
+    }
+    let path = save("table2.csv", &csv);
+    println!("\nCSV written to {}", path.display());
+}

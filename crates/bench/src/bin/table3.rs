@@ -1,0 +1,57 @@
+//! Table 3 regenerator: median Δd1/Δd2 for the Flash HTTP methods in
+//! Opera — the TCP-handshake-inclusion finding (§4.1).
+
+use bnm_bench::{fmt_med, heading, master_seed, reps, run_cells, save};
+use bnm_browser::BrowserKind;
+use bnm_core::{ExperimentCell, RuntimeSel};
+use bnm_methods::MethodId;
+use bnm_stats::Summary;
+use bnm_time::OsKind;
+
+fn main() {
+    let n = reps();
+    let seed = master_seed();
+    heading("Table 3: Median Δd1 and Δd2 for the Flash HTTP methods in Opera (ms)");
+
+    let mut cells = Vec::new();
+    for method in [MethodId::FlashGet, MethodId::FlashPost] {
+        for os in [OsKind::Windows7, OsKind::Ubuntu1204] {
+            cells.push(
+                ExperimentCell::paper(method, RuntimeSel::Browser(BrowserKind::Opera), os)
+                    .with_reps(n)
+                    .with_seed(seed ^ (method as u64) << 8),
+            );
+        }
+    }
+    let results = run_cells(cells);
+    let median = |v: &[f64]| Summary::of(v).median;
+    let get = |m: MethodId, os: OsKind, round: u8| -> f64 {
+        let (_, r) = results
+            .iter()
+            .find(|(c, _)| c.method == m && c.os == os)
+            .unwrap();
+        median(r.round(round))
+    };
+
+    println!("{:<12} {:>10} {:>10}", "", "O(W)", "O(U)");
+    let mut csv = String::from("method,round,ow_ms,ou_ms\n");
+    for (method, name) in [(MethodId::FlashGet, "GET"), (MethodId::FlashPost, "POST")] {
+        for round in [1u8, 2] {
+            let w = get(method, OsKind::Windows7, round);
+            let u = get(method, OsKind::Ubuntu1204, round);
+            println!("{name:<5} Δd{round}   {} {}", fmt_med(w), fmt_med(u));
+            csv.push_str(&format!("{name},{round},{w:.2},{u:.2}\n"));
+        }
+    }
+
+    // The §4.1 check: POST Δd2 − 50 ms (the simulated delay) ≈ GET Δd2.
+    let post_d2 = get(MethodId::FlashPost, OsKind::Windows7, 2);
+    let get_d2 = get(MethodId::FlashGet, OsKind::Windows7, 2);
+    println!(
+        "\n§4.1 check (O(W)): POST Δd2 − 50 = {:.1} vs GET Δd2 = {:.1}  (handshake ≈ simulated delay)",
+        post_d2 - 50.0,
+        get_d2
+    );
+    let path = save("table3.csv", &csv);
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,157 @@
+//! # bnm-bench — experiment regenerators and benches
+//!
+//! One binary per table/figure of the paper:
+//!
+//! | binary            | regenerates                                    |
+//! |-------------------|------------------------------------------------|
+//! | `table1`          | Table 1 — method taxonomy                      |
+//! | `table2`          | Table 2 — browser/OS configurations            |
+//! | `fig3`            | Figure 3 (a)–(j) — Δd box plots, full grid     |
+//! | `table3`          | Table 3 — Opera Flash GET/POST medians         |
+//! | `fig4`            | Figure 4 — Java TCP Δd CDFs (browsers + appletviewer) |
+//! | `fig5`            | Figure 5 — timestamp-granularity probe         |
+//! | `table4`          | Table 4 — Java methods with `System.nanoTime()`|
+//! | `all_experiments` | everything above + CSV dumps under `results/`  |
+//!
+//! Run with `cargo run --release -p bnm-bench --bin fig3`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::thread;
+
+use bnm_core::{CellResult, ExperimentCell, ExperimentRunner};
+
+/// Repetitions per cell: the paper's 50.
+pub const PAPER_REPS: u32 = 50;
+
+/// The master seed all regenerators share (override with `BNM_SEED`).
+pub fn master_seed() -> u64 {
+    std::env::var("BNM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xB32B_2013)
+}
+
+/// Repetitions to run (override with `BNM_REPS`, e.g. for quick smoke
+/// runs).
+pub fn reps() -> u32 {
+    std::env::var("BNM_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PAPER_REPS)
+}
+
+/// Where CSV artifacts go.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("BNM_RESULTS").unwrap_or_else(|_| "results".to_string());
+    let path = PathBuf::from(dir);
+    fs::create_dir_all(&path).expect("create results dir");
+    path
+}
+
+/// Run a batch of cells across OS threads (each cell is an independent
+/// deterministic simulation, so parallelism cannot change results).
+pub fn run_cells(cells: Vec<ExperimentCell>) -> Vec<(ExperimentCell, CellResult)> {
+    let workers = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let chunk = cells.len().div_ceil(workers.max(1));
+    if chunk == 0 {
+        return Vec::new();
+    }
+    let mut handles = Vec::new();
+    for batch in cells.chunks(chunk) {
+        let batch = batch.to_vec();
+        handles.push(thread::spawn(move || {
+            batch
+                .into_iter()
+                .map(|cell| {
+                    let result = ExperimentRunner::run(&cell);
+                    (cell, result)
+                })
+                .collect::<Vec<_>>()
+        }));
+    }
+    let mut out = Vec::new();
+    for h in handles {
+        out.extend(h.join().expect("worker panicked"));
+    }
+    out
+}
+
+/// Write a string artifact into the results directory.
+pub fn save(name: &str, contents: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    fs::write(&path, contents).expect("write artifact");
+    path
+}
+
+/// Print a horizontal rule + heading.
+pub fn heading(title: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Format a median table cell.
+pub fn fmt_med(v: f64) -> String {
+    format!("{v:8.2}")
+}
+
+/// Check that a path exists relative to the repo (diagnostics for the
+/// all_experiments binary).
+pub fn exists(p: &Path) -> bool {
+    p.exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnm_browser::BrowserKind;
+    use bnm_core::RuntimeSel;
+    use bnm_methods::MethodId;
+    use bnm_time::OsKind;
+
+    #[test]
+    fn parallel_and_serial_runs_agree() {
+        let mk = || {
+            vec![
+                ExperimentCell::paper(
+                    MethodId::Dom,
+                    RuntimeSel::Browser(BrowserKind::Chrome),
+                    OsKind::Ubuntu1204,
+                )
+                .with_reps(4),
+                ExperimentCell::paper(
+                    MethodId::WebSocket,
+                    RuntimeSel::Browser(BrowserKind::Firefox),
+                    OsKind::Ubuntu1204,
+                )
+                .with_reps(4),
+            ]
+        };
+        let par = run_cells(mk());
+        let ser: Vec<_> = mk()
+            .into_iter()
+            .map(|c| {
+                let r = bnm_core::ExperimentRunner::run(&c);
+                (c, r)
+            })
+            .collect();
+        // Parallel chunking may reorder across threads; compare by label.
+        for (cell, result) in &ser {
+            let twin = par
+                .iter()
+                .find(|(c, _)| c.label() == cell.label())
+                .expect("cell present");
+            assert_eq!(twin.1.d1, result.d1);
+            assert_eq!(twin.1.d2, result.d2);
+        }
+    }
+
+    #[test]
+    fn defaults_without_env() {
+        // (Environment overrides are tested manually; here just the
+        // defaults' sanity.)
+        assert_eq!(PAPER_REPS, 50);
+        assert!(master_seed() != 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Latency primitives for browser code paths.
+//!
+//! Each segment of a code path (an event-loop dispatch, one plugin-bridge
+//! crossing, the XHR receive internals, …) is a [`DelayModel`]: a hard
+//! floor plus a lognormal body, with an optional low-probability "jank"
+//! spike standing in for garbage collection and rendering interference.
+//! The spike component is what produces the outlier dots in the paper's
+//! box plots.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use bnm_sim::time::SimDuration;
+
+/// A stochastic delay: `floor + median·exp(σ·Z)` microseconds, plus an
+/// optional uniform spike with small probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    /// Hard floor, µs.
+    pub floor_us: f64,
+    /// Median of the lognormal body, µs (0 disables the body).
+    pub median_us: f64,
+    /// Lognormal σ (log-space spread of the body).
+    pub sigma: f64,
+    /// Probability of adding a spike to one sample.
+    pub spike_p: f64,
+    /// Spike magnitude range, µs (uniform).
+    pub spike_us: (f64, f64),
+}
+
+impl DelayModel {
+    /// A deterministic delay.
+    pub const fn fixed(us: f64) -> DelayModel {
+        DelayModel {
+            floor_us: us,
+            median_us: 0.0,
+            sigma: 0.0,
+            spike_p: 0.0,
+            spike_us: (0.0, 0.0),
+        }
+    }
+
+    /// Zero delay.
+    pub const ZERO: DelayModel = DelayModel::fixed(0.0);
+
+    /// Floor + lognormal body.
+    pub const fn lognorm(floor_us: f64, median_us: f64, sigma: f64) -> DelayModel {
+        DelayModel {
+            floor_us,
+            median_us,
+            sigma,
+            spike_p: 0.0,
+            spike_us: (0.0, 0.0),
+        }
+    }
+
+    /// Add a jank spike: probability `p`, magnitude `lo..hi` µs.
+    pub const fn with_spike(mut self, p: f64, lo_us: f64, hi_us: f64) -> DelayModel {
+        self.spike_p = p;
+        self.spike_us = (lo_us, hi_us);
+        self
+    }
+
+    /// Scale every magnitude component by `k` (per-browser multipliers).
+    pub fn scaled(&self, k: f64) -> DelayModel {
+        DelayModel {
+            floor_us: self.floor_us * k,
+            median_us: self.median_us * k,
+            sigma: self.sigma,
+            spike_p: self.spike_p,
+            spike_us: (self.spike_us.0 * k, self.spike_us.1 * k),
+        }
+    }
+
+    /// The distribution median, µs (floor + body median; spikes excluded).
+    pub fn median_us(&self) -> f64 {
+        self.floor_us + self.median_us
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut SmallRng) -> SimDuration {
+        let mut us = self.floor_us;
+        if self.median_us > 0.0 {
+            us += self.median_us * (self.sigma * standard_normal(rng)).exp();
+        }
+        if self.spike_p > 0.0 && rng.gen_bool(self.spike_p.min(1.0)) {
+            us += if self.spike_us.1 > self.spike_us.0 {
+                rng.gen_range(self.spike_us.0..self.spike_us.1)
+            } else {
+                self.spike_us.0
+            };
+        }
+        SimDuration::from_nanos((us.max(0.0) * 1e3).round() as u64)
+    }
+}
+
+/// Standard normal via Box–Muller (the `rand` crate alone has no normal
+/// distribution; `rand_distr` is avoided to keep dependencies minimal).
+pub fn standard_normal(rng: &mut SmallRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnm_sim::rng;
+
+    #[test]
+    fn fixed_is_deterministic() {
+        let m = DelayModel::fixed(150.0);
+        let mut r = rng::stream(1, "d");
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), SimDuration::from_nanos(150_000));
+        }
+    }
+
+    #[test]
+    fn lognorm_median_is_close_to_spec() {
+        let m = DelayModel::lognorm(100.0, 900.0, 0.6);
+        let mut r = rng::stream(2, "d");
+        let mut samples: Vec<f64> = (0..4001)
+            .map(|_| m.sample(&mut r).as_nanos() as f64 / 1e3)
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = samples[2000];
+        assert!(
+            (med - 1000.0).abs() < 60.0,
+            "median {med} expected ~1000 µs"
+        );
+        // All samples respect the floor.
+        assert!(samples[0] >= 100.0);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng::stream(3, "n");
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn spikes_appear_at_roughly_the_configured_rate() {
+        let m = DelayModel::fixed(0.0).with_spike(0.1, 50_000.0, 50_000.0);
+        let mut r = rng::stream(4, "s");
+        let n = 5_000;
+        let spikes = (0..n)
+            .filter(|_| m.sample(&mut r) >= SimDuration::from_millis(50))
+            .count();
+        let rate = spikes as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn scaling_scales_magnitudes_not_shape() {
+        let m = DelayModel::lognorm(100.0, 500.0, 0.7).with_spike(0.05, 1000.0, 2000.0);
+        let s = m.scaled(2.0);
+        assert_eq!(s.floor_us, 200.0);
+        assert_eq!(s.median_us, 1000.0);
+        assert_eq!(s.sigma, 0.7);
+        assert_eq!(s.spike_p, 0.05);
+        assert_eq!(s.spike_us, (2000.0, 4000.0));
+        assert_eq!(m.median_us(), 600.0);
+        assert_eq!(s.median_us(), 1200.0);
+    }
+
+    #[test]
+    fn zero_model_is_zero() {
+        let mut r = rng::stream(5, "z");
+        assert_eq!(DelayModel::ZERO.sample(&mut r), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,37 @@
+//! # bnm-browser — browser, OS and plugin runtime models
+//!
+//! The paper measures ten browser-side code paths on five browsers × two
+//! OSes. Here those code paths are explicit, parameterised mechanisms:
+//!
+//! * [`delay::DelayModel`] — a latency primitive: floor + lognormal body +
+//!   occasional "render jank" spike. Every code-path segment (event-loop
+//!   dispatch, plugin bridge crossing, XHR internals, …) is one of these.
+//! * [`profile::BrowserProfile`] — per-(browser, OS) primitive latencies
+//!   and multipliers, plus the feature matrix of the paper's Table 2
+//!   (WebSocket support, plugin versions).
+//! * [`profile::ConnPolicy`] — connection-management behaviour: whether a
+//!   technology reuses the container page's TCP connection, and whether
+//!   POST forces a fresh connection. This single policy knob is what
+//!   produces the paper's Table 3 (Opera's Flash methods silently include
+//!   a TCP handshake in the measured "RTT").
+//! * [`plan::ProbePlan`] — a declarative description of one measurement
+//!   method (technology × transport × timing API × message sizes).
+//! * [`session::BrowserSession`] — the client application: executes the
+//!   paper's two-phase methodology (container page, then Δd1 and Δd2
+//!   measurement rounds) against a plan, stamping `tB` through a
+//!   [`bnm_time::TimingApi`].
+//!
+//! Nothing in this crate reads simulator internals to fabricate a result:
+//! the session *acts* (schedules delays, opens connections, writes bytes)
+//! and *records timestamps*; the overheads measured later are whatever
+//! those mechanisms produced on the wire.
+
+pub mod delay;
+pub mod plan;
+pub mod profile;
+pub mod session;
+
+pub use delay::DelayModel;
+pub use plan::{ProbePlan, ProbeTransport, Technology};
+pub use profile::{BrowserKind, BrowserProfile, ConnPolicy, Runtime};
+pub use session::{BrowserSession, RoundResult, SessionResult};

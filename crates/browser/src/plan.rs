@@ -1,0 +1,201 @@
+//! Declarative description of one measurement method.
+//!
+//! A [`ProbePlan`] says *what* a method does (technology, transport,
+//! timing API, message sizes); the per-browser [`crate::BrowserProfile`]
+//! says *how much it costs*; [`crate::BrowserSession`] executes the two
+//! together. The ten concrete plans of the paper's Table 1 are built by
+//! the `bnm-methods` crate.
+
+use bnm_time::TimingApiKind;
+
+/// The implementation technology of a method (Table 1's "Technology"
+/// column: Native / Flash plug-in / Java applet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technology {
+    /// JavaScript + DOM, no plug-in.
+    Native,
+    /// Adobe Flash (ActionScript).
+    Flash,
+    /// Java applet (runs in the JRE, not the browser).
+    JavaApplet,
+}
+
+impl Technology {
+    /// Display name matching Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            Technology::Native => "Native",
+            Technology::Flash => "Flash",
+            Technology::JavaApplet => "Java applet",
+        }
+    }
+}
+
+/// How the probe travels (Table 1's "Methods" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeTransport {
+    /// HTTP GET to `/probe`.
+    HttpGet,
+    /// HTTP POST to `/probe`.
+    HttpPost,
+    /// Binary echo over a raw TCP connection.
+    TcpEcho,
+    /// Binary echo over UDP.
+    UdpEcho,
+    /// Message echo over a WebSocket connection.
+    WebSocketEcho,
+}
+
+impl ProbeTransport {
+    /// Whether the transport is HTTP-based (vs socket-based) — the
+    /// paper's primary taxonomy.
+    pub fn is_http(self) -> bool {
+        matches!(self, ProbeTransport::HttpGet | ProbeTransport::HttpPost)
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeTransport::HttpGet => "GET",
+            ProbeTransport::HttpPost => "POST",
+            ProbeTransport::TcpEcho => "TCP",
+            ProbeTransport::UdpEcho => "UDP",
+            ProbeTransport::WebSocketEcho => "WebSocket",
+        }
+    }
+}
+
+/// One measurement method, ready to execute.
+#[derive(Debug, Clone)]
+pub struct ProbePlan {
+    /// Short label used in probe markers and reports (e.g. `"xhr_get"`).
+    pub label: String,
+    /// Implementation technology.
+    pub technology: Technology,
+    /// Probe transport.
+    pub transport: ProbeTransport,
+    /// The clock `tB` timestamps are read from.
+    pub timing: TimingApiKind,
+    /// Socket-probe payload size, bytes (single-packet per §3; HTTP
+    /// requests are sized by their headers instead).
+    pub request_size: usize,
+    /// Measurement rounds (the paper uses 2: Δd1 and Δd2).
+    pub rounds: u8,
+    /// Throughput mode: request a bulk response of this many bytes
+    /// instead of the single-packet pong. `None` = the paper's RTT
+    /// probes. Supported for HTTP and WebSocket transports (what
+    /// speedtest-style tools download through).
+    pub bulk: Option<usize>,
+    /// Embed unique query parameters per round (cache busting). All real
+    /// tools do this; disabling it demonstrates *why*: the browser cache
+    /// serves repeated GET URLs without touching the network, destroying
+    /// the measurement (§5's "reusing existing … web objects" concern).
+    pub cache_buster: bool,
+}
+
+impl ProbePlan {
+    /// A plan with the defaults the paper's testbed uses (32-byte socket
+    /// probes, 2 rounds).
+    pub fn new(
+        label: impl Into<String>,
+        technology: Technology,
+        transport: ProbeTransport,
+        timing: TimingApiKind,
+    ) -> ProbePlan {
+        ProbePlan {
+            label: label.into(),
+            technology,
+            transport,
+            timing,
+            request_size: 32,
+            rounds: 2,
+            bulk: None,
+            cache_buster: true,
+        }
+    }
+
+    /// Disable cache busting (for the caching-pitfall demonstration).
+    pub fn without_cache_buster(mut self) -> ProbePlan {
+        self.cache_buster = false;
+        self
+    }
+
+    /// Switch the plan into throughput mode: each round downloads a
+    /// `bytes`-sized response. Panics for transports that have no bulk
+    /// path (raw TCP/UDP echo).
+    pub fn with_bulk(mut self, bytes: usize) -> ProbePlan {
+        assert!(
+            matches!(
+                self.transport,
+                ProbeTransport::HttpGet | ProbeTransport::WebSocketEcho
+            ),
+            "bulk mode needs an HTTP GET or WebSocket transport"
+        );
+        self.bulk = Some(bytes);
+        self
+    }
+
+    /// Sanity-check technology/transport combinations that exist in the
+    /// paper's Table 1.
+    pub fn is_table1_combination(&self) -> bool {
+        use ProbeTransport::*;
+        use Technology::*;
+        matches!(
+            (self.technology, self.transport),
+            (Native, HttpGet)            // XHR GET, DOM
+                | (Native, HttpPost)     // XHR POST
+                | (Native, WebSocketEcho)
+                | (Flash, HttpGet)
+                | (Flash, HttpPost)
+                | (Flash, TcpEcho)
+                | (JavaApplet, HttpGet)
+                | (JavaApplet, HttpPost)
+                | (JavaApplet, TcpEcho)
+                | (JavaApplet, UdpEcho)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn http_vs_socket_taxonomy() {
+        assert!(ProbeTransport::HttpGet.is_http());
+        assert!(ProbeTransport::HttpPost.is_http());
+        assert!(!ProbeTransport::TcpEcho.is_http());
+        assert!(!ProbeTransport::UdpEcho.is_http());
+        assert!(!ProbeTransport::WebSocketEcho.is_http());
+    }
+
+    #[test]
+    fn table1_combinations() {
+        let ok = ProbePlan::new(
+            "xhr_get",
+            Technology::Native,
+            ProbeTransport::HttpGet,
+            TimingApiKind::JsDateGetTime,
+        );
+        assert!(ok.is_table1_combination());
+        let bad = ProbePlan::new(
+            "flash_udp",
+            Technology::Flash,
+            ProbeTransport::UdpEcho,
+            TimingApiKind::FlashGetTime,
+        );
+        assert!(!bad.is_table1_combination());
+    }
+
+    #[test]
+    fn defaults() {
+        let p = ProbePlan::new(
+            "ws",
+            Technology::Native,
+            ProbeTransport::WebSocketEcho,
+            TimingApiKind::JsDateGetTime,
+        );
+        assert_eq!(p.rounds, 2);
+        assert_eq!(p.request_size, 32);
+    }
+}

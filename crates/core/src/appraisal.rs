@@ -1,0 +1,187 @@
+//! Turning Δd samples into the paper's verdicts.
+//!
+//! ISO 5725 (cited in the paper's introduction) splits accuracy into
+//! **trueness** (closeness of the central tendency to the true value —
+//! here, |median Δd|) and **precision** (repeatability — here, the IQR
+//! and whisker spread of Δd). A method is *calibratable* when its
+//! overhead is stable enough that subtracting a constant fixes it.
+
+use bnm_stats::{BoxStats, Cdf, MeanCi, Summary};
+
+use crate::runner::CellResult;
+
+/// Accuracy verdict for one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Sub-millisecond median overhead and tight spread: usable as-is
+    /// (the paper's socket methods with a sound clock).
+    Accurate,
+    /// Biased but stable: subtract the median and it is usable.
+    Calibratable,
+    /// Overhead too erratic to correct (the paper's Flash HTTP methods).
+    Unreliable,
+    /// Negative overheads present: the clock under-estimates RTT
+    /// (the paper's Java-on-Windows artifact).
+    UnderEstimates,
+}
+
+/// Full appraisal of one cell's Δd samples.
+#[derive(Debug, Clone)]
+pub struct Appraisal {
+    /// Box statistics of Δd1.
+    pub d1: BoxStats,
+    /// Box statistics of Δd2.
+    pub d2: BoxStats,
+    /// Pooled summary.
+    pub pooled: Summary,
+    /// Pooled mean ± 95% CI (Table 4's statistic).
+    pub mean_ci: MeanCi,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Thresholds (ms) used by the verdict logic. Derived from the paper's
+/// qualitative bands: sockets ≲ 1 ms are "accurate"; DOM at ≲ 5 ms with
+/// small IQR is calibratable; Flash's tens-of-ms with cross-browser
+/// variability is not.
+#[derive(Debug, Clone, Copy)]
+pub struct Thresholds {
+    /// |median| below this ⇒ accurate (given tight IQR).
+    pub accurate_median_ms: f64,
+    /// IQR below this counts as "stable".
+    pub stable_iqr_ms: f64,
+    /// Fraction of *materially* negative samples above which the cell
+    /// under-estimates.
+    pub negative_fraction: f64,
+    /// Samples below this count as materially negative. A 1 ms-resolution
+    /// clock legitimately produces Δd down to about −1.2 ms from
+    /// quantization plus wire time alone; only losses beyond the nominal
+    /// resolution indicate the §4.2 pathology.
+    pub negative_cutoff_ms: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            accurate_median_ms: 1.0,
+            stable_iqr_ms: 5.0,
+            negative_fraction: 0.1,
+            negative_cutoff_ms: -1.5,
+        }
+    }
+}
+
+impl Appraisal {
+    /// Appraise a cell result with default thresholds.
+    pub fn of(result: &CellResult) -> Appraisal {
+        Self::with_thresholds(result, Thresholds::default())
+    }
+
+    /// Appraise with custom thresholds.
+    pub fn with_thresholds(result: &CellResult, th: Thresholds) -> Appraisal {
+        let pooled_samples = result.pooled();
+        assert!(!pooled_samples.is_empty(), "appraisal of empty cell");
+        let d1 = BoxStats::of(&result.d1);
+        let d2 = BoxStats::of(&result.d2);
+        let pooled = Summary::of(&pooled_samples);
+        let mean_ci = MeanCi::of(&pooled_samples);
+        let neg = pooled_samples
+            .iter()
+            .filter(|&&d| d < th.negative_cutoff_ms)
+            .count() as f64
+            / pooled_samples.len() as f64;
+        let verdict = if neg > th.negative_fraction {
+            Verdict::UnderEstimates
+        } else if pooled.median.abs() <= th.accurate_median_ms && pooled.iqr() <= th.stable_iqr_ms
+        {
+            Verdict::Accurate
+        } else if pooled.iqr() <= th.stable_iqr_ms {
+            Verdict::Calibratable
+        } else {
+            Verdict::Unreliable
+        };
+        Appraisal {
+            d1,
+            d2,
+            pooled,
+            mean_ci,
+            verdict,
+        }
+    }
+
+    /// Empirical CDFs of Δd1/Δd2 — the paper's Figure 4 view.
+    pub fn cdfs(result: &CellResult) -> (Cdf, Cdf) {
+        (Cdf::of(&result.d1), Cdf::of(&result.d2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell_with(d1: Vec<f64>, d2: Vec<f64>) -> CellResult {
+        CellResult {
+            d1,
+            d2,
+            measurements: Vec::new(),
+            failures: 0,
+        }
+    }
+
+    fn repeat(base: &[f64], n: usize) -> Vec<f64> {
+        base.iter().cycle().take(n).copied().collect()
+    }
+
+    #[test]
+    fn socket_like_samples_are_accurate() {
+        let r = cell_with(
+            repeat(&[0.05, 0.08, 0.06, 0.09], 25),
+            repeat(&[0.10, 0.12, 0.11, 0.14], 25),
+        );
+        let a = Appraisal::of(&r);
+        assert_eq!(a.verdict, Verdict::Accurate);
+        assert!(a.pooled.median < 0.2);
+    }
+
+    #[test]
+    fn stable_biased_samples_are_calibratable() {
+        let r = cell_with(repeat(&[3.9, 4.0, 4.1, 4.2], 25), repeat(&[3.8, 4.0, 4.3], 25));
+        let a = Appraisal::of(&r);
+        assert_eq!(a.verdict, Verdict::Calibratable);
+    }
+
+    #[test]
+    fn erratic_samples_are_unreliable() {
+        // Flash-like: large spread across repetitions.
+        let r = cell_with(
+            repeat(&[20.0, 45.0, 80.0, 110.0, 30.0], 25),
+            repeat(&[25.0, 60.0, 95.0], 25),
+        );
+        let a = Appraisal::of(&r);
+        assert_eq!(a.verdict, Verdict::Unreliable);
+    }
+
+    #[test]
+    fn negative_samples_flag_underestimation() {
+        let r = cell_with(
+            repeat(&[-4.3, -4.1, 11.5, -4.0], 25),
+            repeat(&[-4.2, 11.4, -3.9], 25),
+        );
+        let a = Appraisal::of(&r);
+        assert_eq!(a.verdict, Verdict::UnderEstimates);
+    }
+
+    #[test]
+    fn cdfs_cover_both_rounds() {
+        let r = cell_with(vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]);
+        let (c1, c2) = Appraisal::cdfs(&r);
+        assert_eq!(c1.n(), 3);
+        assert_eq!(c2.range(), (4.0, 6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_cell_panics() {
+        Appraisal::of(&cell_with(vec![], vec![]));
+    }
+}

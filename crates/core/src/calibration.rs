@@ -1,0 +1,110 @@
+//! Calibration: correcting browser-level RTTs with a measured offset.
+//!
+//! Section 5 of the paper: "If a measurement object can be reused, the
+//! delay overhead can be better estimated by Δd2 without including the
+//! TCP handshaking delay." A calibration is exactly that — a per-cell
+//! offset (the Δd2 median) plus a residual-spread bound that says how
+//! trustworthy the corrected values are.
+
+use bnm_stats::Summary;
+
+use crate::runner::CellResult;
+
+/// A calibration derived from one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Offset subtracted from browser RTTs (median Δd2, ms).
+    pub offset_ms: f64,
+    /// Residual IQR after subtracting the offset, ms.
+    pub residual_iqr_ms: f64,
+    /// Residual 95% span (2.5th–97.5th percentile width), ms.
+    pub residual_p95_span_ms: f64,
+    /// Sample size behind the calibration.
+    pub n: usize,
+}
+
+impl Calibration {
+    /// Derive from a cell result, using the reuse-round (Δd2) samples,
+    /// per the paper's §5 recommendation.
+    pub fn derive(result: &CellResult) -> Calibration {
+        Self::derive_from(&result.d2)
+    }
+
+    /// Derive from any Δd sample set.
+    pub fn derive_from(samples: &[f64]) -> Calibration {
+        let s = Summary::of(samples);
+        let offset = s.median;
+        let residuals: Vec<f64> = samples.iter().map(|d| d - offset).collect();
+        let rs = Summary::of(&residuals);
+        let mut sorted = residuals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p = |q: f64| bnm_stats::summary::quantile(&sorted, q);
+        Calibration {
+            offset_ms: offset,
+            residual_iqr_ms: rs.iqr(),
+            residual_p95_span_ms: p(0.975) - p(0.025),
+            n: samples.len(),
+        }
+    }
+
+    /// Correct one browser-level RTT.
+    pub fn correct(&self, browser_rtt_ms: f64) -> f64 {
+        browser_rtt_ms - self.offset_ms
+    }
+
+    /// Whether corrected values are trustworthy to within `tolerance_ms`
+    /// (95% of residuals fit in the band).
+    pub fn is_trustworthy(&self, tolerance_ms: f64) -> bool {
+        self.residual_p95_span_ms <= 2.0 * tolerance_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_samples_calibrate_well() {
+        let samples = [4.0, 4.1, 3.9, 4.05, 3.95, 4.0, 4.2, 3.8];
+        let c = Calibration::derive_from(&samples);
+        assert!((c.offset_ms - 4.0).abs() < 0.1);
+        assert!(c.residual_iqr_ms < 0.2);
+        assert!(c.is_trustworthy(0.5));
+        // Correcting a browser RTT of 54 ms yields ~50 ms.
+        assert!((c.correct(54.0) - 50.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn spread_samples_are_untrustworthy() {
+        let samples = [20.0, 45.0, 80.0, 110.0, 30.0, 65.0, 95.0, 25.0];
+        let c = Calibration::derive_from(&samples);
+        assert!(!c.is_trustworthy(5.0));
+        assert!(c.residual_p95_span_ms > 50.0);
+    }
+
+    #[test]
+    fn derive_uses_round_two() {
+        let r = CellResult {
+            d1: vec![100.0; 10], // handshake-inflated round 1
+            d2: vec![4.0; 10],
+            measurements: Vec::new(),
+            failures: 0,
+        };
+        let c = Calibration::derive(&r);
+        assert_eq!(c.offset_ms, 4.0);
+        assert_eq!(c.n, 10);
+        assert_eq!(c.residual_iqr_ms, 0.0);
+    }
+
+    #[test]
+    fn correction_is_linear() {
+        let c = Calibration {
+            offset_ms: 3.5,
+            residual_iqr_ms: 0.1,
+            residual_p95_span_ms: 0.4,
+            n: 50,
+        };
+        assert_eq!(c.correct(53.5), 50.0);
+        assert_eq!(c.correct(3.5), 0.0);
+    }
+}

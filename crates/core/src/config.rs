@@ -1,0 +1,219 @@
+//! Experiment-cell configuration.
+
+use bnm_browser::BrowserKind;
+use bnm_methods::MethodId;
+use bnm_sim::time::SimDuration;
+use bnm_time::{OsKind, TimingApiKind};
+
+/// Which runtime executes the measurement code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuntimeSel {
+    /// A browser from Table 2.
+    Browser(BrowserKind),
+    /// The JDK `appletviewer` (Figure 4(b)).
+    AppletViewer,
+    /// A mobile WebKit browser (§7 extension; native methods only).
+    MobileWebKit,
+}
+
+impl RuntimeSel {
+    /// Figure label ("C (U)", "appletviewer (W)", …).
+    pub fn figure_label(&self, os: OsKind) -> String {
+        match self {
+            RuntimeSel::Browser(b) => format!("{} ({})", b.initial(), os.initial()),
+            RuntimeSel::AppletViewer => format!("appletviewer ({})", os.initial()),
+            RuntimeSel::MobileWebKit => "M (mobile)".to_string(),
+        }
+    }
+}
+
+/// One cell of the experiment grid: a method on a runtime on an OS,
+/// repeated.
+#[derive(Debug, Clone)]
+pub struct ExperimentCell {
+    /// The measurement method.
+    pub method: MethodId,
+    /// The runtime executing it.
+    pub runtime: RuntimeSel,
+    /// The client machine's OS.
+    pub os: OsKind,
+    /// Timing-API override (`None` = the method's era-accurate default;
+    /// Table 4 passes `Some(JavaNanoTime)`).
+    pub timing_override: Option<TimingApiKind>,
+    /// Repetitions ("we run it for 50 times").
+    pub reps: u32,
+    /// The artificial one-way delay on the server side (§3: 50 ms).
+    pub server_delay: SimDuration,
+    /// Capture timestamping noise bound (0 = exact stamps; the paper
+    /// cites > 0.3 ms accuracy for software capturers).
+    pub capture_noise_ns: u64,
+    /// Master seed; every repetition derives independent streams from it.
+    pub seed: u64,
+    /// §5's Safari fix (force the Oracle JRE) — used by the Table 4 runs.
+    pub fixed_safari_java: bool,
+}
+
+impl ExperimentCell {
+    /// The paper's standard cell: 50 reps, 50 ms server delay, exact
+    /// capture stamps.
+    pub fn paper(method: MethodId, runtime: RuntimeSel, os: OsKind) -> ExperimentCell {
+        ExperimentCell {
+            method,
+            runtime,
+            os,
+            timing_override: None,
+            reps: 50,
+            server_delay: SimDuration::from_millis(50),
+            capture_noise_ns: 0,
+            seed: 0xB32B_0001,
+            fixed_safari_java: false,
+        }
+    }
+
+    /// Override the timing API.
+    pub fn with_timing(mut self, t: TimingApiKind) -> Self {
+        self.timing_override = Some(t);
+        self
+    }
+
+    /// Override the repetition count.
+    pub fn with_reps(mut self, reps: u32) -> Self {
+        self.reps = reps;
+        self
+    }
+
+    /// Override the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Apply §5's Safari Java fix.
+    pub fn with_fixed_safari_java(mut self) -> Self {
+        self.fixed_safari_java = true;
+        self
+    }
+
+    /// Cell label for reports: "XHR GET / C (U) / Δd".
+    pub fn label(&self) -> String {
+        format!(
+            "{} / {}",
+            self.method.display_name(),
+            self.runtime.figure_label(self.os)
+        )
+    }
+
+    /// Whether the runtime can execute the method (Table 2 feature
+    /// matrix).
+    pub fn is_runnable(&self) -> bool {
+        let profile = match self.runtime {
+            RuntimeSel::Browser(b) => bnm_browser::BrowserProfile::build(b, self.os),
+            RuntimeSel::AppletViewer => Some(bnm_browser::BrowserProfile::appletviewer(self.os)),
+            RuntimeSel::MobileWebKit => Some(bnm_browser::BrowserProfile::mobile_webkit()),
+        };
+        match profile {
+            Some(p) => self.method.available_in(&p),
+            None => false,
+        }
+    }
+}
+
+/// All (runtime, OS) combinations of the paper's Figure 3, in figure
+/// order: Ubuntu browsers first, then Windows.
+pub fn figure3_combos() -> Vec<(RuntimeSel, OsKind)> {
+    let mut combos = Vec::new();
+    for os in [OsKind::Ubuntu1204, OsKind::Windows7] {
+        for b in BrowserKind::ALL {
+            if b.available_on(os) {
+                combos.push((RuntimeSel::Browser(b), os));
+            }
+        }
+    }
+    combos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_figure3_combos() {
+        let combos = figure3_combos();
+        assert_eq!(combos.len(), 8);
+        assert_eq!(combos[0].1, OsKind::Ubuntu1204);
+        assert_eq!(
+            combos
+                .iter()
+                .filter(|(_, os)| *os == OsKind::Windows7)
+                .count(),
+            5
+        );
+    }
+
+    #[test]
+    fn websocket_cells_runnable_only_where_supported() {
+        let runnable = figure3_combos()
+            .into_iter()
+            .filter(|(r, os)| {
+                ExperimentCell::paper(MethodId::WebSocket, *r, *os).is_runnable()
+            })
+            .count();
+        // 3 Ubuntu + Chrome/Firefox/Opera on Windows = 6 (no IE, Safari).
+        assert_eq!(runnable, 6);
+    }
+
+    #[test]
+    fn labels() {
+        let cell = ExperimentCell::paper(
+            MethodId::FlashGet,
+            RuntimeSel::Browser(BrowserKind::Opera),
+            OsKind::Windows7,
+        );
+        assert_eq!(cell.label(), "Flash GET / O (W)");
+        assert_eq!(
+            RuntimeSel::AppletViewer.figure_label(OsKind::Windows7),
+            "appletviewer (W)"
+        );
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let cell = ExperimentCell::paper(
+            MethodId::XhrGet,
+            RuntimeSel::Browser(BrowserKind::Chrome),
+            OsKind::Ubuntu1204,
+        );
+        assert_eq!(cell.reps, 50);
+        assert_eq!(cell.server_delay.as_millis(), 50);
+        assert_eq!(cell.timing_override, None);
+        assert!(cell.is_runnable());
+    }
+}
+
+#[cfg(test)]
+mod mobile_tests {
+    use super::*;
+    use bnm_methods::MethodId;
+
+    #[test]
+    fn mobile_runs_native_methods_only() {
+        for m in MethodId::ALL {
+            let cell = ExperimentCell::paper(m, RuntimeSel::MobileWebKit, OsKind::Ubuntu1204);
+            let native = matches!(
+                m,
+                MethodId::XhrGet | MethodId::XhrPost | MethodId::Dom | MethodId::WebSocket
+            );
+            assert_eq!(cell.is_runnable(), native, "{m}");
+        }
+    }
+
+    #[test]
+    fn mobile_label() {
+        let cell = ExperimentCell::paper(
+            MethodId::WebSocket,
+            RuntimeSel::MobileWebKit,
+            OsKind::Ubuntu1204,
+        );
+        assert_eq!(cell.label(), "WebSocket / M (mobile)");
+    }
+}

@@ -1,0 +1,78 @@
+//! Eq. 1 of the paper: `Δd = (tB_r − tB_s) − (tN_r − tN_s)`.
+
+use bnm_browser::RoundResult;
+
+use crate::matching::WireTimes;
+
+/// One round's browser-level and network-level timestamps combined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundMeasurement {
+    /// Round number (1 or 2).
+    pub round: u8,
+    /// Browser-level timestamps (through the timing API, ms).
+    pub browser: RoundResult,
+    /// Ground-truth wire timestamps from the capture.
+    pub wire: WireTimes,
+}
+
+impl RoundMeasurement {
+    /// The browser-level RTT, ms.
+    pub fn browser_rtt_ms(&self) -> f64 {
+        self.browser.browser_rtt_ms()
+    }
+
+    /// The network RTT from the capture, ms.
+    pub fn network_rtt_ms(&self) -> f64 {
+        self.wire.tn_r.signed_millis_since(self.wire.tn_s)
+    }
+
+    /// The paper's Eq. 1: the delay overhead, ms. Negative values mean
+    /// the browser *under-estimated* the RTT (§4.2's artifact).
+    pub fn delta_d_ms(&self) -> f64 {
+        self.browser_rtt_ms() - self.network_rtt_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnm_sim::time::SimTime;
+
+    fn meas(tb_s: f64, tb_r: f64, tn_s_ms: u64, tn_r_us: u64) -> RoundMeasurement {
+        RoundMeasurement {
+            round: 1,
+            browser: RoundResult {
+                round: 1,
+                tb_s_ms: tb_s,
+                tb_r_ms: tb_r,
+                opened_new_connection: false,
+            },
+            wire: WireTimes {
+                tn_s: SimTime::from_millis(tn_s_ms),
+                tn_r: SimTime::from_micros(tn_r_us),
+            },
+        }
+    }
+
+    #[test]
+    fn positive_overhead() {
+        // Browser saw 55 ms; wire saw 50.2 ms → Δd = 4.8.
+        let m = meas(1000.0, 1055.0, 10, 60_200);
+        assert!((m.delta_d_ms() - 4.8).abs() < 1e-9);
+        assert!((m.network_rtt_ms() - 50.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_overhead_possible() {
+        // Quantized browser clock read 47 ms for a 50.2 ms wire RTT.
+        let m = meas(1000.0, 1047.0, 10, 60_200);
+        assert!(m.delta_d_ms() < 0.0);
+        assert!((m.delta_d_ms() + 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_overhead_when_equal() {
+        let m = meas(0.0, 50.0, 0, 50_000);
+        assert_eq!(m.delta_d_ms(), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Downstream impact of the delay overhead (§2.2 of the paper):
+//! unstable Δd corrupts jitter estimates, and an inflated RTT
+//! under-estimates round-trip throughput.
+
+use bnm_stats::jitter;
+
+/// Jitter distortion: measured-jitter vs true-jitter for an RTT series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitterImpact {
+    /// Jitter of the true (wire) RTT series, ms.
+    pub true_jitter_ms: f64,
+    /// Jitter of the browser-level RTT series, ms.
+    pub measured_jitter_ms: f64,
+}
+
+impl JitterImpact {
+    /// Compare wire and browser RTT series (consecutive-difference
+    /// jitter).
+    pub fn of(wire_rtts_ms: &[f64], browser_rtts_ms: &[f64]) -> JitterImpact {
+        JitterImpact {
+            true_jitter_ms: jitter::consecutive_jitter(wire_rtts_ms),
+            measured_jitter_ms: jitter::consecutive_jitter(browser_rtts_ms),
+        }
+    }
+
+    /// Jitter added by the browser, ms.
+    pub fn inflation_ms(&self) -> f64 {
+        self.measured_jitter_ms - self.true_jitter_ms
+    }
+}
+
+/// Round-trip throughput distortion from an inflated RTT.
+///
+/// A speedtest that transfers `bytes` in one window estimates
+/// `Tput = bytes·8 / RTT`; an RTT inflated by Δd under-reports it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputImpact {
+    /// Throughput computed from the wire RTT, bits/s.
+    pub true_bps: f64,
+    /// Throughput computed from the browser RTT, bits/s.
+    pub measured_bps: f64,
+}
+
+impl ThroughputImpact {
+    /// Compute for a transfer of `bytes` against the two RTTs (ms).
+    pub fn of(bytes: usize, wire_rtt_ms: f64, browser_rtt_ms: f64) -> ThroughputImpact {
+        assert!(wire_rtt_ms > 0.0 && browser_rtt_ms > 0.0);
+        let bits = bytes as f64 * 8.0;
+        ThroughputImpact {
+            true_bps: bits / (wire_rtt_ms / 1e3),
+            measured_bps: bits / (browser_rtt_ms / 1e3),
+        }
+    }
+
+    /// Fraction of throughput lost to the overhead (0 = exact,
+    /// 0.5 = halved).
+    pub fn underestimation(&self) -> f64 {
+        1.0 - self.measured_bps / self.true_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_overhead_adds_no_jitter() {
+        let wire = [50.0, 50.0, 50.0, 50.0];
+        let browser: Vec<f64> = wire.iter().map(|r| r + 4.0).collect();
+        let j = JitterImpact::of(&wire, &browser);
+        assert_eq!(j.inflation_ms(), 0.0);
+    }
+
+    #[test]
+    fn unstable_overhead_fabricates_jitter() {
+        let wire = [50.0; 6];
+        let browser = [54.0, 66.0, 53.0, 70.0, 55.0, 61.0];
+        let j = JitterImpact::of(&wire, &browser);
+        assert_eq!(j.true_jitter_ms, 0.0);
+        assert!(j.measured_jitter_ms > 8.0);
+        assert!(j.inflation_ms() > 8.0);
+    }
+
+    #[test]
+    fn throughput_underestimation_scales_with_overhead() {
+        // 100 KB over a 50 ms RTT = 16 Mbit/s true.
+        let t = ThroughputImpact::of(100_000, 50.0, 100.0);
+        assert!((t.true_bps - 16e6).abs() < 1.0);
+        assert!((t.measured_bps - 8e6).abs() < 1.0);
+        assert!((t.underestimation() - 0.5).abs() < 1e-9);
+        // Small overhead barely matters.
+        let small = ThroughputImpact::of(100_000, 50.0, 50.5);
+        assert!(small.underestimation() < 0.011);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonpositive_rtt_panics() {
+        ThroughputImpact::of(1000, 0.0, 50.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # bnm-core — the delay-accuracy appraisal library
+//!
+//! This crate is the paper's primary contribution, made executable: a
+//! methodology for **quantifying the delay overhead** browser-based RTT
+//! measurement adds, and for judging which methods are calibratable.
+//!
+//! The pipeline mirrors Section 3 of the paper exactly:
+//!
+//! 1. [`testbed`] builds the two-machine testbed of Figure 2 (hosts,
+//!    switch, 100 Mbps links, the 50 ms netem delay on the server side,
+//!    and a WinDump-style capture tap at the client's NIC).
+//! 2. [`runner`] executes one experiment *cell* — (method × runtime × OS,
+//!    repeated 50 times, two rounds each) — each repetition in a fresh
+//!    simulation with its own seeded noise streams.
+//! 3. [`matching`] recovers the ground-truth timestamps `tN_s`/`tN_r` by
+//!    **parsing the captured packets** (Ethernet/IPv4/TCP/UDP) and
+//!    locating the probe markers, never by asking the simulator.
+//! 4. [`delta`] computes `Δd = (tB_r − tB_s) − (tN_r − tN_s)` (Eq. 1).
+//! 5. [`appraisal`] turns the 50-sample sets into the paper's statistics
+//!    (Tukey boxes, CDFs, mean ± 95% CI) and into trueness/precision
+//!    verdicts; [`calibration`] derives per-cell calibration offsets;
+//!    [`impact`] quantifies the jitter/throughput distortion of §2.2;
+//!    [`recommend`] codifies the practical considerations of §5.
+//! 6. [`server_side`] is the §7 extension: the same appraisal applied to
+//!    the server's own processing overhead.
+
+pub mod appraisal;
+pub mod baseline;
+pub mod calibration;
+pub mod config;
+pub mod delta;
+pub mod impact;
+pub mod matching;
+pub mod recommend;
+pub mod report;
+pub mod runner;
+pub mod server_side;
+pub mod sweep;
+pub mod testbed;
+pub mod throughput;
+
+pub use appraisal::{Appraisal, Verdict};
+pub use config::{ExperimentCell, RuntimeSel};
+pub use delta::RoundMeasurement;
+pub use runner::{CellResult, ExperimentRunner};
+pub use testbed::{Testbed, TestbedConfig};

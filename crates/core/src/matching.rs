@@ -1,0 +1,251 @@
+//! Ground-truth recovery from capture traces.
+//!
+//! This is the WinDump half of the paper's methodology: `tN_s` is the
+//! capture timestamp of the packet carrying the round's request, `tN_r`
+//! that of the packet carrying its response. The matcher **parses raw
+//! frames** with `bnm-sim`'s wire parsers and greps transport payloads for
+//! the probe markers the session embeds — exactly what one does with a
+//! real pcap, and deliberately ignorant of simulator internals.
+
+use bnm_methods::MethodId;
+use bnm_sim::capture::{CaptureBuffer, CaptureDir};
+use bnm_sim::time::SimTime;
+use bnm_sim::wire::{ParsedPacket, Transport};
+
+/// Network-level timestamps of one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTimes {
+    /// Capture stamp of the request packet leaving the client.
+    pub tn_s: SimTime,
+    /// Capture stamp of the response packet arriving at the client.
+    pub tn_r: SimTime,
+}
+
+/// Why matching failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchError {
+    /// No transmitted packet carried the round's request marker.
+    RequestNotFound,
+    /// No received packet carried the round's response marker.
+    ResponseNotFound,
+    /// A response was captured before the request (trace corruption).
+    OutOfOrder,
+}
+
+/// Substring search (the capture analyst's `grep`).
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// The request marker the session embeds for (method, round, token).
+pub fn request_marker(method: MethodId, round: u8, token: u64) -> Vec<u8> {
+    if method.is_http_based() {
+        format!("m={}&r={}&t={}", method.label(), round, token).into_bytes()
+    } else {
+        format!("probe m={} r={} t={} ", method.label(), round, token).into_bytes()
+    }
+}
+
+/// The response marker.
+pub fn response_marker(method: MethodId, round: u8, token: u64) -> Vec<u8> {
+    if method.is_http_based() {
+        format!("pong r={} t={} ", round, token).into_bytes()
+    } else {
+        // Echo transports return the request payload verbatim.
+        request_marker(method, round, token)
+    }
+}
+
+/// Transport payload of a captured frame, if it parses.
+fn payload_of(frame: &[u8]) -> Option<Vec<u8>> {
+    let parsed = ParsedPacket::parse(frame).ok()?;
+    Some(match parsed.transport {
+        Transport::Tcp(seg) => seg.payload.to_vec(),
+        Transport::Udp(d) => d.payload.to_vec(),
+        Transport::Icmp(_) | Transport::Other(_) => return None,
+    })
+}
+
+/// Find `tN_s`/`tN_r` for one round in a client-side capture.
+pub fn match_round(
+    capture: &CaptureBuffer,
+    method: MethodId,
+    round: u8,
+    token: u64,
+) -> Result<WireTimes, MatchError> {
+    let req_marker = request_marker(method, round, token);
+    let resp_marker = response_marker(method, round, token);
+    let mut tn_s = None;
+    let mut tn_r = None;
+    for rec in capture.records() {
+        let Some(payload) = payload_of(&rec.frame) else {
+            continue;
+        };
+        match rec.dir {
+            CaptureDir::Tx => {
+                if tn_s.is_none() && contains(&payload, &req_marker) {
+                    tn_s = Some(rec.ts);
+                }
+            }
+            CaptureDir::Rx => {
+                if tn_r.is_none() && contains(&payload, &resp_marker) {
+                    tn_r = Some(rec.ts);
+                }
+            }
+        }
+        if tn_s.is_some() && tn_r.is_some() {
+            break;
+        }
+    }
+    match (tn_s, tn_r) {
+        (None, _) => Err(MatchError::RequestNotFound),
+        (_, None) => Err(MatchError::ResponseNotFound),
+        (Some(s), Some(r)) => {
+            if r < s {
+                Err(MatchError::OutOfOrder)
+            } else {
+                Ok(WireTimes { tn_s: s, tn_r: r })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use std::net::Ipv4Addr;
+
+    use bnm_sim::wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, TcpFlags, TcpSegment};
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn tcp_frame(payload: &[u8], src_port: u16, dst_port: u16) -> Bytes {
+        let seg = TcpSegment {
+            src_port,
+            dst_port,
+            seq: 1,
+            ack: 1,
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            window: 1000,
+            mss: None,
+            payload: Bytes::copy_from_slice(payload),
+        };
+        let ip = Ipv4Packet {
+            src: A,
+            dst: B,
+            protocol: IpProtocol::Tcp,
+            ttl: 64,
+            ident: 1,
+            payload: seg.emit(A, B),
+        };
+        EthernetFrame {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            ethertype: EtherType::Ipv4,
+            payload: ip.emit(),
+        }
+        .emit()
+    }
+
+    fn capture_with(records: &[(u64, CaptureDir, &[u8])]) -> CaptureBuffer {
+        let mut buf = CaptureBuffer::new("test");
+        for (ms, dir, payload) in records {
+            buf.record(SimTime::from_millis(*ms), *dir, &tcp_frame(payload, 5, 80));
+        }
+        buf
+    }
+
+    #[test]
+    fn http_round_matches() {
+        let cap = capture_with(&[
+            (10, CaptureDir::Tx, b"GET /probe?m=xhr_get&r=1&t=7 HTTP/1.1\r\n\r\n"),
+            (61, CaptureDir::Rx, b"HTTP/1.1 200 OK\r\n\r\npong r=1 t=7 ....."),
+        ]);
+        let wt = match_round(&cap, MethodId::XhrGet, 1, 7).unwrap();
+        assert_eq!(wt.tn_s, SimTime::from_millis(10));
+        assert_eq!(wt.tn_r, SimTime::from_millis(61));
+    }
+
+    #[test]
+    fn rounds_do_not_cross_match() {
+        let cap = capture_with(&[
+            (10, CaptureDir::Tx, b"GET /probe?m=xhr_get&r=1&t=7 HTTP/1.1\r\n\r\n"),
+            (61, CaptureDir::Rx, b"HTTP/1.1 200 OK\r\n\r\npong r=1 t=7 ....."),
+            (80, CaptureDir::Tx, b"GET /probe?m=xhr_get&r=2&t=7 HTTP/1.1\r\n\r\n"),
+            (131, CaptureDir::Rx, b"HTTP/1.1 200 OK\r\n\r\npong r=2 t=7 ....."),
+        ]);
+        let r2 = match_round(&cap, MethodId::XhrGet, 2, 7).unwrap();
+        assert_eq!(r2.tn_s, SimTime::from_millis(80));
+        assert_eq!(r2.tn_r, SimTime::from_millis(131));
+    }
+
+    #[test]
+    fn echo_transport_distinguishes_by_direction() {
+        let marker = b"probe m=java_tcp r=1 t=3 .......";
+        let cap = capture_with(&[
+            (5, CaptureDir::Tx, marker),
+            (55, CaptureDir::Rx, marker), // identical bytes echoed back
+        ]);
+        let wt = match_round(&cap, MethodId::JavaTcp, 1, 3).unwrap();
+        assert_eq!(wt.tn_s, SimTime::from_millis(5));
+        assert_eq!(wt.tn_r, SimTime::from_millis(55));
+    }
+
+    #[test]
+    fn missing_response_reported() {
+        let cap = capture_with(&[(5, CaptureDir::Tx, b"m=xhr_get&r=1&t=0")]);
+        assert_eq!(
+            match_round(&cap, MethodId::XhrGet, 1, 0).unwrap_err(),
+            MatchError::ResponseNotFound
+        );
+    }
+
+    #[test]
+    fn missing_request_reported() {
+        let cap = capture_with(&[(5, CaptureDir::Rx, b"pong r=1 t=0 ")]);
+        assert_eq!(
+            match_round(&cap, MethodId::XhrGet, 1, 0).unwrap_err(),
+            MatchError::RequestNotFound
+        );
+    }
+
+    #[test]
+    fn out_of_order_reported() {
+        let cap = capture_with(&[
+            (60, CaptureDir::Tx, b"m=xhr_get&r=1&t=0"),
+            (5, CaptureDir::Rx, b"pong r=1 t=0 "),
+        ]);
+        assert_eq!(
+            match_round(&cap, MethodId::XhrGet, 1, 0).unwrap_err(),
+            MatchError::OutOfOrder
+        );
+    }
+
+    #[test]
+    fn tokens_disambiguate_repetitions() {
+        let cap = capture_with(&[
+            (10, CaptureDir::Tx, b"m=xhr_get&r=1&t=1 "),
+            (20, CaptureDir::Rx, b"pong r=1 t=1 "),
+            (30, CaptureDir::Tx, b"m=xhr_get&r=1&t=2 "),
+            (40, CaptureDir::Rx, b"pong r=1 t=2 "),
+        ]);
+        let wt = match_round(&cap, MethodId::XhrGet, 1, 2).unwrap();
+        assert_eq!(wt.tn_s, SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn garbage_frames_are_skipped() {
+        let mut cap = capture_with(&[
+            (10, CaptureDir::Tx, b"m=xhr_get&r=1&t=0"),
+            (20, CaptureDir::Rx, b"pong r=1 t=0 "),
+        ]);
+        cap.record(
+            SimTime::from_millis(1),
+            CaptureDir::Rx,
+            &Bytes::from_static(b"not a frame"),
+        );
+        assert!(match_round(&cap, MethodId::XhrGet, 1, 0).is_ok());
+    }
+}

@@ -1,0 +1,185 @@
+//! Report formatting: figure-style rows, CSV export.
+
+use std::fmt::Write as _;
+
+use bnm_stats::{ascii, BoxStats, Cdf};
+
+use crate::appraisal::Appraisal;
+use crate::config::ExperimentCell;
+use crate::runner::CellResult;
+
+/// A labelled box-plot row of a Figure 3 panel.
+#[derive(Debug, Clone)]
+pub struct PanelRow {
+    /// The paper's x-axis label, e.g. "C (U) Δd1".
+    pub label: String,
+    /// Box statistics.
+    pub stats: BoxStats,
+}
+
+/// Build the two rows (Δd1, Δd2) a cell contributes to its panel.
+pub fn panel_rows(cell: &ExperimentCell, result: &CellResult) -> Vec<PanelRow> {
+    let base = cell.runtime.figure_label(cell.os);
+    vec![
+        PanelRow {
+            label: format!("{base} Δd1"),
+            stats: BoxStats::of(&result.d1),
+        },
+        PanelRow {
+            label: format!("{base} Δd2"),
+            stats: BoxStats::of(&result.d2),
+        },
+    ]
+}
+
+/// Render a Figure 3 panel: one ASCII box per row on a shared axis.
+pub fn render_panel(title: &str, rows: &[PanelRow], width: usize) -> String {
+    assert!(!rows.is_empty());
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for r in rows {
+        let (a, b) = r.stats.full_range();
+        lo = lo.min(a);
+        hi = hi.max(b);
+    }
+    if hi - lo < 1e-9 {
+        hi = lo + 1.0;
+    }
+    let pad = (hi - lo) * 0.05;
+    let (lo, hi) = (lo - pad, hi + pad);
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap();
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:label_w$} |{}| med={:7.2}",
+            r.label,
+            ascii::render_box(&r.stats, lo, hi, width),
+            r.stats.median,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:label_w$}  {:<10.1}{:>width$.1} (ms)",
+        "",
+        lo,
+        hi,
+        width = width - 10
+    );
+    out
+}
+
+/// Render a Figure 4 style CDF block.
+pub fn render_cdf_block(title: &str, cdf: &Cdf, width: usize, height: usize) -> String {
+    let (lo, hi) = cdf.range();
+    let pad = ((hi - lo) * 0.05).max(0.5);
+    format!(
+        "{title}\n{}",
+        ascii::render_cdf(cdf, lo - pad, hi + pad, width, height)
+    )
+}
+
+/// One CSV line per Δd sample: `method,runtime,os,round,rep_index,delta_ms`.
+pub fn to_csv(cell: &ExperimentCell, result: &CellResult) -> String {
+    let mut out = String::from("method,runtime,os,round,index,delta_ms\n");
+    let runtime = cell.runtime.figure_label(cell.os);
+    for (round, data) in [(1u8, &result.d1), (2u8, &result.d2)] {
+        for (i, d) in data.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{:.6}",
+                cell.method.label(),
+                runtime,
+                cell.os.initial(),
+                round,
+                i,
+                d
+            );
+        }
+    }
+    out
+}
+
+/// A one-line summary of an appraisal, for harness stdout.
+pub fn summary_line(cell: &ExperimentCell, a: &Appraisal) -> String {
+    format!(
+        "{:40} Δd1 med {:8.2}  Δd2 med {:8.2}  IQR {:6.2}  mean {}  verdict {:?}",
+        cell.label(),
+        a.d1.median,
+        a.d2.median,
+        a.pooled.iqr(),
+        a.mean_ci.format_table4(),
+        a.verdict
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeSel;
+    use bnm_browser::BrowserKind;
+    use bnm_methods::MethodId;
+    use bnm_time::OsKind;
+
+    fn cell() -> ExperimentCell {
+        ExperimentCell::paper(
+            MethodId::XhrGet,
+            RuntimeSel::Browser(BrowserKind::Chrome),
+            OsKind::Ubuntu1204,
+        )
+    }
+
+    fn result() -> CellResult {
+        CellResult {
+            d1: (0..20).map(|i| 4.0 + (i % 5) as f64 * 0.3).collect(),
+            d2: (0..20).map(|i| 3.0 + (i % 4) as f64 * 0.2).collect(),
+            measurements: Vec::new(),
+            failures: 0,
+        }
+    }
+
+    #[test]
+    fn panel_rows_carry_figure_labels() {
+        let rows = panel_rows(&cell(), &result());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label, "C (U) Δd1");
+        assert_eq!(rows[1].label, "C (U) Δd2");
+    }
+
+    #[test]
+    fn rendered_panel_contains_all_rows_and_axis() {
+        let rows = panel_rows(&cell(), &result());
+        let s = render_panel("(a) XHR GET", &rows, 50);
+        assert!(s.contains("(a) XHR GET"));
+        assert!(s.contains("Δd1"));
+        assert!(s.contains("Δd2"));
+        assert!(s.contains("med="));
+        assert!(s.contains("(ms)"));
+    }
+
+    #[test]
+    fn csv_has_header_and_all_samples() {
+        let csv = to_csv(&cell(), &result());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "method,runtime,os,round,index,delta_ms");
+        assert_eq!(lines.len(), 1 + 40);
+        assert!(lines[1].starts_with("xhr_get,C (U),U,1,0,"));
+    }
+
+    #[test]
+    fn summary_line_mentions_verdict() {
+        let a = Appraisal::of(&result());
+        let line = summary_line(&cell(), &a);
+        assert!(line.contains("XHR GET"));
+        assert!(line.contains("verdict"));
+    }
+
+    #[test]
+    fn cdf_block_renders() {
+        let c = Cdf::of(&result().d1);
+        let s = render_cdf_block("Δd1 CDF", &c, 40, 8);
+        assert!(s.contains("Δd1 CDF"));
+        assert!(s.contains('*'));
+    }
+}

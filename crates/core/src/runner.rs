@@ -1,0 +1,261 @@
+//! The experiment runner: executes one cell (method × runtime × OS) for
+//! N repetitions and assembles the Δd1/Δd2 sample sets.
+//!
+//! Each repetition is an independent simulation with its own derived
+//! seeds: browser noise, capture noise and — crucially — the Windows
+//! timer-regime process all re-draw, so a 50-rep cell samples the
+//! machine's granularity regimes the way the paper's wall-clock runs did.
+
+use bnm_browser::BrowserProfile;
+use bnm_sim::rng;
+use bnm_time::MachineTimer;
+
+use crate::config::{ExperimentCell, RuntimeSel};
+use crate::delta::RoundMeasurement;
+use crate::matching::{match_round, MatchError};
+use crate::testbed::{Testbed, TestbedConfig};
+
+/// The outcome of one cell.
+#[derive(Debug, Clone, Default)]
+pub struct CellResult {
+    /// Δd of the first round per repetition, ms.
+    pub d1: Vec<f64>,
+    /// Δd of the second round per repetition, ms.
+    pub d2: Vec<f64>,
+    /// Full per-round measurements (both rounds, rep order).
+    pub measurements: Vec<RoundMeasurement>,
+    /// Repetitions that failed (incomplete session or match error).
+    pub failures: u32,
+}
+
+impl CellResult {
+    /// Both rounds' Δd pooled.
+    pub fn pooled(&self) -> Vec<f64> {
+        let mut all = self.d1.clone();
+        all.extend_from_slice(&self.d2);
+        all
+    }
+
+    /// Δd samples for one round (1 or 2).
+    pub fn round(&self, round: u8) -> &[f64] {
+        match round {
+            1 => &self.d1,
+            2 => &self.d2,
+            _ => panic!("rounds are 1 and 2"),
+        }
+    }
+}
+
+/// Runs experiment cells.
+pub struct ExperimentRunner;
+
+impl ExperimentRunner {
+    /// Execute one cell. Panics if the cell is not runnable on its
+    /// runtime (check [`ExperimentCell::is_runnable`] when sweeping).
+    pub fn run(cell: &ExperimentCell) -> CellResult {
+        assert!(
+            cell.is_runnable(),
+            "{} cannot run {}",
+            cell.runtime.figure_label(cell.os),
+            cell.method.display_name()
+        );
+        let mut out = CellResult::default();
+        for rep in 0..cell.reps {
+            match Self::run_rep(cell, rep) {
+                Ok(rounds) => {
+                    for m in rounds {
+                        match m.round {
+                            1 => out.d1.push(m.delta_d_ms()),
+                            2 => out.d2.push(m.delta_d_ms()),
+                            _ => {}
+                        }
+                        out.measurements.push(m);
+                    }
+                }
+                Err(_) => out.failures += 1,
+            }
+        }
+        out
+    }
+
+    /// One repetition: fresh testbed, run, capture-match both rounds.
+    pub fn run_rep(cell: &ExperimentCell, rep: u32) -> Result<Vec<RoundMeasurement>, MatchError> {
+        let profile = Self::profile(cell);
+        // All repetitions of a cell run on the *same machine*, a few
+        // seconds apart: one timer-regime timeline, sampled at increasing
+        // offsets. This is what makes a 50-rep Windows cell sit inside
+        // one granularity regime (two discrete Δd levels, Figure 4) or
+        // straddle a regime change — exactly like the paper's wall-clock
+        // sessions. The timeline itself differs per cell (seed mixes in
+        // the cell label), the way different experiment sessions landed
+        // on different afternoons.
+        let machine_seed = rng::derive_seed(cell.seed, &format!("machine.{}", cell.label()));
+        let machine = MachineTimer::new(cell.os, machine_seed)
+            .at_offset(bnm_sim::time::SimDuration::from_secs(4).saturating_mul(u64::from(rep)));
+        let session_seed = rng::derive_seed(cell.seed, &format!("session.{}", cell.label()));
+        let tb_cfg = TestbedConfig {
+            server_delay: cell.server_delay,
+            capture_noise_ns: cell.capture_noise_ns,
+            seed: rng::derive_seed(cell.seed, "capture"),
+            ..TestbedConfig::default()
+        };
+        let plan = cell.method.plan(cell.timing_override);
+        let mut tb = Testbed::build(
+            &tb_cfg,
+            plan,
+            profile,
+            machine,
+            u64::from(rep),
+            session_seed ^ u64::from(rep),
+        );
+        tb.run();
+        let session = tb.session();
+        if !session.result().completed {
+            return Err(MatchError::ResponseNotFound);
+        }
+        let rounds = session.result().rounds.clone();
+        let capture = tb.engine.tap(tb.client_tap);
+        let mut out = Vec::with_capacity(rounds.len());
+        for r in rounds {
+            let wire = match_round(capture, cell.method, r.round, u64::from(rep))?;
+            out.push(RoundMeasurement {
+                round: r.round,
+                browser: r,
+                wire,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Resolve the runtime profile for a cell.
+    pub fn profile(cell: &ExperimentCell) -> BrowserProfile {
+        let p = match cell.runtime {
+            RuntimeSel::Browser(b) => {
+                BrowserProfile::build(b, cell.os).expect("runtime availability checked")
+            }
+            RuntimeSel::AppletViewer => BrowserProfile::appletviewer(cell.os),
+            RuntimeSel::MobileWebKit => BrowserProfile::mobile_webkit(),
+        };
+        if cell.fixed_safari_java {
+            p.with_fixed_safari_java()
+        } else {
+            p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnm_browser::BrowserKind;
+    use bnm_methods::MethodId;
+    use bnm_time::{OsKind, TimingApiKind};
+
+    fn small_cell(method: MethodId, browser: BrowserKind, os: OsKind) -> ExperimentCell {
+        ExperimentCell::paper(method, RuntimeSel::Browser(browser), os).with_reps(10)
+    }
+
+    #[test]
+    fn xhr_cell_produces_full_samples() {
+        let cell = small_cell(MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204);
+        let r = ExperimentRunner::run(&cell);
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.d1.len(), 10);
+        assert_eq!(r.d2.len(), 10);
+        assert_eq!(r.measurements.len(), 20);
+        // HTTP overhead is positive and non-trivial but far below the
+        // handshake regime.
+        for &d in r.pooled().iter() {
+            assert!(d > 0.0, "Δd {d}");
+            assert!(d < 60.0, "Δd {d}");
+        }
+    }
+
+    #[test]
+    fn websocket_overhead_below_http() {
+        let ws = ExperimentRunner::run(&small_cell(
+            MethodId::WebSocket,
+            BrowserKind::Chrome,
+            OsKind::Ubuntu1204,
+        ));
+        let xhr = ExperimentRunner::run(&small_cell(
+            MethodId::XhrGet,
+            BrowserKind::Chrome,
+            OsKind::Ubuntu1204,
+        ));
+        let med = |mut v: Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let ws_med = med(ws.pooled());
+        let xhr_med = med(xhr.pooled());
+        assert!(ws_med < xhr_med, "ws {ws_med} !< xhr {xhr_med}");
+        assert!(ws_med < 2.0, "ws median {ws_med}");
+    }
+
+    #[test]
+    fn opera_flash_d1_includes_handshake() {
+        let cell = small_cell(MethodId::FlashGet, BrowserKind::Opera, OsKind::Windows7);
+        let r = ExperimentRunner::run(&cell);
+        assert_eq!(r.failures, 0);
+        let med = |v: &[f64]| {
+            let mut s = v.to_vec();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[s.len() / 2]
+        };
+        let d1 = med(&r.d1);
+        let d2 = med(&r.d2);
+        assert!(d1 > 85.0, "Δd1 median {d1}");
+        assert!(d2 < 50.0, "Δd2 median {d2}");
+        // Table 3's arithmetic: Δd1 − Δd2 ≈ the 50 ms handshake + init.
+        assert!(d1 - d2 > 45.0);
+    }
+
+    #[test]
+    fn network_rtt_is_close_to_fifty_ms() {
+        let cell = small_cell(MethodId::JavaTcp, BrowserKind::Chrome, OsKind::Ubuntu1204);
+        let r = ExperimentRunner::run(&cell);
+        for m in &r.measurements {
+            let rtt = m.network_rtt_ms();
+            assert!(rtt > 50.0 && rtt < 51.0, "wire rtt {rtt}");
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let cell = small_cell(MethodId::Dom, BrowserKind::Firefox, OsKind::Ubuntu1204)
+            .with_reps(5)
+            .with_seed(77);
+        let a = ExperimentRunner::run(&cell);
+        let b = ExperimentRunner::run(&cell);
+        assert_eq!(a.d1, b.d1);
+        assert_eq!(a.d2, b.d2);
+        let c = ExperimentRunner::run(&cell.clone().with_seed(78));
+        assert_ne!(a.d1, c.d1);
+    }
+
+    #[test]
+    fn nanotime_removes_java_underestimation() {
+        let base = small_cell(MethodId::JavaTcp, BrowserKind::Firefox, OsKind::Windows7)
+            .with_reps(16);
+        let gettime = ExperimentRunner::run(&base);
+        let nano = ExperimentRunner::run(
+            &base
+                .clone()
+                .with_timing(TimingApiKind::JavaNanoTime),
+        );
+        let neg_gettime = gettime.pooled().iter().filter(|&&d| d < 0.0).count();
+        let neg_nano = nano.pooled().iter().filter(|&&d| d < 0.0).count();
+        assert!(neg_gettime > 0, "Date.getTime must under-estimate sometimes");
+        assert_eq!(neg_nano, 0, "nanoTime must never under-estimate");
+        // And the nanoTime overhead is tiny.
+        assert!(nano.pooled().iter().all(|&d| d < 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run")]
+    fn unrunnable_cell_panics() {
+        let cell = small_cell(MethodId::WebSocket, BrowserKind::Ie9, OsKind::Windows7);
+        ExperimentRunner::run(&cell);
+    }
+}

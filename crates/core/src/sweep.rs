@@ -1,0 +1,142 @@
+//! Server-delay sweep — validating the paper's §3 remark that the
+//! simulated delay "is a major factor determining the amount of RTT
+//! inflation when a measurement method includes TCP handshaking in the
+//! delay measurement".
+//!
+//! Sweeping the netem delay shows two regimes: for connection-reusing
+//! methods Δd is *independent* of the base RTT (the overhead is pure
+//! client-side path cost), while for handshake-including methods
+//! (Opera's Flash) Δd1 grows by exactly one RTT per RTT — the line has
+//! slope ≈ 1.
+
+use bnm_sim::time::SimDuration;
+use bnm_stats::Summary;
+
+use crate::config::ExperimentCell;
+use crate::runner::ExperimentRunner;
+
+/// One point of a delay sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The configured one-way server delay, ms.
+    pub delay_ms: f64,
+    /// Median Δd1 at this delay, ms.
+    pub d1_median: f64,
+    /// Median Δd2 at this delay, ms.
+    pub d2_median: f64,
+}
+
+/// Run `cell` at each server delay and collect the Δd medians.
+pub fn delay_sweep(cell: &ExperimentCell, delays: &[SimDuration]) -> Vec<SweepPoint> {
+    delays
+        .iter()
+        .map(|&d| {
+            let mut c = cell.clone();
+            c.server_delay = d;
+            let r = ExperimentRunner::run(&c);
+            SweepPoint {
+                delay_ms: d.as_millis_f64(),
+                d1_median: Summary::of(&r.d1).median,
+                d2_median: Summary::of(&r.d2).median,
+            }
+        })
+        .collect()
+}
+
+/// Least-squares slope of `y` against `x` (how much Δd grows per ms of
+/// extra network delay; ≈ 0 for reuse methods, ≈ 1 for
+/// handshake-including ones).
+pub fn slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points for a slope");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Slope of Δd1 over the sweep.
+pub fn d1_slope(points: &[SweepPoint]) -> f64 {
+    slope(
+        &points
+            .iter()
+            .map(|p| (p.delay_ms, p.d1_median))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Slope of Δd2 over the sweep.
+pub fn d2_slope(points: &[SweepPoint]) -> f64 {
+    slope(
+        &points
+            .iter()
+            .map(|p| (p.delay_ms, p.d2_median))
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeSel;
+    use bnm_browser::BrowserKind;
+    use bnm_methods::MethodId;
+    use bnm_time::OsKind;
+
+    fn delays() -> Vec<SimDuration> {
+        vec![
+            SimDuration::from_millis(25),
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(100),
+        ]
+    }
+
+    #[test]
+    fn slope_math() {
+        assert!((slope(&[(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]) - 1.0).abs() < 1e-12);
+        assert!(slope(&[(0.0, 5.0), (10.0, 5.0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reuse_methods_have_flat_delta_d() {
+        let cell = ExperimentCell::paper(
+            MethodId::XhrGet,
+            RuntimeSel::Browser(BrowserKind::Chrome),
+            OsKind::Ubuntu1204,
+        )
+        .with_reps(10);
+        let pts = delay_sweep(&cell, &delays());
+        assert_eq!(pts.len(), 3);
+        // Δd barely depends on the base RTT: slope ≈ 0.
+        assert!(d1_slope(&pts).abs() < 0.1, "Δd1 slope {}", d1_slope(&pts));
+        assert!(d2_slope(&pts).abs() < 0.1, "Δd2 slope {}", d2_slope(&pts));
+    }
+
+    #[test]
+    fn handshake_methods_scale_with_rtt() {
+        // Opera Flash: Δd1 includes one handshake ≈ one RTT → slope ≈ 1;
+        // GET Δd2 reuses → slope ≈ 0; POST Δd2 re-handshakes → slope ≈ 1.
+        let get = ExperimentCell::paper(
+            MethodId::FlashGet,
+            RuntimeSel::Browser(BrowserKind::Opera),
+            OsKind::Windows7,
+        )
+        .with_reps(10);
+        let pts = delay_sweep(&get, &delays());
+        let s1 = d1_slope(&pts);
+        let s2 = d2_slope(&pts);
+        assert!((s1 - 1.0).abs() < 0.15, "GET Δd1 slope {s1}");
+        assert!(s2.abs() < 0.15, "GET Δd2 slope {s2}");
+
+        let post = ExperimentCell::paper(
+            MethodId::FlashPost,
+            RuntimeSel::Browser(BrowserKind::Opera),
+            OsKind::Windows7,
+        )
+        .with_reps(10);
+        let ppts = delay_sweep(&post, &delays());
+        let ps2 = d2_slope(&ppts);
+        assert!((ps2 - 1.0).abs() < 0.15, "POST Δd2 slope {ps2}");
+    }
+}

@@ -1,0 +1,23 @@
+//! # bnm-http — HTTP/1.1 and WebSocket over `bnm-tcp`
+//!
+//! The application-layer protocols the paper's measurement methods speak:
+//!
+//! * [`message`] / [`parser`] — HTTP/1.1 request/response framing and an
+//!   incremental parser (headers + `Content-Length` bodies, keep-alive).
+//! * [`websocket`] — RFC 6455 framing and the upgrade handshake, with
+//!   in-tree SHA-1 and base64 (no external dependencies).
+//! * [`server`] — the testbed's web server application: an Apache-like
+//!   [`bnm_tcp::HostApp`] that serves the container page, answers probe
+//!   requests (GET and POST), upgrades WebSocket connections, and echoes
+//!   on raw TCP and UDP ports — every service the ten measurement methods
+//!   need, with a configurable handler delay for the server-side-overhead
+//!   extension experiment.
+
+pub mod message;
+pub mod parser;
+pub mod server;
+pub mod websocket;
+
+pub use message::{HttpRequest, HttpResponse, Method};
+pub use parser::{HttpParser, ParseOutcome};
+pub use server::{ServerConfig, WebServer};

@@ -1,0 +1,273 @@
+//! HTTP/1.1 message types and serialization.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// HTTP request methods the testbed uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET.
+    Get,
+    /// POST.
+    Post,
+    /// HEAD (completeness; unused by the paper's methods).
+    Head,
+}
+
+impl Method {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+        }
+    }
+
+    /// Parse the wire spelling.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "HEAD" => Some(Method::Head),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: Method,
+    /// Request target (path + query).
+    pub target: String,
+    /// Ordered header list (names kept verbatim; lookups are
+    /// case-insensitive).
+    pub headers: Vec<(String, String)>,
+    /// Message body.
+    pub body: Bytes,
+}
+
+impl HttpRequest {
+    /// A request with no headers or body.
+    pub fn new(method: Method, target: impl Into<String>) -> Self {
+        HttpRequest {
+            method,
+            target: target.into(),
+            headers: Vec::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// Append a header.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Attach a body (a `Content-Length` header is emitted automatically).
+    pub fn with_body(mut self, body: Bytes) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn get_header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Path without the query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or("")
+    }
+
+    /// Value of a query parameter, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        let q = self.target.split_once('?')?.1;
+        q.split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+
+    /// Serialize to wire bytes.
+    pub fn emit(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(256 + self.body.len());
+        buf.put_slice(self.method.as_str().as_bytes());
+        buf.put_u8(b' ');
+        buf.put_slice(self.target.as_bytes());
+        buf.put_slice(b" HTTP/1.1\r\n");
+        for (n, v) in &self.headers {
+            buf.put_slice(n.as_bytes());
+            buf.put_slice(b": ");
+            buf.put_slice(v.as_bytes());
+            buf.put_slice(b"\r\n");
+        }
+        let has_len = self.get_header("content-length").is_some();
+        if !self.body.is_empty() && !has_len {
+            buf.put_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        buf.put_slice(b"\r\n");
+        buf.put_slice(&self.body);
+        buf.freeze()
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Ordered header list.
+    pub headers: Vec<(String, String)>,
+    /// Message body.
+    pub body: Bytes,
+}
+
+impl HttpResponse {
+    /// A response with the standard reason phrase for `status`.
+    pub fn new(status: u16) -> Self {
+        let reason = match status {
+            200 => "OK",
+            101 => "Switching Protocols",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        };
+        HttpResponse {
+            status,
+            reason: reason.to_string(),
+            headers: Vec::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// Append a header.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Attach a body (a `Content-Length` header is emitted automatically).
+    pub fn with_body(mut self, body: Bytes) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn get_header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serialize to wire bytes.
+    pub fn emit(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(256 + self.body.len());
+        buf.put_slice(format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).as_bytes());
+        for (n, v) in &self.headers {
+            buf.put_slice(n.as_bytes());
+            buf.put_slice(b": ");
+            buf.put_slice(v.as_bytes());
+            buf.put_slice(b"\r\n");
+        }
+        let has_len = self.get_header("content-length").is_some();
+        // 101 upgrade responses have no body and no Content-Length.
+        if self.status != 101 && !has_len {
+            buf.put_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        buf.put_slice(b"\r\n");
+        buf.put_slice(&self.body);
+        buf.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_emit_shape() {
+        let req = HttpRequest::new(Method::Get, "/probe?m=xhr&r=1")
+            .header("Host", "192.168.1.10")
+            .header("User-Agent", "bnm/0.1");
+        let bytes = req.emit();
+        let text = std::str::from_utf8(&bytes).unwrap();
+        assert!(text.starts_with("GET /probe?m=xhr&r=1 HTTP/1.1\r\n"));
+        assert!(text.contains("Host: 192.168.1.10\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn post_gets_content_length() {
+        let req = HttpRequest::new(Method::Post, "/probe")
+            .with_body(Bytes::from_static(b"r=1&t=42"));
+        let text = String::from_utf8(req.emit().to_vec()).unwrap();
+        assert!(text.contains("Content-Length: 8\r\n"));
+        assert!(text.ends_with("r=1&t=42"));
+    }
+
+    #[test]
+    fn query_params() {
+        let req = HttpRequest::new(Method::Get, "/probe?m=dom&r=2&t=99");
+        assert_eq!(req.path(), "/probe");
+        assert_eq!(req.query_param("m"), Some("dom"));
+        assert_eq!(req.query_param("r"), Some("2"));
+        assert_eq!(req.query_param("t"), Some("99"));
+        assert_eq!(req.query_param("x"), None);
+        let bare = HttpRequest::new(Method::Get, "/index.html");
+        assert_eq!(bare.path(), "/index.html");
+        assert_eq!(bare.query_param("m"), None);
+    }
+
+    #[test]
+    fn header_lookup_case_insensitive() {
+        let r = HttpResponse::new(200).header("Content-Type", "text/html");
+        assert_eq!(r.get_header("content-type"), Some("text/html"));
+        assert_eq!(r.get_header("CONTENT-TYPE"), Some("text/html"));
+    }
+
+    #[test]
+    fn response_emit_shape() {
+        let r = HttpResponse::new(200)
+            .header("Server", "bnm-apache/2.2")
+            .with_body(Bytes::from_static(b"pong"));
+        let text = String::from_utf8(r.emit().to_vec()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 4\r\n"));
+        assert!(text.ends_with("pong"));
+    }
+
+    #[test]
+    fn upgrade_response_has_no_content_length() {
+        let r = HttpResponse::new(101)
+            .header("Upgrade", "websocket")
+            .header("Connection", "Upgrade");
+        let text = String::from_utf8(r.emit().to_vec()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 101 Switching Protocols\r\n"));
+        assert!(!text.to_lowercase().contains("content-length"));
+    }
+
+    #[test]
+    fn method_parse_roundtrip() {
+        for m in [Method::Get, Method::Post, Method::Head] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(Method::parse("BREW"), None);
+    }
+}

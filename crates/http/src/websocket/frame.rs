@@ -1,0 +1,298 @@
+//! RFC 6455 WebSocket frame encoding and incremental decoding.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// WebSocket opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// Continuation of a fragmented message (unused by the probes).
+    Continuation,
+    /// UTF-8 text message.
+    Text,
+    /// Binary message.
+    Binary,
+    /// Connection close.
+    Close,
+    /// Ping.
+    Ping,
+    /// Pong.
+    Pong,
+}
+
+impl Opcode {
+    fn value(self) -> u8 {
+        match self {
+            Opcode::Continuation => 0x0,
+            Opcode::Text => 0x1,
+            Opcode::Binary => 0x2,
+            Opcode::Close => 0x8,
+            Opcode::Ping => 0x9,
+            Opcode::Pong => 0xA,
+        }
+    }
+
+    fn from_value(v: u8) -> Option<Opcode> {
+        match v {
+            0x0 => Some(Opcode::Continuation),
+            0x1 => Some(Opcode::Text),
+            0x2 => Some(Opcode::Binary),
+            0x8 => Some(Opcode::Close),
+            0x9 => Some(Opcode::Ping),
+            0xA => Some(Opcode::Pong),
+            _ => None,
+        }
+    }
+}
+
+/// A single (unfragmented) WebSocket frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame opcode.
+    pub opcode: Opcode,
+    /// Unmasked payload.
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// A text frame.
+    pub fn text(s: &str) -> Frame {
+        Frame {
+            opcode: Opcode::Text,
+            payload: Bytes::copy_from_slice(s.as_bytes()),
+        }
+    }
+
+    /// A binary frame.
+    pub fn binary(data: Bytes) -> Frame {
+        Frame {
+            opcode: Opcode::Binary,
+            payload: data,
+        }
+    }
+
+    /// Serialize with FIN set. Client frames must be masked (RFC 6455
+    /// §5.1); pass the 4-byte masking key. Servers pass `None`.
+    pub fn emit(&self, mask: Option<[u8; 4]>) -> Bytes {
+        let len = self.payload.len();
+        let mut buf = BytesMut::with_capacity(len + 14);
+        buf.put_u8(0x80 | self.opcode.value()); // FIN + opcode
+        let mask_bit = if mask.is_some() { 0x80 } else { 0x00 };
+        if len < 126 {
+            buf.put_u8(mask_bit | len as u8);
+        } else if len <= u16::MAX as usize {
+            buf.put_u8(mask_bit | 126);
+            buf.put_u16(len as u16);
+        } else {
+            buf.put_u8(mask_bit | 127);
+            buf.put_u64(len as u64);
+        }
+        match mask {
+            Some(key) => {
+                buf.put_slice(&key);
+                for (i, b) in self.payload.iter().enumerate() {
+                    buf.put_u8(b ^ key[i % 4]);
+                }
+            }
+            None => buf.put_slice(&self.payload),
+        }
+        buf.freeze()
+    }
+}
+
+/// Error from the frame decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Reserved opcode or reserved bits set.
+    Malformed,
+    /// Fragmented messages are not supported by the probe protocol.
+    Fragmented,
+}
+
+/// Incremental frame decoder over a TCP byte stream.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append stream bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Try to decode the next complete frame.
+    pub fn poll(&mut self) -> Result<Option<Frame>, FrameError> {
+        if self.buf.len() < 2 {
+            return Ok(None);
+        }
+        let b0 = self.buf[0];
+        let b1 = self.buf[1];
+        let fin = b0 & 0x80 != 0;
+        if b0 & 0x70 != 0 {
+            return Err(FrameError::Malformed); // RSV bits
+        }
+        let opcode = Opcode::from_value(b0 & 0x0F).ok_or(FrameError::Malformed)?;
+        if !fin || opcode == Opcode::Continuation {
+            return Err(FrameError::Fragmented);
+        }
+        let masked = b1 & 0x80 != 0;
+        let mut offset = 2usize;
+        let len7 = (b1 & 0x7F) as usize;
+        let len = match len7 {
+            126 => {
+                if self.buf.len() < offset + 2 {
+                    return Ok(None);
+                }
+                let l = u16::from_be_bytes([self.buf[2], self.buf[3]]) as usize;
+                offset += 2;
+                l
+            }
+            127 => {
+                if self.buf.len() < offset + 8 {
+                    return Ok(None);
+                }
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&self.buf[2..10]);
+                offset += 8;
+                u64::from_be_bytes(b) as usize
+            }
+            l => l,
+        };
+        let mask_key = if masked {
+            if self.buf.len() < offset + 4 {
+                return Ok(None);
+            }
+            let mut k = [0u8; 4];
+            k.copy_from_slice(&self.buf[offset..offset + 4]);
+            offset += 4;
+            Some(k)
+        } else {
+            None
+        };
+        if self.buf.len() < offset + len {
+            return Ok(None);
+        }
+        let mut payload = self.buf[offset..offset + len].to_vec();
+        if let Some(key) = mask_key {
+            for (i, b) in payload.iter_mut().enumerate() {
+                *b ^= key[i % 4];
+            }
+        }
+        self.buf.drain(..offset + len);
+        Ok(Some(Frame {
+            opcode,
+            payload: Bytes::from(payload),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmasked_text_roundtrip() {
+        let f = Frame::text("ping r=1");
+        let wire = f.emit(None);
+        assert_eq!(wire[0], 0x81);
+        assert_eq!(wire[1], 8);
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        assert_eq!(d.poll().unwrap().unwrap(), f);
+        assert!(d.poll().unwrap().is_none());
+    }
+
+    #[test]
+    fn masked_roundtrip_unmasks() {
+        let f = Frame::binary(Bytes::from_static(&[1, 2, 3, 4, 5]));
+        let wire = f.emit(Some([0xDE, 0xAD, 0xBE, 0xEF]));
+        assert_eq!(wire[1] & 0x80, 0x80);
+        // Masked payload differs on the wire.
+        assert_ne!(&wire[6..], &[1, 2, 3, 4, 5]);
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        assert_eq!(d.poll().unwrap().unwrap(), f);
+    }
+
+    #[test]
+    fn extended_16bit_length() {
+        let payload = Bytes::from(vec![7u8; 300]);
+        let f = Frame::binary(payload.clone());
+        let wire = f.emit(None);
+        assert_eq!(wire[1], 126);
+        assert_eq!(u16::from_be_bytes([wire[2], wire[3]]), 300);
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        assert_eq!(d.poll().unwrap().unwrap().payload, payload);
+    }
+
+    #[test]
+    fn extended_64bit_length() {
+        let payload = Bytes::from(vec![9u8; 70_000]);
+        let f = Frame::binary(payload.clone());
+        let wire = f.emit(None);
+        assert_eq!(wire[1], 127);
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        assert_eq!(d.poll().unwrap().unwrap().payload.len(), 70_000);
+    }
+
+    #[test]
+    fn partial_feeds_return_none_until_complete() {
+        let wire = Frame::text("hello").emit(Some([1, 2, 3, 4]));
+        let mut d = FrameDecoder::new();
+        for i in 0..wire.len() - 1 {
+            d.feed(&wire[i..i + 1]);
+            assert!(d.poll().unwrap().is_none(), "complete too early at {i}");
+        }
+        d.feed(&wire[wire.len() - 1..]);
+        assert_eq!(&d.poll().unwrap().unwrap().payload[..], b"hello");
+    }
+
+    #[test]
+    fn two_frames_in_one_feed() {
+        let mut d = FrameDecoder::new();
+        let mut wire = Frame::text("a").emit(None).to_vec();
+        wire.extend_from_slice(&Frame::text("b").emit(None));
+        d.feed(&wire);
+        assert_eq!(&d.poll().unwrap().unwrap().payload[..], b"a");
+        assert_eq!(&d.poll().unwrap().unwrap().payload[..], b"b");
+        assert!(d.poll().unwrap().is_none());
+    }
+
+    #[test]
+    fn control_frames() {
+        for op in [Opcode::Close, Opcode::Ping, Opcode::Pong] {
+            let f = Frame {
+                opcode: op,
+                payload: Bytes::new(),
+            };
+            let mut d = FrameDecoder::new();
+            d.feed(&f.emit(None));
+            assert_eq!(d.poll().unwrap().unwrap().opcode, op);
+        }
+    }
+
+    #[test]
+    fn reserved_bits_rejected() {
+        let mut wire = Frame::text("x").emit(None).to_vec();
+        wire[0] |= 0x40;
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        assert_eq!(d.poll().unwrap_err(), FrameError::Malformed);
+    }
+
+    #[test]
+    fn fragmentation_rejected() {
+        let mut wire = Frame::text("x").emit(None).to_vec();
+        wire[0] &= 0x7F; // clear FIN
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        assert_eq!(d.poll().unwrap_err(), FrameError::Fragmented);
+    }
+}

@@ -1,0 +1,15 @@
+//! # bnm-methods — the browser-based RTT measurement methods
+//!
+//! The paper's Table 1 taxonomises eleven methods (seven HTTP-based,
+//! four socket-based); ten are evaluated (Java UDP is excluded from the
+//! paper's own runs "to make the comparison more comparable" — we keep it
+//! as an extension). This crate gives each method a first-class identity
+//! ([`MethodId`]), builds executable [`ProbePlan`](bnm_browser::ProbePlan)s for them, and
+//! regenerates the paper's Table 1 and Table 2 from the same data the
+//! simulation runs on.
+
+pub mod method;
+pub mod registry;
+
+pub use method::MethodId;
+pub use registry::{table1_rows, table2_rows, Table1Row, Table2Row};

@@ -1,0 +1,332 @@
+//! Method identities and plan construction.
+
+use std::fmt;
+
+use bnm_browser::{BrowserProfile, ProbePlan, ProbeTransport, Technology};
+use bnm_time::TimingApiKind;
+
+/// The measurement methods of the paper's Table 1.
+///
+/// Ordering matches the paper's Figure 3 panels (a)–(j); [`MethodId::JavaUdp`]
+/// is the Table 1 row the paper lists but does not run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MethodId {
+    /// (a) XHR GET — native JavaScript `XMLHttpRequest`.
+    XhrGet,
+    /// (b) XHR POST.
+    XhrPost,
+    /// (c) DOM — `<script>`/`<img>` element insertion with `onload`.
+    Dom,
+    /// (d) WebSocket — native message echo.
+    WebSocket,
+    /// (e) Flash GET — ActionScript `URLLoader`.
+    FlashGet,
+    /// (f) Flash POST.
+    FlashPost,
+    /// (g) Flash TCP socket — ActionScript `Socket`.
+    FlashTcp,
+    /// (h) Java applet GET — `java.net.URL`.
+    JavaGet,
+    /// (i) Java applet POST.
+    JavaPost,
+    /// (j) Java applet TCP socket — `java.net.Socket`.
+    JavaTcp,
+    /// Java applet UDP socket — `DatagramSocket` (Table 1 row, not run by
+    /// the paper; implemented here as an extension).
+    JavaUdp,
+}
+
+impl MethodId {
+    /// The ten methods the paper evaluates, in Figure 3 panel order.
+    pub const FIGURE3: [MethodId; 10] = [
+        MethodId::XhrGet,
+        MethodId::XhrPost,
+        MethodId::Dom,
+        MethodId::WebSocket,
+        MethodId::FlashGet,
+        MethodId::FlashPost,
+        MethodId::FlashTcp,
+        MethodId::JavaGet,
+        MethodId::JavaPost,
+        MethodId::JavaTcp,
+    ];
+
+    /// All methods including the UDP extension.
+    pub const ALL: [MethodId; 11] = [
+        MethodId::XhrGet,
+        MethodId::XhrPost,
+        MethodId::Dom,
+        MethodId::WebSocket,
+        MethodId::FlashGet,
+        MethodId::FlashPost,
+        MethodId::FlashTcp,
+        MethodId::JavaGet,
+        MethodId::JavaPost,
+        MethodId::JavaTcp,
+        MethodId::JavaUdp,
+    ];
+
+    /// The three Java-applet methods of Table 4.
+    pub const JAVA: [MethodId; 3] = [MethodId::JavaGet, MethodId::JavaPost, MethodId::JavaTcp];
+
+    /// Short machine label (used in probe markers, CSV columns).
+    pub fn label(self) -> &'static str {
+        match self {
+            MethodId::XhrGet => "xhr_get",
+            MethodId::XhrPost => "xhr_post",
+            MethodId::Dom => "dom",
+            MethodId::WebSocket => "websocket",
+            MethodId::FlashGet => "flash_get",
+            MethodId::FlashPost => "flash_post",
+            MethodId::FlashTcp => "flash_tcp",
+            MethodId::JavaGet => "java_get",
+            MethodId::JavaPost => "java_post",
+            MethodId::JavaTcp => "java_tcp",
+            MethodId::JavaUdp => "java_udp",
+        }
+    }
+
+    /// Human-readable name as the figures caption it.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            MethodId::XhrGet => "XHR GET",
+            MethodId::XhrPost => "XHR POST",
+            MethodId::Dom => "DOM",
+            MethodId::WebSocket => "WebSocket",
+            MethodId::FlashGet => "Flash GET",
+            MethodId::FlashPost => "Flash POST",
+            MethodId::FlashTcp => "Flash TCP socket",
+            MethodId::JavaGet => "Java applet GET",
+            MethodId::JavaPost => "Java applet POST",
+            MethodId::JavaTcp => "Java applet TCP socket",
+            MethodId::JavaUdp => "Java applet UDP socket",
+        }
+    }
+
+    /// Figure 3 panel letter, if the paper plots this method.
+    pub fn figure3_panel(self) -> Option<char> {
+        Self::FIGURE3
+            .iter()
+            .position(|m| *m == self)
+            .map(|i| (b'a' + i as u8) as char)
+    }
+
+    /// Implementation technology (Table 1).
+    pub fn technology(self) -> Technology {
+        match self {
+            MethodId::XhrGet | MethodId::XhrPost | MethodId::Dom | MethodId::WebSocket => {
+                Technology::Native
+            }
+            MethodId::FlashGet | MethodId::FlashPost | MethodId::FlashTcp => Technology::Flash,
+            MethodId::JavaGet | MethodId::JavaPost | MethodId::JavaTcp | MethodId::JavaUdp => {
+                Technology::JavaApplet
+            }
+        }
+    }
+
+    /// Probe transport.
+    pub fn transport(self) -> ProbeTransport {
+        match self {
+            MethodId::XhrGet | MethodId::Dom | MethodId::FlashGet | MethodId::JavaGet => {
+                ProbeTransport::HttpGet
+            }
+            MethodId::XhrPost | MethodId::FlashPost | MethodId::JavaPost => ProbeTransport::HttpPost,
+            MethodId::FlashTcp | MethodId::JavaTcp => ProbeTransport::TcpEcho,
+            MethodId::JavaUdp => ProbeTransport::UdpEcho,
+            MethodId::WebSocket => ProbeTransport::WebSocketEcho,
+        }
+    }
+
+    /// HTTP-based (vs socket-based), the paper's primary split.
+    pub fn is_http_based(self) -> bool {
+        self.transport().is_http()
+    }
+
+    /// The timing API the method's real-world implementations use
+    /// (Table 1-era defaults: `Date.getTime()` everywhere).
+    pub fn default_timing(self) -> TimingApiKind {
+        match self.technology() {
+            Technology::Native => TimingApiKind::JsDateGetTime,
+            Technology::Flash => TimingApiKind::FlashGetTime,
+            Technology::JavaApplet => TimingApiKind::JavaDateGetTime,
+        }
+    }
+
+    /// Is the method subject to the same-origin policy by default
+    /// (Table 1), and can that be bypassed?
+    pub fn same_origin(self) -> SameOrigin {
+        match self {
+            MethodId::XhrGet | MethodId::XhrPost => SameOrigin::Restricted,
+            MethodId::Dom => SameOrigin::Unrestricted,
+            MethodId::FlashGet | MethodId::FlashPost | MethodId::FlashTcp => {
+                SameOrigin::Bypassable // Flash cross-domain policy file
+            }
+            MethodId::JavaGet | MethodId::JavaPost => SameOrigin::Bypassable, // signed applet
+            MethodId::JavaTcp | MethodId::JavaUdp => SameOrigin::Unrestricted,
+            MethodId::WebSocket => SameOrigin::Unrestricted,
+        }
+    }
+
+    /// Whether a runtime profile can execute this method (plug-in and
+    /// WebSocket availability).
+    pub fn available_in(self, profile: &BrowserProfile) -> bool {
+        if self == MethodId::WebSocket {
+            return profile.supports_websocket;
+        }
+        match profile.runtime {
+            bnm_browser::Runtime::AppletViewer => self.technology() == Technology::JavaApplet,
+            // No plug-ins on mobile platforms (§2.1).
+            bnm_browser::Runtime::MobileWebKit => self.technology() == Technology::Native,
+            bnm_browser::Runtime::Browser(_) => true,
+        }
+    }
+
+    /// Build the executable plan, optionally overriding the timing API
+    /// (the paper's Table 4 swaps Java methods to `System.nanoTime()`).
+    pub fn plan(self, timing_override: Option<TimingApiKind>) -> ProbePlan {
+        ProbePlan::new(
+            self.label(),
+            self.technology(),
+            self.transport(),
+            timing_override.unwrap_or_else(|| self.default_timing()),
+        )
+    }
+
+    /// Path-quality metrics the method can measure (Table 1 column).
+    pub fn metrics(self) -> &'static str {
+        match self {
+            MethodId::JavaUdp => "RTT, Tput, Loss",
+            _ => "RTT, Tput",
+        }
+    }
+
+    /// Representative tools/services using the method (Table 1 column).
+    pub fn tools(self) -> &'static str {
+        match self {
+            MethodId::XhrGet | MethodId::XhrPost => {
+                "Speedof.me, BandwidthPlace, Janc's methods"
+            }
+            MethodId::Dom => "Janc's methods, BandwidthPlace, Wang's method",
+            MethodId::FlashGet | MethodId::FlashPost => {
+                "Speedtest.net, AuditMyPC, Speedchecker, Bandwidth Meter, InternetFrog"
+            }
+            MethodId::FlashTcp => "Speedtest.net",
+            MethodId::WebSocket | MethodId::JavaGet | MethodId::JavaPost | MethodId::JavaTcp
+            | MethodId::JavaUdp => "Netalyzr, HMN, JavaNws, Pingtest, NDT, AuditMyPC",
+        }
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+/// Table 1's same-origin column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SameOrigin {
+    /// Subject to the policy, no standard bypass.
+    Restricted,
+    /// Subject by default, but bypassable (Flash cross-domain policy,
+    /// signed Java applets).
+    Bypassable,
+    /// Not subject to the policy.
+    Unrestricted,
+}
+
+impl SameOrigin {
+    /// Table cell text matching the paper.
+    pub fn cell(self) -> &'static str {
+        match self {
+            SameOrigin::Restricted => "Yes",
+            SameOrigin::Bypassable => "Yes*",
+            SameOrigin::Unrestricted => "No",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnm_browser::BrowserKind;
+    use bnm_time::OsKind;
+
+    #[test]
+    fn ten_figure3_methods_in_panel_order() {
+        assert_eq!(MethodId::FIGURE3.len(), 10);
+        assert_eq!(MethodId::XhrGet.figure3_panel(), Some('a'));
+        assert_eq!(MethodId::WebSocket.figure3_panel(), Some('d'));
+        assert_eq!(MethodId::FlashTcp.figure3_panel(), Some('g'));
+        assert_eq!(MethodId::JavaTcp.figure3_panel(), Some('j'));
+        assert_eq!(MethodId::JavaUdp.figure3_panel(), None);
+    }
+
+    #[test]
+    fn http_socket_split_matches_table1() {
+        let http: Vec<_> = MethodId::ALL.iter().filter(|m| m.is_http_based()).collect();
+        let socket: Vec<_> = MethodId::ALL.iter().filter(|m| !m.is_http_based()).collect();
+        assert_eq!(http.len(), 7);
+        assert_eq!(socket.len(), 4);
+    }
+
+    #[test]
+    fn plans_are_valid_table1_combinations() {
+        for m in MethodId::ALL {
+            let p = m.plan(None);
+            assert!(p.is_table1_combination(), "{m}");
+            assert_eq!(p.label, m.label());
+        }
+    }
+
+    #[test]
+    fn timing_override_applies() {
+        let p = MethodId::JavaTcp.plan(Some(TimingApiKind::JavaNanoTime));
+        assert_eq!(p.timing, TimingApiKind::JavaNanoTime);
+        let d = MethodId::JavaTcp.plan(None);
+        assert_eq!(d.timing, TimingApiKind::JavaDateGetTime);
+    }
+
+    #[test]
+    fn default_timing_follows_technology() {
+        assert_eq!(MethodId::XhrGet.default_timing(), TimingApiKind::JsDateGetTime);
+        assert_eq!(MethodId::FlashTcp.default_timing(), TimingApiKind::FlashGetTime);
+        assert_eq!(MethodId::JavaPost.default_timing(), TimingApiKind::JavaDateGetTime);
+    }
+
+    #[test]
+    fn websocket_unavailable_in_ie_and_safari() {
+        let ie = BrowserProfile::build(BrowserKind::Ie9, OsKind::Windows7).unwrap();
+        let safari = BrowserProfile::build(BrowserKind::Safari, OsKind::Windows7).unwrap();
+        let chrome = BrowserProfile::build(BrowserKind::Chrome, OsKind::Windows7).unwrap();
+        assert!(!MethodId::WebSocket.available_in(&ie));
+        assert!(!MethodId::WebSocket.available_in(&safari));
+        assert!(MethodId::WebSocket.available_in(&chrome));
+        assert!(MethodId::XhrGet.available_in(&ie));
+    }
+
+    #[test]
+    fn appletviewer_runs_only_java_methods() {
+        let av = BrowserProfile::appletviewer(OsKind::Windows7);
+        assert!(MethodId::JavaTcp.available_in(&av));
+        assert!(MethodId::JavaGet.available_in(&av));
+        assert!(!MethodId::XhrGet.available_in(&av));
+        assert!(!MethodId::FlashTcp.available_in(&av));
+        assert!(!MethodId::WebSocket.available_in(&av));
+    }
+
+    #[test]
+    fn same_origin_column() {
+        assert_eq!(MethodId::XhrGet.same_origin().cell(), "Yes");
+        assert_eq!(MethodId::Dom.same_origin().cell(), "No");
+        assert_eq!(MethodId::FlashGet.same_origin().cell(), "Yes*");
+        assert_eq!(MethodId::WebSocket.same_origin().cell(), "No");
+        assert_eq!(MethodId::JavaTcp.same_origin().cell(), "No");
+    }
+
+    #[test]
+    fn udp_measures_loss() {
+        assert!(MethodId::JavaUdp.metrics().contains("Loss"));
+        assert!(!MethodId::JavaTcp.metrics().contains("Loss"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Regenerators for the paper's Table 1 and Table 2.
+
+use bnm_browser::{BrowserKind, Technology};
+use bnm_time::OsKind;
+
+use crate::method::MethodId;
+
+/// One row of Table 1 ("A summary of the browser-based network
+/// measurement methods and tools").
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// "HTTP-based" or "Socket-based".
+    pub approach: &'static str,
+    /// Technology column (XHR / DOM / Flash / Java applet / WebSocket).
+    pub technology: &'static str,
+    /// "Native" or "Plug-in".
+    pub availability: &'static str,
+    /// Methods column (GET / POST / TCP / UDP).
+    pub method: &'static str,
+    /// Same-origin column ("Yes" / "Yes*" / "No").
+    pub same_origin: &'static str,
+    /// Measured path-quality metrics.
+    pub metrics: &'static str,
+    /// Tools / services.
+    pub tools: &'static str,
+    /// Back-reference to the method id.
+    pub id: MethodId,
+}
+
+/// Technology cell for a method, matching Table 1's grouping (XHR and
+/// DOM are distinct rows even though both are native).
+fn technology_cell(id: MethodId) -> &'static str {
+    match id {
+        MethodId::XhrGet | MethodId::XhrPost => "XHR",
+        MethodId::Dom => "DOM",
+        MethodId::WebSocket => "WebSocket",
+        MethodId::FlashGet | MethodId::FlashPost | MethodId::FlashTcp => "Flash",
+        MethodId::JavaGet | MethodId::JavaPost | MethodId::JavaTcp | MethodId::JavaUdp => {
+            "Java applet"
+        }
+    }
+}
+
+/// Generate Table 1, in the paper's row order (HTTP-based block first,
+/// then socket-based; eleven rows).
+pub fn table1_rows() -> Vec<Table1Row> {
+    let order = [
+        MethodId::XhrGet,
+        MethodId::XhrPost,
+        MethodId::Dom,
+        MethodId::FlashGet,
+        MethodId::FlashPost,
+        MethodId::JavaGet,
+        MethodId::JavaPost,
+        MethodId::WebSocket,
+        MethodId::JavaTcp,
+        MethodId::JavaUdp,
+        MethodId::FlashTcp,
+    ];
+    order
+        .into_iter()
+        .map(|id| Table1Row {
+            approach: if id.is_http_based() {
+                "HTTP-based"
+            } else {
+                "Socket-based"
+            },
+            technology: technology_cell(id),
+            availability: if id.technology() == Technology::Native {
+                "Native"
+            } else {
+                "Plug-in"
+            },
+            method: id.transport().name(),
+            same_origin: id.same_origin().cell(),
+            metrics: id.metrics(),
+            tools: id.tools(),
+            id,
+        })
+        .collect()
+}
+
+/// One row of Table 2 ("Configurations of the browsers and systems").
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// OS.
+    pub os: OsKind,
+    /// Browser.
+    pub browser: BrowserKind,
+    /// Browser version.
+    pub version: &'static str,
+    /// Flash plug-in version.
+    pub flash: &'static str,
+    /// Java plug-in version.
+    pub java: &'static str,
+    /// WebSocket support (the paper's ✓/✗ column).
+    pub websocket: bool,
+}
+
+/// Generate Table 2, Windows block first like the paper.
+pub fn table2_rows() -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    for os in [OsKind::Windows7, OsKind::Ubuntu1204] {
+        for browser in BrowserKind::ALL {
+            if !browser.available_on(os) {
+                continue;
+            }
+            rows.push(Table2Row {
+                os,
+                browser,
+                version: browser.version(),
+                flash: browser.flash_version(os),
+                java: browser.java_version(os),
+                websocket: browser.supports_websocket(),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_eleven_rows_seven_http() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 11);
+        let http = rows.iter().filter(|r| r.approach == "HTTP-based").count();
+        assert_eq!(http, 7);
+        // HTTP block precedes the socket block.
+        let first_socket = rows
+            .iter()
+            .position(|r| r.approach == "Socket-based")
+            .unwrap();
+        assert!(rows[..first_socket]
+            .iter()
+            .all(|r| r.approach == "HTTP-based"));
+    }
+
+    #[test]
+    fn table1_dom_is_native_get_unrestricted() {
+        let rows = table1_rows();
+        let dom = rows.iter().find(|r| r.id == MethodId::Dom).unwrap();
+        assert_eq!(dom.technology, "DOM");
+        assert_eq!(dom.availability, "Native");
+        assert_eq!(dom.method, "GET");
+        assert_eq!(dom.same_origin, "No");
+    }
+
+    #[test]
+    fn table1_flash_rows_are_bypassable_plugins() {
+        for r in table1_rows() {
+            if r.technology == "Flash" {
+                assert_eq!(r.availability, "Plug-in");
+                assert_eq!(r.same_origin, "Yes*");
+            }
+        }
+    }
+
+    #[test]
+    fn table2_has_eight_rows() {
+        let rows = table2_rows();
+        assert_eq!(rows.len(), 8);
+        let win = rows.iter().filter(|r| r.os == OsKind::Windows7).count();
+        assert_eq!(win, 5);
+        let no_ws: Vec<_> = rows.iter().filter(|r| !r.websocket).collect();
+        assert_eq!(no_ws.len(), 2); // IE 9 and Safari 5
+    }
+
+    #[test]
+    fn table2_versions_spot_check() {
+        let rows = table2_rows();
+        let chrome_win = rows
+            .iter()
+            .find(|r| r.browser == BrowserKind::Chrome && r.os == OsKind::Windows7)
+            .unwrap();
+        assert_eq!(chrome_win.version, "23.0");
+        assert_eq!(chrome_win.flash, "11.7.700");
+        assert_eq!(chrome_win.java, "1.7.0");
+        let ff_ubu = rows
+            .iter()
+            .find(|r| r.browser == BrowserKind::Firefox && r.os == OsKind::Ubuntu1204)
+            .unwrap();
+        assert_eq!(ff_ubu.flash, "11.2.202");
+        assert_eq!(ff_ubu.java, "1.6.0");
+    }
+}

@@ -1,0 +1,190 @@
+//! Packet capture taps — the simulator's WinDump/tcpdump.
+//!
+//! A tap attaches to one endpoint of a link and records every frame the
+//! endpoint transmits or receives, together with a timestamp. The
+//! experiment harness derives its ground-truth network timestamps
+//! (`tN_s`, `tN_r` in Eq. 1 of the paper) exclusively from these records,
+//! by parsing the raw frame bytes with [`crate::wire`].
+//!
+//! Software capturers are themselves imperfect — the paper cites an
+//! accuracy worse than 0.3 ms for software capture — so a tap can model
+//! timestamping noise with a uniform ± jitter bound. The default is exact
+//! timestamps.
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::time::SimTime;
+
+/// Identifies a capture tap within an [`crate::engine::Engine`].
+pub type TapId = usize;
+
+/// Direction of a captured frame relative to the tapped node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureDir {
+    /// The tapped node transmitted this frame.
+    Tx,
+    /// The tapped node received this frame.
+    Rx,
+}
+
+/// One captured frame.
+#[derive(Debug, Clone)]
+pub struct CaptureRecord {
+    /// Capture timestamp (possibly jittered; see [`CaptureBuffer`]).
+    pub ts: SimTime,
+    /// Direction relative to the tapped node.
+    pub dir: CaptureDir,
+    /// Raw Ethernet frame bytes.
+    pub frame: Bytes,
+}
+
+/// Timestamping-noise model for a tap.
+#[derive(Debug)]
+pub enum TimestampNoise {
+    /// Exact virtual-time stamps.
+    Exact,
+    /// Uniform noise in `[0, bound_ns]` added to each stamp (capture
+    /// stamps lag the wire event; they never lead it).
+    UniformLag {
+        /// Upper bound of the lag, nanoseconds.
+        bound_ns: u64,
+        /// Dedicated RNG stream.
+        rng: SmallRng,
+    },
+}
+
+/// A buffer of captured frames for one tap.
+#[derive(Debug)]
+pub struct CaptureBuffer {
+    /// Human-readable tap name (e.g. `"client-nic"`).
+    pub name: String,
+    records: Vec<CaptureRecord>,
+    noise: TimestampNoise,
+    /// Snap length: frames longer than this are truncated in the record
+    /// (the original length is not preserved — experiments use full snap).
+    snaplen: usize,
+}
+
+impl CaptureBuffer {
+    /// A tap with exact timestamps and full snap length.
+    pub fn new(name: impl Into<String>) -> Self {
+        CaptureBuffer {
+            name: name.into(),
+            records: Vec::new(),
+            noise: TimestampNoise::Exact,
+            snaplen: usize::MAX,
+        }
+    }
+
+    /// Replace the noise model.
+    pub fn with_noise(mut self, noise: TimestampNoise) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Set the snap length.
+    pub fn with_snaplen(mut self, snaplen: usize) -> Self {
+        self.snaplen = snaplen.max(1);
+        self
+    }
+
+    /// Record one frame at wire-event time `ts`.
+    pub fn record(&mut self, ts: SimTime, dir: CaptureDir, frame: &Bytes) {
+        let stamped = match &mut self.noise {
+            TimestampNoise::Exact => ts,
+            TimestampNoise::UniformLag { bound_ns, rng } => {
+                let lag = if *bound_ns == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=*bound_ns)
+                };
+                ts + crate::time::SimDuration::from_nanos(lag)
+            }
+        };
+        let frame = if frame.len() > self.snaplen {
+            frame.slice(..self.snaplen)
+        } else {
+            frame.clone()
+        };
+        self.records.push(CaptureRecord {
+            ts: stamped,
+            dir,
+            frame,
+        });
+    }
+
+    /// All records in capture order.
+    pub fn records(&self) -> &[CaptureRecord] {
+        &self.records
+    }
+
+    /// Number of captured frames.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Drop all records (e.g. after the preparation phase, so the
+    /// measurement phase starts from a clean trace).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn records_in_order() {
+        let mut buf = CaptureBuffer::new("t");
+        buf.record(SimTime::from_millis(1), CaptureDir::Tx, &Bytes::from_static(b"a"));
+        buf.record(SimTime::from_millis(2), CaptureDir::Rx, &Bytes::from_static(b"b"));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.records()[0].dir, CaptureDir::Tx);
+        assert_eq!(buf.records()[1].ts, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn noise_only_lags() {
+        let noise = TimestampNoise::UniformLag {
+            bound_ns: 300_000, // 0.3 ms, the paper's software-capture bound
+            rng: rng::stream(9, "cap"),
+        };
+        let mut buf = CaptureBuffer::new("t").with_noise(noise);
+        let t = SimTime::from_millis(10);
+        for _ in 0..100 {
+            buf.record(t, CaptureDir::Rx, &Bytes::from_static(b"x"));
+        }
+        for r in buf.records() {
+            assert!(r.ts >= t);
+            assert!(r.ts.as_nanos() - t.as_nanos() <= 300_000);
+        }
+    }
+
+    #[test]
+    fn snaplen_truncates() {
+        let mut buf = CaptureBuffer::new("t").with_snaplen(3);
+        buf.record(
+            SimTime::ZERO,
+            CaptureDir::Tx,
+            &Bytes::from_static(b"abcdef"),
+        );
+        assert_eq!(&buf.records()[0].frame[..], b"abc");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut buf = CaptureBuffer::new("t");
+        buf.record(SimTime::ZERO, CaptureDir::Tx, &Bytes::from_static(b"a"));
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Link fault injection, in the spirit of smoltcp's example options
+//! (`--drop-chance`, `--corrupt-chance`, …).
+//!
+//! The paper's experiments are explicitly run on a clean network
+//! ("we also ensure that the network was free of cross traffic, packet
+//! loss, and retransmissions"), so the default injector is a no-op.
+//! The knobs exist for robustness testing of the TCP substrate and for
+//! extension experiments.
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// What the injector decided to do with one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver unchanged.
+    Deliver(Bytes),
+    /// Deliver a corrupted copy (one octet mutated, like smoltcp).
+    DeliverCorrupted(Bytes),
+    /// Deliver twice.
+    Duplicate(Bytes),
+    /// Drop silently.
+    Drop,
+}
+
+/// Per-direction fault configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultSpec {
+    /// Probability ∈ \[0,1\] of dropping a frame.
+    pub drop_chance: f64,
+    /// Probability ∈ \[0,1\] of mutating one octet.
+    pub corrupt_chance: f64,
+    /// Probability ∈ \[0,1\] of duplicating a frame.
+    pub duplicate_chance: f64,
+    /// Frames larger than this are dropped (0 = no limit), mirroring
+    /// smoltcp's `--size-limit`.
+    pub size_limit: usize,
+}
+
+impl FaultSpec {
+    /// A clean link: everything delivers.
+    pub const CLEAN: FaultSpec = FaultSpec {
+        drop_chance: 0.0,
+        corrupt_chance: 0.0,
+        duplicate_chance: 0.0,
+        size_limit: 0,
+    };
+
+    /// Whether this spec can ever alter a frame.
+    pub fn is_clean(&self) -> bool {
+        self.drop_chance == 0.0
+            && self.corrupt_chance == 0.0
+            && self.duplicate_chance == 0.0
+            && self.size_limit == 0
+    }
+}
+
+/// Stateful injector: a spec plus its RNG stream.
+#[derive(Debug)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+    rng: SmallRng,
+    drops: u64,
+    corruptions: u64,
+    duplicates: u64,
+}
+
+impl FaultInjector {
+    /// Build an injector from a spec and a dedicated RNG stream.
+    pub fn new(spec: FaultSpec, rng: SmallRng) -> Self {
+        FaultInjector {
+            spec,
+            rng,
+            drops: 0,
+            corruptions: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Decide the fate of one frame.
+    pub fn apply(&mut self, frame: Bytes) -> FaultAction {
+        if self.spec.is_clean() {
+            return FaultAction::Deliver(frame);
+        }
+        if self.spec.size_limit > 0 && frame.len() > self.spec.size_limit {
+            self.drops += 1;
+            return FaultAction::Drop;
+        }
+        if self.spec.drop_chance > 0.0 && self.rng.gen_bool(self.spec.drop_chance.min(1.0)) {
+            self.drops += 1;
+            return FaultAction::Drop;
+        }
+        if self.spec.corrupt_chance > 0.0 && self.rng.gen_bool(self.spec.corrupt_chance.min(1.0)) {
+            self.corruptions += 1;
+            let mut data = frame.to_vec();
+            if !data.is_empty() {
+                let idx = self.rng.gen_range(0..data.len());
+                // Guaranteed-visible mutation.
+                data[idx] ^= self.rng.gen_range(1..=255u8);
+            }
+            return FaultAction::DeliverCorrupted(Bytes::from(data));
+        }
+        if self.spec.duplicate_chance > 0.0 && self.rng.gen_bool(self.spec.duplicate_chance.min(1.0))
+        {
+            self.duplicates += 1;
+            return FaultAction::Duplicate(frame);
+        }
+        FaultAction::Deliver(frame)
+    }
+
+    /// (drops, corruptions, duplicates) so far.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.drops, self.corruptions, self.duplicates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    fn frame() -> Bytes {
+        Bytes::from_static(&[1, 2, 3, 4, 5, 6, 7, 8])
+    }
+
+    #[test]
+    fn clean_spec_never_touches_frames() {
+        let mut inj = FaultInjector::new(FaultSpec::CLEAN, rng::stream(1, "t"));
+        for _ in 0..1000 {
+            assert_eq!(inj.apply(frame()), FaultAction::Deliver(frame()));
+        }
+        assert_eq!(inj.counters(), (0, 0, 0));
+    }
+
+    #[test]
+    fn always_drop() {
+        let spec = FaultSpec {
+            drop_chance: 1.0,
+            ..FaultSpec::CLEAN
+        };
+        let mut inj = FaultInjector::new(spec, rng::stream(1, "t"));
+        assert_eq!(inj.apply(frame()), FaultAction::Drop);
+        assert_eq!(inj.counters().0, 1);
+    }
+
+    #[test]
+    fn corruption_changes_exactly_one_octet() {
+        let spec = FaultSpec {
+            corrupt_chance: 1.0,
+            ..FaultSpec::CLEAN
+        };
+        let mut inj = FaultInjector::new(spec, rng::stream(2, "t"));
+        match inj.apply(frame()) {
+            FaultAction::DeliverCorrupted(data) => {
+                let orig = frame();
+                let diffs = data.iter().zip(orig.iter()).filter(|(a, b)| a != b).count();
+                assert_eq!(diffs, 1);
+                assert_eq!(data.len(), orig.len());
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_limit_drops_large_frames() {
+        let spec = FaultSpec {
+            size_limit: 4,
+            ..FaultSpec::CLEAN
+        };
+        let mut inj = FaultInjector::new(spec, rng::stream(3, "t"));
+        assert_eq!(inj.apply(frame()), FaultAction::Drop);
+        assert_eq!(
+            inj.apply(Bytes::from_static(&[1, 2])),
+            FaultAction::Deliver(Bytes::from_static(&[1, 2]))
+        );
+    }
+
+    #[test]
+    fn drop_rate_is_statistically_plausible() {
+        let spec = FaultSpec {
+            drop_chance: 0.25,
+            ..FaultSpec::CLEAN
+        };
+        let mut inj = FaultInjector::new(spec, rng::stream(4, "t"));
+        let n = 10_000;
+        let mut drops = 0;
+        for _ in 0..n {
+            if inj.apply(frame()) == FaultAction::Drop {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Full-duplex point-to-point links.
+//!
+//! Each direction models: a drop-tail FIFO queue bounded in bytes, a
+//! serialization stage (`bytes * 8 / rate`), a propagation delay, and an
+//! optional fixed *extra delay* — the simulator's equivalent of `netem
+//! delay`, used to reproduce the paper's "additional delay of 50 ms on the
+//! server side".
+
+use crate::capture::TapId;
+use crate::engine::{NodeId, PortNo};
+use crate::fault::FaultInjector;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a link within an [`crate::engine::Engine`].
+pub type LinkId = usize;
+
+/// Which direction of a full-duplex link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Endpoint A transmits toward endpoint B.
+    AToB,
+    /// Endpoint B transmits toward endpoint A.
+    BToA,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::AToB => Dir::BToA,
+            Dir::BToA => Dir::AToB,
+        }
+    }
+}
+
+/// Static parameters of one link (both directions share them).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Line rate in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: SimDuration,
+    /// Extra fixed one-way delay (netem-style), applied after
+    /// serialization. The paper's server-side 50 ms lives here.
+    pub extra_delay: SimDuration,
+    /// Drop-tail queue bound in bytes (per direction).
+    pub queue_limit_bytes: usize,
+}
+
+impl LinkSpec {
+    /// The paper's testbed link: 100 Mbps Ethernet through a switch, with
+    /// microsecond-scale propagation and a generous queue.
+    pub fn fast_ethernet() -> LinkSpec {
+        LinkSpec {
+            rate_bps: 100_000_000,
+            propagation: SimDuration::from_micros(5),
+            extra_delay: SimDuration::ZERO,
+            queue_limit_bytes: 256 * 1024,
+        }
+    }
+
+    /// Fast Ethernet with a netem-style extra one-way delay.
+    pub fn fast_ethernet_delayed(extra: SimDuration) -> LinkSpec {
+        LinkSpec {
+            extra_delay: extra,
+            ..LinkSpec::fast_ethernet()
+        }
+    }
+
+    /// Gigabit Ethernet (for extension experiments).
+    pub fn gigabit() -> LinkSpec {
+        LinkSpec {
+            rate_bps: 1_000_000_000,
+            propagation: SimDuration::from_micros(2),
+            extra_delay: SimDuration::ZERO,
+            queue_limit_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// One endpoint of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Endpoint {
+    /// The attached node.
+    pub node: NodeId,
+    /// The interface index on that node.
+    pub port: PortNo,
+}
+
+/// Mutable per-direction state.
+#[derive(Debug)]
+pub(crate) struct DirState {
+    /// When the transmitter becomes free.
+    pub busy_until: SimTime,
+    /// Bytes currently queued or serializing.
+    pub queued_bytes: usize,
+    /// Frames dropped at the queue.
+    pub queue_drops: u64,
+    /// Fault injection for this direction.
+    pub fault: Option<FaultInjector>,
+    /// Netem-style extra one-way delay for this direction (initialized
+    /// from the spec; can be overridden per direction — the paper's 50 ms
+    /// applies to the server's egress only).
+    pub extra_delay: SimDuration,
+}
+
+impl DirState {
+    pub(crate) fn new(extra_delay: SimDuration) -> Self {
+        DirState {
+            busy_until: SimTime::ZERO,
+            queued_bytes: 0,
+            queue_drops: 0,
+            fault: None,
+            extra_delay,
+        }
+    }
+}
+
+/// A full-duplex link between two endpoints.
+#[derive(Debug)]
+pub(crate) struct Link {
+    pub spec: LinkSpec,
+    pub a: Endpoint,
+    pub b: Endpoint,
+    pub a_to_b: DirState,
+    pub b_to_a: DirState,
+    /// Taps attached at endpoint A (see Tx/Rx semantics in [`crate::capture`]).
+    pub taps_a: Vec<TapId>,
+    /// Taps attached at endpoint B.
+    pub taps_b: Vec<TapId>,
+}
+
+impl Link {
+    pub(crate) fn new(spec: LinkSpec, a: Endpoint, b: Endpoint) -> Self {
+        Link {
+            spec,
+            a,
+            b,
+            a_to_b: DirState::new(spec.extra_delay),
+            b_to_a: DirState::new(spec.extra_delay),
+            taps_a: Vec::new(),
+            taps_b: Vec::new(),
+        }
+    }
+
+    /// Which direction a transmission from `ep` travels.
+    pub(crate) fn dir_from(&self, ep: Endpoint) -> Option<Dir> {
+        if ep == self.a {
+            Some(Dir::AToB)
+        } else if ep == self.b {
+            Some(Dir::BToA)
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn dir_state(&mut self, dir: Dir) -> &mut DirState {
+        match dir {
+            Dir::AToB => &mut self.a_to_b,
+            Dir::BToA => &mut self.b_to_a,
+        }
+    }
+
+    /// The receiving endpoint for a direction.
+    pub(crate) fn sink(&self, dir: Dir) -> Endpoint {
+        match dir {
+            Dir::AToB => self.b,
+            Dir::BToA => self.a,
+        }
+    }
+
+    /// The transmitting endpoint for a direction.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn source(&self, dir: Dir) -> Endpoint {
+        match dir {
+            Dir::AToB => self.a,
+            Dir::BToA => self.b,
+        }
+    }
+
+    /// Taps at the transmitting side of `dir`.
+    pub(crate) fn source_taps(&self, dir: Dir) -> &[TapId] {
+        match dir {
+            Dir::AToB => &self.taps_a,
+            Dir::BToA => &self.taps_b,
+        }
+    }
+
+    /// Taps at the receiving side of `dir`.
+    pub(crate) fn sink_taps(&self, dir: Dir) -> &[TapId] {
+        match dir {
+            Dir::AToB => &self.taps_b,
+            Dir::BToA => &self.taps_a,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_flip() {
+        assert_eq!(Dir::AToB.flip(), Dir::BToA);
+        assert_eq!(Dir::BToA.flip(), Dir::AToB);
+    }
+
+    #[test]
+    fn dir_from_endpoints() {
+        let a = Endpoint { node: 0, port: 0 };
+        let b = Endpoint { node: 1, port: 2 };
+        let link = Link::new(LinkSpec::fast_ethernet(), a, b);
+        assert_eq!(link.dir_from(a), Some(Dir::AToB));
+        assert_eq!(link.dir_from(b), Some(Dir::BToA));
+        assert_eq!(link.dir_from(Endpoint { node: 9, port: 9 }), None);
+        assert_eq!(link.sink(Dir::AToB), b);
+        assert_eq!(link.source(Dir::AToB), a);
+    }
+
+    #[test]
+    fn fast_ethernet_spec() {
+        let s = LinkSpec::fast_ethernet();
+        assert_eq!(s.rate_bps, 100_000_000);
+        assert_eq!(s.extra_delay, SimDuration::ZERO);
+        let d = LinkSpec::fast_ethernet_delayed(SimDuration::from_millis(50));
+        assert_eq!(d.extra_delay.as_millis(), 50);
+        assert_eq!(d.rate_bps, 100_000_000);
+    }
+}

@@ -1,0 +1,262 @@
+//! Virtual time.
+//!
+//! The simulator counts **nanoseconds** in a `u64`, which covers ~584 years
+//! of simulated time — comfortably more than the multi-hour timelines the
+//! granularity-regime experiments need.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in virtual time (nanoseconds since simulation boot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// Simulation boot.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since boot.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since boot (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds since boot (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional milliseconds since boot.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional seconds since boot.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`. Saturates at zero rather than
+    /// panicking, since capture-timestamp noise can reorder nearby stamps.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Signed difference `self - other` in fractional milliseconds.
+    ///
+    /// This is the quantity Eq. 1 of the paper is built from, and it can be
+    /// negative (that is the point of Section 4.2).
+    pub fn signed_millis_since(self, other: SimTime) -> f64 {
+        (self.0 as i128 - other.0 as i128) as f64 / 1e6
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional milliseconds (rounding to nanoseconds;
+    /// negative inputs clamp to zero).
+    pub fn from_millis_f64(ms: f64) -> Self {
+        SimDuration((ms.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Construct from fractional seconds (rounding; clamped at zero).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The time a `bytes`-long frame needs to serialize onto a link of
+    /// `bits_per_sec`, rounded up to the next nanosecond.
+    pub fn serialization(bytes: usize, bits_per_sec: u64) -> Self {
+        assert!(bits_per_sec > 0, "link rate must be positive");
+        let bits = bytes as u128 * 8;
+        let ns = (bits * 1_000_000_000).div_ceil(bits_per_sec as u128);
+        SimDuration(ns as u64)
+    }
+
+    /// Saturating multiplication by an integer factor.
+    pub fn saturating_mul(self, factor: u64) -> Self {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_millis(50).as_nanos(), 50_000_000);
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2_000);
+        assert_eq!(SimDuration::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDuration::from_millis_f64(1.5).as_nanos(), 1_500_000);
+    }
+
+    #[test]
+    fn negative_float_durations_clamp() {
+        assert_eq!(SimDuration::from_millis_f64(-4.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
+        assert_eq!(t.as_millis(), 15);
+        let d = t.saturating_since(SimTime::from_millis(12));
+        assert_eq!(d.as_millis(), 3);
+        // saturates instead of underflowing
+        let z = SimTime::from_millis(1).saturating_since(t);
+        assert_eq!(z, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn signed_difference_can_be_negative() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(25);
+        assert_eq!(a.signed_millis_since(b), -15.0);
+        assert_eq!(b.signed_millis_since(a), 15.0);
+    }
+
+    #[test]
+    fn serialization_delay_100mbps() {
+        // A 1000-byte frame on 100 Mbps takes 80 microseconds.
+        let d = SimDuration::serialization(1000, 100_000_000);
+        assert_eq!(d.as_nanos(), 80_000);
+        // Rounds up.
+        let d = SimDuration::serialization(1, 3);
+        assert_eq!(d.as_nanos(), 2_666_666_667);
+    }
+
+    #[test]
+    #[should_panic(expected = "link rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = SimDuration::serialization(10, 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_millis(2)), "2.000ms");
+        assert_eq!(format!("{}", SimDuration::from_micros(7)), "7.000us");
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+    }
+}

@@ -1,0 +1,87 @@
+//! The Internet checksum (RFC 1071) and the TCP/UDP pseudo-header.
+
+use std::net::Ipv4Addr;
+
+/// One's-complement sum over `data`, starting from `initial`.
+///
+/// Returns the running 32-bit accumulator (not yet folded), so partial
+/// sums can be chained (pseudo-header + header + payload).
+pub fn sum(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Fold a 32-bit accumulator into the final 16-bit checksum.
+pub fn finish(mut acc: u32) -> u16 {
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// Checksum a self-contained buffer (e.g. an IPv4 header).
+pub fn checksum(data: &[u8]) -> u16 {
+    finish(sum(0, data))
+}
+
+/// Accumulate the TCP/UDP pseudo-header: src, dst, zero+protocol,
+/// transport length.
+pub fn pseudo_header(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, len: usize) -> u32 {
+    let mut acc = 0u32;
+    acc = sum(acc, &src.octets());
+    acc = sum(acc, &dst.octets());
+    acc = sum(acc, &[0, protocol]);
+    acc = sum(acc, &(len as u16).to_be_bytes());
+    acc
+}
+
+/// Verify that a buffer containing its own checksum field sums to zero.
+pub fn verify(acc: u32) -> bool {
+    finish(acc) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let acc = sum(0, &data);
+        assert_eq!(acc, 0x2ddf0);
+        assert_eq!(finish(acc), !0xddf2u16);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(checksum(&[0xFF]), checksum(&[0xFF, 0x00]));
+    }
+
+    #[test]
+    fn buffer_including_own_checksum_verifies() {
+        let mut header = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 64, 6, 0, 0];
+        header.extend_from_slice(&[10, 0, 0, 1, 10, 0, 0, 2]);
+        let c = checksum(&header);
+        header[10] = (c >> 8) as u8;
+        header[11] = (c & 0xFF) as u8;
+        assert!(verify(sum(0, &header)));
+    }
+
+    #[test]
+    fn pseudo_header_is_order_sensitive() {
+        let a = pseudo_header(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), 6, 20);
+        let b = pseudo_header(Ipv4Addr::new(5, 6, 7, 8), Ipv4Addr::new(1, 2, 3, 4), 6, 20);
+        // One's-complement addition is commutative, so swapping addresses
+        // yields the same sum — both ends must agree regardless of
+        // direction, which is exactly why TCP checksums stay valid on the
+        // return path computation.
+        assert_eq!(finish(a), finish(b));
+    }
+}

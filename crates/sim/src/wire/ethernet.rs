@@ -1,0 +1,164 @@
+//! Ethernet II framing.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+
+use super::WireError;
+
+/// Length of the Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// Locally-administered unicast address derived from a small host
+    /// index, in the style of smoltcp's examples (`02-00-00-00-00-XX`).
+    pub const fn local(index: u8) -> MacAddr {
+        MacAddr([0x02, 0, 0, 0, 0, index])
+    }
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Whether the group bit (multicast/broadcast) is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// The 16-bit ethertype field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EtherType {
+    /// 0x0800.
+    Ipv4,
+    /// Anything else (carried verbatim).
+    Other(u16),
+}
+
+impl EtherType {
+    /// Numeric value.
+    pub fn value(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// From the numeric value.
+    pub fn from_value(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// An Ethernet II frame (no FCS; the simulator models corruption at the
+/// payload level and the upper-layer checksums catch it).
+#[derive(Debug, Clone)]
+pub struct EthernetFrame {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Ethertype of the payload.
+    pub ethertype: EtherType,
+    /// Layer-3 payload.
+    pub payload: Bytes,
+}
+
+impl EthernetFrame {
+    /// Serialize to raw bytes.
+    pub fn emit(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.payload.len());
+        buf.put_slice(&self.dst.0);
+        buf.put_slice(&self.src.0);
+        buf.put_u16(self.ethertype.value());
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parse from raw bytes.
+    pub fn parse(data: &[u8]) -> Result<EthernetFrame, WireError> {
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&data[0..6]);
+        src.copy_from_slice(&data[6..12]);
+        let ethertype = EtherType::from_value(u16::from_be_bytes([data[12], data[13]]));
+        Ok(EthernetFrame {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype,
+            payload: Bytes::copy_from_slice(&data[HEADER_LEN..]),
+        })
+    }
+
+    /// Total frame length on the wire.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let f = EthernetFrame {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            ethertype: EtherType::Ipv4,
+            payload: Bytes::from_static(b"hello"),
+        };
+        let bytes = f.emit();
+        assert_eq!(bytes.len(), 19);
+        let g = EthernetFrame::parse(&bytes).unwrap();
+        assert_eq!(g.dst, MacAddr::local(1));
+        assert_eq!(g.src, MacAddr::local(2));
+        assert_eq!(g.ethertype, EtherType::Ipv4);
+        assert_eq!(&g.payload[..], b"hello");
+    }
+
+    #[test]
+    fn too_short_is_truncated() {
+        assert_eq!(
+            EthernetFrame::parse(&[0u8; 13]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn mac_properties() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::local(3).is_multicast());
+        assert_eq!(format!("{}", MacAddr::local(0x0a)), "02:00:00:00:00:0a");
+    }
+
+    #[test]
+    fn unknown_ethertype_preserved() {
+        assert_eq!(EtherType::from_value(0x86DD).value(), 0x86DD);
+    }
+}

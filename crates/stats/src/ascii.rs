@@ -1,0 +1,120 @@
+//! Terminal renderings of box plots and CDFs, used by the experiment
+//! binaries to print Figure 3/4-style panels next to their numeric rows.
+
+use crate::boxplot::BoxStats;
+use crate::cdf::Cdf;
+
+/// Render one horizontal box plot onto a `width`-column axis spanning
+/// `[axis_lo, axis_hi]`.
+///
+/// Glyphs: `o` outliers, `|-` / `-|` whiskers, `[`, `]` quartiles, `#`
+/// median.
+pub fn render_box(b: &BoxStats, axis_lo: f64, axis_hi: f64, width: usize) -> String {
+    assert!(width >= 10, "axis too narrow");
+    assert!(axis_hi > axis_lo, "degenerate axis");
+    let mut row = vec![b' '; width];
+    let pos = |x: f64| -> usize {
+        let frac = ((x - axis_lo) / (axis_hi - axis_lo)).clamp(0.0, 1.0);
+        ((frac * (width - 1) as f64).round() as usize).min(width - 1)
+    };
+    // Whisker lines.
+    for i in pos(b.whisker_lo)..=pos(b.q1) {
+        row[i] = b'-';
+    }
+    for i in pos(b.q3)..=pos(b.whisker_hi) {
+        row[i] = b'-';
+    }
+    // Box body.
+    for i in pos(b.q1)..=pos(b.q3) {
+        row[i] = b'=';
+    }
+    row[pos(b.whisker_lo)] = b'|';
+    row[pos(b.whisker_hi)] = b'|';
+    row[pos(b.q1)] = b'[';
+    row[pos(b.q3)] = b']';
+    row[pos(b.median)] = b'#';
+    for &o in &b.outliers {
+        row[pos(o)] = b'o';
+    }
+    String::from_utf8(row).expect("ascii")
+}
+
+/// Render a CDF as `height` rows by `width` columns of `*` marks.
+pub fn render_cdf(cdf: &Cdf, axis_lo: f64, axis_hi: f64, width: usize, height: usize) -> String {
+    assert!(width >= 10 && height >= 4);
+    let mut grid = vec![vec![b' '; width]; height];
+    for col in 0..width {
+        let x = axis_lo + (axis_hi - axis_lo) * col as f64 / (width - 1) as f64;
+        let f = cdf.eval(x);
+        let row = ((1.0 - f) * (height - 1) as f64).round() as usize;
+        grid[row.min(height - 1)][col] = b'*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = 1.0 - i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{label:4.2} |"));
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "      {:<10.2}{:>width$.2}\n",
+        axis_lo,
+        axis_hi,
+        width = width - 10
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_glyphs_present_and_ordered() {
+        let data: Vec<f64> = (0..50).map(|i| 10.0 + (i % 7) as f64).collect();
+        let b = BoxStats::of(&data);
+        let row = render_box(&b, 0.0, 20.0, 60);
+        assert_eq!(row.len(), 60);
+        let med = row.find('#').unwrap();
+        let q1 = row.find('[').unwrap();
+        let q3 = row.find(']').unwrap();
+        assert!(q1 < med && med < q3);
+    }
+
+    #[test]
+    fn outliers_render_as_o() {
+        let mut data = vec![5.0; 30];
+        data.push(19.0);
+        let b = BoxStats::of(&data);
+        let row = render_box(&b, 0.0, 20.0, 40);
+        assert!(row.contains('o'));
+    }
+
+    #[test]
+    fn values_off_axis_clamp() {
+        let b = BoxStats::of(&[100.0, 101.0, 102.0, 103.0]);
+        // Axis that doesn't contain the data: everything clamps to the
+        // right edge without panicking.
+        let row = render_box(&b, 0.0, 10.0, 30);
+        assert_eq!(row.len(), 30);
+        assert_eq!(row.chars().last(), Some('#'));
+    }
+
+    #[test]
+    fn cdf_render_shape() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let c = Cdf::of(&data);
+        let plot = render_cdf(&c, 0.0, 10.0, 40, 8);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 9); // 8 rows + axis
+        assert!(lines[0].starts_with("1.00"));
+        assert!(lines.iter().take(8).all(|l| l.contains('*')));
+    }
+
+    #[test]
+    #[should_panic(expected = "axis too narrow")]
+    fn narrow_axis_panics() {
+        let b = BoxStats::of(&[1.0, 2.0]);
+        render_box(&b, 0.0, 1.0, 5);
+    }
+}

@@ -1,0 +1,167 @@
+//! Tukey box-and-whisker statistics, matching the description under
+//! Figure 3 of the paper: "the top and bottom of the box are given by the
+//! 75th percentile and 25th percentile, and the mark inside is the median.
+//! The upper and lower whiskers are the maximum and minimum, respectively,
+//! after excluding the outliers" — with outliers beyond 1.5·IQR from the
+//! quartiles.
+
+use crate::summary::Summary;
+
+/// Box-plot statistics for one sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxStats {
+    /// Median.
+    pub median: f64,
+    /// Lower quartile.
+    pub q1: f64,
+    /// Upper quartile.
+    pub q3: f64,
+    /// Smallest observation ≥ `q1 − 1.5·IQR`.
+    pub whisker_lo: f64,
+    /// Largest observation ≤ `q3 + 1.5·IQR`.
+    pub whisker_hi: f64,
+    /// Observations outside the whiskers, ascending.
+    pub outliers: Vec<f64>,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Compute box statistics. Panics on empty data.
+    pub fn of(data: &[f64]) -> BoxStats {
+        let s = Summary::of(data);
+        let iqr = s.iqr();
+        let lo_fence = s.q1 - 1.5 * iqr;
+        let hi_fence = s.q3 + 1.5 * iqr;
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        // Whiskers reach the most extreme observation inside the fences,
+        // but never retreat inside the box: with interpolated quartiles it
+        // is possible for *every* observation above q3 to be an outlier,
+        // in which case the whisker degenerates to the box edge.
+        let whisker_lo = sorted
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(s.min)
+            .min(s.q1);
+        let whisker_hi = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(s.max)
+            .max(s.q3);
+        let outliers = sorted
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        BoxStats {
+            median: s.median,
+            q1: s.q1,
+            q3: s.q3,
+            whisker_lo,
+            whisker_hi,
+            outliers,
+            n: s.n,
+        }
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Total span including outliers (for axis scaling).
+    pub fn full_range(&self) -> (f64, f64) {
+        let lo = self
+            .outliers
+            .first()
+            .copied()
+            .unwrap_or(self.whisker_lo)
+            .min(self.whisker_lo);
+        let hi = self
+            .outliers
+            .last()
+            .copied()
+            .unwrap_or(self.whisker_hi)
+            .max(self.whisker_hi);
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_outliers_whiskers_are_min_max() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = BoxStats::of(&data);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 5.0);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.median, 3.0);
+    }
+
+    #[test]
+    fn single_high_outlier_detected() {
+        let mut data = vec![10.0; 20];
+        for (i, d) in data.iter_mut().enumerate() {
+            *d += i as f64 * 0.1; // 10.0 .. 11.9
+        }
+        data.push(100.0);
+        let b = BoxStats::of(&data);
+        assert_eq!(b.outliers, vec![100.0]);
+        assert!(b.whisker_hi < 100.0);
+    }
+
+    #[test]
+    fn symmetric_outliers_both_sides() {
+        let mut data: Vec<f64> = (0..20).map(|i| 50.0 + i as f64).collect();
+        data.push(-500.0);
+        data.push(500.0);
+        let b = BoxStats::of(&data);
+        assert_eq!(b.outliers, vec![-500.0, 500.0]);
+        assert_eq!(b.whisker_lo, 50.0);
+        assert_eq!(b.whisker_hi, 69.0);
+    }
+
+    #[test]
+    fn full_range_covers_outliers() {
+        let mut data: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        data.push(1000.0);
+        let b = BoxStats::of(&data);
+        let (lo, hi) = b.full_range();
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 1000.0);
+    }
+
+    #[test]
+    fn constant_sample_degenerates_cleanly() {
+        let b = BoxStats::of(&[7.0; 10]);
+        assert_eq!(b.median, 7.0);
+        assert_eq!(b.iqr(), 0.0);
+        assert_eq!(b.whisker_lo, 7.0);
+        assert_eq!(b.whisker_hi, 7.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn fifty_sample_shape_like_the_paper() {
+        // A plausible Δd sample: cluster near 3 ms plus two render-jank
+        // spikes — the spikes must land in `outliers`, not stretch the
+        // whiskers.
+        let mut data = vec![];
+        for i in 0..48 {
+            data.push(2.5 + (i % 10) as f64 * 0.12);
+        }
+        data.push(25.0);
+        data.push(40.0);
+        let b = BoxStats::of(&data);
+        assert_eq!(b.n, 50);
+        assert_eq!(b.outliers.len(), 2);
+        assert!(b.whisker_hi < 5.0);
+    }
+}

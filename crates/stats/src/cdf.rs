@@ -1,0 +1,140 @@
+//! Empirical CDFs (the paper's Figure 4) and a discrete-level detector.
+
+use crate::summary::quantile;
+
+/// An empirical cumulative distribution function.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from a sample. Panics on empty or NaN-bearing input.
+    pub fn of(data: &[f64]) -> Cdf {
+        assert!(!data.is_empty(), "CDF of empty data");
+        assert!(data.iter().all(|x| !x.is_nan()), "CDF of NaN data");
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Cdf { sorted }
+    }
+
+    /// `F(x)`: fraction of observations ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `p`-quantile (R-7 interpolation).
+    pub fn quantile(&self, p: f64) -> f64 {
+        quantile(&self.sorted, p)
+    }
+
+    /// Step points `(x, F(x))` for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Sample size.
+    pub fn n(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Smallest / largest observation.
+    pub fn range(&self) -> (f64, f64) {
+        (self.sorted[0], self.sorted[self.sorted.len() - 1])
+    }
+
+    /// Cluster the observations into **discrete levels**: maximal runs of
+    /// consecutive sorted values whose gaps stay below `tolerance`.
+    /// Returns `(level center, mass fraction)` per cluster.
+    ///
+    /// Figure 4(a) of the paper shows Δd concentrating on two such levels
+    /// ~16 ms apart; this is the tool the verification harness uses to
+    /// assert that shape.
+    pub fn levels(&self, tolerance: f64) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=n {
+            let boundary = i == n || self.sorted[i] - self.sorted[i - 1] > tolerance;
+            if boundary {
+                let cluster = &self.sorted[start..i];
+                let center = cluster.iter().sum::<f64>() / cluster.len() as f64;
+                out.push((center, cluster.len() as f64 / n as f64));
+                start = i;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic() {
+        let c = Cdf::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.eval(0.5), 0.0);
+        assert_eq!(c.eval(1.0), 0.25);
+        assert_eq!(c.eval(2.5), 0.5);
+        assert_eq!(c.eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn points_are_a_valid_step_function() {
+        let c = Cdf::of(&[3.0, 1.0, 2.0]);
+        let pts = c.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (1.0, 1.0 / 3.0));
+        assert_eq!(pts[2], (3.0, 1.0));
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn quantiles_match_summary() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let c = Cdf::of(&data);
+        assert_eq!(c.quantile(0.5), 2.5);
+    }
+
+    #[test]
+    fn two_discrete_levels_detected() {
+        // Mimic Figure 4(a): half the mass near -5, half near +11,
+        // ~16 ms apart.
+        let mut data = Vec::new();
+        for i in 0..25 {
+            data.push(-5.0 + (i % 5) as f64 * 0.1);
+            data.push(11.0 + (i % 5) as f64 * 0.1);
+        }
+        let c = Cdf::of(&data);
+        let levels = c.levels(2.0);
+        assert_eq!(levels.len(), 2);
+        assert!((levels[0].0 - (-4.8)).abs() < 0.5);
+        assert!((levels[1].0 - 11.2).abs() < 0.5);
+        assert!((levels[0].1 - 0.5).abs() < 0.01);
+        let gap = levels[1].0 - levels[0].0;
+        assert!((gap - 16.0).abs() < 1.0, "gap {gap}");
+    }
+
+    #[test]
+    fn continuous_data_is_one_level_under_loose_tolerance() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64 * 0.05).collect();
+        let c = Cdf::of(&data);
+        assert_eq!(c.levels(0.1).len(), 1);
+        // And many levels under an impossibly tight tolerance.
+        assert_eq!(c.levels(0.01).len(), 100);
+    }
+
+    #[test]
+    fn range_and_n() {
+        let c = Cdf::of(&[5.0, -2.0, 8.0]);
+        assert_eq!(c.range(), (-2.0, 8.0));
+        assert_eq!(c.n(), 3);
+    }
+}

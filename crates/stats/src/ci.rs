@@ -1,0 +1,139 @@
+//! Mean with a 95% Student-t confidence interval — the statistic of the
+//! paper's Table 4 ("mean with 95% confidence interval, in ms").
+
+use crate::summary::Summary;
+
+/// Two-sided 95% critical values of Student's t for ν = 1..=30 degrees of
+/// freedom (standard table), then selected larger ν.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+const T95_LARGE: [(usize, f64); 4] = [(40, 2.021), (60, 2.000), (120, 1.980), (usize::MAX, 1.960)];
+
+/// The 95% two-sided t critical value for `df` degrees of freedom
+/// (linear interpolation between tabulated points above ν = 30).
+pub fn t_critical_95(df: usize) -> f64 {
+    assert!(df >= 1, "need at least 1 degree of freedom");
+    if df <= 30 {
+        return T95[df - 1];
+    }
+    let mut prev = (30usize, T95[29]);
+    for &(nu, t) in &T95_LARGE {
+        if df <= nu {
+            if nu == usize::MAX {
+                // Interpolate toward the normal limit via 1/ν, the
+                // conventional rule for t tables.
+                let (p_nu, p_t) = prev;
+                let w = (1.0 / p_nu as f64 - 1.0 / df as f64) / (1.0 / p_nu as f64);
+                return p_t + (1.960 - p_t) * w;
+            }
+            let (p_nu, p_t) = prev;
+            let w = (df - p_nu) as f64 / (nu - p_nu) as f64;
+            return p_t + (t - p_t) * w;
+        }
+        prev = (nu, t);
+    }
+    1.960
+}
+
+/// A mean with its 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% CI (`t · s/√n`); 0 for n = 1.
+    pub half_width: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl MeanCi {
+    /// Compute from a sample. Panics on empty input.
+    pub fn of(data: &[f64]) -> MeanCi {
+        let s = Summary::of(data);
+        let half_width = if s.n > 1 {
+            t_critical_95(s.n - 1) * s.std / (s.n as f64).sqrt()
+        } else {
+            0.0
+        };
+        MeanCi {
+            mean: s.mean,
+            half_width,
+            n: s.n,
+        }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Format as the paper's Table 4 does: `mean±half` with two decimals.
+    pub fn format_table4(&self) -> String {
+        format!("{:.2}±{:.2}", self.mean, self.half_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_exact_values() {
+        assert_eq!(t_critical_95(1), 12.706);
+        assert_eq!(t_critical_95(10), 2.228);
+        assert_eq!(t_critical_95(30), 2.042);
+    }
+
+    #[test]
+    fn t_interpolates_above_30() {
+        let t49 = t_critical_95(49); // n = 50 samples, the paper's case
+        assert!(t49 < t_critical_95(40));
+        assert!(t49 > t_critical_95(60));
+        assert!((t49 - 2.010).abs() < 0.01, "t(49) = {t49}");
+        // Monotone decreasing toward 1.96.
+        assert!(t_critical_95(1000) < t_critical_95(120));
+        assert!(t_critical_95(1000) >= 1.960);
+    }
+
+    #[test]
+    fn ci_of_constant_sample_is_zero_width() {
+        let ci = MeanCi::of(&[4.0; 50]);
+        assert_eq!(ci.mean, 4.0);
+        assert_eq!(ci.half_width, 0.0);
+    }
+
+    #[test]
+    fn ci_hand_checked() {
+        // n=4, mean=5, s=2: hw = 3.182 * 2/2 = 3.182.
+        let ci = MeanCi::of(&[3.0, 4.0, 6.0, 7.0]);
+        assert_eq!(ci.mean, 5.0);
+        let s = ((1.0f64 + 4.0 + 1.0 + 4.0) / 3.0).sqrt();
+        assert!((ci.half_width - 3.182 * s / 2.0).abs() < 1e-9);
+        assert!(ci.lo() < ci.mean && ci.mean < ci.hi());
+    }
+
+    #[test]
+    fn single_sample_has_zero_half_width() {
+        let ci = MeanCi::of(&[9.0]);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.n, 1);
+    }
+
+    #[test]
+    fn table4_formatting() {
+        let ci = MeanCi {
+            mean: 2.9649,
+            half_width: 0.0201,
+            n: 50,
+        };
+        assert_eq!(ci.format_table4(), "2.96±0.02");
+    }
+}

@@ -1,0 +1,77 @@
+//! Jitter metrics.
+//!
+//! Section 2.2 of the paper: "the delay overhead, if not stable enough,
+//! will also affect the jitter measurement". These estimators quantify
+//! that effect for the impact-analysis extension experiment.
+
+/// Mean absolute difference of consecutive samples — the simplest jitter
+/// estimator speedtest-style tools use.
+pub fn consecutive_jitter(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let sum: f64 = samples.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
+    sum / (samples.len() - 1) as f64
+}
+
+/// RFC 3550 §6.4.1 interarrival-jitter estimator: an exponentially
+/// smoothed mean of consecutive absolute differences with gain 1/16.
+pub fn rfc3550_jitter(samples: &[f64]) -> f64 {
+    let mut j = 0.0;
+    for w in samples.windows(2) {
+        let d = (w[1] - w[0]).abs();
+        j += (d - j) / 16.0;
+    }
+    j
+}
+
+/// Peak-to-peak spread.
+pub fn peak_to_peak(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    max - min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_has_zero_jitter() {
+        let s = [50.0; 20];
+        assert_eq!(consecutive_jitter(&s), 0.0);
+        assert_eq!(rfc3550_jitter(&s), 0.0);
+        assert_eq!(peak_to_peak(&s), 0.0);
+    }
+
+    #[test]
+    fn alternating_series() {
+        let s = [50.0, 52.0, 50.0, 52.0, 50.0];
+        assert_eq!(consecutive_jitter(&s), 2.0);
+        assert_eq!(peak_to_peak(&s), 2.0);
+        let j = rfc3550_jitter(&s);
+        assert!(j > 0.0 && j < 2.0, "smoothed estimate below raw: {j}");
+    }
+
+    #[test]
+    fn short_inputs() {
+        assert_eq!(consecutive_jitter(&[]), 0.0);
+        assert_eq!(consecutive_jitter(&[1.0]), 0.0);
+        assert_eq!(peak_to_peak(&[]), 0.0);
+    }
+
+    #[test]
+    fn overhead_noise_inflates_jitter() {
+        // True RTT constant at 50; overhead adds alternating 0/10 ms —
+        // measured jitter is entirely an artifact of the overhead.
+        let truth = [50.0; 10];
+        let measured: Vec<f64> = (0..10)
+            .map(|i| 50.0 + if i % 2 == 0 { 0.0 } else { 10.0 })
+            .collect();
+        assert_eq!(consecutive_jitter(&truth), 0.0);
+        assert_eq!(consecutive_jitter(&measured), 10.0);
+    }
+}

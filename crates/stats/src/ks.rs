@@ -1,0 +1,149 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Used by the verification harness to compare Δd distributions: is
+//! Δd1 distributed like Δd2 (same regime, no first-use effect)? Did a
+//! seed change actually alter a cell's distribution? The statistic is the
+//! max CDF gap; the p-value uses the asymptotic Kolmogorov distribution
+//! (fine for the 50-sample sets the paper works with).
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic `D = sup |F1(x) − F2(x)|`.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value.
+    pub p_value: f64,
+    /// Sizes of the two samples.
+    pub n: (usize, usize),
+}
+
+impl KsTest {
+    /// Whether the samples differ significantly at level `alpha`.
+    pub fn rejects_same_distribution(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Run the two-sample KS test. Panics on empty input.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsTest {
+    assert!(!a.is_empty() && !b.is_empty(), "KS test of empty sample");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    let (na, nb) = (sa.len(), sb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < na && j < nb {
+        let x = sa[i].min(sb[j]);
+        while i < na && sa[i] <= x {
+            i += 1;
+        }
+        while j < nb && sb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / na as f64;
+        let fb = j as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+    let en = ((na * nb) as f64 / (na + nb) as f64).sqrt();
+    // Asymptotic Kolmogorov survival function with the standard
+    // small-sample correction (Stephens 1970).
+    let lambda = (en + 0.12 + 0.11 / en) * d;
+    let p_value = kolmogorov_sf(lambda);
+    KsTest {
+        statistic: d,
+        p_value,
+        n: (na, nb),
+    }
+}
+
+/// Kolmogorov distribution survival function
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² λ²)`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda.powi(2)).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_do_not_reject() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let t = ks_two_sample(&a, &a);
+        assert_eq!(t.statistic, 0.0);
+        assert!(t.p_value > 0.99);
+        assert!(!t.rejects_same_distribution(0.05));
+    }
+
+    #[test]
+    fn disjoint_samples_reject_strongly() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..50).map(|i| 100.0 + i as f64 * 0.1).collect();
+        let t = ks_two_sample(&a, &b);
+        assert_eq!(t.statistic, 1.0);
+        assert!(t.p_value < 1e-6);
+        assert!(t.rejects_same_distribution(0.01));
+    }
+
+    #[test]
+    fn shifted_distributions_reject() {
+        // Two uniform-ish samples shifted by their full width.
+        let a: Vec<f64> = (0..80).map(|i| (i % 40) as f64).collect();
+        let b: Vec<f64> = (0..80).map(|i| (i % 40) as f64 + 30.0).collect();
+        let t = ks_two_sample(&a, &b);
+        assert!(t.statistic > 0.5);
+        assert!(t.rejects_same_distribution(0.05));
+    }
+
+    #[test]
+    fn same_distribution_interleaved_passes() {
+        // Even/odd split of one sequence: same underlying distribution.
+        let a: Vec<f64> = (0..100).step_by(2).map(|i| i as f64).collect();
+        let b: Vec<f64> = (1..100).step_by(2).map(|i| i as f64).collect();
+        let t = ks_two_sample(&a, &b);
+        assert!(t.statistic < 0.1);
+        assert!(!t.rejects_same_distribution(0.05));
+    }
+
+    #[test]
+    fn unequal_sizes_work() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..200).map(|i| (i % 20) as f64).collect();
+        let t = ks_two_sample(&a, &b);
+        assert_eq!(t.n, (20, 200));
+        assert!(!t.rejects_same_distribution(0.01));
+    }
+
+    #[test]
+    fn sf_is_monotone() {
+        let mut last = 1.0;
+        for i in 1..40 {
+            let v = kolmogorov_sf(i as f64 * 0.1);
+            assert!(v <= last + 1e-12);
+            last = v;
+        }
+        assert!(kolmogorov_sf(0.5) > 0.9);
+        assert!(kolmogorov_sf(2.0) < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        ks_two_sample(&[], &[1.0]);
+    }
+}

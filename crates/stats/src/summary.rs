@@ -1,0 +1,142 @@
+//! Five-number summaries and moments.
+
+/// Quantile by the R-7 rule (linear interpolation, the default of R and
+/// NumPy) over `sorted` data.
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 1]`.
+pub fn quantile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&p), "p out of range");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = p * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Summary statistics of one sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 when n = 1).
+    pub std: f64,
+    /// Median (R-7).
+    pub median: f64,
+    /// Lower quartile (R-7).
+    pub q1: f64,
+    /// Upper quartile (R-7).
+    pub q3: f64,
+}
+
+impl Summary {
+    /// Compute a summary. Panics on empty input or NaN values.
+    pub fn of(data: &[f64]) -> Summary {
+        assert!(!data.is_empty(), "summary of empty data");
+        assert!(
+            data.iter().all(|x| !x.is_nan()),
+            "summary of data containing NaN"
+        );
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean,
+            std: var.sqrt(),
+            median: quantile(&sorted, 0.5),
+            q1: quantile(&sorted, 0.25),
+            q3: quantile(&sorted, 0.75),
+        }
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn known_quartiles_r7() {
+        // R: quantile(c(1,2,3,4), c(.25,.5,.75)) -> 1.75 2.50 3.25
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&sorted, 0.25), 1.75);
+        assert_eq!(quantile(&sorted, 0.5), 2.5);
+        assert_eq!(quantile(&sorted, 0.75), 3.25);
+        assert_eq!(quantile(&sorted, 0.0), 1.0);
+        assert_eq!(quantile(&sorted, 1.0), 4.0);
+    }
+
+    #[test]
+    fn summary_of_shuffled_data() {
+        let data = [9.0, 1.0, 5.0, 3.0, 7.0];
+        let s = Summary::of(&data);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.q1, 3.0);
+        assert_eq!(s.q3, 7.0);
+        assert_eq!(s.iqr(), 4.0);
+    }
+
+    #[test]
+    fn std_matches_hand_computation() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        // Sample std with n-1: sqrt(32/7).
+        assert!((s.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_values_fine() {
+        // Δd can be negative (Java on Windows) — the stats must not assume
+        // positivity.
+        let s = Summary::of(&[-15.0, -1.0, 0.0, 1.0]);
+        assert_eq!(s.min, -15.0);
+        assert!(s.mean < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        Summary::of(&[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Wrapping 32-bit sequence-number arithmetic (RFC 793 §3.3).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A TCP sequence number with modular comparison semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNum(pub u32);
+
+impl SeqNum {
+    /// `self < other` in sequence space.
+    pub fn lt(self, other: SeqNum) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) > 0
+    }
+
+    /// `self <= other` in sequence space.
+    pub fn le(self, other: SeqNum) -> bool {
+        self == other || self.lt(other)
+    }
+
+    /// `self > other` in sequence space.
+    pub fn gt(self, other: SeqNum) -> bool {
+        other.lt(self)
+    }
+
+    /// `self >= other` in sequence space.
+    pub fn ge(self, other: SeqNum) -> bool {
+        other.le(self)
+    }
+
+    /// Distance from `earlier` to `self` (assumes `earlier.le(self)` and a
+    /// gap below 2³¹).
+    pub fn since(self, earlier: SeqNum) -> u32 {
+        self.0.wrapping_sub(earlier.0)
+    }
+
+    /// Whether `self` lies in the half-open window `[start, start+len)`.
+    pub fn in_window(self, start: SeqNum, len: u32) -> bool {
+        if len == 0 {
+            return false;
+        }
+        start.le(self) && self.lt(start + len)
+    }
+}
+
+impl Add<u32> for SeqNum {
+    type Output = SeqNum;
+    fn add(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(rhs))
+    }
+}
+
+impl AddAssign<u32> for SeqNum {
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 = self.0.wrapping_add(rhs);
+    }
+}
+
+impl Sub<u32> for SeqNum {
+    type Output = SeqNum;
+    fn sub(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_sub(rhs))
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_ordering() {
+        assert!(SeqNum(1).lt(SeqNum(2)));
+        assert!(SeqNum(2).gt(SeqNum(1)));
+        assert!(SeqNum(5).le(SeqNum(5)));
+        assert!(SeqNum(5).ge(SeqNum(5)));
+        assert!(!SeqNum(5).lt(SeqNum(5)));
+    }
+
+    #[test]
+    fn wrapping_ordering() {
+        let high = SeqNum(u32::MAX - 10);
+        let wrapped = high + 20;
+        assert_eq!(wrapped.0, 9);
+        assert!(high.lt(wrapped));
+        assert!(wrapped.gt(high));
+        assert_eq!(wrapped.since(high), 20);
+    }
+
+    #[test]
+    fn window_membership() {
+        let start = SeqNum(u32::MAX - 5);
+        assert!(start.in_window(start, 1));
+        assert!((start + 9).in_window(start, 10));
+        assert!(!(start + 10).in_window(start, 10));
+        assert!(!SeqNum(0).in_window(start, 0));
+        // Window spanning the wrap point.
+        assert!(SeqNum(2).in_window(start, 10));
+    }
+
+    #[test]
+    fn add_assign_and_sub() {
+        let mut s = SeqNum(10);
+        s += 5;
+        assert_eq!(s, SeqNum(15));
+        assert_eq!(s - 20, SeqNum(u32::MAX - 4));
+    }
+}

@@ -1,0 +1,178 @@
+//! A minimal UDP layer: port binding, send, receive queue.
+//!
+//! Exists for the Java-applet UDP socket method the paper lists in
+//! Table 1 (and excludes from its own runs "to make the comparison more
+//! comparable" — we implement it as an extension experiment).
+
+use std::collections::{HashSet, VecDeque};
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+
+use bnm_sim::wire::UdpDatagram;
+
+/// The UDP layer of one host.
+#[derive(Debug)]
+pub struct UdpStack {
+    local_ip: Ipv4Addr,
+    bound: HashSet<u16>,
+    next_ephemeral: u16,
+    out: Vec<(Ipv4Addr, UdpDatagram)>,
+    inbox: VecDeque<UdpRx>,
+    /// Datagrams dropped for lacking a bound port.
+    pub unbound_drops: u64,
+}
+
+/// One received datagram.
+#[derive(Debug, Clone)]
+pub struct UdpRx {
+    /// The local port it arrived on.
+    pub local_port: u16,
+    /// Sender address.
+    pub from: (Ipv4Addr, u16),
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl UdpStack {
+    /// A stack for `local_ip`.
+    pub fn new(local_ip: Ipv4Addr) -> Self {
+        UdpStack {
+            local_ip,
+            bound: HashSet::new(),
+            next_ephemeral: 40000,
+            out: Vec::new(),
+            inbox: VecDeque::new(),
+            unbound_drops: 0,
+        }
+    }
+
+    /// The IP this stack answers for.
+    pub fn local_ip(&self) -> Ipv4Addr {
+        self.local_ip
+    }
+
+    /// Bind a specific port. Returns false if already bound.
+    pub fn bind(&mut self, port: u16) -> bool {
+        self.bound.insert(port)
+    }
+
+    /// Bind a fresh ephemeral port and return it.
+    pub fn bind_ephemeral(&mut self) -> u16 {
+        loop {
+            let p = self.next_ephemeral;
+            self.next_ephemeral = if p == 49151 { 40000 } else { p + 1 };
+            if self.bound.insert(p) {
+                return p;
+            }
+        }
+    }
+
+    /// Release a port.
+    pub fn unbind(&mut self, port: u16) {
+        self.bound.remove(&port);
+    }
+
+    /// Queue a datagram from `from_port` (must be bound) to `to`.
+    pub fn send(&mut self, from_port: u16, to: (Ipv4Addr, u16), payload: Bytes) {
+        assert!(
+            self.bound.contains(&from_port),
+            "sending from unbound port {from_port}"
+        );
+        self.out.push((
+            to.0,
+            UdpDatagram {
+                src_port: from_port,
+                dst_port: to.1,
+                payload,
+            },
+        ));
+    }
+
+    /// Process an inbound datagram addressed to this host.
+    pub fn process(&mut self, src_ip: Ipv4Addr, dgram: UdpDatagram) {
+        if !self.bound.contains(&dgram.dst_port) {
+            self.unbound_drops += 1;
+            return;
+        }
+        self.inbox.push_back(UdpRx {
+            local_port: dgram.dst_port,
+            from: (src_ip, dgram.src_port),
+            payload: dgram.payload,
+        });
+    }
+
+    /// Drain outbound datagrams as `(dst_ip, datagram)`.
+    pub fn take_out(&mut self) -> Vec<(Ipv4Addr, UdpDatagram)> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Pop the next received datagram.
+    pub fn pop_rx(&mut self) -> Option<UdpRx> {
+        self.inbox.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn bind_send_receive() {
+        let mut a = UdpStack::new(A);
+        let mut b = UdpStack::new(B);
+        b.bind(7);
+        let p = a.bind_ephemeral();
+        a.send(p, (B, 7), Bytes::from_static(b"echo"));
+        for (dst, d) in a.take_out() {
+            assert_eq!(dst, B);
+            b.process(A, d);
+        }
+        let rx = b.pop_rx().expect("delivered");
+        assert_eq!(rx.local_port, 7);
+        assert_eq!(rx.from, (A, p));
+        assert_eq!(&rx.payload[..], b"echo");
+    }
+
+    #[test]
+    fn unbound_port_drops() {
+        let mut b = UdpStack::new(B);
+        b.process(
+            A,
+            UdpDatagram {
+                src_port: 1,
+                dst_port: 9,
+                payload: Bytes::new(),
+            },
+        );
+        assert!(b.pop_rx().is_none());
+        assert_eq!(b.unbound_drops, 1);
+    }
+
+    #[test]
+    fn double_bind_fails() {
+        let mut b = UdpStack::new(B);
+        assert!(b.bind(7));
+        assert!(!b.bind(7));
+        b.unbind(7);
+        assert!(b.bind(7));
+    }
+
+    #[test]
+    fn ephemeral_ports_unique() {
+        let mut a = UdpStack::new(A);
+        let p1 = a.bind_ephemeral();
+        let p2 = a.bind_ephemeral();
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound port")]
+    fn send_from_unbound_panics() {
+        let mut a = UdpStack::new(A);
+        a.send(5, (B, 7), Bytes::new());
+    }
+}

@@ -1,0 +1,278 @@
+//! The timing APIs measurement code reads clocks through.
+//!
+//! Every method in the paper records `tB_s`/`tB_r` via one of these. The
+//! API choice is exactly what §4.2 and Table 4 are about: swapping
+//! `Date.getTime()` for `System.nanoTime()` removes the RTT
+//! under-estimation without touching anything else.
+
+use std::fmt;
+
+use bnm_sim::time::{SimDuration, SimTime};
+
+use crate::machine::MachineTimer;
+
+/// Identifies a timing API in configs and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimingApiKind {
+    /// JavaScript `new Date().getTime()`.
+    JsDateGetTime,
+    /// ActionScript `new Date().getTime()`.
+    FlashGetTime,
+    /// Java `new Date().getTime()` / `System.currentTimeMillis()`.
+    JavaDateGetTime,
+    /// Java `System.nanoTime()`.
+    JavaNanoTime,
+    /// `performance.now()` (modern extension; not in the paper's browsers).
+    PerformanceNow,
+}
+
+impl fmt::Display for TimingApiKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TimingApiKind::JsDateGetTime => "Date.getTime [JS]",
+            TimingApiKind::FlashGetTime => "Date.getTime [Flash]",
+            TimingApiKind::JavaDateGetTime => "Date.getTime [Java]",
+            TimingApiKind::JavaNanoTime => "System.nanoTime [Java]",
+            TimingApiKind::PerformanceNow => "performance.now [JS]",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A clock as seen by measurement code.
+pub trait TimingApi {
+    /// Which API this is.
+    fn kind(&self) -> TimingApiKind;
+
+    /// Cost of one call (drives busy-wait loops like the Figure 5 probe).
+    fn call_cost(&self) -> SimDuration;
+
+    /// Read the clock at virtual instant `now`. Milliseconds; integral for
+    /// millisecond-resolution APIs, fractional for high-resolution ones.
+    fn read(&mut self, now: SimTime) -> f64;
+
+    /// The resolution the documentation claims, in ms (1.0 for
+    /// `Date.getTime()` — the point is that the *actual granularity* can
+    /// be worse).
+    fn nominal_resolution_ms(&self) -> f64;
+}
+
+/// Instantiate the timing API of `kind` on `machine`.
+pub fn make_api(kind: TimingApiKind, machine: &MachineTimer) -> Box<dyn TimingApi> {
+    match kind {
+        TimingApiKind::JsDateGetTime => Box::new(JsDateGetTime::new(machine.clone())),
+        TimingApiKind::FlashGetTime => Box::new(FlashGetTime::new(machine.clone())),
+        TimingApiKind::JavaDateGetTime => Box::new(JavaDateGetTime::new(machine.clone())),
+        TimingApiKind::JavaNanoTime => Box::new(JavaNanoTime),
+        TimingApiKind::PerformanceNow => Box::new(PerformanceNow),
+    }
+}
+
+/// JavaScript `Date.getTime()`: browsers keep this at a steady 1 ms on
+/// both OSes (they interpolate from a high-resolution counter), which is
+/// why the paper's JS methods never show the 15.6 ms artifact.
+#[derive(Debug, Clone)]
+pub struct JsDateGetTime {
+    machine: MachineTimer,
+}
+
+impl JsDateGetTime {
+    /// JS clock on `machine`.
+    pub fn new(machine: MachineTimer) -> Self {
+        JsDateGetTime { machine }
+    }
+}
+
+impl TimingApi for JsDateGetTime {
+    fn kind(&self) -> TimingApiKind {
+        TimingApiKind::JsDateGetTime
+    }
+    fn call_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(250)
+    }
+    fn read(&mut self, now: SimTime) -> f64 {
+        self.machine.wall_ms(now) as f64
+    }
+    fn nominal_resolution_ms(&self) -> f64 {
+        1.0
+    }
+}
+
+/// ActionScript `Date.getTime()`: same steady 1 ms behaviour, slightly
+/// dearer call through the plugin runtime.
+#[derive(Debug, Clone)]
+pub struct FlashGetTime {
+    machine: MachineTimer,
+}
+
+impl FlashGetTime {
+    /// Flash clock on `machine`.
+    pub fn new(machine: MachineTimer) -> Self {
+        FlashGetTime { machine }
+    }
+}
+
+impl TimingApi for FlashGetTime {
+    fn kind(&self) -> TimingApiKind {
+        TimingApiKind::FlashGetTime
+    }
+    fn call_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(600)
+    }
+    fn read(&mut self, now: SimTime) -> f64 {
+        self.machine.wall_ms(now) as f64
+    }
+    fn nominal_resolution_ms(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Java `Date.getTime()` / `System.currentTimeMillis()`: reads the raw
+/// system timer, so it ticks at the machine's current granularity — 1 ms
+/// or 15.625 ms on Windows, whichever regime is in force.
+#[derive(Debug, Clone)]
+pub struct JavaDateGetTime {
+    machine: MachineTimer,
+}
+
+impl JavaDateGetTime {
+    /// JVM millisecond clock on `machine`.
+    pub fn new(machine: MachineTimer) -> Self {
+        JavaDateGetTime { machine }
+    }
+}
+
+impl TimingApi for JavaDateGetTime {
+    fn kind(&self) -> TimingApiKind {
+        TimingApiKind::JavaDateGetTime
+    }
+    fn call_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(120)
+    }
+    fn read(&mut self, now: SimTime) -> f64 {
+        self.machine.system_time_ms(now) as f64
+    }
+    fn nominal_resolution_ms(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Java `System.nanoTime()`: a monotonic high-resolution counter
+/// (QueryPerformanceCounter / CLOCK_MONOTONIC), immune to the system-timer
+/// granularity. Values are reported here as fractional milliseconds since
+/// boot.
+#[derive(Debug, Clone, Default)]
+pub struct JavaNanoTime;
+
+impl TimingApi for JavaNanoTime {
+    fn kind(&self) -> TimingApiKind {
+        TimingApiKind::JavaNanoTime
+    }
+    fn call_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(40)
+    }
+    fn read(&mut self, now: SimTime) -> f64 {
+        now.as_nanos() as f64 / 1e6
+    }
+    fn nominal_resolution_ms(&self) -> f64 {
+        1e-6
+    }
+}
+
+/// `performance.now()`: high-resolution DOM timestamps with a 5 µs
+/// quantum, as standardised after the paper's study. Included as the
+/// "what modern browsers fixed" ablation.
+#[derive(Debug, Clone, Default)]
+pub struct PerformanceNow;
+
+impl TimingApi for PerformanceNow {
+    fn kind(&self) -> TimingApiKind {
+        TimingApiKind::PerformanceNow
+    }
+    fn call_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(150)
+    }
+    fn read(&mut self, now: SimTime) -> f64 {
+        const QUANTUM_NS: u64 = 5_000;
+        let q = (now.as_nanos() / QUANTUM_NS) * QUANTUM_NS;
+        q as f64 / 1e6
+    }
+    fn nominal_resolution_ms(&self) -> f64 {
+        0.005
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::OsKind;
+
+    fn win() -> MachineTimer {
+        MachineTimer::new(OsKind::Windows7, 42)
+    }
+
+    fn ubuntu() -> MachineTimer {
+        MachineTimer::new(OsKind::Ubuntu1204, 42)
+    }
+
+    #[test]
+    fn js_clock_is_steady_1ms_on_windows() {
+        let mut api = JsDateGetTime::new(win());
+        let a = api.read(SimTime::from_micros(500));
+        let b = api.read(SimTime::from_micros(1_500));
+        assert_eq!(b - a, 1.0);
+    }
+
+    #[test]
+    fn java_clock_freezes_within_a_coarse_tick() {
+        // Find a coarse-regime instant on the Windows machine.
+        let m = win();
+        let mut t = SimTime::ZERO;
+        while m.system_granularity(t) != SimDuration::from_micros(15_625) {
+            t = t + SimDuration::from_secs(30);
+        }
+        let mut api = JavaDateGetTime::new(m);
+        let a = api.read(t);
+        let b = api.read(t + SimDuration::from_millis(10));
+        // 10 ms later, still inside (or at most one tick past) the coarse
+        // granule: difference is 0 or ~15/16 ms, never 10 ms.
+        let d = b - a;
+        assert!(d == 0.0 || (14.0..=16.0).contains(&d), "delta {d}");
+    }
+
+    #[test]
+    fn java_clock_on_ubuntu_is_1ms() {
+        let mut api = JavaDateGetTime::new(ubuntu());
+        let a = api.read(SimTime::from_millis(100));
+        let b = api.read(SimTime::from_millis(103));
+        assert_eq!(b - a, 3.0);
+    }
+
+    #[test]
+    fn nanotime_preserves_submillisecond_deltas() {
+        let mut api = JavaNanoTime;
+        let a = api.read(SimTime::from_micros(100));
+        let b = api.read(SimTime::from_micros(350));
+        assert!((b - a - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn performance_now_quantizes_to_5us() {
+        let mut api = PerformanceNow;
+        let a = api.read(SimTime::from_nanos(12_345_678));
+        assert!((a - 12.345).abs() < 1e-9);
+    }
+
+    #[test]
+    fn call_costs_are_ordered_sensibly() {
+        // nanoTime is the cheapest; the Flash bridge is the dearest.
+        assert!(JavaNanoTime.call_cost() < JavaDateGetTime::new(ubuntu()).call_cost());
+        assert!(JsDateGetTime::new(ubuntu()).call_cost() < FlashGetTime::new(ubuntu()).call_cost());
+    }
+
+    #[test]
+    fn epoch_values_look_like_wall_clock() {
+        let mut api = JsDateGetTime::new(ubuntu());
+        assert!(api.read(SimTime::ZERO) > 1.3e12);
+    }
+}

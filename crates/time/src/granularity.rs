@@ -1,0 +1,189 @@
+//! The OS timer-resolution regime process.
+//!
+//! On Windows 7 the system time (`GetSystemTimeAsFileTime`, which backs
+//! Java's `System.currentTimeMillis`) advances at the timer-interrupt
+//! period: 15.625 ms (64 Hz) by default, or 1 ms whenever *any* process has
+//! called `timeBeginPeriod(1)` — media players, browsers and the like do
+//! this and undo it, so the effective granularity flips between the two
+//! values and, as the paper measures, "each possible value will last for a
+//! period of time (several minutes) before changing to other values".
+//!
+//! We model exactly that: a piecewise-constant granularity over virtual
+//! time, alternating between configured levels with uniformly distributed
+//! multi-minute dwell times, generated lazily from a seeded RNG stream.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use bnm_sim::time::{SimDuration, SimTime};
+
+/// A lazily generated, piecewise-constant granularity schedule.
+#[derive(Debug)]
+pub struct GranularityRegimes {
+    /// `(segment start, granularity)` — starts at `SimTime::ZERO`,
+    /// non-decreasing.
+    segments: Vec<(SimTime, SimDuration)>,
+    /// Time covered so far: segments are valid up to here.
+    horizon: SimTime,
+    levels: Vec<SimDuration>,
+    dwell_min: SimDuration,
+    dwell_max: SimDuration,
+    rng: SmallRng,
+    /// Index into `levels` of the current (last) segment.
+    current_level: usize,
+}
+
+impl GranularityRegimes {
+    /// The Windows 7 process observed by the paper: 1 ms and 15.625 ms
+    /// levels, dwell times of 2–8 minutes.
+    pub fn windows7(rng: SmallRng) -> Self {
+        Self::new(
+            vec![SimDuration::from_millis(1), SimDuration::from_micros(15_625)],
+            SimDuration::from_secs(120),
+            SimDuration::from_secs(480),
+            rng,
+        )
+    }
+
+    /// A custom regime process. `levels` must be non-empty.
+    pub fn new(
+        levels: Vec<SimDuration>,
+        dwell_min: SimDuration,
+        dwell_max: SimDuration,
+        mut rng: SmallRng,
+    ) -> Self {
+        assert!(!levels.is_empty(), "need at least one granularity level");
+        assert!(dwell_min <= dwell_max);
+        let first = rng.gen_range(0..levels.len());
+        GranularityRegimes {
+            segments: vec![(SimTime::ZERO, levels[first])],
+            horizon: SimTime::ZERO,
+            levels,
+            dwell_min,
+            dwell_max,
+            rng,
+            current_level: first,
+        }
+    }
+
+    fn dwell(&mut self) -> SimDuration {
+        let lo = self.dwell_min.as_nanos();
+        let hi = self.dwell_max.as_nanos();
+        SimDuration::from_nanos(if lo == hi {
+            lo
+        } else {
+            self.rng.gen_range(lo..=hi)
+        })
+    }
+
+    fn extend_to(&mut self, t: SimTime) {
+        while self.horizon <= t {
+            let dwell = self.dwell();
+            self.horizon = self.horizon + dwell;
+            // Switch to a different level (or stay if only one exists).
+            let next = if self.levels.len() == 1 {
+                0
+            } else {
+                let mut n = self.rng.gen_range(0..self.levels.len() - 1);
+                if n >= self.current_level {
+                    n += 1;
+                }
+                n
+            };
+            self.current_level = next;
+            self.segments.push((self.horizon, self.levels[next]));
+        }
+    }
+
+    /// Granularity in force at instant `t`.
+    pub fn granularity_at(&mut self, t: SimTime) -> SimDuration {
+        self.extend_to(t);
+        // Binary search for the segment containing t.
+        let idx = match self.segments.binary_search_by(|(s, _)| s.cmp(&t)) {
+            Ok(i) => i,
+            Err(i) => i - 1, // segments[0].0 == ZERO, so i >= 1 here
+        };
+        self.segments[idx].1
+    }
+
+    /// The segment boundaries generated so far (diagnostics/plots).
+    pub fn segments(&self) -> &[(SimTime, SimDuration)] {
+        &self.segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnm_sim::rng;
+
+    #[test]
+    fn constant_when_single_level() {
+        let mut g = GranularityRegimes::new(
+            vec![SimDuration::from_millis(1)],
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(60),
+            rng::stream(1, "g"),
+        );
+        for t in [0u64, 5, 500, 50_000] {
+            assert_eq!(
+                g.granularity_at(SimTime::from_secs(t)),
+                SimDuration::from_millis(1)
+            );
+        }
+    }
+
+    #[test]
+    fn windows_alternates_between_both_levels() {
+        let mut g = GranularityRegimes::windows7(rng::stream(7, "win"));
+        let mut seen = std::collections::HashSet::new();
+        // Walk four simulated hours in 30 s steps.
+        for t in (0..(4 * 3600)).step_by(30) {
+            seen.insert(g.granularity_at(SimTime::from_secs(t)).as_nanos());
+        }
+        assert!(seen.contains(&1_000_000), "1 ms level visited");
+        assert!(seen.contains(&15_625_000), "15.625 ms level visited");
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn regimes_are_piecewise_constant_minutes_long() {
+        let mut g = GranularityRegimes::windows7(rng::stream(9, "win"));
+        g.granularity_at(SimTime::from_secs(4 * 3600));
+        let segs = g.segments().to_vec();
+        assert!(segs.len() > 10, "several regime changes over 4 h");
+        for w in segs.windows(2) {
+            let dwell = w[1].0.saturating_since(w[0].0);
+            assert!(dwell >= SimDuration::from_secs(120), "dwell {dwell}");
+            assert!(dwell <= SimDuration::from_secs(480), "dwell {dwell}");
+            assert_ne!(w[0].1, w[1].1, "consecutive segments differ");
+        }
+    }
+
+    #[test]
+    fn queries_are_consistent_and_order_independent() {
+        let seed = rng::stream(11, "win");
+        let mut a = GranularityRegimes::windows7(seed);
+        let mut b = GranularityRegimes::windows7(rng::stream(11, "win"));
+        // Query b in reverse order; same schedule must result.
+        let times: Vec<SimTime> = (0..200).map(|i| SimTime::from_secs(i * 37)).collect();
+        let fwd: Vec<_> = times.iter().map(|&t| a.granularity_at(t)).collect();
+        let rev: Vec<_> = times.iter().rev().map(|&t| b.granularity_at(t)).collect();
+        let rev: Vec<_> = rev.into_iter().rev().collect();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn both_levels_get_comparable_time_share() {
+        let mut g = GranularityRegimes::windows7(rng::stream(5, "share"));
+        let mut coarse = 0u64;
+        let total = 12 * 3600u64;
+        for t in 0..total / 10 {
+            if g.granularity_at(SimTime::from_secs(t * 10)) == SimDuration::from_micros(15_625) {
+                coarse += 1;
+            }
+        }
+        let share = coarse as f64 / (total / 10) as f64;
+        assert!(share > 0.25 && share < 0.75, "coarse share {share}");
+    }
+}

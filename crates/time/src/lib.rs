@@ -1,0 +1,38 @@
+//! # bnm-time — timing-API models
+//!
+//! The paper's most striking finding (§4.2) is that Java's
+//! `Date.getTime()` — nominally millisecond-resolution — actually ticks at
+//! the granularity of the underlying OS timer, and on Windows 7 that
+//! granularity is **not even constant**: it alternates between 1 ms and
+//! ~15.6 ms, each regime lasting several minutes. Measurement tools that
+//! subtract two such timestamps under-estimate RTTs by up to a full tick.
+//!
+//! This crate models that whole mechanism:
+//!
+//! * [`machine::MachineTimer`] — the per-machine system timer, whose
+//!   granularity on Windows follows a seeded regime process
+//!   ([`granularity::GranularityRegimes`]): dwell a few minutes at 1 ms,
+//!   then a few minutes at 15.625 ms (the classic 64 Hz Windows tick), and
+//!   so on. This reproduces the behaviour the paper attributes to other
+//!   processes toggling `timeBeginPeriod`.
+//! * [`api::TimingApi`] — the interface measurement code reads clocks
+//!   through. Implementations:
+//!   [`api::JsDateGetTime`] (browser JS, steady 1 ms),
+//!   [`api::FlashGetTime`] (ActionScript, steady 1 ms),
+//!   [`api::JavaDateGetTime`] (ticks with the machine timer — the culprit),
+//!   [`api::JavaNanoTime`] (the fix: monotonic, sub-microsecond),
+//!   [`api::PerformanceNow`] (modern extension, 5 µs quantum).
+//! * [`probe`] — the busy-wait granularity probe of the paper's Figure 5,
+//!   reimplemented against [`api::TimingApi`].
+
+pub mod api;
+pub mod granularity;
+pub mod machine;
+pub mod probe;
+
+pub use api::{
+    make_api, FlashGetTime, JavaDateGetTime, JavaNanoTime, JsDateGetTime, PerformanceNow,
+    TimingApi, TimingApiKind,
+};
+pub use machine::{MachineTimer, OsKind};
+pub use probe::{probe_granularity, GranularityProbe};

@@ -1,0 +1,188 @@
+//! The per-machine system timer.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use bnm_sim::rng;
+use bnm_sim::time::{SimDuration, SimTime};
+
+use crate::granularity::GranularityRegimes;
+
+/// Operating systems of the paper's dual-boot client machine (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OsKind {
+    /// Windows 7 (the OS with the unstable timer granularity).
+    Windows7,
+    /// Ubuntu 12.04 LTS.
+    Ubuntu1204,
+}
+
+impl OsKind {
+    /// The single-letter label the paper's figures use ("W"/"U").
+    pub fn initial(self) -> &'static str {
+        match self {
+            OsKind::Windows7 => "W",
+            OsKind::Ubuntu1204 => "U",
+        }
+    }
+
+    /// Full display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OsKind::Windows7 => "Windows 7",
+            OsKind::Ubuntu1204 => "Ubuntu 12.04",
+        }
+    }
+
+    /// Both OSes, in the paper's order.
+    pub const ALL: [OsKind; 2] = [OsKind::Ubuntu1204, OsKind::Windows7];
+}
+
+impl fmt::Display for OsKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The client machine's system timer, shared by every clock consumer on
+/// that machine (the JVM, the browser, Flash).
+///
+/// Cloning shares the underlying regime process — clones observe the same
+/// timer, as processes on one machine do.
+#[derive(Debug, Clone)]
+pub struct MachineTimer {
+    os: OsKind,
+    /// Windows carries the regime process; Ubuntu's clocksource is
+    /// effectively tickless at the millisecond scale.
+    regimes: Option<Rc<RefCell<GranularityRegimes>>>,
+    /// Wall-clock epoch at simulation boot, in milliseconds — so absolute
+    /// `Date.getTime()` values look like real epoch times.
+    epoch_ms: u64,
+    /// Offset of this view into the machine's timeline. Experiment
+    /// repetitions each run in a fresh simulation starting at t = 0, but
+    /// on the *same machine* a few seconds apart — the offset places each
+    /// repetition at its real position on the shared regime timeline.
+    offset: SimDuration,
+}
+
+impl MachineTimer {
+    /// A machine timer for `os`, with its regime process seeded from the
+    /// master seed.
+    pub fn new(os: OsKind, master_seed: u64) -> Self {
+        let regimes = match os {
+            OsKind::Windows7 => Some(Rc::new(RefCell::new(GranularityRegimes::windows7(
+                rng::stream(master_seed, "machine.timer.regimes"),
+            )))),
+            OsKind::Ubuntu1204 => None,
+        };
+        MachineTimer {
+            os,
+            regimes,
+            // 2013-10-23 00:00:00 UTC — the week of IMC'13.
+            epoch_ms: 1_382_486_400_000,
+            offset: SimDuration::ZERO,
+        }
+    }
+
+    /// A view of the same machine shifted `offset` into its timeline
+    /// (shares the regime process with `self`).
+    pub fn at_offset(&self, offset: SimDuration) -> MachineTimer {
+        MachineTimer {
+            offset,
+            ..self.clone()
+        }
+    }
+
+    /// The machine's OS.
+    pub fn os(&self) -> OsKind {
+        self.os
+    }
+
+    /// Wall epoch offset (ms at simulation boot).
+    pub fn epoch_ms(&self) -> u64 {
+        self.epoch_ms
+    }
+
+    /// Map a simulation instant onto the machine's timeline.
+    fn machine_time(&self, t: SimTime) -> SimTime {
+        t + self.offset
+    }
+
+    /// System-timer granularity in force at `t`.
+    pub fn system_granularity(&self, t: SimTime) -> SimDuration {
+        let mt = self.machine_time(t);
+        match &self.regimes {
+            Some(r) => r.borrow_mut().granularity_at(mt),
+            None => SimDuration::from_millis(1),
+        }
+    }
+
+    /// The absolute system time (epoch milliseconds) a granularity-bound
+    /// clock reports at instant `t`: machine time quantized to the current
+    /// tick, plus the epoch.
+    pub fn system_time_ms(&self, t: SimTime) -> u64 {
+        let mt = self.machine_time(t);
+        let g = self.system_granularity(t).as_nanos();
+        let ticked_ns = (mt.as_nanos() / g) * g;
+        self.epoch_ms + ticked_ns / 1_000_000
+    }
+
+    /// Unquantized wall time in ms (used by the browser clocks that
+    /// interpolate from a high-resolution counter), truncated to 1 ms.
+    pub fn wall_ms(&self, t: SimTime) -> u64 {
+        self.epoch_ms + self.machine_time(t).as_millis()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ubuntu_is_steady_1ms() {
+        let m = MachineTimer::new(OsKind::Ubuntu1204, 1);
+        for s in [0u64, 10, 1000, 100_000] {
+            assert_eq!(
+                m.system_granularity(SimTime::from_secs(s)),
+                SimDuration::from_millis(1)
+            );
+        }
+    }
+
+    #[test]
+    fn windows_granularity_varies_over_hours() {
+        let m = MachineTimer::new(OsKind::Windows7, 42);
+        let mut seen = std::collections::HashSet::new();
+        for s in (0..6 * 3600).step_by(60) {
+            seen.insert(m.system_granularity(SimTime::from_secs(s)).as_nanos());
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_regime_process() {
+        let a = MachineTimer::new(OsKind::Windows7, 42);
+        let b = a.clone();
+        for s in (0..7200).step_by(300) {
+            let t = SimTime::from_secs(s);
+            assert_eq!(a.system_granularity(t), b.system_granularity(t));
+        }
+    }
+
+    #[test]
+    fn system_time_advances_in_ticks() {
+        let m = MachineTimer::new(OsKind::Ubuntu1204, 1);
+        let t0 = m.system_time_ms(SimTime::from_micros(100));
+        let t1 = m.system_time_ms(SimTime::from_micros(999));
+        assert_eq!(t0, t1, "within one 1 ms tick the value is frozen");
+        let t2 = m.system_time_ms(SimTime::from_micros(1_001));
+        assert_eq!(t2, t1 + 1);
+    }
+
+    #[test]
+    fn epoch_is_plausible_wall_time() {
+        let m = MachineTimer::new(OsKind::Ubuntu1204, 1);
+        assert!(m.system_time_ms(SimTime::ZERO) > 1_300_000_000_000);
+    }
+}

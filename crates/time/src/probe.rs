@@ -1,0 +1,150 @@
+//! The timestamp-granularity probe of the paper's Figure 5.
+//!
+//! The original Java code busy-waits on `Date.getTime()` until the value
+//! changes and prints the difference. We reproduce it against any
+//! [`TimingApi`]: each call advances virtual time by the API's call cost,
+//! exactly like a tight loop on a real CPU.
+
+use bnm_sim::time::{SimDuration, SimTime};
+
+use crate::api::TimingApi;
+
+/// Result of one probe run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GranularityProbe {
+    /// The observed tick: `end - start` of the first value change, in ms.
+    pub observed_ms: f64,
+    /// Calls spent spinning.
+    pub calls: u64,
+    /// Virtual time consumed.
+    pub elapsed: SimDuration,
+}
+
+/// Run the Figure 5 loop starting at virtual instant `start`.
+///
+/// Returns `None` if the clock never changes within `max_calls`
+/// (a broken/frozen clock — cannot happen with the in-tree APIs, but the
+/// probe is defensive, as the original had to be).
+pub fn probe_granularity(
+    api: &mut dyn TimingApi,
+    start: SimTime,
+    max_calls: u64,
+) -> Option<GranularityProbe> {
+    let cost = api.call_cost();
+    let mut t = start;
+    let first = api.read(t);
+    let mut calls = 1u64;
+    while calls < max_calls {
+        t = t + cost;
+        calls += 1;
+        let current = api.read(t);
+        if current != first {
+            return Some(GranularityProbe {
+                observed_ms: current - first,
+                calls,
+                elapsed: t.saturating_since(start),
+            });
+        }
+    }
+    None
+}
+
+/// Run the probe repeatedly over a span of virtual time, spacing runs by
+/// `interval` — this is how the paper discovered that the granularity "can
+/// be 1 ms, or ∼15 ms" and "each possible value will last for a period of
+/// time".
+pub fn probe_series(
+    api: &mut dyn TimingApi,
+    start: SimTime,
+    interval: SimDuration,
+    runs: usize,
+) -> Vec<(SimTime, f64)> {
+    let mut out = Vec::with_capacity(runs);
+    let mut t = start;
+    for _ in 0..runs {
+        if let Some(p) = probe_granularity(api, t, 10_000_000) {
+            out.push((t, p.observed_ms));
+        }
+        t = t + interval;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{JavaDateGetTime, JavaNanoTime, JsDateGetTime};
+    use crate::machine::{MachineTimer, OsKind};
+
+    #[test]
+    fn js_probe_sees_1ms() {
+        let mut api = JsDateGetTime::new(MachineTimer::new(OsKind::Ubuntu1204, 1));
+        let p = probe_granularity(&mut api, SimTime::from_millis(5), 1_000_000).unwrap();
+        assert_eq!(p.observed_ms, 1.0);
+        assert!(p.elapsed <= SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn java_probe_on_windows_sees_both_regimes() {
+        let mut api = JavaDateGetTime::new(MachineTimer::new(OsKind::Windows7, 42));
+        let series = probe_series(
+            &mut api,
+            SimTime::ZERO,
+            SimDuration::from_secs(60),
+            3 * 60, // 3 hours of minute-spaced probes
+        );
+        let fine = series.iter().filter(|(_, g)| *g <= 1.0).count();
+        let coarse = series.iter().filter(|(_, g)| (14.0..=16.0).contains(g)).count();
+        assert!(fine > 0, "1 ms observations present");
+        assert!(coarse > 0, "~15.6 ms observations present");
+        assert_eq!(fine + coarse, series.len(), "only the two levels appear");
+    }
+
+    #[test]
+    fn regimes_persist_for_minutes() {
+        let mut api = JavaDateGetTime::new(MachineTimer::new(OsKind::Windows7, 42));
+        let series = probe_series(
+            &mut api,
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+            6 * 60, // one hour, 10 s apart
+        );
+        // Count transitions between coarse/fine: a regime lasting minutes
+        // means long runs of equal observations.
+        let mut transitions = 0;
+        for w in series.windows(2) {
+            if (w[0].1 > 2.0) != (w[1].1 > 2.0) {
+                transitions += 1;
+            }
+        }
+        assert!(transitions < 12, "{transitions} transitions in an hour");
+    }
+
+    #[test]
+    fn nanotime_probe_sees_nanoscale_tick() {
+        let mut api = JavaNanoTime;
+        let p = probe_granularity(&mut api, SimTime::ZERO, 1_000).unwrap();
+        assert!(p.observed_ms < 0.001, "tick {} ms", p.observed_ms);
+        assert_eq!(p.calls, 2, "changes on the very next call");
+    }
+
+    #[test]
+    fn probe_gives_up_on_frozen_clock() {
+        struct Frozen;
+        impl TimingApi for Frozen {
+            fn kind(&self) -> crate::api::TimingApiKind {
+                crate::api::TimingApiKind::JsDateGetTime
+            }
+            fn call_cost(&self) -> SimDuration {
+                SimDuration::from_nanos(100)
+            }
+            fn read(&mut self, _now: SimTime) -> f64 {
+                42.0
+            }
+            fn nominal_resolution_ms(&self) -> f64 {
+                1.0
+            }
+        }
+        assert!(probe_granularity(&mut Frozen, SimTime::ZERO, 1_000).is_none());
+    }
+}

@@ -1,0 +1,87 @@
+//! Method shoot-out: appraise every measurement method on one
+//! browser/OS, rank by accuracy, and print the paper's §5 advice.
+//!
+//! ```sh
+//! cargo run --release --example method_shootout            # Firefox / Windows
+//! cargo run --release --example method_shootout -- chrome ubuntu
+//! ```
+
+use bnm::browser::BrowserKind;
+use bnm::core::appraisal::Appraisal;
+use bnm::core::recommend;
+use bnm::core::{ExperimentCell, ExperimentRunner, RuntimeSel};
+use bnm::methods::MethodId;
+use bnm::timeapi::OsKind;
+
+fn parse_args() -> (BrowserKind, OsKind) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let browser = match args.first().map(String::as_str) {
+        Some("chrome") => BrowserKind::Chrome,
+        Some("firefox") | None => BrowserKind::Firefox,
+        Some("ie") => BrowserKind::Ie9,
+        Some("opera") => BrowserKind::Opera,
+        Some("safari") => BrowserKind::Safari,
+        Some(other) => panic!("unknown browser {other}"),
+    };
+    let os = match args.get(1).map(String::as_str) {
+        Some("ubuntu") => OsKind::Ubuntu1204,
+        Some("windows") | None => OsKind::Windows7,
+        Some(other) => panic!("unknown os {other}"),
+    };
+    (browser, os)
+}
+
+fn main() {
+    let (browser, os) = parse_args();
+    println!(
+        "Appraising all methods in {} on {} (25 reps each)\n",
+        browser.name(),
+        os.name()
+    );
+
+    let mut scored: Vec<(MethodId, Appraisal)> = Vec::new();
+    for method in MethodId::ALL {
+        let cell = ExperimentCell::paper(method, RuntimeSel::Browser(browser), os).with_reps(25);
+        if !cell.is_runnable() {
+            println!("{:28} — unavailable (Table 2 feature matrix)", method.display_name());
+            continue;
+        }
+        let result = ExperimentRunner::run(&cell);
+        scored.push((method, Appraisal::of(&result)));
+    }
+
+    // Rank: |median| + IQR as a crude accuracy score (trueness + precision).
+    scored.sort_by(|a, b| {
+        let score = |x: &Appraisal| x.pooled.median.abs() + x.pooled.iqr();
+        score(&a.1).partial_cmp(&score(&b.1)).unwrap()
+    });
+
+    println!("\n{:<28} {:>9} {:>9} {:>8}  verdict", "method", "Δd1 med", "Δd2 med", "IQR");
+    println!("{}", "-".repeat(72));
+    for (method, a) in &scored {
+        println!(
+            "{:<28} {:>9.2} {:>9.2} {:>8.2}  {:?}",
+            method.display_name(),
+            a.d1.median,
+            a.d2.median,
+            a.pooled.iqr(),
+            a.verdict
+        );
+    }
+
+    println!("\n--- §5 practical considerations ---");
+    for w in recommend::browser_warnings(browser) {
+        println!("⚠  {w}");
+    }
+    let (api, why) = recommend::timing_advice(MethodId::JavaTcp);
+    println!("Timing: use {api} for Java methods — {why}.");
+    println!(
+        "Preferred browser on {}: {}",
+        os.name(),
+        recommend::preferred_browser(os).name()
+    );
+    println!("\nTop recommendations under default constraints:");
+    for rec in recommend::recommend_methods(&recommend::Constraints::default()).iter().take(3) {
+        println!("  {:<24} with {:<24} — {}", rec.method.display_name(), rec.timing.to_string(), rec.rationale);
+    }
+}

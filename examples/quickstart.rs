@@ -1,0 +1,58 @@
+//! Quickstart: appraise one browser-based RTT measurement method.
+//!
+//! Builds the paper's testbed (client ↔ switch ↔ server, 100 Mbps, 50 ms
+//! server-side delay), runs the WebSocket method in Chrome/Ubuntu for 20
+//! repetitions, and prints the delay-overhead appraisal.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bnm::browser::BrowserKind;
+use bnm::core::appraisal::Appraisal;
+use bnm::core::{ExperimentCell, ExperimentRunner, RuntimeSel};
+use bnm::methods::MethodId;
+use bnm::timeapi::OsKind;
+
+fn main() {
+    // 1. Describe the experiment cell: which method, which runtime.
+    let cell = ExperimentCell::paper(
+        MethodId::WebSocket,
+        RuntimeSel::Browser(BrowserKind::Chrome),
+        OsKind::Ubuntu1204,
+    )
+    .with_reps(20);
+
+    println!("Running {} …", cell.label());
+
+    // 2. Run it: every repetition is a fresh deterministic simulation;
+    //    ground truth comes from parsing the simulated WinDump capture.
+    let result = ExperimentRunner::run(&cell);
+
+    // 3. Appraise: Δd = (tB_r − tB_s) − (tN_r − tN_s), Eq. 1 of the paper.
+    let appraisal = Appraisal::of(&result);
+    println!("\nΔd1 (first measurement, object instantiation included):");
+    println!(
+        "  median {:.3} ms, IQR [{:.3}, {:.3}], whiskers [{:.3}, {:.3}], {} outliers",
+        appraisal.d1.median,
+        appraisal.d1.q1,
+        appraisal.d1.q3,
+        appraisal.d1.whisker_lo,
+        appraisal.d1.whisker_hi,
+        appraisal.d1.outliers.len()
+    );
+    println!("\nΔd2 (object reused):");
+    println!(
+        "  median {:.3} ms, IQR [{:.3}, {:.3}]",
+        appraisal.d2.median, appraisal.d2.q1, appraisal.d2.q3
+    );
+    println!(
+        "\nPooled mean ± 95% CI: {} ms   →  verdict: {:?}",
+        appraisal.mean_ci.format_table4(),
+        appraisal.verdict
+    );
+    println!(
+        "\n(The paper's §4: WebSocket is the most accurate and consistent native method —\n\
+         median overhead below a millisecond.)"
+    );
+}

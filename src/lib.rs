@@ -1,0 +1,20 @@
+//! # bnm — Browser-based Network Measurement appraisal
+//!
+//! Facade crate re-exporting the full public API of the IMC'13
+//! reproduction *"Appraising the Delay Accuracy in Browser-based Network
+//! Measurement"*.
+//!
+//! ```
+//! // The subcrates are re-exported under short names:
+//! use bnm::sim::SimTime;
+//! assert_eq!(SimTime::from_millis(50).as_nanos(), 50_000_000);
+//! ```
+
+pub use bnm_browser as browser;
+pub use bnm_core as core;
+pub use bnm_http as http;
+pub use bnm_methods as methods;
+pub use bnm_sim as sim;
+pub use bnm_stats as stats;
+pub use bnm_tcp as tcp;
+pub use bnm_time as timeapi;

@@ -1,0 +1,256 @@
+//! `bnm` — command-line front end to the appraisal library.
+//!
+//! ```text
+//! bnm list                          the methods and their taxonomy
+//! bnm appraise [options]           run one experiment cell and appraise it
+//! bnm probe [--os windows|ubuntu]  the Figure 5 granularity probe
+//! bnm ping                          ICMP baseline over the testbed
+//! bnm tput [options]               throughput-estimate accuracy
+//! bnm recommend [constraints]      §5 method recommendations
+//! ```
+
+use std::collections::HashMap;
+
+use bnm::browser::BrowserKind;
+use bnm::core::appraisal::Appraisal;
+use bnm::core::baseline::ping_baseline;
+use bnm::core::recommend::{self, Constraints};
+use bnm::core::throughput::run_bulk_rep;
+use bnm::core::{ExperimentCell, ExperimentRunner, RuntimeSel};
+use bnm::methods::{table1_rows, MethodId};
+use bnm::sim::time::{SimDuration, SimTime};
+use bnm::stats::Summary;
+use bnm::timeapi::{make_api, probe_granularity, MachineTimer, OsKind, TimingApiKind};
+
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+                _ => "true".to_string(),
+            };
+            flags.insert(name.to_string(), value);
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (positional, flags)
+}
+
+fn method_by_label(label: &str) -> Option<MethodId> {
+    MethodId::ALL.into_iter().find(|m| m.label() == label)
+}
+
+fn browser_by_name(name: &str) -> Option<BrowserKind> {
+    BrowserKind::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+}
+
+fn os_by_name(name: &str) -> Option<OsKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "windows" | "win" | "w" => Some(OsKind::Windows7),
+        "ubuntu" | "linux" | "u" => Some(OsKind::Ubuntu1204),
+        _ => None,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bnm <command> [options]\n\
+         commands:\n  \
+           list                                  show the Table 1 method taxonomy\n  \
+           appraise [--method L] [--browser B] [--os O] [--reps N] [--seed S] [--nanotime]\n  \
+           probe [--os O]                        timestamp-granularity probe (Figure 5)\n  \
+           ping                                  ICMP baseline over the testbed\n  \
+           tput [--method L] [--size BYTES]      throughput-estimate accuracy\n  \
+           recommend [--mobile] [--no-plugins] [--no-ports] [--strict-origin]\n\
+         \nmethod labels: {}",
+        MethodId::ALL
+            .iter()
+            .map(|m| m.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let (_, flags) = parse_flags(&args[1..]);
+
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "appraise" => cmd_appraise(&flags),
+        "probe" => cmd_probe(&flags),
+        "ping" => cmd_ping(),
+        "tput" => cmd_tput(&flags),
+        "recommend" => cmd_recommend(&flags),
+        _ => usage(),
+    }
+}
+
+fn cmd_list() {
+    println!(
+        "{:<12} {:<13} {:<12} {:<10} {:<11} {}",
+        "label", "approach", "technology", "method", "same-origin", "metrics"
+    );
+    for row in table1_rows() {
+        println!(
+            "{:<12} {:<13} {:<12} {:<10} {:<11} {}",
+            row.id.label(),
+            row.approach,
+            row.technology,
+            row.method,
+            row.same_origin,
+            row.metrics
+        );
+    }
+}
+
+fn cmd_appraise(flags: &HashMap<String, String>) {
+    let method = flags
+        .get("method")
+        .map(|m| method_by_label(m).unwrap_or_else(|| usage()))
+        .unwrap_or(MethodId::WebSocket);
+    let browser = flags
+        .get("browser")
+        .map(|b| browser_by_name(b).unwrap_or_else(|| usage()))
+        .unwrap_or(BrowserKind::Chrome);
+    let os = flags
+        .get("os")
+        .map(|o| os_by_name(o).unwrap_or_else(|| usage()))
+        .unwrap_or(OsKind::Ubuntu1204);
+    let reps: u32 = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(25);
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0xB32B_2013);
+
+    let mut cell = ExperimentCell::paper(method, RuntimeSel::Browser(browser), os)
+        .with_reps(reps)
+        .with_seed(seed);
+    if flags.contains_key("nanotime") {
+        cell = cell.with_timing(TimingApiKind::JavaNanoTime);
+    }
+    if !cell.is_runnable() {
+        eprintln!("{} cannot run {} (Table 2 feature matrix)", browser.name(), method);
+        std::process::exit(1);
+    }
+    println!("Appraising {} ({} reps, seed {seed:#x}) …", cell.label(), reps);
+    let result = ExperimentRunner::run(&cell);
+    let a = Appraisal::of(&result);
+    println!("\nΔd1: median {:8.3} ms  IQR [{:8.3}, {:8.3}]  outliers {}",
+        a.d1.median, a.d1.q1, a.d1.q3, a.d1.outliers.len());
+    println!("Δd2: median {:8.3} ms  IQR [{:8.3}, {:8.3}]  outliers {}",
+        a.d2.median, a.d2.q1, a.d2.q3, a.d2.outliers.len());
+    println!("pooled mean ± 95% CI: {} ms", a.mean_ci.format_table4());
+    println!("verdict: {:?}", a.verdict);
+    if result.failures > 0 {
+        println!("({} repetitions failed)", result.failures);
+    }
+}
+
+fn cmd_probe(flags: &HashMap<String, String>) {
+    let os = flags
+        .get("os")
+        .map(|o| os_by_name(o).unwrap_or_else(|| usage()))
+        .unwrap_or(OsKind::Windows7);
+    let machine = MachineTimer::new(os, 2013);
+    println!("Granularity probe on {} (Figure 5):", os.name());
+    for kind in [TimingApiKind::JavaDateGetTime, TimingApiKind::JavaNanoTime] {
+        let mut api = make_api(kind, &machine);
+        // Probe at several points of the regime timeline.
+        let mut seen = Vec::new();
+        for minute in [0u64, 5, 17, 43, 91] {
+            if let Some(p) =
+                probe_granularity(api.as_mut(), SimTime::from_secs(minute * 60), 10_000_000)
+            {
+                if !seen.iter().any(|s: &f64| (s - p.observed_ms).abs() < 1e-9) {
+                    seen.push(p.observed_ms);
+                }
+            }
+        }
+        println!(
+            "  {:<26} observed tick(s): {}",
+            kind.to_string(),
+            seen.iter()
+                .map(|g| format!("{g:.6} ms"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+}
+
+fn cmd_ping() {
+    let rtts = ping_baseline(10, SimDuration::from_millis(50), 1);
+    let s = Summary::of(&rtts);
+    for (i, r) in rtts.iter().enumerate() {
+        println!("64 bytes from 192.168.1.10: icmp_seq={i} time={r:.3} ms");
+    }
+    println!(
+        "\n--- 192.168.1.10 ping statistics ---\n{} packets, min/med/max = {:.3}/{:.3}/{:.3} ms",
+        rtts.len(),
+        s.min,
+        s.median,
+        s.max
+    );
+}
+
+fn cmd_tput(flags: &HashMap<String, String>) {
+    let method = flags
+        .get("method")
+        .map(|m| method_by_label(m).unwrap_or_else(|| usage()))
+        .unwrap_or(MethodId::XhrGet);
+    let size: usize = flags
+        .get("size")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128 * 1024);
+    let cell = ExperimentCell::paper(
+        method,
+        RuntimeSel::Browser(BrowserKind::Chrome),
+        OsKind::Ubuntu1204,
+    );
+    println!("Throughput check: {} downloading {} bytes …", method, size);
+    match run_bulk_rep(&cell, 0, size) {
+        Ok(ms) => {
+            for m in ms {
+                println!(
+                    "round {}: wire {:7.2} Mbit/s  measured {:7.2} Mbit/s  under-estimated {:5.1}%",
+                    m.round,
+                    m.wire_bps() / 1e6,
+                    m.browser_bps() / 1e6,
+                    m.underestimation() * 100.0
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("measurement failed: {e:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_recommend(flags: &HashMap<String, String>) {
+    let c = Constraints {
+        mobile: flags.contains_key("mobile"),
+        plugins_allowed: !flags.contains_key("no-plugins"),
+        can_open_ports: !flags.contains_key("no-ports"),
+        strict_cross_origin: flags.contains_key("strict-origin"),
+    };
+    println!("Constraints: {c:?}\n");
+    for (i, rec) in recommend::recommend_methods(&c).iter().enumerate() {
+        println!(
+            "{}. {:<24} timing {}\n   {}",
+            i + 1,
+            rec.method.display_name(),
+            rec.timing,
+            rec.rationale
+        );
+    }
+    println!("\nDiscouraged:");
+    for (m, why) in recommend::discouraged() {
+        println!("  ✗ {:<14} — {}", m.display_name(), why);
+    }
+}

@@ -1,0 +1,299 @@
+//! End-to-end verification of the paper's headline claims, each run
+//! through the full pipeline: simulated testbed → capture → wire parsing
+//! → Eq. 1 → statistics.
+//!
+//! These use reduced repetition counts (10–25) to stay fast; the bench
+//! binaries run the full 50.
+
+use bnm::browser::BrowserKind;
+use bnm::core::appraisal::{Appraisal, Verdict};
+use bnm::core::{CellResult, ExperimentCell, ExperimentRunner, RuntimeSel};
+use bnm::methods::MethodId;
+use bnm::stats::{Cdf, Summary};
+use bnm::timeapi::{OsKind, TimingApiKind};
+
+fn run(method: MethodId, browser: BrowserKind, os: OsKind, reps: u32) -> CellResult {
+    let cell = ExperimentCell::paper(method, RuntimeSel::Browser(browser), os).with_reps(reps);
+    ExperimentRunner::run(&cell)
+}
+
+fn median(v: &[f64]) -> f64 {
+    Summary::of(v).median
+}
+
+/// §4, headline: "the socket-based methods incur much lower delay
+/// overhead than the HTTP-based methods in general".
+#[test]
+fn socket_methods_beat_http_methods() {
+    let browser = BrowserKind::Chrome;
+    let os = OsKind::Ubuntu1204;
+    let socket_meds: Vec<f64> = [MethodId::WebSocket, MethodId::FlashTcp, MethodId::JavaTcp]
+        .iter()
+        .map(|&m| median(&run(m, browser, os, 15).pooled()))
+        .collect();
+    let http_meds: Vec<f64> = [
+        MethodId::XhrGet,
+        MethodId::XhrPost,
+        MethodId::FlashGet,
+        MethodId::FlashPost,
+    ]
+    .iter()
+    .map(|&m| median(&run(m, browser, os, 15).pooled()))
+    .collect();
+    let worst_socket = socket_meds.iter().cloned().fold(f64::MIN, f64::max);
+    let best_http = http_meds.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        worst_socket < best_http,
+        "sockets {socket_meds:?} must all beat HTTP {http_meds:?}"
+    );
+    assert!(worst_socket < 3.0, "socket overheads are small: {socket_meds:?}");
+}
+
+/// §4: "The Flash GET and POST methods are most unreliable, because their
+/// overheads are the highest among all methods".
+#[test]
+fn flash_http_has_the_highest_overhead() {
+    let browser = BrowserKind::Firefox;
+    let os = OsKind::Windows7;
+    let flash_get = median(&run(MethodId::FlashGet, browser, os, 15).d2);
+    for m in [MethodId::XhrGet, MethodId::XhrPost, MethodId::Dom, MethodId::JavaGet] {
+        let other = median(&run(m, browser, os, 15).d2);
+        assert!(
+            flash_get > other,
+            "Flash GET Δd2 {flash_get} must exceed {m:?} {other}"
+        );
+    }
+    assert!(flash_get > 20.0, "Flash overhead is tens of ms: {flash_get}");
+}
+
+/// §4: "The DOM method achieves a better result than XHR and Flash. Most
+/// of the median overheads are smaller than 5 ms" (on Ubuntu).
+#[test]
+fn dom_beats_xhr_and_stays_under_5ms_on_ubuntu() {
+    for browser in [BrowserKind::Chrome, BrowserKind::Firefox, BrowserKind::Opera] {
+        let dom = median(&run(MethodId::Dom, browser, OsKind::Ubuntu1204, 15).pooled());
+        let xhr = median(&run(MethodId::XhrGet, browser, OsKind::Ubuntu1204, 15).pooled());
+        assert!(dom < xhr, "{browser:?}: DOM {dom} < XHR {xhr}");
+        assert!(dom < 5.0, "{browser:?}: DOM median {dom} < 5 ms");
+    }
+}
+
+/// §4: "WebSocket provides the most accurate and consistent RTT
+/// measurement in the context of JavaScript and DOM".
+#[test]
+fn websocket_is_accurate_and_consistent() {
+    let r = run(MethodId::WebSocket, BrowserKind::Chrome, OsKind::Ubuntu1204, 20);
+    let a = Appraisal::of(&r);
+    assert_eq!(a.verdict, Verdict::Accurate);
+    assert!(a.pooled.median < 1.5, "median {}", a.pooled.median);
+    assert!(a.pooled.iqr() < 2.0, "iqr {}", a.pooled.iqr());
+}
+
+/// Table 3 / §4.1: Opera's Flash GET pays a TCP handshake in Δd1 only;
+/// POST pays it in every round. The handshake equals the simulated 50 ms.
+#[test]
+fn table3_handshake_arithmetic() {
+    let get = run(MethodId::FlashGet, BrowserKind::Opera, OsKind::Windows7, 15);
+    let post = run(MethodId::FlashPost, BrowserKind::Opera, OsKind::Windows7, 15);
+    let get_d1 = median(&get.d1);
+    let get_d2 = median(&get.d2);
+    let post_d1 = median(&post.d1);
+    let post_d2 = median(&post.d2);
+    // Δd1 large for both (> 100 ms in the paper; > 85 here).
+    assert!(get_d1 > 85.0, "GET Δd1 {get_d1}");
+    assert!(post_d1 > 85.0, "POST Δd1 {post_d1}");
+    // GET round 2 reuses: small. POST round 2 re-handshakes.
+    assert!(get_d2 < 50.0, "GET Δd2 {get_d2}");
+    assert!(post_d2 > 50.0, "POST Δd2 {post_d2}");
+    // §4.1: POST Δd2 − 50 ≈ GET Δd2 (within a couple ms).
+    assert!(
+        (post_d2 - 50.0 - get_d2).abs() < 4.0,
+        "POST Δd2 − 50 = {} vs GET Δd2 = {}",
+        post_d2 - 50.0,
+        get_d2
+    );
+    // Non-Opera browsers show no handshake in Δd1.
+    let chrome = run(MethodId::FlashGet, BrowserKind::Chrome, OsKind::Windows7, 15);
+    assert!(
+        chrome.measurements.iter().all(|m| !m.browser.opened_new_connection),
+        "Chrome reuses connections"
+    );
+}
+
+/// §4.2: Java's Date.getTime() under-estimates RTT on Windows (negative
+/// Δd), but not on Ubuntu.
+#[test]
+fn java_gettime_underestimates_on_windows_only() {
+    // Windows: at least one materially negative sample across browsers
+    // (coarse regime cells).
+    let mut windows_neg = 0;
+    for b in [BrowserKind::Firefox, BrowserKind::Opera, BrowserKind::Ie9] {
+        let r = run(MethodId::JavaTcp, b, OsKind::Windows7, 15);
+        windows_neg += r.pooled().iter().filter(|&&d| d < -1.5).count();
+    }
+    assert!(windows_neg > 0, "Windows cells must under-estimate");
+    // Ubuntu: 1 ms granularity bounds the error.
+    for b in [BrowserKind::Chrome, BrowserKind::Firefox] {
+        let r = run(MethodId::JavaTcp, b, OsKind::Ubuntu1204, 15);
+        assert!(
+            r.pooled().iter().all(|&d| d > -1.5),
+            "Ubuntu Δd stays within clock resolution"
+        );
+    }
+}
+
+/// Figure 4 / §4.2: in a coarse-regime cell the Δd distribution has
+/// discrete levels ~15.6 ms apart.
+#[test]
+fn figure4_discrete_levels_gap() {
+    // Sweep browsers; at least one Windows cell must land coarse and show
+    // a ~15.6 ms gap between its extreme levels.
+    let mut found = false;
+    for b in BrowserKind::ALL {
+        let r = run(MethodId::JavaTcp, b, OsKind::Windows7, 25);
+        let cdf = Cdf::of(&r.d1);
+        let levels = cdf.levels(3.0);
+        if levels.len() >= 2 {
+            let gap = levels.last().unwrap().0 - levels.first().unwrap().0;
+            if (13.0..=18.0).contains(&gap) {
+                found = true;
+                break;
+            }
+        }
+    }
+    assert!(found, "no Windows cell showed the ~15.6 ms two-level structure");
+}
+
+/// Table 4 / §4.2: switching to System.nanoTime() removes the
+/// under-estimation; socket overhead becomes capture-grade.
+#[test]
+fn table4_nanotime_fixes_java() {
+    for method in MethodId::JAVA {
+        let cell = ExperimentCell::paper(
+            method,
+            RuntimeSel::Browser(BrowserKind::Firefox),
+            OsKind::Windows7,
+        )
+        .with_reps(15)
+        .with_timing(TimingApiKind::JavaNanoTime);
+        let r = ExperimentRunner::run(&cell);
+        assert!(
+            r.pooled().iter().all(|&d| d > 0.0),
+            "{method:?}: no negative Δd with nanoTime"
+        );
+        if method == MethodId::JavaTcp {
+            let a = Appraisal::of(&r);
+            assert!(a.pooled.mean < 0.3, "socket mean {}", a.pooled.mean);
+            assert_eq!(a.verdict, Verdict::Accurate);
+        }
+    }
+    // And Table 4's asymmetries: GET Δd2 > Δd1, POST Δd2 < Δd1.
+    let get = ExperimentRunner::run(
+        &ExperimentCell::paper(
+            MethodId::JavaGet,
+            RuntimeSel::Browser(BrowserKind::Chrome),
+            OsKind::Windows7,
+        )
+        .with_reps(15)
+        .with_timing(TimingApiKind::JavaNanoTime),
+    );
+    assert!(median(&get.d2) > median(&get.d1), "Java GET Δd2 > Δd1");
+    let post = ExperimentRunner::run(
+        &ExperimentCell::paper(
+            MethodId::JavaPost,
+            RuntimeSel::Browser(BrowserKind::Chrome),
+            OsKind::Windows7,
+        )
+        .with_reps(15)
+        .with_timing(TimingApiKind::JavaNanoTime),
+    );
+    assert!(median(&post.d2) < median(&post.d1), "Java POST Δd2 < Δd1");
+}
+
+/// Figure 4(b): the two-level artifact appears under appletviewer too —
+/// browsers and the Java Plug-in are exonerated.
+#[test]
+fn appletviewer_shows_quantization_without_browser() {
+    // Scan a few seeds: the appletviewer session must be able to land in
+    // a coarse regime and then show the discrete-level structure.
+    let mut found = false;
+    for seed in 0..6u64 {
+        let cell = ExperimentCell::paper(MethodId::JavaTcp, RuntimeSel::AppletViewer, OsKind::Windows7)
+            .with_reps(20)
+            .with_seed(seed);
+        let r = ExperimentRunner::run(&cell);
+        let levels = Cdf::of(&r.d1).levels(3.0);
+        if levels.len() >= 2 {
+            found = true;
+            // With no browser in the path, the fine level sits essentially
+            // at zero overhead.
+            assert!(levels[0].0 < 1.0);
+            break;
+        }
+    }
+    assert!(found, "appletviewer never sampled the coarse regime across seeds");
+}
+
+/// The whole pipeline is deterministic under a fixed seed.
+#[test]
+fn full_pipeline_determinism() {
+    let cell = ExperimentCell::paper(
+        MethodId::FlashPost,
+        RuntimeSel::Browser(BrowserKind::Opera),
+        OsKind::Windows7,
+    )
+    .with_reps(8)
+    .with_seed(123);
+    let a = ExperimentRunner::run(&cell);
+    let b = ExperimentRunner::run(&cell);
+    assert_eq!(a.d1, b.d1);
+    assert_eq!(a.d2, b.d2);
+    assert_eq!(a.failures, 0);
+}
+
+/// Every runnable (method × browser × OS) cell completes without
+/// failures — the full Figure 3 grid exercises all code paths.
+#[test]
+fn full_grid_smoke() {
+    for method in MethodId::FIGURE3 {
+        for (rt, os) in bnm::core::config::figure3_combos() {
+            let cell = ExperimentCell::paper(method, rt, os).with_reps(2);
+            if !cell.is_runnable() {
+                continue;
+            }
+            let r = ExperimentRunner::run(&cell);
+            assert_eq!(r.failures, 0, "{}", cell.label());
+            assert_eq!(r.d1.len(), 2);
+            assert_eq!(r.d2.len(), 2);
+        }
+    }
+}
+
+/// Java methods run inside the JVM, so their Δd distribution is
+/// browser-independent (with a sound clock) — verified with a two-sample
+/// Kolmogorov–Smirnov test. Different *methods*, by contrast, produce
+/// distinguishable distributions.
+#[test]
+fn distribution_level_checks_via_ks() {
+    use bnm::stats::ks_two_sample;
+    let java = |b: BrowserKind| {
+        let cell = ExperimentCell::paper(MethodId::JavaTcp, RuntimeSel::Browser(b), OsKind::Windows7)
+            .with_reps(25)
+            .with_timing(TimingApiKind::JavaNanoTime);
+        ExperimentRunner::run(&cell).pooled()
+    };
+    let chrome = java(BrowserKind::Chrome);
+    let firefox = java(BrowserKind::Firefox);
+    let t = ks_two_sample(&chrome, &firefox);
+    assert!(
+        !t.rejects_same_distribution(0.01),
+        "Java socket Δd should look the same in Chrome and Firefox (D={}, p={})",
+        t.statistic,
+        t.p_value
+    );
+    // WebSocket vs Flash GET: unmistakably different distributions.
+    let ws = run(MethodId::WebSocket, BrowserKind::Chrome, OsKind::Ubuntu1204, 25).pooled();
+    let flash = run(MethodId::FlashGet, BrowserKind::Chrome, OsKind::Ubuntu1204, 25).pooled();
+    let t2 = ks_two_sample(&ws, &flash);
+    assert!(t2.rejects_same_distribution(0.01), "D={}", t2.statistic);
+}

@@ -1,0 +1,289 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: wire codecs, checksums, WebSocket framing, base64/SHA-1,
+//! sequence arithmetic, buffers, statistics, delay models, clocks.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+use bnm::http::websocket::{accept_key, base64, frame::Frame, frame::FrameDecoder, frame::Opcode};
+use bnm::sim::time::{SimDuration, SimTime};
+use bnm::sim::wire::{
+    EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, ParsedPacket, TcpFlags, TcpSegment,
+    UdpDatagram,
+};
+use bnm::stats::{summary::quantile, BoxStats, Cdf, Summary};
+use bnm::tcp::seq::SeqNum;
+
+fn ip_strategy() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+proptest! {
+    // ---------- wire formats ----------
+
+    #[test]
+    fn tcp_segment_roundtrips(
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flags in 0u8..32,
+        window in any::<u16>(),
+        mss in proptest::option::of(536u16..9000),
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+        src in ip_strategy(),
+        dst in ip_strategy(),
+    ) {
+        let seg = TcpSegment {
+            src_port, dst_port, seq, ack,
+            flags: TcpFlags(flags),
+            window, mss,
+            payload: Bytes::from(payload.clone()),
+        };
+        let wire = seg.emit(src, dst);
+        let back = TcpSegment::parse(&wire, src, dst).unwrap();
+        prop_assert_eq!(back.src_port, src_port);
+        prop_assert_eq!(back.dst_port, dst_port);
+        prop_assert_eq!(back.seq, seq);
+        prop_assert_eq!(back.ack, ack);
+        prop_assert_eq!(back.flags.0, flags);
+        prop_assert_eq!(back.window, window);
+        prop_assert_eq!(back.mss, mss);
+        prop_assert_eq!(&back.payload[..], &payload[..]);
+    }
+
+    #[test]
+    fn full_frame_roundtrips_and_any_corruption_is_caught(
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        ident in any::<u16>(),
+        corrupt_at in any::<usize>(),
+        corrupt_xor in 1u8..=255,
+    ) {
+        let src = Ipv4Addr::new(192, 168, 1, 2);
+        let dst = Ipv4Addr::new(192, 168, 1, 10);
+        let seg = TcpSegment {
+            src_port: 50000, dst_port: 80, seq: 1, ack: 2,
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            window: 100, mss: None,
+            payload: Bytes::from(payload),
+        };
+        let frame = EthernetFrame {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            ethertype: EtherType::Ipv4,
+            payload: Ipv4Packet {
+                src, dst, protocol: IpProtocol::Tcp, ttl: 64, ident,
+                payload: seg.emit(src, dst),
+            }.emit(),
+        }.emit();
+        // Clean parse succeeds.
+        prop_assert!(ParsedPacket::parse(&frame).is_ok());
+        // Flip one byte anywhere past the Ethernet header: the IPv4 or TCP
+        // checksum must catch it (or the parse must fail structurally).
+        let mut bad = frame.to_vec();
+        let idx = 14 + corrupt_at % (bad.len() - 14);
+        bad[idx] ^= corrupt_xor;
+        let parsed = ParsedPacket::parse(&bad);
+        prop_assert!(parsed.is_err(), "corruption at {} went unnoticed", idx);
+    }
+
+    #[test]
+    fn udp_roundtrips(
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..400),
+        src in ip_strategy(),
+        dst in ip_strategy(),
+    ) {
+        let d = UdpDatagram { src_port, dst_port, payload: Bytes::from(payload.clone()) };
+        let back = UdpDatagram::parse(&d.emit(src, dst), src, dst).unwrap();
+        prop_assert_eq!(back.src_port, src_port);
+        prop_assert_eq!(&back.payload[..], &payload[..]);
+    }
+
+    // ---------- WebSocket / base64 ----------
+
+    #[test]
+    fn ws_frames_roundtrip_masked_and_unmasked(
+        payload in proptest::collection::vec(any::<u8>(), 0..70000),
+        mask in proptest::option::of(any::<[u8; 4]>()),
+    ) {
+        let f = Frame { opcode: Opcode::Binary, payload: Bytes::from(payload) };
+        let wire = f.emit(mask);
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        let out = d.poll().unwrap().unwrap();
+        prop_assert_eq!(out, f);
+        prop_assert!(d.poll().unwrap().is_none());
+    }
+
+    #[test]
+    fn ws_decoder_is_incremental(
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+        split in any::<usize>(),
+    ) {
+        let f = Frame { opcode: Opcode::Text, payload: Bytes::from(payload) };
+        let wire = f.emit(Some([1, 2, 3, 4]));
+        let cut = split % wire.len().max(1);
+        let mut d = FrameDecoder::new();
+        d.feed(&wire[..cut]);
+        let early = d.poll().unwrap();
+        prop_assert!(early.is_none() || cut == wire.len());
+        d.feed(&wire[cut..]);
+        prop_assert_eq!(d.poll().unwrap().unwrap(), f);
+    }
+
+    #[test]
+    fn base64_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        prop_assert_eq!(base64::decode(&base64::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn accept_key_is_deterministic_and_injective_ish(a in "[A-Za-z0-9+/]{22}==", b in "[A-Za-z0-9+/]{22}==") {
+        prop_assert_eq!(accept_key(&a), accept_key(&a));
+        if a != b {
+            prop_assert_ne!(accept_key(&a), accept_key(&b));
+        }
+    }
+
+    // ---------- sequence arithmetic ----------
+
+    #[test]
+    fn seqnum_ordering_is_antisymmetric_for_small_gaps(base in any::<u32>(), gap in 1u32..1_000_000) {
+        let a = SeqNum(base);
+        let b = a + gap;
+        prop_assert!(a.lt(b));
+        prop_assert!(!b.lt(a));
+        prop_assert!(b.gt(a));
+        prop_assert_eq!(b.since(a), gap);
+    }
+
+    #[test]
+    fn seqnum_window_membership(base in any::<u32>(), len in 1u32..10_000, off in 0u32..20_000) {
+        let s = SeqNum(base);
+        let x = s + off;
+        prop_assert_eq!(x.in_window(s, len), off < len);
+    }
+
+    // ---------- statistics ----------
+
+    #[test]
+    fn summary_orders_its_quantiles(data in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&data);
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std >= 0.0);
+    }
+
+    #[test]
+    fn boxstats_whiskers_inside_data_outliers_outside_fences(
+        data in proptest::collection::vec(-1e4f64..1e4, 4..150)
+    ) {
+        let b = BoxStats::of(&data);
+        let s = Summary::of(&data);
+        prop_assert!(b.whisker_lo >= s.min - 1e-9);
+        prop_assert!(b.whisker_hi <= s.max + 1e-9);
+        prop_assert!(b.whisker_lo <= b.q1 + 1e-9);
+        prop_assert!(b.whisker_hi >= b.q3 - 1e-9);
+        let lo_fence = b.q1 - 1.5 * b.iqr();
+        let hi_fence = b.q3 + 1.5 * b.iqr();
+        for o in &b.outliers {
+            prop_assert!(*o < lo_fence || *o > hi_fence);
+        }
+        // Outlier count + in-fence count == n.
+        let inside = data.iter().filter(|&&x| x >= lo_fence && x <= hi_fence).count();
+        prop_assert_eq!(inside + b.outliers.len(), b.n);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(data in proptest::collection::vec(-1e4f64..1e4, 1..100), probes in proptest::collection::vec(-2e4f64..2e4, 2..20)) {
+        let c = Cdf::of(&data);
+        let mut sorted_probes = probes.clone();
+        sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = 0.0;
+        for p in sorted_probes {
+            let f = c.eval(p);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= last - 1e-12);
+            last = f;
+        }
+        let (lo, hi) = c.range();
+        prop_assert_eq!(c.eval(hi), 1.0);
+        prop_assert!(c.eval(lo - 1.0) == 0.0);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_p(data in proptest::collection::vec(-1e4f64..1e4, 1..100), p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(quantile(&sorted, lo) <= quantile(&sorted, hi) + 1e-9);
+    }
+
+    #[test]
+    fn cdf_levels_masses_sum_to_one(data in proptest::collection::vec(-100f64..100.0, 1..80), tol in 0.1f64..20.0) {
+        let c = Cdf::of(&data);
+        let levels = c.levels(tol);
+        let total: f64 = levels.iter().map(|(_, m)| m).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Level centers are strictly increasing.
+        for w in levels.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    // ---------- time & delay models ----------
+
+    #[test]
+    fn sim_time_arithmetic_is_consistent(a in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(a);
+        let dur = SimDuration::from_nanos(d);
+        let t2 = t + dur;
+        prop_assert_eq!(t2.saturating_since(t), dur);
+        prop_assert_eq!(t2.signed_millis_since(t), d as f64 / 1e6);
+        prop_assert_eq!(t.signed_millis_since(t2), -(d as f64) / 1e6);
+    }
+
+    #[test]
+    fn delay_model_respects_its_floor(floor in 0.0f64..10_000.0, median in 0.0f64..10_000.0, sigma in 0.0f64..2.0, seed in any::<u64>()) {
+        use bnm::browser::DelayModel;
+        let m = DelayModel::lognorm(floor, median, sigma);
+        let mut rng = bnm::sim::rng::stream(seed, "prop");
+        for _ in 0..20 {
+            let s = m.sample(&mut rng);
+            prop_assert!(s.as_nanos() as f64 >= floor * 1e3 - 1.0);
+        }
+    }
+
+    #[test]
+    fn gettime_is_monotone_nondecreasing(seed in any::<u64>(), steps in proptest::collection::vec(1u64..10_000_000, 1..50)) {
+        use bnm::timeapi::{make_api, MachineTimer, OsKind, TimingApiKind};
+        let machine = MachineTimer::new(OsKind::Windows7, seed);
+        let mut api = make_api(TimingApiKind::JavaDateGetTime, &machine);
+        let mut t = SimTime::ZERO;
+        let mut last = api.read(t);
+        for step in steps {
+            t = t + SimDuration::from_nanos(step);
+            let v = api.read(t);
+            prop_assert!(v >= last, "clock went backwards: {} -> {}", last, v);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn granularity_quantization_error_is_bounded(seed in any::<u64>(), t_ns in 0u64..3_600_000_000_000) {
+        use bnm::timeapi::{MachineTimer, OsKind};
+        let machine = MachineTimer::new(OsKind::Windows7, seed);
+        let t = SimTime::from_nanos(t_ns);
+        let reported = machine.system_time_ms(t) as i128 - machine.epoch_ms() as i128;
+        let actual = (t_ns / 1_000_000) as i128;
+        let g_ms = (machine.system_granularity(t).as_nanos() / 1_000_000) as i128;
+        // The reported clock lags actual time by at most one granule.
+        prop_assert!(reported <= actual + 1);
+        prop_assert!(actual - reported <= g_ms + 1, "lag {} > granule {}", actual - reported, g_ms);
+    }
+}
