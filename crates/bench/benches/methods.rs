@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bnm_browser::BrowserKind;
-use bnm_core::{ExperimentCell, ExperimentRunner, RuntimeSel};
+use bnm_core::{ExperimentCell, ExperimentRunner, Executor, RuntimeSel};
 use bnm_methods::MethodId;
 use bnm_stats::{BoxStats, Cdf, MeanCi};
 use bnm_time::OsKind;
@@ -38,8 +38,32 @@ fn bench_full_cell(c: &mut Criterion) {
     )
     .with_reps(50);
     c.bench_function("cell/websocket_50_reps", |b| {
-        b.iter(|| ExperimentRunner::run(&cell));
+        b.iter(|| ExperimentRunner::try_run(&cell).unwrap());
     });
+}
+
+/// Serial vs parallel execution of a small grid — the executor's win on
+/// multi-core hosts, and its scheduling overhead on single-core ones.
+fn bench_executor(c: &mut Criterion) {
+    let cells: Vec<ExperimentCell> = [
+        (MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204),
+        (MethodId::WebSocket, BrowserKind::Firefox, OsKind::Ubuntu1204),
+        (MethodId::JavaTcp, BrowserKind::Firefox, OsKind::Windows7),
+        (MethodId::FlashGet, BrowserKind::Opera, OsKind::Windows7),
+    ]
+    .into_iter()
+    .map(|(m, b, os)| ExperimentCell::paper(m, RuntimeSel::Browser(b), os).with_reps(10))
+    .collect();
+    let mut group = c.benchmark_group("exec");
+    group.bench_function("grid_serial", |b| {
+        b.iter(|| Executor::serial().run(&cells));
+    });
+    for workers in [2usize, 4, 8] {
+        group.bench_function(format!("grid_{workers}_workers"), |b| {
+            b.iter(|| Executor::with_workers(workers).run(&cells));
+        });
+    }
+    group.finish();
 }
 
 fn bench_stats(c: &mut Criterion) {
@@ -54,6 +78,6 @@ fn bench_stats(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_single_reps, bench_full_cell, bench_stats
+    targets = bench_single_reps, bench_full_cell, bench_executor, bench_stats
 }
 criterion_main!(benches);

@@ -41,17 +41,22 @@ fn main() {
             (RuntimeSel::Browser(BrowserKind::Firefox), OsKind::Windows7),
             (RuntimeSel::Browser(BrowserKind::Chrome), OsKind::Ubuntu1204),
         ] {
-            let cell = ExperimentCell::paper(method, rt, os)
-                .with_reps(n)
-                .with_seed(seed);
-            if cell.is_runnable() {
+            // The builder rejects Table 2 holes at construction time.
+            if let Ok(cell) = ExperimentCell::builder(method, rt, os)
+                .reps(n)
+                .seed(seed)
+                .build()
+            {
                 cells.push(cell);
             }
         }
     }
     let results = run_cells(cells);
     for (cell, result) in &results {
-        let a = Appraisal::of(result);
+        let Ok(a) = Appraisal::try_of(result) else {
+            eprintln!("no samples for {}", cell.label());
+            continue;
+        };
         println!("{}", summary_line(cell, &a));
         csv.push_str(&format!(
             "\"{}\",{:.3},{:.3},{:.3},{:?}\n",
@@ -75,7 +80,10 @@ fn main() {
         .filter(ExperimentCell::is_runnable)
         .collect();
     for (cell, result) in run_cells(mobile_cells) {
-        let a = Appraisal::of(&result);
+        let Ok(a) = Appraisal::try_of(&result) else {
+            eprintln!("no samples for {}", cell.label());
+            continue;
+        };
         println!("{}", summary_line(&cell, &a));
     }
     println!(
@@ -93,7 +101,9 @@ fn main() {
         let j = JitterImpact::of(&wire, &browser);
         let med_wire = Summary::of(&wire).median;
         let med_browser = Summary::of(&browser).median;
-        let t = ThroughputImpact::of(100_000, med_wire, med_browser);
+        let Ok(t) = ThroughputImpact::try_of(100_000, med_wire, med_browser) else {
+            continue;
+        };
         println!(
             "{:40} jitter {:6.2} → {:6.2} ms   100KB-tput underest {:5.1}%",
             cell.label(),

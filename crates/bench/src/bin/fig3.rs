@@ -25,14 +25,9 @@ fn main() {
             })
             .filter(ExperimentCell::is_runnable)
             .collect();
-        let mut results = run_cells(cells);
-        // Keep the paper's x-axis order (Ubuntu block then Windows block).
-        results.sort_by_key(|(c, _)| {
-            figure3_combos()
-                .iter()
-                .position(|(rt, os)| *rt == c.runtime && *os == c.os)
-                .unwrap()
-        });
+        // The executor keeps input order, so the panel already reads in
+        // the paper's x-axis order (Ubuntu block then Windows block).
+        let results = run_cells(cells);
         let mut rows = Vec::new();
         for (cell, result) in &results {
             rows.extend(panel_rows(cell, result));

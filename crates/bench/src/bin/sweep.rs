@@ -7,7 +7,7 @@
 
 use bnm_bench::{heading, master_seed, reps, save};
 use bnm_browser::BrowserKind;
-use bnm_core::sweep::{d1_slope, d2_slope, delay_sweep};
+use bnm_core::sweep::{d1_slope, d2_slope, try_sweep};
 use bnm_core::{ExperimentCell, RuntimeSel};
 use bnm_methods::MethodId;
 use bnm_sim::time::SimDuration;
@@ -37,14 +37,20 @@ fn main() {
         let cell = ExperimentCell::paper(method, RuntimeSel::Browser(browser), os)
             .with_reps(n)
             .with_seed(seed);
-        let pts = delay_sweep(&cell, &delays);
         let label = format!("{} / {}", method.display_name(), browser.initial());
+        let pts = match try_sweep(&cell, &delays) {
+            Ok(pts) => pts,
+            Err(e) => {
+                eprintln!("skipping {label}: {e}");
+                continue;
+            }
+        };
         let d1s: Vec<String> = pts.iter().map(|p| format!("{:8.1}", p.d1_median)).collect();
         println!(
             "{label:<28} {}   ({:+.2}, {:+.2})  [Δd1]",
             d1s.join(" "),
-            d1_slope(&pts),
-            d2_slope(&pts)
+            d1_slope(&pts).expect("five sweep points"),
+            d2_slope(&pts).expect("five sweep points")
         );
         for p in &pts {
             csv.push_str(&format!(

@@ -7,8 +7,8 @@ use bnm_methods::table1_rows;
 fn main() {
     heading("Table 1: A summary of the browser-based network measurement methods and tools");
     println!(
-        "{:<13} {:<12} {:<13} {:<10} {:<12} {:<16} {}",
-        "Approach", "Technology", "Availability", "Method", "Same-origin", "Metrics", "Tools / Services"
+        "{:<13} {:<12} {:<13} {:<10} {:<12} {:<16} Tools / Services",
+        "Approach", "Technology", "Availability", "Method", "Same-origin", "Metrics"
     );
     println!("{}", "-".repeat(120));
     let mut csv = String::from("approach,technology,availability,method,same_origin,metrics,tools\n");

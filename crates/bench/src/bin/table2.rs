@@ -6,8 +6,8 @@ use bnm_methods::table2_rows;
 fn main() {
     heading("Table 2: Configurations of the browsers and systems used in the experiments");
     println!(
-        "{:<12} {:<10} {:<9} {:<10} {:<6} {}",
-        "OS", "Browser", "Version", "Flash", "Java", "WebSocket"
+        "{:<12} {:<10} {:<9} {:<10} {:<6} WebSocket",
+        "OS", "Browser", "Version", "Flash", "Java"
     );
     println!("{}", "-".repeat(62));
     let mut csv = String::from("os,browser,version,flash,java,websocket\n");

@@ -30,7 +30,7 @@ fn main() {
             .iter()
             .find(|(c, _)| c.method == m && c.os == os)
             .unwrap();
-        median(r.round(round))
+        median(r.round(round).expect("rounds 1 and 2"))
     };
 
     println!("{:<12} {:>10} {:>10}", "", "O(W)", "O(U)");

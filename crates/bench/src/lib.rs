@@ -16,10 +16,10 @@
 //! Run with `cargo run --release -p bnm-bench --bin fig3`.
 
 use std::fs;
+use std::io::IsTerminal;
 use std::path::{Path, PathBuf};
-use std::thread;
 
-use bnm_core::{CellResult, ExperimentCell, ExperimentRunner};
+use bnm_core::{CellResult, ExperimentCell, Executor};
 
 /// Repetitions per cell: the paper's 50.
 pub const PAPER_REPS: u32 = 50;
@@ -49,32 +49,33 @@ pub fn results_dir() -> PathBuf {
     path
 }
 
-/// Run a batch of cells across OS threads (each cell is an independent
-/// deterministic simulation, so parallelism cannot change results).
+/// Run a batch of cells on `bnm_core`'s work-stealing executor.
+///
+/// Results come back **in input order** with numbers bit-identical to a
+/// serial run (the executor parallelises at the `(cell × rep)` grain and
+/// merges deterministically). Unrunnable cells are reported to stderr
+/// and dropped; when stderr is a terminal, a live rep counter is shown.
 pub fn run_cells(cells: Vec<ExperimentCell>) -> Vec<(ExperimentCell, CellResult)> {
-    let workers = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let chunk = cells.len().div_ceil(workers.max(1));
-    if chunk == 0 {
-        return Vec::new();
+    let live = std::io::stderr().is_terminal();
+    let results = Executor::new().run_with_progress(&cells, |p| {
+        if live {
+            eprint!("\r  {}/{} reps", p.completed, p.total);
+        }
+    });
+    if live && !cells.is_empty() {
+        eprintln!();
     }
-    let mut handles = Vec::new();
-    for batch in cells.chunks(chunk) {
-        let batch = batch.to_vec();
-        handles.push(thread::spawn(move || {
-            batch
-                .into_iter()
-                .map(|cell| {
-                    let result = ExperimentRunner::run(&cell);
-                    (cell, result)
-                })
-                .collect::<Vec<_>>()
-        }));
-    }
-    let mut out = Vec::new();
-    for h in handles {
-        out.extend(h.join().expect("worker panicked"));
-    }
-    out
+    cells
+        .into_iter()
+        .zip(results)
+        .filter_map(|(cell, r)| match r {
+            Ok(result) => Some((cell, result)),
+            Err(e) => {
+                eprintln!("skipping {}: {e}", cell.label());
+                None
+            }
+        })
+        .collect()
 }
 
 /// Write a string artifact into the results directory.
@@ -132,19 +133,39 @@ mod tests {
         let ser: Vec<_> = mk()
             .into_iter()
             .map(|c| {
-                let r = bnm_core::ExperimentRunner::run(&c);
+                let r = bnm_core::ExperimentRunner::try_run(&c).unwrap();
                 (c, r)
             })
             .collect();
-        // Parallel chunking may reorder across threads; compare by label.
-        for (cell, result) in &ser {
-            let twin = par
-                .iter()
-                .find(|(c, _)| c.label() == cell.label())
-                .expect("cell present");
-            assert_eq!(twin.1.d1, result.d1);
-            assert_eq!(twin.1.d2, result.d2);
+        // The executor preserves input order, so the rows line up 1:1.
+        assert_eq!(par.len(), ser.len());
+        for ((pc, pr), (sc, sr)) in par.iter().zip(&ser) {
+            assert_eq!(pc.label(), sc.label());
+            assert_eq!(pr.d1, sr.d1);
+            assert_eq!(pr.d2, sr.d2);
         }
+    }
+
+    #[test]
+    fn unrunnable_cells_are_dropped_not_fatal() {
+        let cells = vec![
+            ExperimentCell::paper(
+                MethodId::WebSocket,
+                RuntimeSel::Browser(BrowserKind::Ie9),
+                OsKind::Windows7,
+            )
+            .with_reps(2),
+            ExperimentCell::paper(
+                MethodId::XhrGet,
+                RuntimeSel::Browser(BrowserKind::Chrome),
+                OsKind::Ubuntu1204,
+            )
+            .with_reps(2),
+        ];
+        let out = run_cells(cells);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0.method, MethodId::XhrGet);
+        assert_eq!(out[0].1.d1.len(), 2);
     }
 
     #[test]

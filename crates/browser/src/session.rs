@@ -211,7 +211,7 @@ impl BrowserSession {
     fn sample_sum(&mut self, models: &[DelayModel]) -> SimDuration {
         let mut total = SimDuration::ZERO;
         for m in models {
-            total = total + m.sample(&mut self.rng);
+            total += m.sample(&mut self.rng);
         }
         total
     }
@@ -309,7 +309,7 @@ impl BrowserSession {
                     .profile
                     .first_use_cost(self.cfg.plan.technology, self.cfg.plan.transport)
             };
-            delay = delay + fu.sample(&mut self.rng);
+            delay += fu.sample(&mut self.rng);
         }
         let send_path = if self.is_dom() {
             self.cfg.profile.dom_send_path()
@@ -318,7 +318,7 @@ impl BrowserSession {
                 .profile
                 .send_path(self.cfg.plan.technology, self.cfg.plan.transport, round)
         };
-        delay = delay + self.sample_sum(&send_path);
+        delay += self.sample_sum(&send_path);
         self.phase = Phase::AwaitSend(round);
         self.schedule(ctx, delay, Step::DoSend(round));
     }
@@ -534,20 +534,13 @@ impl BrowserSession {
             return;
         };
         let mut outcome = parser.feed(&data);
-        loop {
-            match outcome {
-                ParseOutcome::Response(resp) => {
-                    let remainder = if resp.status == 101 {
-                        Some(self.parsers.get_mut(&sock).unwrap().take_remainder())
-                    } else {
-                        None
-                    };
-                    self.on_http_response_complete(ctx, sock, resp.status, remainder);
-                }
-                ParseOutcome::Incomplete | ParseOutcome::Error(_) | ParseOutcome::Request(_) => {
-                    break;
-                }
-            }
+        while let ParseOutcome::Response(resp) = outcome {
+            let remainder = if resp.status == 101 {
+                Some(self.parsers.get_mut(&sock).unwrap().take_remainder())
+            } else {
+                None
+            };
+            self.on_http_response_complete(ctx, sock, resp.status, remainder);
             outcome = match self.parsers.get_mut(&sock) {
                 Some(p) => p.poll(),
                 None => break,
@@ -795,7 +788,7 @@ mod tests {
         let rounds = rounds_of(&e, c);
         // Round 2 (no first-use) should sit within ~3 ms of the true RTT.
         let rtt2 = rounds[1].browser_rtt_ms();
-        assert!(rtt2 >= 49.0 && rtt2 < 54.0, "ws rtt {rtt2}");
+        assert!((49.0..54.0).contains(&rtt2), "ws rtt {rtt2}");
     }
 
     #[test]

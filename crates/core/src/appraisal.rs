@@ -8,6 +8,7 @@
 
 use bnm_stats::{BoxStats, Cdf, MeanCi, Summary};
 
+use crate::error::RunError;
 use crate::runner::CellResult;
 
 /// Accuracy verdict for one cell.
@@ -73,14 +74,46 @@ impl Default for Thresholds {
 
 impl Appraisal {
     /// Appraise a cell result with default thresholds.
+    ///
+    /// Fails with [`RunError::NoSamples`] when the result holds no Δd
+    /// samples (all repetitions failed).
+    pub fn try_of(result: &CellResult) -> Result<Appraisal, RunError> {
+        Self::try_with_thresholds(result, Thresholds::default())
+    }
+
+    /// Appraise a cell result with default thresholds.
+    ///
+    /// # Panics
+    /// If the result holds no samples; prefer [`Appraisal::try_of`].
     pub fn of(result: &CellResult) -> Appraisal {
-        Self::with_thresholds(result, Thresholds::default())
+        match Self::try_of(result) {
+            Ok(a) => a,
+            Err(e) => panic!("appraisal of empty cell: {e}"),
+        }
     }
 
     /// Appraise with custom thresholds.
+    ///
+    /// # Panics
+    /// If the result holds no samples; prefer
+    /// [`Appraisal::try_with_thresholds`].
     pub fn with_thresholds(result: &CellResult, th: Thresholds) -> Appraisal {
+        match Self::try_with_thresholds(result, th) {
+            Ok(a) => a,
+            Err(e) => panic!("appraisal of empty cell: {e}"),
+        }
+    }
+
+    /// Appraise with custom thresholds, reporting an empty cell as
+    /// [`RunError::NoSamples`].
+    pub fn try_with_thresholds(
+        result: &CellResult,
+        th: Thresholds,
+    ) -> Result<Appraisal, RunError> {
         let pooled_samples = result.pooled();
-        assert!(!pooled_samples.is_empty(), "appraisal of empty cell");
+        if pooled_samples.is_empty() {
+            return Err(RunError::NoSamples);
+        }
         let d1 = BoxStats::of(&result.d1);
         let d2 = BoxStats::of(&result.d2);
         let pooled = Summary::of(&pooled_samples);
@@ -100,13 +133,13 @@ impl Appraisal {
         } else {
             Verdict::Unreliable
         };
-        Appraisal {
+        Ok(Appraisal {
             d1,
             d2,
             pooled,
             mean_ci,
             verdict,
-        }
+        })
     }
 
     /// Empirical CDFs of Δd1/Δd2 — the paper's Figure 4 view.
@@ -179,6 +212,15 @@ mod tests {
         assert_eq!(c2.range(), (4.0, 6.0));
     }
 
+    #[test]
+    fn empty_cell_reports_no_samples() {
+        assert_eq!(
+            Appraisal::try_of(&cell_with(vec![], vec![])).unwrap_err(),
+            crate::error::RunError::NoSamples
+        );
+    }
+
+    /// The panicking façade keeps its historical contract.
     #[test]
     #[should_panic(expected = "empty")]
     fn empty_cell_panics() {

@@ -150,7 +150,7 @@ mod tests {
                 MethodId::JavaTcp => TimingApiKind::JavaNanoTime,
                 _ => TimingApiKind::JsDateGetTime,
             });
-            let r = ExperimentRunner::run(&cell);
+            let r = ExperimentRunner::try_run(&cell).unwrap();
             let rtts: Vec<f64> = r.measurements.iter().map(|x| x.browser_rtt_ms()).collect();
             Summary::of(&rtts).median
         };

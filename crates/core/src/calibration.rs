@@ -37,7 +37,7 @@ impl Calibration {
         let residuals: Vec<f64> = samples.iter().map(|d| d - offset).collect();
         let rs = Summary::of(&residuals);
         let mut sorted = residuals.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let p = |q: f64| bnm_stats::summary::quantile(&sorted, q);
         Calibration {
             offset_ms: offset,

@@ -5,6 +5,8 @@ use bnm_methods::MethodId;
 use bnm_sim::time::SimDuration;
 use bnm_time::{OsKind, TimingApiKind};
 
+use crate::error::RunError;
+
 /// Which runtime executes the measurement code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RuntimeSel {
@@ -29,7 +31,7 @@ impl RuntimeSel {
 
 /// One cell of the experiment grid: a method on a runtime on an OS,
 /// repeated.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentCell {
     /// The measurement method.
     pub method: MethodId,
@@ -54,6 +56,15 @@ pub struct ExperimentCell {
 }
 
 impl ExperimentCell {
+    /// Start building a cell from the paper's defaults. Unlike the
+    /// `with_*` modifiers, the builder covers *every* knob and validates
+    /// at [`CellBuilder::build`] time.
+    pub fn builder(method: MethodId, runtime: RuntimeSel, os: OsKind) -> CellBuilder {
+        CellBuilder {
+            cell: ExperimentCell::paper(method, runtime, os),
+        }
+    }
+
     /// The paper's standard cell: 50 reps, 50 ms server delay, exact
     /// capture stamps.
     pub fn paper(method: MethodId, runtime: RuntimeSel, os: OsKind) -> ExperimentCell {
@@ -118,6 +129,103 @@ impl ExperimentCell {
     }
 }
 
+/// Builds an [`ExperimentCell`], validating the configuration once at
+/// the end instead of panicking later inside the runner.
+///
+/// ```
+/// use bnm_core::{ExperimentCell, RuntimeSel};
+/// use bnm_browser::BrowserKind;
+/// use bnm_methods::MethodId;
+/// use bnm_time::OsKind;
+///
+/// let cell = ExperimentCell::builder(
+///     MethodId::XhrGet,
+///     RuntimeSel::Browser(BrowserKind::Chrome),
+///     OsKind::Ubuntu1204,
+/// )
+/// .reps(10)
+/// .seed(42)
+/// .server_delay_ms(25)
+/// .build()
+/// .unwrap();
+/// assert_eq!(cell.reps, 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellBuilder {
+    cell: ExperimentCell,
+}
+
+impl CellBuilder {
+    /// Override the timing API (Table 4 passes `JavaNanoTime`).
+    pub fn timing(mut self, t: TimingApiKind) -> Self {
+        self.cell.timing_override = Some(t);
+        self
+    }
+
+    /// Use the method's era-accurate default timing API (the default).
+    pub fn default_timing(mut self) -> Self {
+        self.cell.timing_override = None;
+        self
+    }
+
+    /// Repetition count (the paper runs 50).
+    pub fn reps(mut self, reps: u32) -> Self {
+        self.cell.reps = reps;
+        self
+    }
+
+    /// Artificial one-way server delay.
+    pub fn server_delay(mut self, d: SimDuration) -> Self {
+        self.cell.server_delay = d;
+        self
+    }
+
+    /// Artificial one-way server delay in whole milliseconds.
+    pub fn server_delay_ms(self, ms: u64) -> Self {
+        self.server_delay(SimDuration::from_millis(ms))
+    }
+
+    /// Capture timestamping noise bound (0 = exact stamps).
+    pub fn capture_noise_ns(mut self, ns: u64) -> Self {
+        self.cell.capture_noise_ns = ns;
+        self
+    }
+
+    /// Master seed for all derived streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cell.seed = seed;
+        self
+    }
+
+    /// Apply (or clear) §5's Safari fix — force the Oracle JRE.
+    pub fn fixed_safari_java(mut self, on: bool) -> Self {
+        self.cell.fixed_safari_java = on;
+        self
+    }
+
+    /// Validate and produce the cell.
+    ///
+    /// Fails with [`RunError::Unrunnable`] when the runtime cannot
+    /// execute the method (Table 2), and
+    /// [`RunError::InvalidInput`] when `reps` is zero.
+    pub fn build(self) -> Result<ExperimentCell, RunError> {
+        if self.cell.reps == 0 {
+            return Err(RunError::InvalidInput("reps must be >= 1"));
+        }
+        if !self.cell.is_runnable() {
+            return Err(RunError::unrunnable(&self.cell));
+        }
+        Ok(self.cell)
+    }
+
+    /// Produce the cell without validation — for deliberately
+    /// constructing unrunnable or degenerate cells (tests, grid
+    /// enumeration that filters later).
+    pub fn build_unchecked(self) -> ExperimentCell {
+        self.cell
+    }
+}
+
 /// All (runtime, OS) combinations of the paper's Figure 3, in figure
 /// order: Ubuntu browsers first, then Windows.
 pub fn figure3_combos() -> Vec<(RuntimeSel, OsKind)> {
@@ -174,6 +282,68 @@ mod tests {
             RuntimeSel::AppletViewer.figure_label(OsKind::Windows7),
             "appletviewer (W)"
         );
+    }
+
+    #[test]
+    fn builder_covers_every_knob() {
+        let cell = ExperimentCell::builder(
+            MethodId::JavaTcp,
+            RuntimeSel::Browser(BrowserKind::Firefox),
+            OsKind::Windows7,
+        )
+        .timing(TimingApiKind::JavaNanoTime)
+        .reps(12)
+        .server_delay_ms(25)
+        .capture_noise_ns(300_000)
+        .seed(7)
+        .fixed_safari_java(true)
+        .build()
+        .unwrap();
+        assert_eq!(cell.timing_override, Some(TimingApiKind::JavaNanoTime));
+        assert_eq!(cell.reps, 12);
+        assert_eq!(cell.server_delay.as_millis(), 25);
+        assert_eq!(cell.capture_noise_ns, 300_000);
+        assert_eq!(cell.seed, 7);
+        assert!(cell.fixed_safari_java);
+        let cleared = ExperimentCell::builder(
+            MethodId::JavaTcp,
+            RuntimeSel::Browser(BrowserKind::Firefox),
+            OsKind::Windows7,
+        )
+        .timing(TimingApiKind::JavaNanoTime)
+        .default_timing()
+        .build()
+        .unwrap();
+        assert_eq!(cleared.timing_override, None);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configurations() {
+        let unrunnable = ExperimentCell::builder(
+            MethodId::WebSocket,
+            RuntimeSel::Browser(BrowserKind::Ie9),
+            OsKind::Windows7,
+        )
+        .build();
+        assert!(matches!(unrunnable, Err(RunError::Unrunnable { .. })));
+
+        let zero_reps = ExperimentCell::builder(
+            MethodId::XhrGet,
+            RuntimeSel::Browser(BrowserKind::Chrome),
+            OsKind::Ubuntu1204,
+        )
+        .reps(0)
+        .build();
+        assert_eq!(zero_reps, Err(RunError::InvalidInput("reps must be >= 1")));
+
+        // build_unchecked lets both through for later filtering.
+        let cell = ExperimentCell::builder(
+            MethodId::WebSocket,
+            RuntimeSel::Browser(BrowserKind::Ie9),
+            OsKind::Windows7,
+        )
+        .build_unchecked();
+        assert!(!cell.is_runnable());
     }
 
     #[test]

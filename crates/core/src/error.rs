@@ -1,0 +1,134 @@
+//! The typed error taxonomy of the fallible (`try_*`) API surface.
+//!
+//! Every failure a caller can provoke through the public API maps to a
+//! [`RunError`] variant; panics remain only for internal invariants.
+
+use std::error::Error;
+use std::fmt;
+
+use bnm_methods::MethodId;
+use bnm_time::OsKind;
+
+use crate::config::{ExperimentCell, RuntimeSel};
+use crate::matching::MatchError;
+
+/// Why running, sweeping or appraising a cell failed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunError {
+    /// The runtime cannot execute the method (Table 2 feature matrix),
+    /// or the browser does not exist on the OS at all.
+    Unrunnable {
+        /// The requested method.
+        method: MethodId,
+        /// The runtime that cannot execute it.
+        runtime: RuntimeSel,
+        /// The client OS.
+        os: OsKind,
+    },
+    /// Measurement rounds are numbered 1 and 2; anything else is out of
+    /// range.
+    InvalidRound(u8),
+    /// A statistic needs more data points than were supplied.
+    InsufficientData {
+        /// Minimum points the statistic needs.
+        needed: usize,
+        /// Points actually supplied.
+        got: usize,
+    },
+    /// The cell produced no Δd samples (every repetition failed, or
+    /// zero repetitions were configured).
+    NoSamples,
+    /// An input value violated a documented precondition.
+    InvalidInput(&'static str),
+    /// Capture matching failed for a repetition.
+    Match(MatchError),
+}
+
+impl RunError {
+    /// The `Unrunnable` error for a concrete cell.
+    pub fn unrunnable(cell: &ExperimentCell) -> RunError {
+        RunError::Unrunnable {
+            method: cell.method,
+            runtime: cell.runtime,
+            os: cell.os,
+        }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Phrasing kept from the historical assert message so panics
+            // raised by the deprecated façades read the same.
+            RunError::Unrunnable { method, runtime, os } => write!(
+                f,
+                "{} cannot run {}",
+                runtime.figure_label(*os),
+                method.display_name()
+            ),
+            RunError::InvalidRound(r) => write!(f, "rounds are 1 and 2, got {r}"),
+            RunError::InsufficientData { needed, got } => {
+                write!(f, "need at least {needed} data points, got {got}")
+            }
+            RunError::NoSamples => write!(f, "cell produced no Δd samples"),
+            RunError::InvalidInput(what) => write!(f, "invalid input: {what}"),
+            RunError::Match(e) => write!(f, "capture matching failed: {e}"),
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::Match(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MatchError> for RunError {
+    fn from(e: MatchError) -> Self {
+        RunError::Match(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnm_browser::BrowserKind;
+
+    #[test]
+    fn display_matches_historical_phrasing() {
+        let cell = ExperimentCell::paper(
+            MethodId::WebSocket,
+            RuntimeSel::Browser(BrowserKind::Ie9),
+            OsKind::Windows7,
+        );
+        let e = RunError::unrunnable(&cell);
+        assert_eq!(e.to_string(), "IE (W) cannot run WebSocket");
+    }
+
+    #[test]
+    fn match_errors_convert_and_chain() {
+        let e: RunError = MatchError::OutOfOrder.into();
+        assert_eq!(e, RunError::Match(MatchError::OutOfOrder));
+        assert!(e.to_string().contains("capture matching failed"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn variants_format_their_payload() {
+        assert_eq!(
+            RunError::InvalidRound(3).to_string(),
+            "rounds are 1 and 2, got 3"
+        );
+        assert_eq!(
+            RunError::InsufficientData { needed: 2, got: 1 }.to_string(),
+            "need at least 2 data points, got 1"
+        );
+        assert!(RunError::NoSamples.to_string().contains("no Δd samples"));
+        assert!(RunError::InvalidInput("reps must be >= 1")
+            .to_string()
+            .contains("reps"));
+    }
+}

@@ -1,0 +1,375 @@
+//! The parallel experiment executor.
+//!
+//! Experiment grids are embarrassingly parallel at the `(cell × rep)`
+//! grain: every repetition derives its seeds from `(cell.seed, rep)`
+//! alone (see [`crate::runner`]), so repetitions can run on any thread in
+//! any order and still produce the exact numbers a serial loop would.
+//! The executor exploits that:
+//!
+//! 1. every runnable cell is flattened into `(cell index, rep)` work
+//!    units, dealt round-robin onto one deque per worker;
+//! 2. `available_parallelism()` scoped threads drain their own deque
+//!    from the front and **steal from the back** of a victim's deque
+//!    when it runs dry, so an expensive cell cannot strand the grid on
+//!    one core;
+//! 3. finished units are merged by sorting on `(cell, rep)` and folding
+//!    in repetition order — the merge is the serial loop replayed, so
+//!    parallel output is **bit-identical** to serial output for a fixed
+//!    seed (asserted by `parity_with_serial_reference` below).
+//!
+//! Progress is reported through an optional callback; it fires once per
+//! completed unit, from whichever worker finished it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::config::ExperimentCell;
+use crate::delta::RoundMeasurement;
+use crate::error::RunError;
+use crate::runner::{CellResult, ExperimentRunner};
+
+/// A progress tick: one `(cell × rep)` unit finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Units finished so far (including this one).
+    pub completed: usize,
+    /// Total units scheduled for the batch.
+    pub total: usize,
+    /// Index into the submitted cell slice of the finished unit.
+    pub cell: usize,
+    /// Repetition index of the finished unit.
+    pub rep: u32,
+}
+
+/// One finished work unit, tagged for the deterministic merge.
+struct Outcome {
+    cell: usize,
+    rep: u32,
+    rounds: Result<Vec<RoundMeasurement>, RunError>,
+}
+
+/// Work-stealing scheduler for experiment cells.
+///
+/// ```
+/// use bnm_core::exec::Executor;
+/// use bnm_core::{ExperimentCell, RuntimeSel};
+/// use bnm_browser::BrowserKind;
+/// use bnm_methods::MethodId;
+/// use bnm_time::OsKind;
+///
+/// let cell = ExperimentCell::builder(
+///     MethodId::XhrGet,
+///     RuntimeSel::Browser(BrowserKind::Chrome),
+///     OsKind::Ubuntu1204,
+/// )
+/// .reps(4)
+/// .build()
+/// .unwrap();
+/// let results = Executor::new().run(std::slice::from_ref(&cell));
+/// assert_eq!(results[0].as_ref().unwrap().d1.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Executor {
+    /// An executor sized to the machine (`available_parallelism`).
+    pub fn new() -> Executor {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Executor { workers }
+    }
+
+    /// An executor with an explicit worker count (clamped to ≥ 1).
+    pub fn with_workers(workers: usize) -> Executor {
+        Executor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A single-worker executor: runs units in submission order on the
+    /// calling thread, no threads spawned.
+    pub fn serial() -> Executor {
+        Executor { workers: 1 }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run a batch of cells; one `Result` per input cell, in input order.
+    ///
+    /// Unrunnable cells (Table 2) yield `Err(RunError::Unrunnable)`
+    /// without scheduling any work; every other cell in the batch still
+    /// completes.
+    pub fn run(&self, cells: &[ExperimentCell]) -> Vec<Result<CellResult, RunError>> {
+        self.run_with_progress(cells, |_| {})
+    }
+
+    /// [`run`](Executor::run) with a progress callback.
+    ///
+    /// The callback fires once per finished `(cell × rep)` unit and may
+    /// be called concurrently from worker threads; `completed` is
+    /// monotone per observer but ticks for different cells interleave
+    /// arbitrarily.
+    pub fn run_with_progress<F>(
+        &self,
+        cells: &[ExperimentCell],
+        on_progress: F,
+    ) -> Vec<Result<CellResult, RunError>>
+    where
+        F: Fn(Progress) + Sync,
+    {
+        let mut slots: Vec<Result<CellResult, RunError>> = Vec::with_capacity(cells.len());
+        let mut units: Vec<(usize, u32)> = Vec::new();
+        for (idx, cell) in cells.iter().enumerate() {
+            if cell.is_runnable() {
+                slots.push(Ok(CellResult::default()));
+                units.extend((0..cell.reps).map(|rep| (idx, rep)));
+            } else {
+                slots.push(Err(RunError::unrunnable(cell)));
+            }
+        }
+
+        let total = units.len();
+        let workers = self.workers.min(total.max(1));
+        let outcomes = if workers <= 1 {
+            Self::drain_serial(cells, &units, total, &on_progress)
+        } else {
+            Self::drain_parallel(cells, units, total, workers, &on_progress)
+        };
+        Self::merge(outcomes, &mut slots);
+        slots
+    }
+
+    /// Single-worker path: the plain loop, on the calling thread.
+    fn drain_serial<F: Fn(Progress) + Sync>(
+        cells: &[ExperimentCell],
+        units: &[(usize, u32)],
+        total: usize,
+        on_progress: &F,
+    ) -> Vec<Outcome> {
+        let mut outcomes = Vec::with_capacity(total);
+        for (completed, &(cell, rep)) in units.iter().enumerate() {
+            outcomes.push(Outcome {
+                cell,
+                rep,
+                rounds: ExperimentRunner::run_rep(&cells[cell], rep),
+            });
+            on_progress(Progress {
+                completed: completed + 1,
+                total,
+                cell,
+                rep,
+            });
+        }
+        outcomes
+    }
+
+    /// Multi-worker path: per-worker deques plus back-of-queue stealing.
+    fn drain_parallel<F: Fn(Progress) + Sync>(
+        cells: &[ExperimentCell],
+        units: Vec<(usize, u32)>,
+        total: usize,
+        workers: usize,
+        on_progress: &F,
+    ) -> Vec<Outcome> {
+        // Units are dealt round-robin so expensive cells (more reps, or
+        // costlier methods) spread across workers from the start; the
+        // steal path only has to correct the imbalance that remains.
+        let mut queues: Vec<VecDeque<(usize, u32)>> =
+            (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, unit) in units.into_iter().enumerate() {
+            queues[i % workers].push_back(unit);
+        }
+        let queues: Vec<Mutex<VecDeque<(usize, u32)>>> =
+            queues.into_iter().map(Mutex::new).collect();
+        let sink: Mutex<Vec<Outcome>> = Mutex::new(Vec::with_capacity(total));
+        let completed = AtomicUsize::new(0);
+
+        // A worker never panics here (run_rep is fallible, not panicky),
+        // but recover from poisoning anyway: the queues hold plain data
+        // that stays consistent under any interleaving.
+        fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+            m.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        std::thread::scope(|scope| {
+            let queues = &queues;
+            let sink = &sink;
+            let completed = &completed;
+            for wid in 0..workers {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        // Own queue first (front), then steal from the
+                        // back of the first non-empty victim. Nothing is
+                        // ever re-enqueued, so an empty sweep means the
+                        // batch is drained.
+                        let mut next = lock(&queues[wid]).pop_front();
+                        if next.is_none() {
+                            for off in 1..workers {
+                                next = lock(&queues[(wid + off) % workers]).pop_back();
+                                if next.is_some() {
+                                    break;
+                                }
+                            }
+                        }
+                        let Some((cell, rep)) = next else { break };
+                        local.push(Outcome {
+                            cell,
+                            rep,
+                            rounds: ExperimentRunner::run_rep(&cells[cell], rep),
+                        });
+                        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                        on_progress(Progress {
+                            completed: done,
+                            total,
+                            cell,
+                            rep,
+                        });
+                    }
+                    lock(sink).extend(local);
+                });
+            }
+        });
+        sink.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Fold outcomes into the per-cell slots in `(cell, rep)` order —
+    /// exactly the order the serial loop consumes them, which is what
+    /// makes parallel output bit-identical to serial.
+    fn merge(mut outcomes: Vec<Outcome>, slots: &mut [Result<CellResult, RunError>]) {
+        outcomes.sort_by_key(|o| (o.cell, o.rep));
+        for o in outcomes {
+            let Ok(result) = &mut slots[o.cell] else {
+                // Units are only scheduled for runnable cells.
+                unreachable!("outcome for a cell that was never scheduled");
+            };
+            match o.rounds {
+                Ok(rounds) => {
+                    for m in rounds {
+                        match m.round {
+                            1 => result.d1.push(m.delta_d_ms()),
+                            2 => result.d2.push(m.delta_d_ms()),
+                            _ => {}
+                        }
+                        result.measurements.push(m);
+                    }
+                }
+                Err(_) => result.failures += 1,
+            }
+        }
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeSel;
+    use bnm_browser::BrowserKind;
+    use bnm_methods::MethodId;
+    use bnm_time::OsKind;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn grid() -> Vec<ExperimentCell> {
+        [
+            (MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204),
+            (MethodId::WebSocket, BrowserKind::Firefox, OsKind::Ubuntu1204),
+            (MethodId::Dom, BrowserKind::Opera, OsKind::Windows7),
+        ]
+        .into_iter()
+        .map(|(m, b, os)| {
+            ExperimentCell::paper(m, RuntimeSel::Browser(b), os).with_reps(6)
+        })
+        .collect()
+    }
+
+    /// The tentpole guarantee: parallel output is bit-identical to the
+    /// serial reference, for every cell, at a fixed seed.
+    #[test]
+    fn parity_with_serial_reference() {
+        let cells = grid();
+        let serial = Executor::serial().run(&cells);
+        let parallel = Executor::with_workers(4).run(&cells);
+        for (s, p) in serial.iter().zip(&parallel) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.d1, p.d1);
+            assert_eq!(s.d2, p.d2);
+            assert_eq!(s.failures, p.failures);
+            assert_eq!(s.measurements.len(), p.measurements.len());
+        }
+    }
+
+    #[test]
+    fn unrunnable_cell_fails_without_sinking_the_batch() {
+        let mut cells = grid();
+        cells.insert(
+            1,
+            ExperimentCell::paper(
+                MethodId::WebSocket,
+                RuntimeSel::Browser(BrowserKind::Ie9),
+                OsKind::Windows7,
+            )
+            .with_reps(6),
+        );
+        let results = Executor::with_workers(3).run(&cells);
+        assert!(matches!(results[1], Err(RunError::Unrunnable { .. })));
+        for (i, r) in results.iter().enumerate() {
+            if i != 1 {
+                let r = r.as_ref().unwrap();
+                assert_eq!(r.d1.len(), 6, "cell {i} completed despite the bad cell");
+            }
+        }
+    }
+
+    #[test]
+    fn progress_ticks_once_per_unit() {
+        let cells = grid();
+        let total_units: usize = cells.iter().map(|c| c.reps as usize).sum();
+        let ticks = AtomicUsize::new(0);
+        let max_completed = AtomicUsize::new(0);
+        Executor::with_workers(4).run_with_progress(&cells, |p| {
+            ticks.fetch_add(1, Ordering::Relaxed);
+            max_completed.fetch_max(p.completed, Ordering::Relaxed);
+            assert_eq!(p.total, total_units);
+            assert!(p.cell < 3);
+        });
+        assert_eq!(ticks.load(Ordering::Relaxed), total_units);
+        assert_eq!(max_completed.load(Ordering::Relaxed), total_units);
+    }
+
+    #[test]
+    fn zero_reps_yields_an_empty_ok_result() {
+        let cells = vec![ExperimentCell::paper(
+            MethodId::XhrGet,
+            RuntimeSel::Browser(BrowserKind::Chrome),
+            OsKind::Ubuntu1204,
+        )
+        .with_reps(0)];
+        let r = Executor::new().run(&cells);
+        let r = r[0].as_ref().unwrap();
+        assert!(r.d1.is_empty() && r.d2.is_empty() && r.failures == 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(Executor::new().run(&[]).is_empty());
+    }
+
+    #[test]
+    fn worker_counts_are_clamped() {
+        assert_eq!(Executor::with_workers(0).workers(), 1);
+        assert!(Executor::new().workers() >= 1);
+    }
+}

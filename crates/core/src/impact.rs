@@ -4,6 +4,8 @@
 
 use bnm_stats::jitter;
 
+use crate::error::RunError;
+
 /// Jitter distortion: measured-jitter vs true-jitter for an RTT series.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JitterImpact {
@@ -43,12 +45,32 @@ pub struct ThroughputImpact {
 
 impl ThroughputImpact {
     /// Compute for a transfer of `bytes` against the two RTTs (ms).
-    pub fn of(bytes: usize, wire_rtt_ms: f64, browser_rtt_ms: f64) -> ThroughputImpact {
-        assert!(wire_rtt_ms > 0.0 && browser_rtt_ms > 0.0);
+    /// Both RTTs must be positive — a zero or negative RTT makes the
+    /// throughput quotient meaningless.
+    pub fn try_of(
+        bytes: usize,
+        wire_rtt_ms: f64,
+        browser_rtt_ms: f64,
+    ) -> Result<ThroughputImpact, RunError> {
+        if !(wire_rtt_ms > 0.0 && browser_rtt_ms > 0.0) {
+            return Err(RunError::InvalidInput("RTTs must be positive"));
+        }
         let bits = bytes as f64 * 8.0;
-        ThroughputImpact {
+        Ok(ThroughputImpact {
             true_bps: bits / (wire_rtt_ms / 1e3),
             measured_bps: bits / (browser_rtt_ms / 1e3),
+        })
+    }
+
+    /// Compute for a transfer of `bytes` against the two RTTs (ms).
+    ///
+    /// # Panics
+    /// If either RTT is non-positive; prefer
+    /// [`ThroughputImpact::try_of`].
+    pub fn of(bytes: usize, wire_rtt_ms: f64, browser_rtt_ms: f64) -> ThroughputImpact {
+        match Self::try_of(bytes, wire_rtt_ms, browser_rtt_ms) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -93,6 +115,16 @@ mod tests {
         assert!(small.underestimation() < 0.011);
     }
 
+    #[test]
+    fn nonpositive_rtt_reports_invalid_input() {
+        assert_eq!(
+            ThroughputImpact::try_of(1000, 0.0, 50.0).unwrap_err(),
+            RunError::InvalidInput("RTTs must be positive")
+        );
+        assert!(ThroughputImpact::try_of(1000, 50.0, -1.0).is_err());
+    }
+
+    /// The panicking façade keeps its historical contract.
     #[test]
     #[should_panic]
     fn nonpositive_rtt_panics() {

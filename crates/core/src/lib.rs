@@ -23,12 +23,20 @@
 //!    [`recommend`] codifies the practical considerations of §5.
 //! 6. [`server_side`] is the §7 extension: the same appraisal applied to
 //!    the server's own processing overhead.
+//!
+//! Execution is fallible and parallel by default: [`exec::Executor`]
+//! schedules `(cell × rep)` work units over `available_parallelism()`
+//! work-stealing threads and merges deterministically, so results are
+//! bit-identical to a serial run; [`error::RunError`] is the typed
+//! error every `try_*` entry point reports instead of panicking.
 
 pub mod appraisal;
 pub mod baseline;
 pub mod calibration;
 pub mod config;
 pub mod delta;
+pub mod error;
+pub mod exec;
 pub mod impact;
 pub mod matching;
 pub mod recommend;
@@ -40,7 +48,9 @@ pub mod testbed;
 pub mod throughput;
 
 pub use appraisal::{Appraisal, Verdict};
-pub use config::{ExperimentCell, RuntimeSel};
+pub use config::{CellBuilder, ExperimentCell, RuntimeSel};
 pub use delta::RoundMeasurement;
+pub use error::RunError;
+pub use exec::{Executor, Progress};
 pub use runner::{CellResult, ExperimentRunner};
 pub use testbed::{Testbed, TestbedConfig};

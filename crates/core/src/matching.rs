@@ -32,6 +32,18 @@ pub enum MatchError {
     OutOfOrder,
 }
 
+impl std::fmt::Display for MatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MatchError::RequestNotFound => "no captured packet carried the request marker",
+            MatchError::ResponseNotFound => "no captured packet carried the response marker",
+            MatchError::OutOfOrder => "response captured before its request",
+        })
+    }
+}
+
+impl std::error::Error for MatchError {}
+
 /// Substring search (the capture analyst's `grep`).
 fn contains(haystack: &[u8], needle: &[u8]) -> bool {
     !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)

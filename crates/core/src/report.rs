@@ -33,8 +33,11 @@ pub fn panel_rows(cell: &ExperimentCell, result: &CellResult) -> Vec<PanelRow> {
 }
 
 /// Render a Figure 3 panel: one ASCII box per row on a shared axis.
+/// An empty panel renders as its title plus a note, not a panic.
 pub fn render_panel(title: &str, rows: &[PanelRow], width: usize) -> String {
-    assert!(!rows.is_empty());
+    if rows.is_empty() {
+        return format!("{title}\n(no rows)\n");
+    }
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
     for r in rows {
@@ -47,7 +50,8 @@ pub fn render_panel(title: &str, rows: &[PanelRow], width: usize) -> String {
     }
     let pad = (hi - lo) * 0.05;
     let (lo, hi) = (lo - pad, hi + pad);
-    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap();
+    // Non-empty: the early return above guarantees a maximum exists.
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap_or(0);
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     for r in rows {
@@ -173,6 +177,13 @@ mod tests {
         let line = summary_line(&cell(), &a);
         assert!(line.contains("XHR GET"));
         assert!(line.contains("verdict"));
+    }
+
+    #[test]
+    fn empty_panel_renders_a_note() {
+        let s = render_panel("(z) empty", &[], 50);
+        assert!(s.contains("(z) empty"));
+        assert!(s.contains("(no rows)"));
     }
 
     #[test]

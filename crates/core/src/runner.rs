@@ -5,6 +5,10 @@
 //! seeds: browser noise, capture noise and — crucially — the Windows
 //! timer-regime process all re-draw, so a 50-rep cell samples the
 //! machine's granularity regimes the way the paper's wall-clock runs did.
+//! Because every stream derives from `(cell.seed, rep)` alone, the
+//! repetitions are order-independent — [`crate::exec::Executor`] runs
+//! them on as many threads as the machine has and still reproduces the
+//! serial numbers bit-for-bit.
 
 use bnm_browser::BrowserProfile;
 use bnm_sim::rng;
@@ -12,6 +16,8 @@ use bnm_time::MachineTimer;
 
 use crate::config::{ExperimentCell, RuntimeSel};
 use crate::delta::RoundMeasurement;
+use crate::error::RunError;
+use crate::exec::Executor;
 use crate::matching::{match_round, MatchError};
 use crate::testbed::{Testbed, TestbedConfig};
 
@@ -37,11 +43,11 @@ impl CellResult {
     }
 
     /// Δd samples for one round (1 or 2).
-    pub fn round(&self, round: u8) -> &[f64] {
+    pub fn round(&self, round: u8) -> Result<&[f64], RunError> {
         match round {
-            1 => &self.d1,
-            2 => &self.d2,
-            _ => panic!("rounds are 1 and 2"),
+            1 => Ok(&self.d1),
+            2 => Ok(&self.d2),
+            other => Err(RunError::InvalidRound(other)),
         }
     }
 }
@@ -50,37 +56,36 @@ impl CellResult {
 pub struct ExperimentRunner;
 
 impl ExperimentRunner {
-    /// Execute one cell. Panics if the cell is not runnable on its
-    /// runtime (check [`ExperimentCell::is_runnable`] when sweeping).
+    /// Execute one cell on all available cores.
+    ///
+    /// Returns [`RunError::Unrunnable`] when the runtime cannot execute
+    /// the method (Table 2); per-repetition failures are *not* errors —
+    /// they are counted in [`CellResult::failures`], as in the paper's
+    /// wall-clock runs. Output is bit-identical to a serial loop over
+    /// [`ExperimentRunner::run_rep`] regardless of core count.
+    pub fn try_run(cell: &ExperimentCell) -> Result<CellResult, RunError> {
+        Executor::new()
+            .run(std::slice::from_ref(cell))
+            .pop()
+            // One input cell always yields exactly one result slot.
+            .expect("executor returns one result per cell")
+    }
+
+    /// Execute one cell, panicking if it is not runnable.
+    #[deprecated(since = "0.2.0", note = "use `try_run`, which reports `RunError` instead of panicking")]
     pub fn run(cell: &ExperimentCell) -> CellResult {
-        assert!(
-            cell.is_runnable(),
-            "{} cannot run {}",
-            cell.runtime.figure_label(cell.os),
-            cell.method.display_name()
-        );
-        let mut out = CellResult::default();
-        for rep in 0..cell.reps {
-            match Self::run_rep(cell, rep) {
-                Ok(rounds) => {
-                    for m in rounds {
-                        match m.round {
-                            1 => out.d1.push(m.delta_d_ms()),
-                            2 => out.d2.push(m.delta_d_ms()),
-                            _ => {}
-                        }
-                        out.measurements.push(m);
-                    }
-                }
-                Err(_) => out.failures += 1,
-            }
+        match Self::try_run(cell) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
         }
-        out
     }
 
     /// One repetition: fresh testbed, run, capture-match both rounds.
-    pub fn run_rep(cell: &ExperimentCell, rep: u32) -> Result<Vec<RoundMeasurement>, MatchError> {
-        let profile = Self::profile(cell);
+    pub fn run_rep(cell: &ExperimentCell, rep: u32) -> Result<Vec<RoundMeasurement>, RunError> {
+        let profile = Self::try_profile(cell)?;
+        if !cell.method.available_in(&profile) {
+            return Err(RunError::unrunnable(cell));
+        }
         // All repetitions of a cell run on the *same machine*, a few
         // seconds apart: one timer-regime timeline, sampled at increasing
         // offsets. This is what makes a 50-rep Windows cell sit inside
@@ -111,7 +116,7 @@ impl ExperimentRunner {
         tb.run();
         let session = tb.session();
         if !session.result().completed {
-            return Err(MatchError::ResponseNotFound);
+            return Err(RunError::Match(MatchError::ResponseNotFound));
         }
         let rounds = session.result().rounds.clone();
         let capture = tb.engine.tap(tb.client_tap);
@@ -127,19 +132,33 @@ impl ExperimentRunner {
         Ok(out)
     }
 
-    /// Resolve the runtime profile for a cell.
-    pub fn profile(cell: &ExperimentCell) -> BrowserProfile {
+    /// Resolve the runtime profile for a cell, or report why it cannot
+    /// exist (browser absent on the OS).
+    pub fn try_profile(cell: &ExperimentCell) -> Result<BrowserProfile, RunError> {
         let p = match cell.runtime {
             RuntimeSel::Browser(b) => {
-                BrowserProfile::build(b, cell.os).expect("runtime availability checked")
+                BrowserProfile::build(b, cell.os).ok_or_else(|| RunError::unrunnable(cell))?
             }
             RuntimeSel::AppletViewer => BrowserProfile::appletviewer(cell.os),
             RuntimeSel::MobileWebKit => BrowserProfile::mobile_webkit(),
         };
-        if cell.fixed_safari_java {
+        Ok(if cell.fixed_safari_java {
             p.with_fixed_safari_java()
         } else {
             p
+        })
+    }
+
+    /// Resolve the runtime profile for a cell.
+    ///
+    /// # Panics
+    /// If the browser does not exist on the cell's OS; callers that have
+    /// not checked [`ExperimentCell::is_runnable`] should prefer
+    /// [`ExperimentRunner::try_profile`].
+    pub fn profile(cell: &ExperimentCell) -> BrowserProfile {
+        match Self::try_profile(cell) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -155,10 +174,14 @@ mod tests {
         ExperimentCell::paper(method, RuntimeSel::Browser(browser), os).with_reps(10)
     }
 
+    fn run(cell: &ExperimentCell) -> CellResult {
+        ExperimentRunner::try_run(cell).unwrap()
+    }
+
     #[test]
     fn xhr_cell_produces_full_samples() {
         let cell = small_cell(MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204);
-        let r = ExperimentRunner::run(&cell);
+        let r = run(&cell);
         assert_eq!(r.failures, 0);
         assert_eq!(r.d1.len(), 10);
         assert_eq!(r.d2.len(), 10);
@@ -172,13 +195,26 @@ mod tests {
     }
 
     #[test]
+    fn round_selects_or_reports() {
+        let r = CellResult {
+            d1: vec![1.0],
+            d2: vec![2.0],
+            measurements: Vec::new(),
+            failures: 0,
+        };
+        assert_eq!(r.round(1).unwrap(), &[1.0]);
+        assert_eq!(r.round(2).unwrap(), &[2.0]);
+        assert_eq!(r.round(3), Err(RunError::InvalidRound(3)));
+    }
+
+    #[test]
     fn websocket_overhead_below_http() {
-        let ws = ExperimentRunner::run(&small_cell(
+        let ws = run(&small_cell(
             MethodId::WebSocket,
             BrowserKind::Chrome,
             OsKind::Ubuntu1204,
         ));
-        let xhr = ExperimentRunner::run(&small_cell(
+        let xhr = run(&small_cell(
             MethodId::XhrGet,
             BrowserKind::Chrome,
             OsKind::Ubuntu1204,
@@ -196,7 +232,7 @@ mod tests {
     #[test]
     fn opera_flash_d1_includes_handshake() {
         let cell = small_cell(MethodId::FlashGet, BrowserKind::Opera, OsKind::Windows7);
-        let r = ExperimentRunner::run(&cell);
+        let r = run(&cell);
         assert_eq!(r.failures, 0);
         let med = |v: &[f64]| {
             let mut s = v.to_vec();
@@ -214,7 +250,7 @@ mod tests {
     #[test]
     fn network_rtt_is_close_to_fifty_ms() {
         let cell = small_cell(MethodId::JavaTcp, BrowserKind::Chrome, OsKind::Ubuntu1204);
-        let r = ExperimentRunner::run(&cell);
+        let r = run(&cell);
         for m in &r.measurements {
             let rtt = m.network_rtt_ms();
             assert!(rtt > 50.0 && rtt < 51.0, "wire rtt {rtt}");
@@ -226,11 +262,11 @@ mod tests {
         let cell = small_cell(MethodId::Dom, BrowserKind::Firefox, OsKind::Ubuntu1204)
             .with_reps(5)
             .with_seed(77);
-        let a = ExperimentRunner::run(&cell);
-        let b = ExperimentRunner::run(&cell);
+        let a = run(&cell);
+        let b = run(&cell);
         assert_eq!(a.d1, b.d1);
         assert_eq!(a.d2, b.d2);
-        let c = ExperimentRunner::run(&cell.clone().with_seed(78));
+        let c = run(&cell.clone().with_seed(78));
         assert_ne!(a.d1, c.d1);
     }
 
@@ -238,12 +274,8 @@ mod tests {
     fn nanotime_removes_java_underestimation() {
         let base = small_cell(MethodId::JavaTcp, BrowserKind::Firefox, OsKind::Windows7)
             .with_reps(16);
-        let gettime = ExperimentRunner::run(&base);
-        let nano = ExperimentRunner::run(
-            &base
-                .clone()
-                .with_timing(TimingApiKind::JavaNanoTime),
-        );
+        let gettime = run(&base);
+        let nano = run(&base.clone().with_timing(TimingApiKind::JavaNanoTime));
         let neg_gettime = gettime.pooled().iter().filter(|&&d| d < 0.0).count();
         let neg_nano = nano.pooled().iter().filter(|&&d| d < 0.0).count();
         assert!(neg_gettime > 0, "Date.getTime must under-estimate sometimes");
@@ -253,9 +285,23 @@ mod tests {
     }
 
     #[test]
+    fn unrunnable_cell_reports_typed_error() {
+        let cell = small_cell(MethodId::WebSocket, BrowserKind::Ie9, OsKind::Windows7);
+        let err = ExperimentRunner::try_run(&cell).unwrap_err();
+        assert_eq!(err, RunError::unrunnable(&cell));
+        // run_rep refuses too — the executor is not the only guard.
+        assert_eq!(
+            ExperimentRunner::run_rep(&cell, 0).unwrap_err(),
+            RunError::unrunnable(&cell)
+        );
+    }
+
+    /// The deprecated façade keeps its historical panic contract.
+    #[test]
     #[should_panic(expected = "cannot run")]
     fn unrunnable_cell_panics() {
         let cell = small_cell(MethodId::WebSocket, BrowserKind::Ie9, OsKind::Windows7);
+        #[allow(deprecated)]
         ExperimentRunner::run(&cell);
     }
 }

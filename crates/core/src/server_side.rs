@@ -115,7 +115,7 @@ mod tests {
             RuntimeSel::Browser(BrowserKind::Chrome),
             OsKind::Ubuntu1204,
         );
-        let profile = ExperimentRunner::profile(&cell);
+        let profile = ExperimentRunner::try_profile(&cell).unwrap();
         let machine = MachineTimer::new(cell.os, 5);
         let mut tb = Testbed::build(
             &TestbedConfig::default(),
@@ -132,7 +132,7 @@ mod tests {
             let t = st.turnaround_ms();
             // No handler delay configured: the server's stack answers in
             // well under a millisecond of virtual time.
-            assert!(t >= 0.0 && t < 1.0, "round {round} turnaround {t}");
+            assert!((0.0..1.0).contains(&t), "round {round} turnaround {t}");
             assert!(st.overhead_ms(0.0) < 1.0);
         }
     }
@@ -149,7 +149,7 @@ mod tests {
         let st = match_server_round(cap, MethodId::XhrGet, 1, 0).unwrap();
         assert!(st.turnaround_ms() >= 8.0);
         let overhead = st.overhead_ms(8.0);
-        assert!(overhead >= 0.0 && overhead < 1.0, "overhead {overhead}");
+        assert!((0.0..1.0).contains(&overhead), "overhead {overhead}");
     }
 
     #[test]
@@ -159,7 +159,7 @@ mod tests {
             RuntimeSel::Browser(BrowserKind::Firefox),
             OsKind::Ubuntu1204,
         );
-        let profile = ExperimentRunner::profile(&cell);
+        let profile = ExperimentRunner::try_profile(&cell).unwrap();
         let machine = MachineTimer::new(cell.os, 6);
         let mut tb = Testbed::build(
             &TestbedConfig::default(),

@@ -8,12 +8,17 @@
 //! client-side path cost), while for handshake-including methods
 //! (Opera's Flash) Δd1 grows by exactly one RTT per RTT — the line has
 //! slope ≈ 1.
+//!
+//! The sweep points are independent cells, so [`try_sweep`] hands the
+//! whole ladder to [`crate::exec::Executor`] and runs the delays in
+//! parallel; the per-point medians are identical to a serial sweep.
 
 use bnm_sim::time::SimDuration;
 use bnm_stats::Summary;
 
 use crate::config::ExperimentCell;
-use crate::runner::ExperimentRunner;
+use crate::error::RunError;
+use crate::exec::Executor;
 
 /// One point of a delay sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,38 +31,72 @@ pub struct SweepPoint {
     pub d2_median: f64,
 }
 
-/// Run `cell` at each server delay and collect the Δd medians.
-pub fn delay_sweep(cell: &ExperimentCell, delays: &[SimDuration]) -> Vec<SweepPoint> {
-    delays
+/// Run `cell` at each server delay (in parallel) and collect the Δd
+/// medians.
+///
+/// Fails with [`RunError::Unrunnable`] when the cell cannot run at all,
+/// or [`RunError::NoSamples`] when a point yields no Δd samples (every
+/// repetition failed) — a median of nothing is not a point.
+pub fn try_sweep(
+    cell: &ExperimentCell,
+    delays: &[SimDuration],
+) -> Result<Vec<SweepPoint>, RunError> {
+    let cells: Vec<ExperimentCell> = delays
         .iter()
         .map(|&d| {
             let mut c = cell.clone();
             c.server_delay = d;
-            let r = ExperimentRunner::run(&c);
-            SweepPoint {
+            c
+        })
+        .collect();
+    let results = Executor::new().run(&cells);
+    delays
+        .iter()
+        .zip(results)
+        .map(|(&d, r)| {
+            let r = r?;
+            if r.d1.is_empty() || r.d2.is_empty() {
+                return Err(RunError::NoSamples);
+            }
+            Ok(SweepPoint {
                 delay_ms: d.as_millis_f64(),
                 d1_median: Summary::of(&r.d1).median,
                 d2_median: Summary::of(&r.d2).median,
-            }
+            })
         })
         .collect()
 }
 
+/// Run `cell` at each server delay and collect the Δd medians,
+/// panicking on any failure.
+#[deprecated(since = "0.2.0", note = "use `try_sweep`, which reports `RunError` instead of panicking")]
+pub fn delay_sweep(cell: &ExperimentCell, delays: &[SimDuration]) -> Vec<SweepPoint> {
+    match try_sweep(cell, delays) {
+        Ok(points) => points,
+        Err(e) => panic!("{e}"),
+    }
+}
+
 /// Least-squares slope of `y` against `x` (how much Δd grows per ms of
 /// extra network delay; ≈ 0 for reuse methods, ≈ 1 for
-/// handshake-including ones).
-pub fn slope(points: &[(f64, f64)]) -> f64 {
-    assert!(points.len() >= 2, "need at least two points for a slope");
+/// handshake-including ones). Needs at least two points.
+pub fn slope(points: &[(f64, f64)]) -> Result<f64, RunError> {
+    if points.len() < 2 {
+        return Err(RunError::InsufficientData {
+            needed: 2,
+            got: points.len(),
+        });
+    }
     let n = points.len() as f64;
     let sx: f64 = points.iter().map(|(x, _)| x).sum();
     let sy: f64 = points.iter().map(|(_, y)| y).sum();
     let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
     let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
-    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+    Ok((n * sxy - sx * sy) / (n * sxx - sx * sx))
 }
 
 /// Slope of Δd1 over the sweep.
-pub fn d1_slope(points: &[SweepPoint]) -> f64 {
+pub fn d1_slope(points: &[SweepPoint]) -> Result<f64, RunError> {
     slope(
         &points
             .iter()
@@ -67,7 +106,7 @@ pub fn d1_slope(points: &[SweepPoint]) -> f64 {
 }
 
 /// Slope of Δd2 over the sweep.
-pub fn d2_slope(points: &[SweepPoint]) -> f64 {
+pub fn d2_slope(points: &[SweepPoint]) -> Result<f64, RunError> {
     slope(
         &points
             .iter()
@@ -94,8 +133,36 @@ mod tests {
 
     #[test]
     fn slope_math() {
-        assert!((slope(&[(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]) - 1.0).abs() < 1e-12);
-        assert!(slope(&[(0.0, 5.0), (10.0, 5.0)]).abs() < 1e-12);
+        let s = |pts: &[(f64, f64)]| slope(pts).unwrap();
+        assert!((s(&[(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]) - 1.0).abs() < 1e-12);
+        assert!(s(&[(0.0, 5.0), (10.0, 5.0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_needs_two_points() {
+        assert_eq!(
+            slope(&[(1.0, 1.0)]),
+            Err(RunError::InsufficientData { needed: 2, got: 1 })
+        );
+        assert_eq!(
+            slope(&[]),
+            Err(RunError::InsufficientData { needed: 2, got: 0 })
+        );
+        assert!(d1_slope(&[]).is_err());
+        assert!(d2_slope(&[]).is_err());
+    }
+
+    #[test]
+    fn unrunnable_sweep_reports_instead_of_panicking() {
+        let cell = ExperimentCell::paper(
+            MethodId::WebSocket,
+            RuntimeSel::Browser(BrowserKind::Ie9),
+            OsKind::Windows7,
+        );
+        assert!(matches!(
+            try_sweep(&cell, &delays()),
+            Err(RunError::Unrunnable { .. })
+        ));
     }
 
     #[test]
@@ -106,11 +173,13 @@ mod tests {
             OsKind::Ubuntu1204,
         )
         .with_reps(10);
-        let pts = delay_sweep(&cell, &delays());
+        let pts = try_sweep(&cell, &delays()).unwrap();
         assert_eq!(pts.len(), 3);
         // Δd barely depends on the base RTT: slope ≈ 0.
-        assert!(d1_slope(&pts).abs() < 0.1, "Δd1 slope {}", d1_slope(&pts));
-        assert!(d2_slope(&pts).abs() < 0.1, "Δd2 slope {}", d2_slope(&pts));
+        let s1 = d1_slope(&pts).unwrap();
+        let s2 = d2_slope(&pts).unwrap();
+        assert!(s1.abs() < 0.1, "Δd1 slope {s1}");
+        assert!(s2.abs() < 0.1, "Δd2 slope {s2}");
     }
 
     #[test]
@@ -123,9 +192,9 @@ mod tests {
             OsKind::Windows7,
         )
         .with_reps(10);
-        let pts = delay_sweep(&get, &delays());
-        let s1 = d1_slope(&pts);
-        let s2 = d2_slope(&pts);
+        let pts = try_sweep(&get, &delays()).unwrap();
+        let s1 = d1_slope(&pts).unwrap();
+        let s2 = d2_slope(&pts).unwrap();
         assert!((s1 - 1.0).abs() < 0.15, "GET Δd1 slope {s1}");
         assert!(s2.abs() < 0.15, "GET Δd2 slope {s2}");
 
@@ -135,8 +204,8 @@ mod tests {
             OsKind::Windows7,
         )
         .with_reps(10);
-        let ppts = delay_sweep(&post, &delays());
-        let ps2 = d2_slope(&ppts);
+        let ppts = try_sweep(&post, &delays()).unwrap();
+        let ps2 = d2_slope(&ppts).unwrap();
         assert!((ps2 - 1.0).abs() < 0.15, "POST Δd2 slope {ps2}");
     }
 }

@@ -15,6 +15,7 @@ use bnm_sim::wire::{ParsedPacket, Transport};
 use bnm_time::MachineTimer;
 
 use crate::config::ExperimentCell;
+use crate::error::RunError;
 use crate::matching::MatchError;
 use crate::runner::ExperimentRunner;
 use crate::testbed::{Testbed, TestbedConfig};
@@ -85,9 +86,10 @@ pub fn match_bulk_round(
                 }
             }
             CaptureDir::Rx => {
-                if tn_s.is_none() {
+                // No response accounting before the request left.
+                let Some(sent_at) = tn_s else {
                     continue;
-                }
+                };
                 match resp_ports {
                     None => {
                         if contains(&seg.payload, &resp_needle) {
@@ -102,11 +104,10 @@ pub fn match_bulk_round(
                     }
                 }
                 if resp_ports.is_some() && body_seen >= n {
-                    let s = tn_s.unwrap();
-                    if rec.ts < s {
+                    if rec.ts < sent_at {
                         return Err(MatchError::OutOfOrder);
                     }
-                    return Ok((s, rec.ts));
+                    return Ok((sent_at, rec.ts));
                 }
             }
         }
@@ -124,8 +125,11 @@ pub fn run_bulk_rep(
     cell: &ExperimentCell,
     rep: u32,
     n: usize,
-) -> Result<Vec<BulkMeasurement>, MatchError> {
-    let profile = ExperimentRunner::profile(cell);
+) -> Result<Vec<BulkMeasurement>, RunError> {
+    let profile = ExperimentRunner::try_profile(cell)?;
+    if !cell.method.available_in(&profile) {
+        return Err(RunError::unrunnable(cell));
+    }
     let machine_seed = rng::derive_seed(cell.seed, &format!("machine.{}", cell.label()));
     let machine = MachineTimer::new(cell.os, machine_seed)
         .at_offset(bnm_sim::time::SimDuration::from_secs(4).saturating_mul(u64::from(rep)));
@@ -146,7 +150,7 @@ pub fn run_bulk_rep(
     );
     tb.run();
     if !tb.session().result().completed {
-        return Err(MatchError::ResponseNotFound);
+        return Err(RunError::Match(MatchError::ResponseNotFound));
     }
     let rounds = tb.session().result().rounds.clone();
     let capture = tb.engine.tap(tb.client_tap);

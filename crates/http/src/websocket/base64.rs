@@ -32,7 +32,7 @@ pub fn encode(data: &[u8]) -> String {
 /// Decode padded base64; `None` on any malformed input.
 pub fn decode(s: &str) -> Option<Vec<u8>> {
     let bytes = s.as_bytes();
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return None;
     }
     fn val(c: u8) -> Option<u32> {
@@ -49,7 +49,7 @@ pub fn decode(s: &str) -> Option<Vec<u8>> {
     for chunk in bytes.chunks_exact(4) {
         let pad = chunk.iter().filter(|&&c| c == b'=').count();
         // Padding may only appear at the end of the chunk.
-        if pad > 2 || chunk[..4 - pad].iter().any(|&c| c == b'=') {
+        if pad > 2 || chunk[..4 - pad].contains(&b'=') {
             return None;
         }
         let mut n: u32 = 0;

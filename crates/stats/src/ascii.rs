@@ -18,16 +18,10 @@ pub fn render_box(b: &BoxStats, axis_lo: f64, axis_hi: f64, width: usize) -> Str
         ((frac * (width - 1) as f64).round() as usize).min(width - 1)
     };
     // Whisker lines.
-    for i in pos(b.whisker_lo)..=pos(b.q1) {
-        row[i] = b'-';
-    }
-    for i in pos(b.q3)..=pos(b.whisker_hi) {
-        row[i] = b'-';
-    }
+    row[pos(b.whisker_lo)..=pos(b.q1)].fill(b'-');
+    row[pos(b.q3)..=pos(b.whisker_hi)].fill(b'-');
     // Box body.
-    for i in pos(b.q1)..=pos(b.q3) {
-        row[i] = b'=';
-    }
+    row[pos(b.q1)..=pos(b.q3)].fill(b'=');
     row[pos(b.whisker_lo)] = b'|';
     row[pos(b.whisker_hi)] = b'|';
     row[pos(b.q1)] = b'[';
@@ -43,11 +37,13 @@ pub fn render_box(b: &BoxStats, axis_lo: f64, axis_hi: f64, width: usize) -> Str
 pub fn render_cdf(cdf: &Cdf, axis_lo: f64, axis_hi: f64, width: usize, height: usize) -> String {
     assert!(width >= 10 && height >= 4);
     let mut grid = vec![vec![b' '; width]; height];
-    for col in 0..width {
+    let marks = (0..width).map(|col| {
         let x = axis_lo + (axis_hi - axis_lo) * col as f64 / (width - 1) as f64;
-        let f = cdf.eval(x);
-        let row = ((1.0 - f) * (height - 1) as f64).round() as usize;
-        grid[row.min(height - 1)][col] = b'*';
+        let row = ((1.0 - cdf.eval(x)) * (height - 1) as f64).round() as usize;
+        row.min(height - 1)
+    });
+    for (col, row) in marks.enumerate() {
+        grid[row][col] = b'*';
     }
     let mut out = String::new();
     for (i, row) in grid.iter().enumerate() {

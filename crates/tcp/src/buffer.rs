@@ -72,7 +72,7 @@ impl SendBuffer {
         }
         let n = (ack.since(self.base) as usize).min(self.data.len());
         self.data.drain(..n);
-        self.base = self.base + n as u32;
+        self.base += n as u32;
     }
 
     /// First sequence number still buffered.

@@ -473,7 +473,7 @@ mod tests {
         assert_eq!(client.state(cs), Some(TcpState::TimeWait));
         assert_eq!(server.live_sockets(), 0);
         // Time passes; client reaps.
-        now = now + bnm_sim::time::SimDuration::from_secs(11);
+        now += bnm_sim::time::SimDuration::from_secs(11);
         client.on_timers(now);
         assert_eq!(client.live_sockets(), 0);
     }

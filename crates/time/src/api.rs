@@ -229,7 +229,7 @@ mod tests {
         let m = win();
         let mut t = SimTime::ZERO;
         while m.system_granularity(t) != SimDuration::from_micros(15_625) {
-            t = t + SimDuration::from_secs(30);
+            t += SimDuration::from_secs(30);
         }
         let mut api = JavaDateGetTime::new(m);
         let a = api.read(t);

@@ -79,7 +79,7 @@ impl GranularityRegimes {
     fn extend_to(&mut self, t: SimTime) {
         while self.horizon <= t {
             let dwell = self.dwell();
-            self.horizon = self.horizon + dwell;
+            self.horizon += dwell;
             // Switch to a different level (or stay if only one exists).
             let next = if self.levels.len() == 1 {
                 0

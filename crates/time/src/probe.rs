@@ -35,7 +35,7 @@ pub fn probe_granularity(
     let first = api.read(t);
     let mut calls = 1u64;
     while calls < max_calls {
-        t = t + cost;
+        t += cost;
         calls += 1;
         let current = api.read(t);
         if current != first {
@@ -65,7 +65,7 @@ pub fn probe_series(
         if let Some(p) = probe_granularity(api, t, 10_000_000) {
             out.push((t, p.observed_ms));
         }
-        t = t + interval;
+        t += interval;
     }
     out
 }
@@ -109,15 +109,24 @@ mod tests {
             SimDuration::from_secs(10),
             6 * 60, // one hour, 10 s apart
         );
-        // Count transitions between coarse/fine: a regime lasting minutes
-        // means long runs of equal observations.
+        // A regime lasting minutes means long runs of equal observations.
+        // The dwell model bounds transitions mechanically: dwells are
+        // >= 120 s, so an hour fits at most 3600/120 = 30 of them — and
+        // at least one dwell must span >= 12 consecutive 10 s probes.
         let mut transitions = 0;
+        let mut run = 1usize;
+        let mut longest_run = 1usize;
         for w in series.windows(2) {
             if (w[0].1 > 2.0) != (w[1].1 > 2.0) {
                 transitions += 1;
+                run = 1;
+            } else {
+                run += 1;
+                longest_run = longest_run.max(run);
             }
         }
-        assert!(transitions < 12, "{transitions} transitions in an hour");
+        assert!(transitions <= 30, "{transitions} transitions in an hour");
+        assert!(longest_run >= 12, "longest regime run {longest_run} probes");
     }
 
     #[test]

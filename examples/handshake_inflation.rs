@@ -20,7 +20,7 @@ fn median(v: &[f64]) -> f64 {
 fn run(method: MethodId, browser: BrowserKind) -> bnm::core::CellResult {
     let cell = ExperimentCell::paper(method, RuntimeSel::Browser(browser), OsKind::Windows7)
         .with_reps(25);
-    ExperimentRunner::run(&cell)
+    ExperimentRunner::try_run(&cell).expect("Flash cells run on Windows")
 }
 
 fn main() {

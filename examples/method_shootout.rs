@@ -9,7 +9,7 @@
 use bnm::browser::BrowserKind;
 use bnm::core::appraisal::Appraisal;
 use bnm::core::recommend;
-use bnm::core::{ExperimentCell, ExperimentRunner, RuntimeSel};
+use bnm::core::{ExperimentCell, Executor, RuntimeSel};
 use bnm::methods::MethodId;
 use bnm::timeapi::OsKind;
 
@@ -39,15 +39,19 @@ fn main() {
         os.name()
     );
 
+    // One batch: the executor spreads every (method × rep) unit across
+    // the machine's cores and reports unrunnable methods as errors.
+    let cells: Vec<ExperimentCell> = MethodId::ALL
+        .iter()
+        .map(|&m| ExperimentCell::paper(m, RuntimeSel::Browser(browser), os).with_reps(25))
+        .collect();
+    let results = Executor::new().run(&cells);
     let mut scored: Vec<(MethodId, Appraisal)> = Vec::new();
-    for method in MethodId::ALL {
-        let cell = ExperimentCell::paper(method, RuntimeSel::Browser(browser), os).with_reps(25);
-        if !cell.is_runnable() {
-            println!("{:28} — unavailable (Table 2 feature matrix)", method.display_name());
-            continue;
+    for (cell, result) in cells.iter().zip(results) {
+        match result.and_then(|r| Appraisal::try_of(&r)) {
+            Ok(a) => scored.push((cell.method, a)),
+            Err(e) => println!("{:28} — {e}", cell.method.display_name()),
         }
-        let result = ExperimentRunner::run(&cell);
-        scored.push((method, Appraisal::of(&result)));
     }
 
     // Rank: |median| + IQR as a crude accuracy score (trueness + precision).

@@ -48,7 +48,7 @@ fn main() {
     let cell = ExperimentCell::paper(rec.method, runtime, os)
         .with_reps(20)
         .with_timing(rec.timing);
-    let result = ExperimentRunner::run(&cell);
+    let result = ExperimentRunner::try_run(&cell).expect("recommended method is runnable");
     let browser_rtts: Vec<f64> = result
         .measurements
         .iter()

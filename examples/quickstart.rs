@@ -15,22 +15,27 @@ use bnm::methods::MethodId;
 use bnm::timeapi::OsKind;
 
 fn main() {
-    // 1. Describe the experiment cell: which method, which runtime.
-    let cell = ExperimentCell::paper(
+    // 1. Describe the experiment cell: which method, which runtime. The
+    //    builder validates against Table 2 at build() time.
+    let cell = ExperimentCell::builder(
         MethodId::WebSocket,
         RuntimeSel::Browser(BrowserKind::Chrome),
         OsKind::Ubuntu1204,
     )
-    .with_reps(20);
+    .reps(20)
+    .build()
+    .expect("WebSocket runs in Chrome on Ubuntu");
 
     println!("Running {} …", cell.label());
 
-    // 2. Run it: every repetition is a fresh deterministic simulation;
-    //    ground truth comes from parsing the simulated WinDump capture.
-    let result = ExperimentRunner::run(&cell);
+    // 2. Run it: every repetition is a fresh deterministic simulation
+    //    (scheduled across all cores, merged bit-identically to a serial
+    //    run); ground truth comes from parsing the simulated WinDump
+    //    capture.
+    let result = ExperimentRunner::try_run(&cell).expect("cell is runnable");
 
     // 3. Appraise: Δd = (tB_r − tB_s) − (tN_r − tN_s), Eq. 1 of the paper.
-    let appraisal = Appraisal::of(&result);
+    let appraisal = Appraisal::try_of(&result).expect("cell produced samples");
     println!("\nΔd1 (first measurement, object instantiation included):");
     println!(
         "  median {:.3} ms, IQR [{:.3}, {:.3}], whiskers [{:.3}, {:.3}], {} outliers",

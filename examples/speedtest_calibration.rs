@@ -28,7 +28,7 @@ fn main() {
         if !cell.is_runnable() {
             continue;
         }
-        let r = ExperimentRunner::run(&cell);
+        let r = ExperimentRunner::try_run(&cell).expect("cell checked runnable above");
         let wire: Vec<f64> = r.measurements.iter().map(|m| m.network_rtt_ms()).collect();
         let browser_rtt: Vec<f64> = r.measurements.iter().map(|m| m.browser_rtt_ms()).collect();
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repo health gate: the tier-1 acceptance commands plus lint.
+#
+#   scripts/check.sh            # build + test + clippy
+#   scripts/check.sh --fast     # skip the release build (debug test run only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+if [[ $fast -eq 0 ]]; then
+  echo "==> cargo build --release"
+  cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "OK"

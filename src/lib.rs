@@ -18,3 +18,9 @@ pub use bnm_sim as sim;
 pub use bnm_stats as stats;
 pub use bnm_tcp as tcp;
 pub use bnm_time as timeapi;
+
+// The working set for running experiments, at the top level: build cells
+// with `CellBuilder`, run them (in parallel, deterministically) with
+// `Executor` or `ExperimentRunner::try_run`, and handle `RunError`.
+pub use bnm_core::exec::{self, Executor, Progress};
+pub use bnm_core::{Appraisal, CellBuilder, CellResult, ExperimentCell, ExperimentRunner, RunError, RuntimeSel, Verdict};

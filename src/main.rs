@@ -95,10 +95,7 @@ fn main() {
 }
 
 fn cmd_list() {
-    println!(
-        "{:<12} {:<13} {:<12} {:<10} {:<11} {}",
-        "label", "approach", "technology", "method", "same-origin", "metrics"
-    );
+    println!("{:<12} {:<13} {:<12} {:<10} {:<11} metrics", "label", "approach", "technology", "method", "same-origin");
     for row in table1_rows() {
         println!(
             "{:<12} {:<13} {:<12} {:<10} {:<11} {}",
@@ -128,19 +125,38 @@ fn cmd_appraise(flags: &HashMap<String, String>) {
     let reps: u32 = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(25);
     let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0xB32B_2013);
 
-    let mut cell = ExperimentCell::paper(method, RuntimeSel::Browser(browser), os)
-        .with_reps(reps)
-        .with_seed(seed);
+    let mut builder = ExperimentCell::builder(method, RuntimeSel::Browser(browser), os)
+        .reps(reps)
+        .seed(seed);
     if flags.contains_key("nanotime") {
-        cell = cell.with_timing(TimingApiKind::JavaNanoTime);
+        builder = builder.timing(TimingApiKind::JavaNanoTime);
     }
-    if !cell.is_runnable() {
-        eprintln!("{} cannot run {} (Table 2 feature matrix)", browser.name(), method);
-        std::process::exit(1);
-    }
+    let cell = match builder.build() {
+        Ok(cell) => cell,
+        Err(e @ bnm::RunError::Unrunnable { .. }) => {
+            eprintln!("{e} (Table 2 feature matrix)");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
     println!("Appraising {} ({} reps, seed {seed:#x}) …", cell.label(), reps);
-    let result = ExperimentRunner::run(&cell);
-    let a = Appraisal::of(&result);
+    let result = match ExperimentRunner::try_run(&cell) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let a = match Appraisal::try_of(&result) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("appraisal failed: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("\nΔd1: median {:8.3} ms  IQR [{:8.3}, {:8.3}]  outliers {}",
         a.d1.median, a.d1.q1, a.d1.q3, a.d1.outliers.len());
     println!("Δd2: median {:8.3} ms  IQR [{:8.3}, {:8.3}]  outliers {}",
@@ -226,7 +242,7 @@ fn cmd_tput(flags: &HashMap<String, String>) {
             }
         }
         Err(e) => {
-            eprintln!("measurement failed: {e:?}");
+            eprintln!("measurement failed: {e}");
             std::process::exit(1);
         }
     }

@@ -1,0 +1,89 @@
+//! Executor integration tests through the `bnm` façade: parallel runs
+//! must be bit-identical to serial ones, and a bad cell in a batch must
+//! not take the rest down.
+
+use bnm::browser::BrowserKind;
+use bnm::methods::MethodId;
+use bnm::timeapi::OsKind;
+use bnm::{ExperimentCell, ExperimentRunner, Executor, RunError, RuntimeSel};
+
+fn grid() -> Vec<ExperimentCell> {
+    [
+        (MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204),
+        (MethodId::WebSocket, BrowserKind::Firefox, OsKind::Ubuntu1204),
+        (MethodId::JavaTcp, BrowserKind::Firefox, OsKind::Windows7),
+        (MethodId::FlashGet, BrowserKind::Opera, OsKind::Windows7),
+    ]
+    .into_iter()
+    .map(|(m, b, os)| {
+        ExperimentCell::builder(m, RuntimeSel::Browser(b), os)
+            .reps(8)
+            .build()
+            .expect("grid cells are runnable per Table 2")
+    })
+    .collect()
+}
+
+#[test]
+fn parallel_results_are_bit_identical_to_serial() {
+    let cells = grid();
+    let serial = Executor::serial().run(&cells);
+    for workers in [2, 3, 8] {
+        let parallel = Executor::with_workers(workers).run(&cells);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            // Float samples compare exactly: the merge replays rep order.
+            assert_eq!(s.d1, p.d1, "{workers} workers diverged on Δd1");
+            assert_eq!(s.d2, p.d2, "{workers} workers diverged on Δd2");
+            assert_eq!(s.failures, p.failures);
+            assert_eq!(s.measurements.len(), p.measurements.len());
+        }
+    }
+}
+
+#[test]
+fn executor_matches_the_single_cell_runner() {
+    let cells = grid();
+    let batch = Executor::new().run(&cells);
+    for (cell, got) in cells.iter().zip(batch) {
+        let alone = ExperimentRunner::try_run(cell).unwrap();
+        let got = got.unwrap();
+        assert_eq!(alone.d1, got.d1);
+        assert_eq!(alone.d2, got.d2);
+    }
+}
+
+#[test]
+fn one_unrunnable_cell_does_not_sink_the_batch() {
+    let mut cells = grid();
+    // WebSocket predates IE9 — unrunnable per the Table 2 feature matrix.
+    cells.insert(
+        1,
+        ExperimentCell::paper(
+            MethodId::WebSocket,
+            RuntimeSel::Browser(BrowserKind::Ie9),
+            OsKind::Windows7,
+        ),
+    );
+    let results = Executor::new().run(&cells);
+    assert_eq!(results.len(), cells.len());
+    assert!(matches!(results[1], Err(RunError::Unrunnable { .. })));
+    for (i, r) in results.iter().enumerate() {
+        if i != 1 {
+            assert!(r.is_ok(), "runnable cell {i} failed: {r:?}");
+        }
+    }
+}
+
+#[test]
+fn builder_rejects_what_the_executor_would_reject() {
+    let err = ExperimentCell::builder(
+        MethodId::WebSocket,
+        RuntimeSel::Browser(BrowserKind::Ie9),
+        OsKind::Windows7,
+    )
+    .build()
+    .unwrap_err();
+    assert_eq!(format!("{err}"), "IE (W) cannot run WebSocket");
+}

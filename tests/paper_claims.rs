@@ -14,7 +14,7 @@ use bnm::timeapi::{OsKind, TimingApiKind};
 
 fn run(method: MethodId, browser: BrowserKind, os: OsKind, reps: u32) -> CellResult {
     let cell = ExperimentCell::paper(method, RuntimeSel::Browser(browser), os).with_reps(reps);
-    ExperimentRunner::run(&cell)
+    ExperimentRunner::try_run(&cell).unwrap()
 }
 
 fn median(v: &[f64]) -> f64 {
@@ -176,7 +176,7 @@ fn table4_nanotime_fixes_java() {
         )
         .with_reps(15)
         .with_timing(TimingApiKind::JavaNanoTime);
-        let r = ExperimentRunner::run(&cell);
+        let r = ExperimentRunner::try_run(&cell).unwrap();
         assert!(
             r.pooled().iter().all(|&d| d > 0.0),
             "{method:?}: no negative Δd with nanoTime"
@@ -188,7 +188,7 @@ fn table4_nanotime_fixes_java() {
         }
     }
     // And Table 4's asymmetries: GET Δd2 > Δd1, POST Δd2 < Δd1.
-    let get = ExperimentRunner::run(
+    let get = ExperimentRunner::try_run(
         &ExperimentCell::paper(
             MethodId::JavaGet,
             RuntimeSel::Browser(BrowserKind::Chrome),
@@ -196,9 +196,10 @@ fn table4_nanotime_fixes_java() {
         )
         .with_reps(15)
         .with_timing(TimingApiKind::JavaNanoTime),
-    );
+    )
+    .unwrap();
     assert!(median(&get.d2) > median(&get.d1), "Java GET Δd2 > Δd1");
-    let post = ExperimentRunner::run(
+    let post = ExperimentRunner::try_run(
         &ExperimentCell::paper(
             MethodId::JavaPost,
             RuntimeSel::Browser(BrowserKind::Chrome),
@@ -206,7 +207,8 @@ fn table4_nanotime_fixes_java() {
         )
         .with_reps(15)
         .with_timing(TimingApiKind::JavaNanoTime),
-    );
+    )
+    .unwrap();
     assert!(median(&post.d2) < median(&post.d1), "Java POST Δd2 < Δd1");
 }
 
@@ -221,7 +223,7 @@ fn appletviewer_shows_quantization_without_browser() {
         let cell = ExperimentCell::paper(MethodId::JavaTcp, RuntimeSel::AppletViewer, OsKind::Windows7)
             .with_reps(20)
             .with_seed(seed);
-        let r = ExperimentRunner::run(&cell);
+        let r = ExperimentRunner::try_run(&cell).unwrap();
         let levels = Cdf::of(&r.d1).levels(3.0);
         if levels.len() >= 2 {
             found = true;
@@ -244,8 +246,8 @@ fn full_pipeline_determinism() {
     )
     .with_reps(8)
     .with_seed(123);
-    let a = ExperimentRunner::run(&cell);
-    let b = ExperimentRunner::run(&cell);
+    let a = ExperimentRunner::try_run(&cell).unwrap();
+    let b = ExperimentRunner::try_run(&cell).unwrap();
     assert_eq!(a.d1, b.d1);
     assert_eq!(a.d2, b.d2);
     assert_eq!(a.failures, 0);
@@ -261,7 +263,7 @@ fn full_grid_smoke() {
             if !cell.is_runnable() {
                 continue;
             }
-            let r = ExperimentRunner::run(&cell);
+            let r = ExperimentRunner::try_run(&cell).unwrap();
             assert_eq!(r.failures, 0, "{}", cell.label());
             assert_eq!(r.d1.len(), 2);
             assert_eq!(r.d2.len(), 2);
@@ -280,7 +282,7 @@ fn distribution_level_checks_via_ks() {
         let cell = ExperimentCell::paper(MethodId::JavaTcp, RuntimeSel::Browser(b), OsKind::Windows7)
             .with_reps(25)
             .with_timing(TimingApiKind::JavaNanoTime);
-        ExperimentRunner::run(&cell).pooled()
+        ExperimentRunner::try_run(&cell).unwrap().pooled()
     };
     let chrome = java(BrowserKind::Chrome);
     let firefox = java(BrowserKind::Firefox);

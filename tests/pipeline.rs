@@ -74,16 +74,17 @@ fn capture_noise_perturbs_but_does_not_break_matching() {
         )
     }
     .with_reps(10);
-    let noisy = ExperimentRunner::run(&cell);
+    let noisy = ExperimentRunner::try_run(&cell).unwrap();
     assert_eq!(noisy.failures, 0);
-    let clean = ExperimentRunner::run(
+    let clean = ExperimentRunner::try_run(
         &ExperimentCell::paper(
             MethodId::WebSocket,
             RuntimeSel::Browser(BrowserKind::Chrome),
             OsKind::Ubuntu1204,
         )
         .with_reps(10),
-    );
+    )
+    .unwrap();
     // Noise moves individual Δd by at most ±0.3 ms.
     for (a, b) in noisy.pooled().iter().zip(clean.pooled().iter()) {
         assert!((a - b).abs() <= 0.61, "noise bound violated: {a} vs {b}");
@@ -140,7 +141,7 @@ fn server_handler_delay_is_invisible_to_delta_d() {
         OsKind::Ubuntu1204,
     )
     .with_reps(8);
-    let plain = ExperimentRunner::run(&base);
+    let plain = ExperimentRunner::try_run(&base).unwrap();
 
     let profile = BrowserProfile::build(BrowserKind::Chrome, OsKind::Ubuntu1204).unwrap();
     let mut cfg = TestbedConfig::default();
@@ -173,7 +174,7 @@ fn udp_method_end_to_end() {
         OsKind::Ubuntu1204,
     )
     .with_reps(6);
-    let r = ExperimentRunner::run(&cell);
+    let r = ExperimentRunner::try_run(&cell).unwrap();
     assert_eq!(r.failures, 0);
     for m in &r.measurements {
         // UDP has no handshake at all: the wire RTT is just delay + wire.

@@ -267,7 +267,7 @@ proptest! {
         let mut t = SimTime::ZERO;
         let mut last = api.read(t);
         for step in steps {
-            t = t + SimDuration::from_nanos(step);
+            t += SimDuration::from_nanos(step);
             let v = api.read(t);
             prop_assert!(v >= last, "clock went backwards: {} -> {}", last, v);
             last = v;
