@@ -48,25 +48,37 @@ impl Node for Burst {
 }
 
 fn bench_engine_pingpong(c: &mut Criterion) {
-    c.bench_function("engine/1000_frame_roundtrips", |b| {
-        b.iter_batched(
-            || {
-                let mut e = Engine::new();
-                let p = e.add_node(Box::new(Burst {
-                    count: 1000,
-                    received: 0,
-                }));
-                let s = e.add_node(Box::new(Echo));
-                e.connect(p, 0, s, 0, LinkSpec::fast_ethernet());
-                e
-            },
-            |mut e| {
-                e.run();
-                e.events_processed()
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    // Both variants run the *instrumented* engine; the first with the
+    // default disabled trace handle (every record call is one inlined
+    // branch — the tier-1 budget holds this within 2% of pre-obs wall
+    // time), the second with a live buffer for the enabled-path cost.
+    for (name, traced) in [
+        ("engine/1000_frame_roundtrips", false),
+        ("engine/1000_frame_roundtrips_traced", true),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut e = Engine::new();
+                    let p = e.add_node(Box::new(Burst {
+                        count: 1000,
+                        received: 0,
+                    }));
+                    let s = e.add_node(Box::new(Echo));
+                    e.connect(p, 0, s, 0, LinkSpec::fast_ethernet());
+                    if traced {
+                        e.set_trace(bnm_obs::Trace::enabled());
+                    }
+                    e
+                },
+                |mut e| {
+                    e.run();
+                    e.events_processed()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
 }
 
 fn bench_switch_forwarding(c: &mut Criterion) {

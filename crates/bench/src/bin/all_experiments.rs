@@ -4,7 +4,8 @@
 
 use std::process::Command;
 
-use bnm_bench::{heading, master_seed, reps, run_cells, save};
+use bnm_bench::cli::BenchArgs;
+use bnm_bench::{heading, run_cells};
 use bnm_browser::BrowserKind;
 use bnm_core::appraisal::Appraisal;
 use bnm_core::impact::{JitterImpact, ThroughputImpact};
@@ -15,23 +16,26 @@ use bnm_stats::Summary;
 use bnm_time::OsKind;
 
 fn run_bin(name: &str) {
-    // Re-exec the sibling binaries so each prints its own report.
+    // Re-exec the sibling binaries so each prints its own report; the
+    // shared flags (--seed/--reps/--results/--format) pass straight
+    // through.
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
     let status = Command::new(dir.join(name))
+        .args(std::env::args().skip(1))
         .status()
         .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
     assert!(status.success(), "{name} failed");
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     for bin in ["table1", "table2", "fig3", "table3", "fig4", "fig5", "table4", "tput", "sweep"] {
         run_bin(bin);
     }
 
     // ---- Extensions beyond the paper's own tables ----
-    let n = reps();
-    let seed = master_seed();
+    let (seed, n) = (args.seed, args.reps);
 
     heading("Extension: appraisal verdicts per method (best runtime per OS, §5 framing)");
     let mut csv = String::from("cell,d1_median,d2_median,iqr,verdict\n");
@@ -67,7 +71,7 @@ fn main() {
             a.verdict
         ));
     }
-    save("appraisals.csv", &csv);
+    args.save_artifact("appraisals.csv", &csv);
 
     heading("Extension: mobile WebKit runtime (§7) — native methods only");
     let mobile_cells: Vec<ExperimentCell> = MethodId::ALL

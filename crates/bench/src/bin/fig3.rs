@@ -1,15 +1,16 @@
 //! Figure 3 regenerator: box plots of Δd1/Δd2 for the ten methods across
 //! the eight browser-OS combinations (panels (a)–(j)).
 
-use bnm_bench::{heading, master_seed, reps, run_cells, save};
+use bnm_bench::cli::BenchArgs;
+use bnm_bench::{heading, run_cells};
 use bnm_core::config::figure3_combos;
 use bnm_core::report::{panel_rows, render_panel, to_csv};
 use bnm_core::ExperimentCell;
 use bnm_methods::MethodId;
 
 fn main() {
-    let seed = master_seed();
-    let n = reps();
+    let args = BenchArgs::parse();
+    let (seed, n) = (args.seed, args.reps);
     println!("Figure 3 — delay overheads by method ({n} reps/cell, seed {seed:#x})");
 
     let mut csv_all = String::new();
@@ -35,6 +36,6 @@ fn main() {
         }
         print!("{}", render_panel(&format!("Δd (ms), {} reps", n), &rows, 58));
     }
-    let path = save("fig3_deltas.csv", &csv_all);
-    println!("\nCSV written to {}", path.display());
+    let path = args.save_artifact("fig3_deltas.csv", &csv_all);
+    println!("\nArtifact written to {}", path.display());
 }

@@ -7,7 +7,8 @@
 //! (exonerating browsers and plug-ins); Safari's Δd2 smeared continuously
 //! by its broken default Java interface.
 
-use bnm_bench::{heading, master_seed, reps, run_cells, save};
+use bnm_bench::cli::BenchArgs;
+use bnm_bench::{heading, run_cells};
 use bnm_browser::BrowserKind;
 use bnm_core::appraisal::Appraisal;
 use bnm_core::report::render_cdf_block;
@@ -17,8 +18,8 @@ use bnm_stats::Cdf;
 use bnm_time::OsKind;
 
 fn main() {
-    let n = reps();
-    let seed = master_seed();
+    let args = BenchArgs::parse();
+    let (seed, n) = (args.seed, args.reps);
 
     let mut cells: Vec<ExperimentCell> = BrowserKind::ALL
         .iter()
@@ -89,8 +90,8 @@ fn main() {
         "\nReading: discrete levels ~15.6 ms apart appear with and without a browser —\n\
          the granularity of Date.getTime()/currentTimeMillis() on Windows is the cause (§4.2)."
     );
-    let path = save("fig4_cdfs.csv", &csv);
-    println!("CSV written to {}", path.display());
+    let path = args.save_artifact("fig4_cdfs.csv", &csv);
+    println!("Artifact written to {}", path.display());
 }
 
 /// Print the discrete levels of a Δd sample (center, mass).

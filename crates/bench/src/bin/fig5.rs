@@ -6,14 +6,16 @@
 //! granularity flipping between 1 ms and ~15.6 ms with multi-minute
 //! dwell times — and `System.nanoTime()` immune to all of it.
 
-use bnm_bench::{heading, master_seed, save};
+use bnm_bench::cli::BenchArgs;
+use bnm_bench::heading;
 use bnm_sim::time::{SimDuration, SimTime};
 use bnm_time::{
     make_api, probe_granularity, probe::probe_series, MachineTimer, OsKind, TimingApiKind,
 };
 
 fn main() {
-    let seed = master_seed();
+    let args = BenchArgs::parse();
+    let seed = args.seed;
     heading("Figure 5: timestamp-granularity probe (busy-wait until the clock ticks)");
 
     let machine_w = MachineTimer::new(OsKind::Windows7, seed);
@@ -59,6 +61,6 @@ fn main() {
         coarse,
         series.len()
     );
-    let path = save("fig5_granularity.csv", &csv);
-    println!("CSV written to {}", path.display());
+    let path = args.save_artifact("fig5_granularity.csv", &csv);
+    println!("Artifact written to {}", path.display());
 }

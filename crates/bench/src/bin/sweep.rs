@@ -5,7 +5,8 @@
 //! fitted slopes: reuse methods are flat, handshake-including methods
 //! have slope ≈ 1 (they absorb one extra RTT per RTT).
 
-use bnm_bench::{heading, master_seed, reps, save};
+use bnm_bench::cli::BenchArgs;
+use bnm_bench::heading;
 use bnm_browser::BrowserKind;
 use bnm_core::sweep::{d1_slope, d2_slope, try_sweep};
 use bnm_core::{ExperimentCell, RuntimeSel};
@@ -14,8 +15,9 @@ use bnm_sim::time::SimDuration;
 use bnm_time::OsKind;
 
 fn main() {
-    let n = reps().min(15);
-    let seed = master_seed();
+    let args = BenchArgs::parse();
+    let n = args.reps.min(15);
+    let seed = args.seed;
     heading("Extension: Δd vs server delay — who absorbs extra RTTs?");
 
     let delays: Vec<SimDuration> = [10u64, 25, 50, 100, 200]
@@ -68,6 +70,6 @@ fn main() {
          path length; slope ≈ +1 (Opera Flash Δd1, Flash POST Δd2) — the \"overhead\" is a\n\
          hidden handshake, growing with every ms of network delay (§3/§4.1)."
     );
-    let path = save("sweep.csv", &csv);
-    println!("CSV written to {}", path.display());
+    let path = args.save_artifact("sweep.csv", &csv);
+    println!("Artifact written to {}", path.display());
 }

@@ -1,10 +1,12 @@
 //! Table 1 regenerator: the taxonomy of browser-based measurement
 //! methods and the tools using them.
 
-use bnm_bench::{heading, save};
+use bnm_bench::cli::BenchArgs;
+use bnm_bench::heading;
 use bnm_methods::table1_rows;
 
 fn main() {
+    let args = BenchArgs::parse();
     heading("Table 1: A summary of the browser-based network measurement methods and tools");
     println!(
         "{:<13} {:<12} {:<13} {:<10} {:<12} {:<16} Tools / Services",
@@ -36,6 +38,6 @@ fn main() {
         ));
     }
     println!("\nNote: \"Yes*\" — the same-origin policy can be bypassed.");
-    let path = save("table1.csv", &csv);
-    println!("CSV written to {}", path.display());
+    let path = args.save_artifact("table1.csv", &csv);
+    println!("Artifact written to {}", path.display());
 }

@@ -1,9 +1,11 @@
 //! Table 2 regenerator: browser and system configurations of the testbed.
 
-use bnm_bench::{heading, save};
+use bnm_bench::cli::BenchArgs;
+use bnm_bench::heading;
 use bnm_methods::table2_rows;
 
 fn main() {
+    let args = BenchArgs::parse();
     heading("Table 2: Configurations of the browsers and systems used in the experiments");
     println!(
         "{:<12} {:<10} {:<9} {:<10} {:<6} WebSocket",
@@ -38,6 +40,6 @@ fn main() {
             row.websocket
         ));
     }
-    let path = save("table2.csv", &csv);
-    println!("\nCSV written to {}", path.display());
+    let path = args.save_artifact("table2.csv", &csv);
+    println!("\nArtifact written to {}", path.display());
 }

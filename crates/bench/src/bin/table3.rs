@@ -1,7 +1,8 @@
 //! Table 3 regenerator: median Δd1/Δd2 for the Flash HTTP methods in
 //! Opera — the TCP-handshake-inclusion finding (§4.1).
 
-use bnm_bench::{fmt_med, heading, master_seed, reps, run_cells, save};
+use bnm_bench::cli::BenchArgs;
+use bnm_bench::{fmt_med, heading, run_cells};
 use bnm_browser::BrowserKind;
 use bnm_core::{ExperimentCell, RuntimeSel};
 use bnm_methods::MethodId;
@@ -9,8 +10,8 @@ use bnm_stats::Summary;
 use bnm_time::OsKind;
 
 fn main() {
-    let n = reps();
-    let seed = master_seed();
+    let args = BenchArgs::parse();
+    let (seed, n) = (args.seed, args.reps);
     heading("Table 3: Median Δd1 and Δd2 for the Flash HTTP methods in Opera (ms)");
 
     let mut cells = Vec::new();
@@ -52,6 +53,6 @@ fn main() {
         post_d2 - 50.0,
         get_d2
     );
-    let path = save("table3.csv", &csv);
-    println!("CSV written to {}", path.display());
+    let path = args.save_artifact("table3.csv", &csv);
+    println!("Artifact written to {}", path.display());
 }

@@ -4,7 +4,8 @@
 //! The §4.2 fix: replacing `Date.getTime()` removes the under-estimation
 //! entirely; the socket method becomes comparable to tcpdump/WinDump.
 
-use bnm_bench::{heading, master_seed, reps, run_cells, save};
+use bnm_bench::cli::BenchArgs;
+use bnm_bench::{heading, run_cells};
 use bnm_browser::BrowserKind;
 use bnm_core::{ExperimentCell, RuntimeSel};
 use bnm_methods::MethodId;
@@ -12,8 +13,8 @@ use bnm_stats::MeanCi;
 use bnm_time::{OsKind, TimingApiKind};
 
 fn main() {
-    let n = reps();
-    let seed = master_seed();
+    let args = BenchArgs::parse();
+    let (seed, n) = (args.seed, args.reps);
     heading(
         "Table 4: Delay overheads of the Java applet methods on Windows with System.nanoTime() \
          (mean ± 95% CI, ms)",
@@ -66,6 +67,6 @@ fn main() {
         "\nReading: no negative means anywhere; socket overheads ≲ 0.2 ms — comparable to the\n\
          capture tool itself, as §4.2 concludes."
     );
-    let path = save("table4.csv", &csv);
-    println!("CSV written to {}", path.display());
+    let path = args.save_artifact("table4.csv", &csv);
+    println!("Artifact written to {}", path.display());
 }

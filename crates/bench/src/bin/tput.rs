@@ -6,7 +6,8 @@
 //! the wire-level truth. Also prints the ICMP ping baseline (§6, the
 //! Yeboah et al. comparison).
 
-use bnm_bench::{heading, master_seed, reps, save};
+use bnm_bench::cli::BenchArgs;
+use bnm_bench::heading;
 use bnm_browser::BrowserKind;
 use bnm_core::baseline::ping_baseline;
 use bnm_core::throughput::run_bulk_rep;
@@ -16,8 +17,9 @@ use bnm_stats::Summary;
 use bnm_time::OsKind;
 
 fn main() {
-    let n_reps = reps().min(10); // bulk repetitions are heavier
-    let seed = master_seed();
+    let args = BenchArgs::parse();
+    let n_reps = args.reps.min(10); // bulk repetitions are heavier
+    let seed = args.seed;
 
     heading("Extension: ICMP ping baseline (§6)");
     let pings = ping_baseline(10, bnm_sim::time::SimDuration::from_millis(50), seed);
@@ -85,6 +87,6 @@ fn main() {
         "\nReading: the overhead is a fixed per-transfer tax, so it dominates small\n\
          transfers and dilutes on large ones — and Flash taxes every size hardest (§2.2)."
     );
-    let path = save("tput.csv", &csv);
-    println!("CSV written to {}", path.display());
+    let path = args.save_artifact("tput.csv", &csv);
+    println!("Artifact written to {}", path.display());
 }

@@ -1,0 +1,258 @@
+//! Shared command-line parsing for the regenerator binaries.
+//!
+//! Every binary understands the same four flags, each falling back to
+//! the historical environment variable, then to the paper's default:
+//!
+//! ```text
+//! --seed S                 master seed        (env BNM_SEED,    default 0xB32B_2013)
+//! --reps N                 repetitions/cell   (env BNM_REPS,    default 50)
+//! --results DIR            artifact directory (env BNM_RESULTS, default results/)
+//! --format text|json|csv   artifact format    (default csv)
+//! ```
+//!
+//! `--format` governs [`BenchArgs::save_artifact`]: `json` converts the
+//! CSV table into an array of objects before writing; `text` and `csv`
+//! write the CSV as-is (stdout is already the human-readable view).
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Artifact format selected with `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-oriented: artifacts stay CSV, stdout is the report.
+    Text,
+    /// Artifacts converted to JSON (array of objects).
+    Json,
+    /// Plain CSV artifacts (the default).
+    #[default]
+    Csv,
+}
+
+/// Parsed arguments shared by every regenerator binary.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Master seed for all cells.
+    pub seed: u64,
+    /// Repetitions per cell.
+    pub reps: u32,
+    /// Directory artifacts are written into (created on first save).
+    pub results_dir: PathBuf,
+    /// Artifact format.
+    pub format: OutputFormat,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            seed: crate::master_seed(),
+            reps: crate::reps(),
+            results_dir: PathBuf::from(
+                std::env::var("BNM_RESULTS").unwrap_or_else(|_| "results".to_string()),
+            ),
+            format: OutputFormat::Csv,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parse the process arguments, exiting with usage on a bad flag.
+    pub fn parse() -> BenchArgs {
+        match Self::from_args(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!(
+                    "{e}\nusage: [--seed S] [--reps N] [--results DIR] [--format text|json|csv]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse from an explicit argument list (testable core of
+    /// [`BenchArgs::parse`]). Environment fallbacks still apply for
+    /// flags that are absent.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<BenchArgs, String> {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            let mut take = || it.next().ok_or_else(|| format!("{a} needs a value"));
+            match a.as_str() {
+                "--seed" => {
+                    let v = take()?;
+                    out.seed = parse_seed(&v).ok_or_else(|| format!("bad seed: {v}"))?;
+                }
+                "--reps" => {
+                    let v = take()?;
+                    out.reps = v.parse().map_err(|_| format!("bad reps: {v}"))?;
+                }
+                "--results" => out.results_dir = PathBuf::from(take()?),
+                "--format" => {
+                    out.format = match take()?.as_str() {
+                        "text" => OutputFormat::Text,
+                        "json" => OutputFormat::Json,
+                        "csv" => OutputFormat::Csv,
+                        other => return Err(format!("bad format: {other}")),
+                    }
+                }
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Write a CSV artifact under the results directory, honouring the
+    /// selected format: `json` transposes the table to an array of
+    /// objects and swaps the extension; `text`/`csv` write it verbatim.
+    /// Returns the path written.
+    pub fn save_artifact(&self, name: &str, csv: &str) -> PathBuf {
+        fs::create_dir_all(&self.results_dir).expect("create results dir");
+        let (path, contents) = match self.format {
+            OutputFormat::Json => {
+                let json_name = match name.strip_suffix(".csv") {
+                    Some(stem) => format!("{stem}.json"),
+                    None => format!("{name}.json"),
+                };
+                (self.results_dir.join(json_name), csv_to_json(csv))
+            }
+            _ => (self.results_dir.join(name), csv.to_string()),
+        };
+        fs::write(&path, contents).expect("write artifact");
+        path
+    }
+}
+
+fn parse_seed(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+/// Convert a CSV table (double-quoted fields allowed, no embedded
+/// newlines — all our artifacts satisfy this) into a deterministic JSON
+/// array of objects keyed by the header row. Numeric fields stay
+/// numbers; everything else becomes a string.
+pub fn csv_to_json(csv: &str) -> String {
+    let mut lines = csv.lines();
+    let Some(header) = lines.next() else {
+        return "[]".to_string();
+    };
+    let keys = split_csv_line(header);
+    let mut out = String::from("[");
+    for (i, line) in lines.filter(|l| !l.is_empty()).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        for (j, (k, v)) in keys.iter().zip(split_csv_line(line)).enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape(k));
+            out.push_str("\":");
+            if v.parse::<f64>().is_ok() && !v.is_empty() {
+                out.push_str(&v);
+            } else {
+                out.push('"');
+                out.push_str(&escape(&v));
+                out.push('"');
+            }
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+/// Split one CSV line into fields, honouring double-quoted fields (a
+/// doubled quote inside one is a literal quote).
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes && chars.peek() == Some(&'"') => {
+                chars.next();
+                cur.push('"');
+            }
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BenchArgs, String> {
+        BenchArgs::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let a = parse(&[
+            "--seed", "0xAB", "--reps", "7", "--results", "/tmp/r", "--format", "json",
+        ])
+        .unwrap();
+        assert_eq!(a.seed, 0xAB);
+        assert_eq!(a.reps, 7);
+        assert_eq!(a.results_dir, PathBuf::from("/tmp/r"));
+        assert_eq!(a.format, OutputFormat::Json);
+        assert_eq!(parse(&["--seed", "12"]).unwrap().seed, 12);
+    }
+
+    #[test]
+    fn bad_flags_are_reported() {
+        assert!(parse(&["--format", "xml"]).unwrap_err().contains("bad format"));
+        assert!(parse(&["--reps"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown flag"));
+        assert!(parse(&["--seed", "zap"]).unwrap_err().contains("bad seed"));
+    }
+
+    #[test]
+    fn csv_converts_to_json_objects() {
+        let json = csv_to_json("method,round,med_ms\nxhr_get,1,4.25\nws,2,0.5\n");
+        assert_eq!(
+            json,
+            "[{\"method\":\"xhr_get\",\"round\":1,\"med_ms\":4.25},\
+             {\"method\":\"ws\",\"round\":2,\"med_ms\":0.5}]"
+                .replace("             ", "")
+        );
+        assert_eq!(csv_to_json(""), "[]");
+    }
+
+    #[test]
+    fn quoted_fields_survive_json_conversion() {
+        let json = csv_to_json("a,b\n\"x, y\",\"he said \"\"hi\"\"\"\n");
+        assert_eq!(json, "[{\"a\":\"x, y\",\"b\":\"he said \\\"hi\\\"\"}]");
+    }
+
+    #[test]
+    fn save_artifact_honours_format() {
+        let dir = std::env::temp_dir().join("bnm_cli_test");
+        let _ = fs::remove_dir_all(&dir);
+        let mut a = parse(&[]).unwrap();
+        a.results_dir = dir.clone();
+        a.format = OutputFormat::Csv;
+        let p = a.save_artifact("t.csv", "a,b\n1,2\n");
+        assert!(p.to_string_lossy().ends_with("t.csv"));
+        a.format = OutputFormat::Json;
+        let p = a.save_artifact("t.csv", "a,b\n1,2\n");
+        assert!(p.to_string_lossy().ends_with("t.json"));
+        assert_eq!(fs::read_to_string(&p).unwrap(), "[{\"a\":1,\"b\":2}]");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

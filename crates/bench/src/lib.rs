@@ -14,6 +14,13 @@
 //! | `all_experiments` | everything above + CSV dumps under `results/`  |
 //!
 //! Run with `cargo run --release -p bnm-bench --bin fig3`.
+//!
+//! Every binary accepts the shared flags of [`cli::BenchArgs`]
+//! (`--seed`, `--reps`, `--results`, `--format text|json|csv`).
+
+#![deny(deprecated)]
+
+pub mod cli;
 
 use std::fs;
 use std::io::IsTerminal;
@@ -57,13 +64,13 @@ pub fn results_dir() -> PathBuf {
 /// and dropped; when stderr is a terminal, a live rep counter is shown.
 pub fn run_cells(cells: Vec<ExperimentCell>) -> Vec<(ExperimentCell, CellResult)> {
     let live = std::io::stderr().is_terminal();
-    let results = Executor::new().run_with_progress(&cells, |p| {
+    let (results, stats) = Executor::new().run_with_stats(&cells, |p| {
         if live {
             eprint!("\r  {}/{} reps", p.completed, p.total);
         }
     });
     if live && !cells.is_empty() {
-        eprintln!();
+        eprintln!("\r  {}", stats.summary());
     }
     cells
         .into_iter()

@@ -33,5 +33,5 @@ pub mod session;
 
 pub use delay::DelayModel;
 pub use plan::{ProbePlan, ProbeTransport, Technology};
-pub use profile::{BrowserKind, BrowserProfile, ConnPolicy, Runtime};
+pub use profile::{BrowserKind, BrowserProfile, ConnPolicy, PathSeg, Runtime};
 pub use session::{BrowserSession, RoundResult, SessionResult};

@@ -15,10 +15,32 @@
 //! odd one out; Java paths independent of the host browser (they run in
 //! the JVM).
 
+use bnm_obs::Component;
 use bnm_time::OsKind;
 
 use crate::delay::DelayModel;
 use crate::plan::{ProbeTransport, Technology};
+
+/// One delay segment of a send/receive path: a primitive tagged with
+/// the Δd component it is attributed to and a stable trace label.
+#[derive(Debug, Clone, Copy)]
+pub struct PathSeg {
+    /// Primitive name, used as the trace event label.
+    pub label: &'static str,
+    /// Δd attribution component (Figure 3 decomposition).
+    pub component: Component,
+    /// The delay distribution to sample.
+    pub model: DelayModel,
+}
+
+/// Shorthand constructor for a [`PathSeg`].
+fn seg(label: &'static str, component: Component, model: DelayModel) -> PathSeg {
+    PathSeg {
+        label,
+        component,
+        model,
+    }
+}
 
 /// The five browsers of the paper's Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -487,80 +509,101 @@ impl BrowserProfile {
 
     /// The delay segments between "measurement code decides to send" and
     /// "bytes handed to the network stack", for one probe.
-    pub fn send_path(&self, tech: Technology, transport: ProbeTransport, round: u8) -> Vec<DelayModel> {
+    pub fn send_path(&self, tech: Technology, transport: ProbeTransport, round: u8) -> Vec<PathSeg> {
+        use Component::{Bridge, Parse, Stack};
         let p = &self.prims;
         let mut path = match (tech, transport) {
             (Technology::Native, ProbeTransport::HttpGet | ProbeTransport::HttpPost) => {
-                vec![p.js_exec, p.xhr_send]
+                vec![
+                    seg("js_exec", Component::Dispatch, p.js_exec),
+                    seg("xhr_send", Parse, p.xhr_send),
+                ]
             }
-            (Technology::Native, ProbeTransport::WebSocketEcho) => vec![p.js_exec, p.ws_send],
+            (Technology::Native, ProbeTransport::WebSocketEcho) => vec![
+                seg("js_exec", Component::Dispatch, p.js_exec),
+                seg("ws_send", Parse, p.ws_send),
+            ],
             (Technology::Flash, ProbeTransport::HttpGet | ProbeTransport::HttpPost) => {
-                vec![p.flash_url_send, p.flash_bridge]
+                vec![
+                    seg("flash_url_send", Parse, p.flash_url_send),
+                    seg("flash_bridge", Bridge, p.flash_bridge),
+                ]
             }
-            (Technology::Flash, ProbeTransport::TcpEcho) => vec![p.flash_socket_send],
+            (Technology::Flash, ProbeTransport::TcpEcho) => {
+                vec![seg("flash_socket_send", Stack, p.flash_socket_send)]
+            }
             (Technology::JavaApplet, ProbeTransport::HttpGet | ProbeTransport::HttpPost) => {
                 let mut m = p.java_http_send;
                 if transport == ProbeTransport::HttpPost && round >= 2 {
                     m = m.scaled(p.java_post_round2_scale);
                 }
-                vec![m]
+                vec![seg("java_http_send", Parse, m)]
             }
             (Technology::JavaApplet, ProbeTransport::TcpEcho | ProbeTransport::UdpEcho) => {
-                vec![p.java_socket_send]
+                vec![seg("java_socket_send", Stack, p.java_socket_send)]
             }
             // DOM is Native+HttpGet in Table 1; the DOM-specific path is
             // selected by the method label through `dom_paths`.
             (t, tr) => unreachable!("no path for {t:?} over {tr:?}"),
         };
-        path.push(p.os_send);
+        path.push(seg("os_send", Stack, p.os_send));
         path
     }
 
     /// The DOM method's send path (element insertion instead of XHR).
-    pub fn dom_send_path(&self) -> Vec<DelayModel> {
-        vec![self.prims.js_exec, self.prims.dom_insert, self.prims.os_send]
+    pub fn dom_send_path(&self) -> Vec<PathSeg> {
+        vec![
+            seg("js_exec", Component::Dispatch, self.prims.js_exec),
+            seg("dom_insert", Component::Dispatch, self.prims.dom_insert),
+            seg("os_send", Component::Stack, self.prims.os_send),
+        ]
     }
 
     /// The delay segments between "response bytes readable" and "the
     /// measurement code reads `tB_r`".
-    pub fn recv_path(&self, tech: Technology, transport: ProbeTransport, round: u8) -> Vec<DelayModel> {
+    pub fn recv_path(&self, tech: Technology, transport: ProbeTransport, round: u8) -> Vec<PathSeg> {
+        use Component::{Bridge, Dispatch, Parse, Stack};
         let p = &self.prims;
-        let mut path = vec![p.os_recv];
+        let mut path = vec![seg("os_recv", Stack, p.os_recv)];
         match (tech, transport) {
             (Technology::Native, ProbeTransport::HttpGet | ProbeTransport::HttpPost) => {
-                path.push(p.event_dispatch);
-                path.push(p.xhr_recv);
+                path.push(seg("event_dispatch", Dispatch, p.event_dispatch));
+                path.push(seg("xhr_recv", Parse, p.xhr_recv));
             }
-            (Technology::Native, ProbeTransport::WebSocketEcho) => path.push(p.ws_recv),
+            (Technology::Native, ProbeTransport::WebSocketEcho) => {
+                path.push(seg("ws_recv", Parse, p.ws_recv));
+            }
             (Technology::Flash, ProbeTransport::HttpGet | ProbeTransport::HttpPost) => {
-                path.push(p.flash_bridge);
-                path.push(p.flash_url_recv);
-                path.push(p.event_dispatch);
+                path.push(seg("flash_bridge", Bridge, p.flash_bridge));
+                path.push(seg("flash_url_recv", Parse, p.flash_url_recv));
+                path.push(seg("event_dispatch", Dispatch, p.event_dispatch));
             }
-            (Technology::Flash, ProbeTransport::TcpEcho) => path.push(p.flash_socket_recv),
+            (Technology::Flash, ProbeTransport::TcpEcho) => {
+                path.push(seg("flash_socket_recv", Stack, p.flash_socket_recv));
+            }
             (Technology::JavaApplet, ProbeTransport::HttpGet | ProbeTransport::HttpPost) => {
                 let mut m = p.java_http_recv;
                 if transport == ProbeTransport::HttpPost && round >= 2 {
                     m = m.scaled(p.java_post_round2_scale);
                 }
-                path.push(m);
+                path.push(seg("java_http_recv", Parse, m));
                 if transport == ProbeTransport::HttpGet && round >= 2 {
-                    path.push(p.java_get_round2_extra);
+                    path.push(seg("java_get_round2_extra", Parse, p.java_get_round2_extra));
                 }
                 if round >= 2 {
                     if let Some(noise) = p.java_round2_noise {
-                        path.push(noise);
+                        path.push(seg("java_round2_noise", Parse, noise));
                     }
                 }
             }
             (Technology::JavaApplet, ProbeTransport::TcpEcho | ProbeTransport::UdpEcho) => {
-                path.push(p.java_socket_recv);
+                path.push(seg("java_socket_recv", Stack, p.java_socket_recv));
                 if round >= 2 {
                     // Small warm-cache asymmetry: Table 4 shows socket Δd2
                     // marginally above Δd1.
-                    path.push(DelayModel::fixed(55.0));
+                    path.push(seg("java_socket_warm_cache", Stack, DelayModel::fixed(55.0)));
                     if let Some(noise) = p.java_round2_noise {
-                        path.push(noise);
+                        path.push(seg("java_round2_noise", Parse, noise));
                     }
                 }
             }
@@ -570,8 +613,12 @@ impl BrowserProfile {
     }
 
     /// The DOM method's receive path (`onload` instead of readyState).
-    pub fn dom_recv_path(&self) -> Vec<DelayModel> {
-        vec![self.prims.os_recv, self.prims.event_dispatch, self.prims.dom_onload]
+    pub fn dom_recv_path(&self) -> Vec<PathSeg> {
+        vec![
+            seg("os_recv", Component::Stack, self.prims.os_recv),
+            seg("event_dispatch", Component::Dispatch, self.prims.event_dispatch),
+            seg("dom_onload", Component::Dispatch, self.prims.dom_onload),
+        ]
     }
 
     /// First-use (round 1) instantiation cost for a technology/transport.
@@ -644,8 +691,8 @@ mod tests {
     }
 
     /// Sum of path-segment medians, ms.
-    fn median_path_ms(path: &[DelayModel]) -> f64 {
-        path.iter().map(|m| m.median_us()).sum::<f64>() / 1e3
+    fn median_path_ms(path: &[PathSeg]) -> f64 {
+        path.iter().map(|s| s.model.median_us()).sum::<f64>() / 1e3
     }
 
     #[test]

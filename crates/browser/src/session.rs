@@ -28,6 +28,7 @@ use rand::rngs::SmallRng;
 use bnm_http::message::{HttpRequest, Method};
 use bnm_http::parser::{HttpParser, ParseOutcome};
 use bnm_http::websocket::{self, Frame, FrameDecoder, Opcode};
+use bnm_obs::{Component, Trace};
 use bnm_sim::rng;
 use bnm_sim::time::SimDuration;
 use bnm_tcp::stack::SockEvent;
@@ -35,9 +36,8 @@ use bnm_tcp::udp::UdpRx;
 use bnm_tcp::{HostApp, HostCtx, SocketId};
 use bnm_time::{make_api, MachineTimer, TimingApi};
 
-use crate::delay::DelayModel;
 use crate::plan::{ProbePlan, ProbeTransport, Technology};
-use crate::profile::{BrowserProfile, Runtime};
+use crate::profile::{BrowserProfile, PathSeg, Runtime};
 
 /// Browser-level timestamps of one measurement round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,6 +90,9 @@ pub struct SessionConfig {
     pub rep_token: u64,
     /// Master seed for this session's noise streams.
     pub seed: u64,
+    /// Trace handle (disabled by default): browser-side delay segments
+    /// are recorded as component-tagged spans.
+    pub trace: Trace,
 }
 
 /// Pending timer actions.
@@ -156,6 +159,7 @@ pub struct BrowserSession {
     inflight_get: Option<String>,
     tb_s: f64,
     result: SessionResult,
+    trace: Trace,
     /// Diagnostics: how many TCP connections this session opened.
     pub connections_opened: u32,
 }
@@ -186,6 +190,7 @@ impl BrowserSession {
             inflight_get: None,
             tb_s: 0.0,
             result: SessionResult::default(),
+            trace: cfg.trace.clone(),
             connections_opened: 0,
             cfg,
         }
@@ -208,12 +213,28 @@ impl BrowserSession {
         ctx.set_app_timer(delay, token);
     }
 
-    fn sample_sum(&mut self, models: &[DelayModel]) -> SimDuration {
+    /// Sample every segment of a path, emitting back-to-back spans
+    /// starting at `start_ns`. Draw order is identical whether tracing
+    /// is on or off, so traced runs reproduce untraced numbers.
+    fn sample_path(&mut self, start_ns: u64, segs: &[PathSeg]) -> SimDuration {
         let mut total = SimDuration::ZERO;
-        for m in models {
-            total += m.sample(&mut self.rng);
+        let mut t = start_ns;
+        for s in segs {
+            let d = s.model.sample(&mut self.rng);
+            if self.trace.is_enabled() {
+                self.trace
+                    .span(t, t + d.as_nanos(), "session", s.label, Some(s.component));
+            }
+            t += d.as_nanos();
+            total += d;
         }
         total
+    }
+
+    /// A parser sharing this session's trace handle, so completed HTTP
+    /// messages get `http/message` spans.
+    fn new_parser(&self) -> HttpParser {
+        HttpParser::new().with_trace(self.trace.clone())
     }
 
     fn user_agent(&self) -> String {
@@ -299,8 +320,23 @@ impl BrowserSession {
     fn begin_round(&mut self, ctx: &mut HostCtx, round: u8) {
         // tB_s is read *before* the send machinery runs (Figure 1).
         let now = ctx.now();
+        self.trace.set_round(Some(round));
         self.tb_s = self.api.read(now);
-        let mut delay = self.api.call_cost();
+        self.trace
+            .instant(now.as_nanos(), "session", "round.start", Some(self.tb_s));
+        let mut t_ns = now.as_nanos();
+        let call = self.api.call_cost();
+        if self.trace.is_enabled() {
+            self.trace.span(
+                t_ns,
+                t_ns + call.as_nanos(),
+                "session",
+                "timing_api_call",
+                Some(Component::Dispatch),
+            );
+        }
+        t_ns += call.as_nanos();
+        let mut delay = call;
         if round == 1 {
             let fu = if self.is_dom() {
                 self.cfg.profile.dom_first_use_cost()
@@ -309,7 +345,18 @@ impl BrowserSession {
                     .profile
                     .first_use_cost(self.cfg.plan.technology, self.cfg.plan.transport)
             };
-            delay += fu.sample(&mut self.rng);
+            let d = fu.sample(&mut self.rng);
+            if self.trace.is_enabled() {
+                self.trace.span(
+                    t_ns,
+                    t_ns + d.as_nanos(),
+                    "session",
+                    "first_use",
+                    Some(Component::Init),
+                );
+            }
+            t_ns += d.as_nanos();
+            delay += d;
         }
         let send_path = if self.is_dom() {
             self.cfg.profile.dom_send_path()
@@ -318,7 +365,7 @@ impl BrowserSession {
                 .profile
                 .send_path(self.cfg.plan.technology, self.cfg.plan.transport, round)
         };
-        delay += self.sample_sum(&send_path);
+        delay += self.sample_path(t_ns, &send_path);
         self.phase = Phase::AwaitSend(round);
         self.schedule(ctx, delay, Step::DoSend(round));
     }
@@ -359,7 +406,18 @@ impl BrowserSession {
                             )
                         };
                         let lookup = SimDuration::from_micros(150);
-                        let delay = lookup + self.sample_sum(&recv);
+                        let mut t_ns = ctx.now().as_nanos();
+                        if self.trace.is_enabled() {
+                            self.trace.span(
+                                t_ns,
+                                t_ns + lookup.as_nanos(),
+                                "session",
+                                "cache_lookup",
+                                Some(Component::Parse),
+                            );
+                        }
+                        t_ns += lookup.as_nanos();
+                        let delay = lookup + self.sample_path(t_ns, &recv);
                         self.phase = Phase::AwaitStampEnd(round);
                         self.schedule(ctx, delay, Step::StampEnd(round));
                         return;
@@ -373,7 +431,7 @@ impl BrowserSession {
                     self.connections_opened += 1;
                     self.round_opened_conn = true;
                     self.conns.insert(sock, Role::Probe);
-                    self.parsers.insert(sock, HttpParser::new());
+                    self.parsers.insert(sock, self.new_parser());
                     self.probe_conn = Some(sock);
                     self.phase = Phase::AwaitConnect(round);
                     return;
@@ -421,7 +479,20 @@ impl BrowserSession {
                 .profile
                 .recv_path(self.cfg.plan.technology, self.cfg.plan.transport, round)
         };
-        let delay = self.sample_sum(&recv_path) + self.api.call_cost();
+        let mut t_ns = ctx.now().as_nanos();
+        let path_delay = self.sample_path(t_ns, &recv_path);
+        t_ns += path_delay.as_nanos();
+        let call = self.api.call_cost();
+        if self.trace.is_enabled() {
+            self.trace.span(
+                t_ns,
+                t_ns + call.as_nanos(),
+                "session",
+                "timing_api_call",
+                Some(Component::Dispatch),
+            );
+        }
+        let delay = path_delay + call;
         self.phase = Phase::AwaitStampEnd(round);
         self.schedule(ctx, delay, Step::StampEnd(round));
     }
@@ -429,6 +500,9 @@ impl BrowserSession {
     fn stamp_end(&mut self, ctx: &mut HostCtx, round: u8) {
         let now = ctx.now();
         let tb_r = self.api.read(now);
+        self.trace
+            .instant(now.as_nanos(), "session", "round.end", Some(tb_r));
+        self.trace.set_round(None);
         self.result.rounds.push(RoundResult {
             round,
             tb_s_ms: self.tb_s,
@@ -470,7 +544,7 @@ impl BrowserSession {
                 let sock = ctx.connect((self.cfg.server_ip, self.cfg.http_port));
                 self.connections_opened += 1;
                 self.conns.insert(sock, Role::JavaPool);
-                self.parsers.insert(sock, HttpParser::new());
+                self.parsers.insert(sock, self.new_parser());
                 self.java_pool = Some(sock);
                 self.phase = Phase::AssetLoading;
             }
@@ -491,7 +565,7 @@ impl BrowserSession {
                 let sock = ctx.connect((self.cfg.server_ip, self.cfg.http_port));
                 self.connections_opened += 1;
                 self.conns.insert(sock, Role::WebSocket);
-                self.parsers.insert(sock, HttpParser::new());
+                self.parsers.insert(sock, self.new_parser());
                 self.ws_conn = Some(sock);
                 self.phase = Phase::SocketSetup;
             }
@@ -530,10 +604,11 @@ impl BrowserSession {
             }
             return;
         }
+        let now_ns = ctx.now().as_nanos();
         let Some(parser) = self.parsers.get_mut(&sock) else {
             return;
         };
-        let mut outcome = parser.feed(&data);
+        let mut outcome = parser.feed_at(now_ns, &data);
         while let ParseOutcome::Response(resp) = outcome {
             let remainder = if resp.status == 101 {
                 Some(self.parsers.get_mut(&sock).unwrap().take_remainder())
@@ -589,7 +664,7 @@ impl HostApp for BrowserSession {
         let sock = ctx.connect((self.cfg.server_ip, self.cfg.http_port));
         self.connections_opened += 1;
         self.conns.insert(sock, Role::Container);
-        self.parsers.insert(sock, HttpParser::new());
+        self.parsers.insert(sock, self.new_parser());
         self.container = Some(sock);
         self.phase = Phase::Boot;
     }
@@ -718,6 +793,7 @@ mod tests {
             machine,
             rep_token: 42,
             seed: 99,
+            trace: Trace::disabled(),
         });
         let mut e = Engine::new();
         let c = e.add_node(Box::new(Host::new(
@@ -916,6 +992,7 @@ mod tests {
                 machine,
                 rep_token: rep,
                 seed: rep,
+                trace: Trace::disabled(),
             });
             let mut e = Engine::new();
             let c = e.add_node(Box::new(Host::new(
@@ -996,6 +1073,7 @@ mod cache_tests {
             machine,
             rep_token: 9,
             seed: 77,
+            trace: Trace::disabled(),
         });
         let mut e = Engine::new();
         let c = e.add_node(Box::new(Host::new(

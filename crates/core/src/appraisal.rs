@@ -85,6 +85,7 @@ impl Appraisal {
     ///
     /// # Panics
     /// If the result holds no samples; prefer [`Appraisal::try_of`].
+    #[deprecated(since = "0.2.0", note = "use `try_of`, which reports `RunError` instead of panicking")]
     pub fn of(result: &CellResult) -> Appraisal {
         match Self::try_of(result) {
             Ok(a) => a,
@@ -97,6 +98,10 @@ impl Appraisal {
     /// # Panics
     /// If the result holds no samples; prefer
     /// [`Appraisal::try_with_thresholds`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_with_thresholds`, which reports `RunError` instead of panicking"
+    )]
     pub fn with_thresholds(result: &CellResult, th: Thresholds) -> Appraisal {
         match Self::try_with_thresholds(result, th) {
             Ok(a) => a,
@@ -156,9 +161,12 @@ mod tests {
         CellResult {
             d1,
             d2,
-            measurements: Vec::new(),
-            failures: 0,
+            ..CellResult::default()
         }
+    }
+
+    fn appraise(r: &CellResult) -> Appraisal {
+        Appraisal::try_of(r).unwrap()
     }
 
     fn repeat(base: &[f64], n: usize) -> Vec<f64> {
@@ -171,7 +179,7 @@ mod tests {
             repeat(&[0.05, 0.08, 0.06, 0.09], 25),
             repeat(&[0.10, 0.12, 0.11, 0.14], 25),
         );
-        let a = Appraisal::of(&r);
+        let a = appraise(&r);
         assert_eq!(a.verdict, Verdict::Accurate);
         assert!(a.pooled.median < 0.2);
     }
@@ -179,7 +187,7 @@ mod tests {
     #[test]
     fn stable_biased_samples_are_calibratable() {
         let r = cell_with(repeat(&[3.9, 4.0, 4.1, 4.2], 25), repeat(&[3.8, 4.0, 4.3], 25));
-        let a = Appraisal::of(&r);
+        let a = appraise(&r);
         assert_eq!(a.verdict, Verdict::Calibratable);
     }
 
@@ -190,7 +198,7 @@ mod tests {
             repeat(&[20.0, 45.0, 80.0, 110.0, 30.0], 25),
             repeat(&[25.0, 60.0, 95.0], 25),
         );
-        let a = Appraisal::of(&r);
+        let a = appraise(&r);
         assert_eq!(a.verdict, Verdict::Unreliable);
     }
 
@@ -200,7 +208,7 @@ mod tests {
             repeat(&[-4.3, -4.1, 11.5, -4.0], 25),
             repeat(&[-4.2, 11.4, -3.9], 25),
         );
-        let a = Appraisal::of(&r);
+        let a = appraise(&r);
         assert_eq!(a.verdict, Verdict::UnderEstimates);
     }
 
@@ -224,6 +232,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty")]
     fn empty_cell_panics() {
+        #[allow(deprecated)]
         Appraisal::of(&cell_with(vec![], vec![]));
     }
 }

@@ -1,0 +1,272 @@
+//! Δd attribution: decompose Eq. 1's overhead into named components.
+//!
+//! For one measured round, `Δd = (tB_r − tB_s) − (tN_r − tN_s)`. The
+//! browser interval `[T_s, T_r]` (in virtual time) is fully covered by
+//! the component-tagged spans the session, TCP stack and profile paths
+//! emit, plus the wire interval `[tN_s, tN_r]` itself — the host stack
+//! is instantaneous in virtual time, the request leaves the instant the
+//! send path ends, and the probe response completes the instant its
+//! single segment arrives. So, exactly in integer nanoseconds:
+//!
+//! ```text
+//! (T_r − T_s) = Σ attributed spans + (tN_r − tN_s)
+//! ```
+//!
+//! and therefore `Δd = Σ components + quantization + residual`, where
+//! quantization is the browser-clock reading error
+//! `(tB_r − tB_s) − (T_r − T_s)` and the residual is limited to f64
+//! rounding (≪ 1 µs) for probe rounds on a noise-free capture.
+//! Capture-timestamp noise and multi-segment (bulk) responses land in
+//! the residual by design — they are measurement artefacts, not
+//! browser overhead.
+
+use std::fmt::Write as _;
+
+use bnm_obs::{Component, TraceData};
+
+use crate::delta::RoundMeasurement;
+use crate::error::RunError;
+
+/// One round's Δd decomposition, ms.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RoundAttribution {
+    /// Repetition index within the cell.
+    pub rep: u32,
+    /// Round number (1 = Δd1, 2 = Δd2).
+    pub round: u8,
+    /// Measured Δd (Eq. 1), ms.
+    pub delta_d_ms: f64,
+    /// Event-loop dispatch, JS/DOM work, timing-API call cost.
+    pub dispatch_ms: f64,
+    /// Plugin bridge crossings.
+    pub bridge_ms: f64,
+    /// Measurement-object payload handling (XHR/URLLoader/Java/WS).
+    pub parse_ms: f64,
+    /// OS socket stack costs.
+    pub stack_ms: f64,
+    /// TCP handshakes awaited inside the round.
+    pub handshake_ms: f64,
+    /// Round-1 first-use (instantiation) costs.
+    pub init_ms: f64,
+    /// Browser timestamp quantization.
+    pub quantization_ms: f64,
+    /// Δd minus everything above.
+    pub residual_ms: f64,
+}
+
+impl RoundAttribution {
+    /// The span-attributed components in report order.
+    pub fn components(&self) -> [(Component, f64); 6] {
+        [
+            (Component::Dispatch, self.dispatch_ms),
+            (Component::Bridge, self.bridge_ms),
+            (Component::Parse, self.parse_ms),
+            (Component::Stack, self.stack_ms),
+            (Component::Handshake, self.handshake_ms),
+            (Component::Init, self.init_ms),
+        ]
+    }
+
+    /// Sum of the span-attributed components, ms.
+    pub fn attributed_sum_ms(&self) -> f64 {
+        self.components().iter().map(|(_, v)| v).sum()
+    }
+
+    /// Everything except the residual: what the report explains.
+    pub fn explained_ms(&self) -> f64 {
+        self.attributed_sum_ms() + self.quantization_ms
+    }
+}
+
+/// Attribute every measured round of one repetition from its trace.
+///
+/// Reports [`RunError::InvalidInput`] if the trace lacks the round
+/// markers the session emits (i.e. it was not recorded by a traced
+/// session).
+pub fn attribute(
+    trace: &TraceData,
+    measurements: &[RoundMeasurement],
+    rep: u32,
+) -> Result<Vec<RoundAttribution>, RunError> {
+    let mut out = Vec::with_capacity(measurements.len());
+    for m in measurements {
+        let marker = |label: &str| {
+            trace
+                .events
+                .iter()
+                .find(|e| e.scope == "session" && e.label == label && e.round == Some(m.round))
+                .map(|e| e.start_ns)
+        };
+        let (Some(t_s), Some(t_r)) = (marker("round.start"), marker("round.end")) else {
+            return Err(RunError::InvalidInput("trace lacks session round markers"));
+        };
+        let virtual_ms = (t_r - t_s) as f64 / 1e6;
+        let delta_d_ms = m.delta_d_ms();
+        let total = |c| trace.component_total_ns(c, Some(m.round)) as f64 / 1e6;
+        let mut a = RoundAttribution {
+            rep,
+            round: m.round,
+            delta_d_ms,
+            dispatch_ms: total(Component::Dispatch),
+            bridge_ms: total(Component::Bridge),
+            parse_ms: total(Component::Parse),
+            stack_ms: total(Component::Stack),
+            handshake_ms: total(Component::Handshake),
+            init_ms: total(Component::Init),
+            quantization_ms: m.browser.browser_rtt_ms() - virtual_ms,
+            residual_ms: 0.0,
+        };
+        a.residual_ms = delta_d_ms - a.explained_ms();
+        out.push(a);
+    }
+    Ok(out)
+}
+
+/// CSV export (header + one row per round).
+pub fn to_csv(rows: &[RoundAttribution]) -> String {
+    let mut s = String::from(
+        "rep,round,delta_d_ms,dispatch_ms,bridge_ms,parse_ms,stack_ms,\
+         handshake_ms,init_ms,quantization_ms,residual_ms\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{},{},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?}",
+            r.rep,
+            r.round,
+            r.delta_d_ms,
+            r.dispatch_ms,
+            r.bridge_ms,
+            r.parse_ms,
+            r.stack_ms,
+            r.handshake_ms,
+            r.init_ms,
+            r.quantization_ms,
+            r.residual_ms
+        );
+    }
+    s
+}
+
+/// Deterministic JSON export (array of objects, stable key order).
+pub fn to_json(rows: &[RoundAttribution]) -> String {
+    let mut s = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"rep\":{},\"round\":{},\"delta_d_ms\":{:?},\"dispatch_ms\":{:?},\
+             \"bridge_ms\":{:?},\"parse_ms\":{:?},\"stack_ms\":{:?},\
+             \"handshake_ms\":{:?},\"init_ms\":{:?},\"quantization_ms\":{:?},\
+             \"residual_ms\":{:?}}}",
+            r.rep,
+            r.round,
+            r.delta_d_ms,
+            r.dispatch_ms,
+            r.bridge_ms,
+            r.parse_ms,
+            r.stack_ms,
+            r.handshake_ms,
+            r.init_ms,
+            r.quantization_ms,
+            r.residual_ms
+        );
+    }
+    s.push(']');
+    s
+}
+
+/// Fixed-width text table for terminal output.
+pub fn render_table(rows: &[RoundAttribution]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:>4} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>10} {:>8} {:>10} {:>9}",
+        "rep", "round", "Δd", "dispatch", "bridge", "parse", "stack", "handshake", "init",
+        "quantiz.", "residual"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>4} {:>6} {:>9.3} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>10.3} {:>8.3} {:>10.3} {:>9.4}",
+            r.rep,
+            r.round,
+            r.delta_d_ms,
+            r.dispatch_ms,
+            r.bridge_ms,
+            r.parse_ms,
+            r.stack_ms,
+            r.handshake_ms,
+            r.init_ms,
+            r.quantization_ms,
+            r.residual_ms
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> RoundAttribution {
+        RoundAttribution {
+            rep: 0,
+            round: 1,
+            delta_d_ms: 10.0,
+            dispatch_ms: 3.0,
+            bridge_ms: 0.0,
+            parse_ms: 2.0,
+            stack_ms: 1.0,
+            handshake_ms: 0.0,
+            init_ms: 3.5,
+            quantization_ms: 0.4,
+            residual_ms: 0.1,
+        }
+    }
+
+    #[test]
+    fn sums_and_components_are_consistent() {
+        let r = row();
+        assert!((r.attributed_sum_ms() - 9.5).abs() < 1e-12);
+        assert!((r.explained_ms() - 9.9).abs() < 1e-12);
+        assert_eq!(r.components().len(), 6);
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_well_formed() {
+        let rows = vec![row(), RoundAttribution { round: 2, ..row() }];
+        let csv = to_csv(&rows);
+        assert!(csv.starts_with("rep,round,delta_d_ms"));
+        assert_eq!(csv.lines().count(), 3);
+        let json = to_json(&rows);
+        assert!(json.starts_with("[{\"rep\":0,\"round\":1"));
+        assert_eq!(json, to_json(&rows));
+        assert!(render_table(&rows).contains("handshake"));
+    }
+
+    #[test]
+    fn attribute_rejects_markerless_traces() {
+        use crate::delta::RoundMeasurement;
+        use crate::matching::WireTimes;
+        use bnm_browser::RoundResult;
+        use bnm_sim::time::SimTime;
+        let m = RoundMeasurement {
+            round: 1,
+            browser: RoundResult {
+                round: 1,
+                tb_s_ms: 0.0,
+                tb_r_ms: 51.0,
+                opened_new_connection: false,
+            },
+            wire: WireTimes {
+                tn_s: SimTime::ZERO,
+                tn_r: SimTime::from_millis(50),
+            },
+        };
+        let err = attribute(&TraceData::default(), &[m], 0).unwrap_err();
+        assert_eq!(err, RunError::InvalidInput("trace lacks session round markers"));
+    }
+}

@@ -87,8 +87,7 @@ mod tests {
         let r = CellResult {
             d1: vec![100.0; 10], // handshake-inflated round 1
             d2: vec![4.0; 10],
-            measurements: Vec::new(),
-            failures: 0,
+            ..CellResult::default()
         };
         let c = Calibration::derive(&r);
         assert_eq!(c.offset_ms, 4.0);

@@ -53,6 +53,10 @@ pub struct ExperimentCell {
     pub seed: u64,
     /// §5's Safari fix (force the Oracle JRE) — used by the Table 4 runs.
     pub fixed_safari_java: bool,
+    /// Record per-repetition traces and Δd attribution reports. Off by
+    /// default: tracing allocates per-event and the paper's headline
+    /// numbers don't need it.
+    pub trace: bool,
 }
 
 impl ExperimentCell {
@@ -78,7 +82,14 @@ impl ExperimentCell {
             capture_noise_ns: 0,
             seed: 0xB32B_0001,
             fixed_safari_java: false,
+            trace: false,
         }
+    }
+
+    /// Enable per-repetition tracing and Δd attribution.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
     }
 
     /// Override the timing API.
@@ -203,6 +214,12 @@ impl CellBuilder {
         self
     }
 
+    /// Record per-repetition traces and Δd attribution reports.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.cell.trace = on;
+        self
+    }
+
     /// Validate and produce the cell.
     ///
     /// Fails with [`RunError::Unrunnable`] when the runtime cannot
@@ -297,6 +314,7 @@ mod tests {
         .capture_noise_ns(300_000)
         .seed(7)
         .fixed_safari_java(true)
+        .trace(true)
         .build()
         .unwrap();
         assert_eq!(cell.timing_override, Some(TimingApiKind::JavaNanoTime));
@@ -305,6 +323,7 @@ mod tests {
         assert_eq!(cell.capture_noise_ns, 300_000);
         assert_eq!(cell.seed, 7);
         assert!(cell.fixed_safari_java);
+        assert!(cell.trace);
         let cleared = ExperimentCell::builder(
             MethodId::JavaTcp,
             RuntimeSel::Browser(BrowserKind::Firefox),

@@ -23,11 +23,11 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
 
 use crate::config::ExperimentCell;
-use crate::delta::RoundMeasurement;
 use crate::error::RunError;
-use crate::runner::{CellResult, ExperimentRunner};
+use crate::runner::{CellResult, ExperimentRunner, RepOutcome};
 
 /// A progress tick: one `(cell × rep)` unit finished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,12 +42,52 @@ pub struct Progress {
     pub rep: u32,
 }
 
+/// Wall-clock accounting for one batch. Purely observational — the
+/// timings never feed back into scheduling or results, so parallel
+/// output stays bit-identical to serial.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Worker threads the batch actually used.
+    pub workers: usize,
+    /// `(cell × rep)` units executed.
+    pub units: usize,
+    /// Wall time for the whole batch (queue to merge).
+    pub wall: Duration,
+    /// Units each worker completed (steals included).
+    pub worker_units: Vec<usize>,
+    /// Time each worker spent inside repetitions (excludes idle/steal
+    /// spinning).
+    pub worker_busy: Vec<Duration>,
+}
+
+impl ExecStats {
+    /// Mean per-unit execution time, if any units ran.
+    pub fn mean_unit(&self) -> Option<Duration> {
+        let busy: Duration = self.worker_busy.iter().sum();
+        (self.units > 0).then(|| busy / self.units as u32)
+    }
+
+    /// One-line human summary for benches and CLI `--verbose` output.
+    pub fn summary(&self) -> String {
+        let mean = self
+            .mean_unit()
+            .map_or_else(|| "n/a".to_string(), |d| format!("{:.2?}", d));
+        format!(
+            "{} units on {} workers in {:.2?} (mean {mean}/unit, spread {:?})",
+            self.units, self.workers, self.wall, self.worker_units
+        )
+    }
+}
+
 /// One finished work unit, tagged for the deterministic merge.
 struct Outcome {
     cell: usize,
     rep: u32,
-    rounds: Result<Vec<RoundMeasurement>, RunError>,
+    outcome: Result<RepOutcome, RunError>,
 }
+
+/// Per-worker tallies gathered while draining (units, busy time).
+type WorkerTally = (usize, Duration);
 
 /// Work-stealing scheduler for experiment cells.
 ///
@@ -124,6 +164,21 @@ impl Executor {
     where
         F: Fn(Progress) + Sync,
     {
+        self.run_with_stats(cells, on_progress).0
+    }
+
+    /// [`run_with_progress`](Executor::run_with_progress), additionally
+    /// reporting wall-clock [`ExecStats`] for the batch. The stats are
+    /// observational only; results are unaffected.
+    pub fn run_with_stats<F>(
+        &self,
+        cells: &[ExperimentCell],
+        on_progress: F,
+    ) -> (Vec<Result<CellResult, RunError>>, ExecStats)
+    where
+        F: Fn(Progress) + Sync,
+    {
+        let batch_start = std::time::Instant::now();
         let mut slots: Vec<Result<CellResult, RunError>> = Vec::with_capacity(cells.len());
         let mut units: Vec<(usize, u32)> = Vec::new();
         for (idx, cell) in cells.iter().enumerate() {
@@ -137,13 +192,20 @@ impl Executor {
 
         let total = units.len();
         let workers = self.workers.min(total.max(1));
-        let outcomes = if workers <= 1 {
+        let (outcomes, tallies) = if workers <= 1 {
             Self::drain_serial(cells, &units, total, &on_progress)
         } else {
             Self::drain_parallel(cells, units, total, workers, &on_progress)
         };
         Self::merge(outcomes, &mut slots);
-        slots
+        let stats = ExecStats {
+            workers,
+            units: total,
+            wall: batch_start.elapsed(),
+            worker_units: tallies.iter().map(|t| t.0).collect(),
+            worker_busy: tallies.iter().map(|t| t.1).collect(),
+        };
+        (slots, stats)
     }
 
     /// Single-worker path: the plain loop, on the calling thread.
@@ -152,14 +214,17 @@ impl Executor {
         units: &[(usize, u32)],
         total: usize,
         on_progress: &F,
-    ) -> Vec<Outcome> {
+    ) -> (Vec<Outcome>, Vec<WorkerTally>) {
         let mut outcomes = Vec::with_capacity(total);
+        let mut busy = Duration::ZERO;
         for (completed, &(cell, rep)) in units.iter().enumerate() {
+            let unit_start = std::time::Instant::now();
             outcomes.push(Outcome {
                 cell,
                 rep,
-                rounds: ExperimentRunner::run_rep(&cells[cell], rep),
+                outcome: ExperimentRunner::run_rep_traced(&cells[cell], rep),
             });
+            busy += unit_start.elapsed();
             on_progress(Progress {
                 completed: completed + 1,
                 total,
@@ -167,7 +232,7 @@ impl Executor {
                 rep,
             });
         }
-        outcomes
+        (outcomes, vec![(total, busy)])
     }
 
     /// Multi-worker path: per-worker deques plus back-of-queue stealing.
@@ -177,7 +242,7 @@ impl Executor {
         total: usize,
         workers: usize,
         on_progress: &F,
-    ) -> Vec<Outcome> {
+    ) -> (Vec<Outcome>, Vec<WorkerTally>) {
         // Units are dealt round-robin so expensive cells (more reps, or
         // costlier methods) spread across workers from the start; the
         // steal path only has to correct the imbalance that remains.
@@ -189,6 +254,8 @@ impl Executor {
         let queues: Vec<Mutex<VecDeque<(usize, u32)>>> =
             queues.into_iter().map(Mutex::new).collect();
         let sink: Mutex<Vec<Outcome>> = Mutex::new(Vec::with_capacity(total));
+        let tallies: Vec<Mutex<WorkerTally>> =
+            (0..workers).map(|_| Mutex::new((0, Duration::ZERO))).collect();
         let completed = AtomicUsize::new(0);
 
         // A worker never panics here (run_rep is fallible, not panicky),
@@ -201,10 +268,13 @@ impl Executor {
         std::thread::scope(|scope| {
             let queues = &queues;
             let sink = &sink;
+            let tallies = &tallies;
             let completed = &completed;
             for wid in 0..workers {
                 scope.spawn(move || {
                     let mut local = Vec::new();
+                    let mut done_units = 0usize;
+                    let mut busy = Duration::ZERO;
                     loop {
                         // Own queue first (front), then steal from the
                         // back of the first non-empty victim. Nothing is
@@ -220,11 +290,14 @@ impl Executor {
                             }
                         }
                         let Some((cell, rep)) = next else { break };
+                        let unit_start = std::time::Instant::now();
                         local.push(Outcome {
                             cell,
                             rep,
-                            rounds: ExperimentRunner::run_rep(&cells[cell], rep),
+                            outcome: ExperimentRunner::run_rep_traced(&cells[cell], rep),
                         });
+                        busy += unit_start.elapsed();
+                        done_units += 1;
                         let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                         on_progress(Progress {
                             completed: done,
@@ -234,10 +307,16 @@ impl Executor {
                         });
                     }
                     lock(sink).extend(local);
+                    *lock(&tallies[wid]) = (done_units, busy);
                 });
             }
         });
-        sink.into_inner().unwrap_or_else(PoisonError::into_inner)
+        let tallies = tallies
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        let outcomes = sink.into_inner().unwrap_or_else(PoisonError::into_inner);
+        (outcomes, tallies)
     }
 
     /// Fold outcomes into the per-cell slots in `(cell, rep)` order —
@@ -250,9 +329,9 @@ impl Executor {
                 // Units are only scheduled for runnable cells.
                 unreachable!("outcome for a cell that was never scheduled");
             };
-            match o.rounds {
-                Ok(rounds) => {
-                    for m in rounds {
+            match o.outcome {
+                Ok(rep) => {
+                    for m in rep.measurements {
                         match m.round {
                             1 => result.d1.push(m.delta_d_ms()),
                             2 => result.d2.push(m.delta_d_ms()),
@@ -260,6 +339,10 @@ impl Executor {
                         }
                         result.measurements.push(m);
                     }
+                    if let Some(t) = rep.trace {
+                        result.traces.push(t);
+                    }
+                    result.attributions.extend(rep.attribution);
                 }
                 Err(_) => result.failures += 1,
             }
@@ -365,6 +448,22 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(Executor::new().run(&[]).is_empty());
+    }
+
+    #[test]
+    fn stats_account_for_every_unit() {
+        let cells = grid();
+        let total: usize = cells.iter().map(|c| c.reps as usize).sum();
+        let (results, stats) = Executor::with_workers(4).run_with_stats(&cells, |_| {});
+        assert_eq!(results.len(), cells.len());
+        assert_eq!(stats.units, total);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.worker_units.len(), stats.workers);
+        assert_eq!(stats.worker_units.iter().sum::<usize>(), total);
+        assert!(stats.mean_unit().is_some());
+        assert!(stats.summary().contains("workers"));
+        let (_, empty) = Executor::new().run_with_stats(&[], |_| {});
+        assert_eq!(empty.mean_unit(), None);
     }
 
     #[test]

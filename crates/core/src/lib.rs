@@ -31,6 +31,7 @@
 //! error every `try_*` entry point reports instead of panicking.
 
 pub mod appraisal;
+pub mod attribution;
 pub mod baseline;
 pub mod calibration;
 pub mod config;
@@ -48,9 +49,10 @@ pub mod testbed;
 pub mod throughput;
 
 pub use appraisal::{Appraisal, Verdict};
+pub use attribution::RoundAttribution;
 pub use config::{CellBuilder, ExperimentCell, RuntimeSel};
 pub use delta::RoundMeasurement;
 pub use error::RunError;
-pub use exec::{Executor, Progress};
-pub use runner::{CellResult, ExperimentRunner};
-pub use testbed::{Testbed, TestbedConfig};
+pub use exec::{ExecStats, Executor, Progress};
+pub use runner::{CellResult, ExperimentRunner, RepOutcome};
+pub use testbed::{Testbed, TestbedBuilder, TestbedConfig};

@@ -138,8 +138,7 @@ mod tests {
         CellResult {
             d1: (0..20).map(|i| 4.0 + (i % 5) as f64 * 0.3).collect(),
             d2: (0..20).map(|i| 3.0 + (i % 4) as f64 * 0.2).collect(),
-            measurements: Vec::new(),
-            failures: 0,
+            ..CellResult::default()
         }
     }
 
@@ -173,7 +172,7 @@ mod tests {
 
     #[test]
     fn summary_line_mentions_verdict() {
-        let a = Appraisal::of(&result());
+        let a = Appraisal::try_of(&result()).unwrap();
         let line = summary_line(&cell(), &a);
         assert!(line.contains("XHR GET"));
         assert!(line.contains("verdict"));

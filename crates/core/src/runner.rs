@@ -11,9 +11,11 @@
 //! serial numbers bit-for-bit.
 
 use bnm_browser::BrowserProfile;
+use bnm_obs::{Trace, TraceData};
 use bnm_sim::rng;
 use bnm_time::MachineTimer;
 
+use crate::attribution::{self, RoundAttribution};
 use crate::config::{ExperimentCell, RuntimeSel};
 use crate::delta::RoundMeasurement;
 use crate::error::RunError;
@@ -32,6 +34,23 @@ pub struct CellResult {
     pub measurements: Vec<RoundMeasurement>,
     /// Repetitions that failed (incomplete session or match error).
     pub failures: u32,
+    /// Per-repetition traces, rep order. Empty unless the cell was run
+    /// with [`ExperimentCell::trace`] set.
+    pub traces: Vec<TraceData>,
+    /// Per-round Δd attributions, rep order. Empty unless traced.
+    pub attributions: Vec<RoundAttribution>,
+}
+
+/// One repetition's full outcome: the measurements plus — when the cell
+/// asked for tracing — the recorded trace and its Δd attribution.
+#[derive(Debug, Clone)]
+pub struct RepOutcome {
+    /// Both rounds' measurements.
+    pub measurements: Vec<RoundMeasurement>,
+    /// The repetition's trace (`None` when tracing was off).
+    pub trace: Option<TraceData>,
+    /// One attribution row per measured round (empty when untraced).
+    pub attribution: Vec<RoundAttribution>,
 }
 
 impl CellResult {
@@ -81,7 +100,20 @@ impl ExperimentRunner {
     }
 
     /// One repetition: fresh testbed, run, capture-match both rounds.
+    ///
+    /// Honours [`ExperimentCell::trace`] but discards the trace; use
+    /// [`ExperimentRunner::run_rep_traced`] to keep it.
     pub fn run_rep(cell: &ExperimentCell, rep: u32) -> Result<Vec<RoundMeasurement>, RunError> {
+        Self::run_rep_traced(cell, rep).map(|o| o.measurements)
+    }
+
+    /// One repetition, returning measurements *and* — when the cell has
+    /// tracing on — the trace and its per-round Δd attribution.
+    ///
+    /// Tracing does not perturb the measurement: the session draws its
+    /// random delays in the same order either way, so a traced rep
+    /// reports bit-identical Δd to an untraced one.
+    pub fn run_rep_traced(cell: &ExperimentCell, rep: u32) -> Result<RepOutcome, RunError> {
         let profile = Self::try_profile(cell)?;
         if !cell.method.available_in(&profile) {
             return Err(RunError::unrunnable(cell));
@@ -105,13 +137,19 @@ impl ExperimentRunner {
             ..TestbedConfig::default()
         };
         let plan = cell.method.plan(cell.timing_override);
-        let mut tb = Testbed::build(
+        let trace = if cell.trace {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        };
+        let mut tb = Testbed::build_traced(
             &tb_cfg,
             plan,
             profile,
             machine,
             u64::from(rep),
             session_seed ^ u64::from(rep),
+            trace,
         );
         tb.run();
         let session = tb.session();
@@ -129,7 +167,16 @@ impl ExperimentRunner {
                 wire,
             });
         }
-        Ok(out)
+        let trace = tb.take_trace();
+        let attribution = match &trace {
+            Some(t) => attribution::attribute(t, &out, rep)?,
+            None => Vec::new(),
+        };
+        Ok(RepOutcome {
+            measurements: out,
+            trace,
+            attribution,
+        })
     }
 
     /// Resolve the runtime profile for a cell, or report why it cannot
@@ -199,8 +246,7 @@ mod tests {
         let r = CellResult {
             d1: vec![1.0],
             d2: vec![2.0],
-            measurements: Vec::new(),
-            failures: 0,
+            ..CellResult::default()
         };
         assert_eq!(r.round(1).unwrap(), &[1.0]);
         assert_eq!(r.round(2).unwrap(), &[2.0]);
@@ -294,6 +340,30 @@ mod tests {
             ExperimentRunner::run_rep(&cell, 0).unwrap_err(),
             RunError::unrunnable(&cell)
         );
+    }
+
+    /// Tracing must be a pure observer: same Δd bit-for-bit, and the
+    /// attribution must explain each round's Δd down to f64 rounding.
+    #[test]
+    fn traced_rep_matches_untraced_and_attributes_delta() {
+        let plain = small_cell(MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204)
+            .with_reps(3);
+        let traced = plain.clone().with_trace();
+        let a = run(&plain);
+        let b = run(&traced);
+        assert_eq!(a.d1, b.d1);
+        assert_eq!(a.d2, b.d2);
+        assert!(a.traces.is_empty() && a.attributions.is_empty());
+        assert_eq!(b.traces.len(), 3);
+        assert_eq!(b.attributions.len(), 6);
+        for att in &b.attributions {
+            assert!(
+                att.residual_ms.abs() < 1e-3,
+                "round {} residual {} ms",
+                att.round,
+                att.residual_ms
+            );
+        }
     }
 
     /// The deprecated façade keeps its historical panic contract.

@@ -10,9 +10,10 @@ use std::net::Ipv4Addr;
 
 use bytes::Bytes;
 
-use bnm_browser::{BrowserProfile, BrowserSession, ProbePlan};
 use bnm_browser::session::SessionConfig;
+use bnm_browser::{BrowserProfile, BrowserSession, ProbePlan, ProbeTransport};
 use bnm_http::server::{ServerConfig, WebServer};
+use bnm_obs::{Trace, TraceData};
 use bnm_sim::capture::{CaptureBuffer, TimestampNoise};
 use bnm_sim::engine::{Engine, NodeId};
 use bnm_sim::link::LinkSpec;
@@ -23,6 +24,8 @@ use bnm_sim::wire::MacAddr;
 use bnm_sim::TapId;
 use bnm_tcp::{Host, HostConfig};
 use bnm_time::MachineTimer;
+
+use crate::error::RunError;
 
 /// Addresses of the testbed (the paper's lab subnet flavour).
 pub const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 2);
@@ -119,9 +122,17 @@ pub struct Testbed {
     pub client_tap: TapId,
     /// A second tap at the server's NIC (for the server-side extension).
     pub server_tap: TapId,
+    trace: Trace,
 }
 
 impl Testbed {
+    /// Start building a testbed; validation happens at
+    /// [`TestbedBuilder::build`], mirroring
+    /// [`crate::ExperimentCell::builder`].
+    pub fn builder() -> TestbedBuilder {
+        TestbedBuilder::default()
+    }
+
     /// Build the Figure 2 testbed around a session (plan + profile +
     /// machine clock).
     pub fn build(
@@ -131,6 +142,20 @@ impl Testbed {
         machine: MachineTimer,
         rep_token: u64,
         session_seed: u64,
+    ) -> Testbed {
+        Self::build_traced(cfg, plan, profile, machine, rep_token, session_seed, Trace::disabled())
+    }
+
+    /// [`Testbed::build`] with a trace handle wired through the engine,
+    /// the client host's TCP stack and the browser session.
+    pub fn build_traced(
+        cfg: &TestbedConfig,
+        plan: ProbePlan,
+        profile: BrowserProfile,
+        machine: MachineTimer,
+        rep_token: u64,
+        session_seed: u64,
+        trace: Trace,
     ) -> Testbed {
         let session = BrowserSession::new(SessionConfig {
             server_ip: SERVER_IP,
@@ -142,12 +167,21 @@ impl Testbed {
             machine,
             rep_token,
             seed: session_seed,
+            trace: trace.clone(),
         });
         let mut engine = Engine::new();
-        let client = engine.add_node(Box::new(Host::new(
-            HostConfig::new("client", CLIENT_MAC, CLIENT_IP).with_neighbor(SERVER_IP, SERVER_MAC),
-            session,
-        )));
+        engine.set_trace(trace.clone());
+        let client = engine.add_node(Box::new(
+            Host::new(
+                HostConfig::new("client", CLIENT_MAC, CLIENT_IP)
+                    .with_neighbor(SERVER_IP, SERVER_MAC),
+                session,
+            )
+            // Only the client stack is traced: its handshake spans are
+            // the ones inside the browser-measured interval, and a traced
+            // server would double-count every connection.
+            .with_trace(trace.clone()),
+        ));
         let server = engine.add_node(Box::new(Host::new(
             HostConfig::new("server", SERVER_MAC, SERVER_IP).with_neighbor(CLIENT_IP, CLIENT_MAC),
             WebServer::new(cfg.server.clone()),
@@ -195,7 +229,13 @@ impl Testbed {
             switch,
             client_tap,
             server_tap,
+            trace,
         }
+    }
+
+    /// Extract the recorded trace data, if tracing was enabled.
+    pub fn take_trace(&self) -> Option<TraceData> {
+        self.trace.take()
     }
 
     /// Run to completion (with a generous horizon as a hang backstop) and
@@ -212,6 +252,116 @@ impl Testbed {
     /// The server application (stats).
     pub fn web_server(&self) -> &WebServer {
         self.engine.node_ref::<Host<WebServer>>(self.server).app()
+    }
+}
+
+/// Builds a [`Testbed`] incrementally, validating at
+/// [`TestbedBuilder::build`] instead of panicking mid-run.
+#[derive(Default)]
+pub struct TestbedBuilder {
+    cfg: TestbedConfig,
+    plan: Option<ProbePlan>,
+    profile: Option<BrowserProfile>,
+    machine: Option<MachineTimer>,
+    rep_token: u64,
+    session_seed: u64,
+    trace: bool,
+}
+
+impl TestbedBuilder {
+    /// Replace the whole network/server configuration.
+    pub fn config(mut self, cfg: TestbedConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// One-way netem delay on the server's egress.
+    pub fn server_delay(mut self, delay: SimDuration) -> Self {
+        self.cfg.server_delay = delay;
+        self
+    }
+
+    /// Capture timestamp noise bound, ns.
+    pub fn capture_noise_ns(mut self, bound: u64) -> Self {
+        self.cfg.capture_noise_ns = bound;
+        self
+    }
+
+    /// Master seed for the capture-noise stream.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Add a cross-traffic source on the server link.
+    pub fn cross_traffic(mut self, ct: CrossTraffic) -> Self {
+        self.cfg.cross_traffic = Some(ct);
+        self
+    }
+
+    /// The measurement method to execute (required).
+    pub fn plan(mut self, plan: ProbePlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// The runtime cost profile (required).
+    pub fn profile(mut self, profile: BrowserProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// The client machine's timer (required).
+    pub fn machine(mut self, machine: MachineTimer) -> Self {
+        self.machine = Some(machine);
+        self
+    }
+
+    /// Repetition token embedded in probe markers.
+    pub fn rep_token(mut self, token: u64) -> Self {
+        self.rep_token = token;
+        self
+    }
+
+    /// Seed for the session's noise streams.
+    pub fn session_seed(mut self, seed: u64) -> Self {
+        self.session_seed = seed;
+        self
+    }
+
+    /// Enable trace recording (read back via [`Testbed::take_trace`]).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Validate and construct. Reports [`RunError::InvalidInput`] when a
+    /// required part is missing or the plan cannot run on the profile —
+    /// conditions the unchecked [`Testbed::build`] path surfaces as
+    /// mid-run panics.
+    pub fn build(self) -> Result<Testbed, RunError> {
+        let plan = self.plan.ok_or(RunError::InvalidInput("a probe plan is required"))?;
+        let profile = self
+            .profile
+            .ok_or(RunError::InvalidInput("a browser profile is required"))?;
+        let machine = self
+            .machine
+            .ok_or(RunError::InvalidInput("a machine timer is required"))?;
+        if plan.transport == ProbeTransport::WebSocketEcho && !profile.supports_websocket {
+            return Err(RunError::InvalidInput(
+                "plan requires WebSocket but the runtime lacks it",
+            ));
+        }
+        let trace = if self.trace { Trace::enabled() } else { Trace::disabled() };
+        Ok(Testbed::build_traced(
+            &self.cfg,
+            plan,
+            profile,
+            machine,
+            self.rep_token,
+            self.session_seed,
+            trace,
+        ))
     }
 }
 
@@ -269,6 +419,59 @@ mod tests {
         let mut tb = Testbed::build(&cfg, xhr_plan(), profile, machine, 0, 7);
         tb.run();
         assert!(tb.session().result().completed);
+    }
+
+    #[test]
+    fn builder_validates_missing_parts_and_websocket_support() {
+        let err = match Testbed::builder().build() {
+            Ok(_) => panic!("empty builder must not validate"),
+            Err(e) => e,
+        };
+        assert_eq!(err, RunError::InvalidInput("a probe plan is required"));
+        // IE9 has no WebSocket (Table 2): the builder reports it up front
+        // instead of panicking mid-run.
+        let ws_plan = ProbePlan::new(
+            "websocket",
+            Technology::Native,
+            ProbeTransport::WebSocketEcho,
+            TimingApiKind::JsDateGetTime,
+        );
+        let profile = BrowserProfile::build(BrowserKind::Ie9, OsKind::Windows7).unwrap();
+        let err = match Testbed::builder()
+            .plan(ws_plan)
+            .profile(profile)
+            .machine(MachineTimer::new(OsKind::Windows7, 1))
+            .build()
+        {
+            Ok(_) => panic!("IE9 WebSocket testbed must not validate"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, RunError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn builder_matches_direct_build_and_records_traces() {
+        let profile = BrowserProfile::build(BrowserKind::Chrome, OsKind::Ubuntu1204).unwrap();
+        let machine = MachineTimer::new(OsKind::Ubuntu1204, 7);
+        let mut tb = Testbed::builder()
+            .plan(xhr_plan())
+            .profile(profile)
+            .machine(machine)
+            .session_seed(7)
+            .trace(true)
+            .build()
+            .unwrap();
+        tb.run();
+        assert!(tb.session().result().completed);
+        let data = tb.take_trace().expect("tracing was enabled");
+        assert!(data.counters["link.frames"] > 0);
+        assert!(data.events.iter().any(|e| e.scope == "session" && e.label == "round.start"));
+        // Same seeds as build_default(): identical wire behaviour.
+        let mut direct = build_default();
+        direct.run();
+        assert!(direct.take_trace().is_none());
+        let rounds = |t: &Testbed| t.session().result().rounds.clone();
+        assert_eq!(rounds(&tb), rounds(&direct));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! responses always carry `Content-Length`, as Apache does for static
 //! and small dynamic content).
 
+use bnm_obs::Trace;
 use bytes::Bytes;
 
 use crate::message::{HttpRequest, HttpResponse, Method};
@@ -27,12 +28,26 @@ pub enum ParseOutcome {
 #[derive(Debug, Default)]
 pub struct HttpParser {
     buf: Vec<u8>,
+    trace: Trace,
+    /// Virtual time the first byte of the in-flight message arrived
+    /// (tracing only).
+    msg_start_ns: Option<u64>,
+    /// Virtual time of the latest `feed_at` call (tracing only).
+    last_feed_ns: u64,
 }
 
 impl HttpParser {
     /// An empty parser.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Install a trace handle; each completed message gets an
+    /// `http/message` span from its first byte (as stamped through
+    /// [`HttpParser::feed_at`]) to its completion instant.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Bytes currently buffered (diagnostics).
@@ -44,8 +59,21 @@ impl HttpParser {
     /// Call [`HttpParser::poll`] repeatedly to drain multiple pipelined
     /// messages.
     pub fn feed(&mut self, data: &[u8]) -> ParseOutcome {
+        if self.trace.is_enabled() {
+            if !data.is_empty() && self.buf.is_empty() && self.msg_start_ns.is_none() {
+                self.msg_start_ns = Some(self.last_feed_ns);
+            }
+            self.trace.count("http.bytes_fed", data.len() as u64);
+        }
         self.buf.extend_from_slice(data);
         self.poll()
+    }
+
+    /// [`HttpParser::feed`] with a virtual-time stamp, so traced parsers
+    /// can span a message from first byte to completion.
+    pub fn feed_at(&mut self, now_ns: u64, data: &[u8]) -> ParseOutcome {
+        self.last_feed_ns = now_ns;
+        self.feed(data)
     }
 
     /// Try to extract the next complete message from buffered bytes.
@@ -84,6 +112,16 @@ impl HttpParser {
         }
         let body = Bytes::copy_from_slice(&self.buf[header_end + 4..total]);
         self.buf.drain(..total);
+        if self.trace.is_enabled() {
+            let start = self.msg_start_ns.take().unwrap_or(self.last_feed_ns);
+            self.trace.span(start, self.last_feed_ns, "http", "message", None);
+            self.trace.count("http.messages", 1);
+            // Pipelined leftovers belong to the next message, whose first
+            // byte arrived in the same feed.
+            if !self.buf.is_empty() {
+                self.msg_start_ns = Some(self.last_feed_ns);
+            }
+        }
 
         if let Some(rest) = start_line.strip_prefix("HTTP/1.1 ") {
             // Response: "HTTP/1.1 200 OK"
@@ -236,6 +274,26 @@ mod tests {
             p.feed(b"GET / HTTP/1.0\r\n\r\n"),
             ParseOutcome::Error(_)
         ));
+    }
+
+    #[test]
+    fn traced_parser_spans_first_byte_to_completion() {
+        let trace = Trace::enabled();
+        let mut p = HttpParser::new().with_trace(trace.clone());
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\npong";
+        let (head, tail) = wire.split_at(10);
+        assert!(matches!(p.feed_at(1_000, head), ParseOutcome::Incomplete));
+        expect_response(p.feed_at(5_000, tail));
+        let d = trace.take().unwrap();
+        let span = d
+            .events
+            .iter()
+            .find(|e| e.scope == "http" && e.label == "message")
+            .expect("message span");
+        assert_eq!(span.start_ns, 1_000);
+        assert_eq!(span.end_ns, 5_000);
+        assert_eq!(d.counters["http.messages"], 1);
+        assert_eq!(d.counters["http.bytes_fed"], wire.len() as u64);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use std::any::Any;
 
+use bnm_obs::Trace;
 use bytes::Bytes;
 
 use crate::capture::{CaptureBuffer, CaptureDir, TapId};
@@ -92,6 +93,7 @@ pub struct Engine {
     taps: Vec<CaptureBuffer>,
     started: bool,
     events_processed: u64,
+    trace: Trace,
 }
 
 impl Default for Engine {
@@ -112,7 +114,16 @@ impl Engine {
             taps: Vec::new(),
             started: false,
             events_processed: 0,
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Install a trace handle; packet lifecycle events (enqueue, link
+    /// serialization, dequeue, tap stamps, queue drops) are recorded in
+    /// virtual time. The default handle is disabled, reducing every
+    /// record site to one branch.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 
     /// Current virtual time.
@@ -338,6 +349,10 @@ impl Engine {
         // get traced" behaviour, and what a capture driver on the sending
         // host sees.
         let src_taps: Vec<TapId> = self.links[link_id].source_taps(dir).to_vec();
+        if self.trace.is_enabled() && !src_taps.is_empty() {
+            self.trace
+                .instant(t.as_nanos(), "tap", "tx", Some(frame.len() as f64));
+        }
         for tap in src_taps {
             self.taps[tap].record(t, CaptureDir::Tx, &frame);
         }
@@ -357,6 +372,9 @@ impl Engine {
             let st = self.links[link_id].dir_state(dir);
             if st.queued_bytes + len > spec.queue_limit_bytes {
                 st.queue_drops += 1;
+                self.trace
+                    .instant(t.as_nanos(), "link", "drop", Some(len as f64));
+                self.trace.count("link.queue_drops", 1);
                 continue;
             }
             let extra = st.extra_delay;
@@ -364,6 +382,18 @@ impl Engine {
             let tx_done = start + SimDuration::serialization(len, spec.rate_bps);
             st.busy_until = tx_done;
             st.queued_bytes += len;
+            if self.trace.is_enabled() {
+                self.trace
+                    .instant(t.as_nanos(), "link", "enqueue", Some(len as f64));
+                self.trace
+                    .span(start.as_nanos(), tx_done.as_nanos(), "link", "serialize", None);
+                self.trace
+                    .instant(tx_done.as_nanos(), "link", "dequeue", Some(len as f64));
+                self.trace.count("link.frames", 1);
+                self.trace.count("link.bytes", len as u64);
+                self.trace
+                    .observe("link.serialize_ns", tx_done.saturating_since(start).as_nanos());
+            }
             self.queue.push(
                 tx_done,
                 EventKind::LinkTxDone {
@@ -376,6 +406,10 @@ impl Engine {
             let sink = self.links[link_id].sink(dir);
             // Receive-side taps stamp at arrival.
             let sink_taps: Vec<TapId> = self.links[link_id].sink_taps(dir).to_vec();
+            if self.trace.is_enabled() && !sink_taps.is_empty() {
+                self.trace
+                    .instant(arrival.as_nanos(), "tap", "rx", Some(len as f64));
+            }
             for tap in sink_taps {
                 // Tap records are written at schedule time but stamped with
                 // the arrival instant; since `arrival` is deterministic this
@@ -592,6 +626,28 @@ mod tests {
         let mut e = Engine::new();
         e.add_node(Box::new(Bad));
         e.run();
+    }
+
+    #[test]
+    fn trace_records_link_lifecycle_and_tap_stamps() {
+        let (mut e, p, _) = two_node_setup(LinkSpec::fast_ethernet(), 2);
+        e.add_tap(0, p, CaptureBuffer::new("t"));
+        let trace = Trace::enabled();
+        e.set_trace(trace.clone());
+        e.run();
+        let d = trace.take().unwrap();
+        // 2 pings out + 2 echoes back.
+        assert_eq!(d.counters["link.frames"], 4);
+        assert_eq!(d.histograms["link.serialize_ns"].count, 4);
+        let has = |scope: &str, label: &str| {
+            d.events.iter().any(|ev| ev.scope == scope && ev.label == label)
+        };
+        assert!(has("link", "enqueue"));
+        assert!(has("link", "serialize"));
+        assert!(has("link", "dequeue"));
+        // The tap sits on the pinger side: it sees its own tx and rx.
+        assert!(has("tap", "tx"));
+        assert!(has("tap", "rx"));
     }
 
     #[test]

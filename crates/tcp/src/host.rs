@@ -273,6 +273,13 @@ impl<A: HostApp> Host<A> {
         }
     }
 
+    /// Install a trace handle on the host's TCP stack: active opens get
+    /// `tcp/handshake` spans from SYN to `Connected`.
+    pub fn with_trace(mut self, trace: bnm_obs::Trace) -> Self {
+        self.tcp.set_trace(trace);
+        self
+    }
+
     /// Borrow the application (to read results after a run).
     pub fn app(&self) -> &A {
         &self.app

@@ -6,6 +6,7 @@ use std::net::Ipv4Addr;
 
 use bytes::Bytes;
 
+use bnm_obs::{Component, Trace};
 use bnm_sim::time::SimTime;
 use bnm_sim::wire::{TcpFlags, TcpSegment};
 
@@ -71,6 +72,10 @@ pub struct TcpStack {
     events: VecDeque<SockEvent>,
     /// Segments dropped for having no matching socket or listener.
     pub no_socket_drops: u64,
+    trace: Trace,
+    /// Active opens awaiting their `Connected` event, for handshake
+    /// spans. Only populated while tracing is enabled.
+    syn_at: HashMap<SocketId, SimTime>,
 }
 
 impl TcpStack {
@@ -87,7 +92,15 @@ impl TcpStack {
             out: Vec::new(),
             events: VecDeque::new(),
             no_socket_drops: 0,
+            trace: Trace::disabled(),
+            syn_at: HashMap::new(),
         }
+    }
+
+    /// Install a trace handle; active opens get a `tcp/handshake` span
+    /// from SYN to the `Connected` event.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 
     /// The IP this stack answers for.
@@ -157,6 +170,10 @@ impl TcpStack {
         let out = sock.connect(now);
         let id = self.alloc_socket(sock);
         self.tuple_map.insert((peer.0, peer.1, port), id);
+        if self.trace.is_enabled() {
+            self.trace.count("tcp.connects", 1);
+            self.syn_at.insert(id, now);
+        }
         for seg in out.segments {
             self.out.push((peer.0, seg));
         }
@@ -171,7 +188,7 @@ impl TcpStack {
         let n = s.send(data);
         let peer_ip = s.peer.0;
         let out = s.pump(now);
-        self.absorb(sock, peer_ip, out);
+        self.absorb(now, sock, peer_ip, out);
         n
     }
 
@@ -197,7 +214,7 @@ impl TcpStack {
         s.close();
         let peer_ip = s.peer.0;
         let out = s.pump(now);
-        self.absorb(sock, peer_ip, out);
+        self.absorb(now, sock, peer_ip, out);
     }
 
     /// Abort with RST.
@@ -207,7 +224,8 @@ impl TcpStack {
         };
         let peer_ip = s.peer.0;
         let out = s.abort();
-        self.absorb(sock, peer_ip, out);
+        // Aborts never surface `Connected`, so the instant is immaterial.
+        self.absorb(SimTime::ZERO, sock, peer_ip, out);
         self.reap(sock);
     }
 
@@ -238,7 +256,7 @@ impl TcpStack {
         if let Some(&id) = self.tuple_map.get(&key) {
             let s = self.sockets[id].as_mut().expect("mapped socket exists");
             let out = s.on_segment(now, &seg);
-            self.absorb(id, src_ip, out);
+            self.absorb(now, id, src_ip, out);
             self.maybe_reap(id);
             return;
         }
@@ -257,7 +275,7 @@ impl TcpStack {
             let out = sock.accept_syn(now, &seg);
             let id = self.alloc_socket(sock);
             self.tuple_map.insert(key, id);
-            self.absorb(id, src_ip, out);
+            self.absorb(now, id, src_ip, out);
             return;
         }
         self.no_socket_drops += 1;
@@ -286,7 +304,7 @@ impl TcpStack {
             if s.next_deadline().is_some_and(|d| d <= now) {
                 let peer_ip = s.peer.0;
                 let out = s.on_timers(now);
-                self.absorb(id, peer_ip, out);
+                self.absorb(now, id, peer_ip, out);
                 self.maybe_reap(id);
             }
         }
@@ -311,13 +329,32 @@ impl TcpStack {
         self.events.pop_front()
     }
 
-    fn absorb(&mut self, id: SocketId, peer_ip: Ipv4Addr, out: crate::socket::SocketOutput) {
+    fn absorb(
+        &mut self,
+        now: SimTime,
+        id: SocketId,
+        peer_ip: Ipv4Addr,
+        out: crate::socket::SocketOutput,
+    ) {
         for seg in out.segments {
             self.out.push((peer_ip, seg));
         }
         for ev in out.events {
             let mapped = match ev {
-                LocalEvent::Connected => SockEvent::Connected { sock: id },
+                LocalEvent::Connected => {
+                    if let Some(start) = self.syn_at.remove(&id) {
+                        self.trace.span(
+                            start.as_nanos(),
+                            now.as_nanos(),
+                            "tcp",
+                            "handshake",
+                            Some(Component::Handshake),
+                        );
+                        self.trace
+                            .observe("tcp.handshake_ns", now.saturating_since(start).as_nanos());
+                    }
+                    SockEvent::Connected { sock: id }
+                }
                 LocalEvent::Writable => SockEvent::Writable { sock: id },
                 LocalEvent::Accepted => {
                     let s = self.sockets[id].as_ref().unwrap();
@@ -346,6 +383,7 @@ impl TcpStack {
     }
 
     fn reap(&mut self, id: SocketId) {
+        self.syn_at.remove(&id);
         if let Some(s) = self.sockets[id].take() {
             self.tuple_map.remove(&(s.peer.0, s.peer.1, s.local.1));
         }

@@ -6,6 +6,8 @@
 //! cargo run --release --example granularity_probe
 //! ```
 
+#![deny(deprecated)]
+
 use bnm::sim::time::{SimDuration, SimTime};
 use bnm::timeapi::{
     make_api, probe::probe_series, probe_granularity, MachineTimer, OsKind, TimingApiKind,

@@ -6,6 +6,8 @@
 //! cargo run --release --example handshake_inflation
 //! ```
 
+#![deny(deprecated)]
+
 use bnm::browser::BrowserKind;
 use bnm::core::calibration::Calibration;
 use bnm::core::{ExperimentCell, ExperimentRunner, RuntimeSel};

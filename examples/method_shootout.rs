@@ -6,12 +6,10 @@
 //! cargo run --release --example method_shootout -- chrome ubuntu
 //! ```
 
-use bnm::browser::BrowserKind;
-use bnm::core::appraisal::Appraisal;
+#![deny(deprecated)]
+
 use bnm::core::recommend;
-use bnm::core::{ExperimentCell, Executor, RuntimeSel};
-use bnm::methods::MethodId;
-use bnm::timeapi::OsKind;
+use bnm::prelude::*;
 
 fn parse_args() -> (BrowserKind, OsKind) {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -8,6 +8,8 @@
 //! cargo run --release --example netalyzr_lite -- mobile  # mobile WebKit
 //! ```
 
+#![deny(deprecated)]
+
 use bnm::browser::BrowserKind;
 use bnm::core::baseline::ping_baseline;
 use bnm::core::calibration::Calibration;

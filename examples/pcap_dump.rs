@@ -9,6 +9,8 @@
 //! tshark -r opera_flash_get.pcap    # or open in Wireshark
 //! ```
 
+#![deny(deprecated)]
+
 use bnm::browser::{BrowserKind, BrowserProfile};
 use bnm::core::testbed::{Testbed, TestbedConfig};
 use bnm::methods::MethodId;

@@ -8,11 +8,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use bnm::browser::BrowserKind;
-use bnm::core::appraisal::Appraisal;
-use bnm::core::{ExperimentCell, ExperimentRunner, RuntimeSel};
-use bnm::methods::MethodId;
-use bnm::timeapi::OsKind;
+#![deny(deprecated)]
+
+use bnm::prelude::*;
 
 fn main() {
     // 1. Describe the experiment cell: which method, which runtime. The

@@ -6,6 +6,8 @@
 //! cargo run --release --example speedtest_calibration
 //! ```
 
+#![deny(deprecated)]
+
 use bnm::browser::BrowserKind;
 use bnm::core::calibration::Calibration;
 use bnm::core::impact::{JitterImpact, ThroughputImpact};

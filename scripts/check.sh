@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Repo health gate: the tier-1 acceptance commands plus lint.
+# Repo health gate: the tier-1 acceptance commands plus lint and docs.
 #
-#   scripts/check.sh            # build + test + clippy
+#   scripts/check.sh            # build + test + parity + clippy + docs
 #   scripts/check.sh --fast     # skip the release build (debug test run only)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,7 +17,16 @@ fi
 echo "==> cargo test -q"
 cargo test -q
 
+# The tracing layer's tier-1 guarantees, run explicitly so a filtered or
+# partial test invocation can't silently skip them: parallel traces must
+# be byte-identical to serial, and attribution must close the Δd budget.
+echo "==> cargo test -q --test trace_parity"
+cargo test -q --test trace_parity
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "OK"

@@ -3,13 +3,18 @@
 //! ```text
 //! bnm list                          the methods and their taxonomy
 //! bnm appraise [options]           run one experiment cell and appraise it
+//! bnm trace [options]              run traced and attribute Δd to components
 //! bnm probe [--os windows|ubuntu]  the Figure 5 granularity probe
 //! bnm ping                          ICMP baseline over the testbed
 //! bnm tput [options]               throughput-estimate accuracy
 //! bnm recommend [constraints]      §5 method recommendations
 //! ```
 
+#![deny(deprecated)]
+
 use std::collections::HashMap;
+
+use bnm::core::attribution;
 
 use bnm::browser::BrowserKind;
 use bnm::core::appraisal::Appraisal;
@@ -64,6 +69,8 @@ fn usage() -> ! {
          commands:\n  \
            list                                  show the Table 1 method taxonomy\n  \
            appraise [--method L] [--browser B] [--os O] [--reps N] [--seed S] [--nanotime]\n  \
+           trace [--method L] [--browser B] [--os O] [--reps N] [--seed S]\n        \
+                 [--format text|json|csv] [--events]   Δd attribution per round\n  \
            probe [--os O]                        timestamp-granularity probe (Figure 5)\n  \
            ping                                  ICMP baseline over the testbed\n  \
            tput [--method L] [--size BYTES]      throughput-estimate accuracy\n  \
@@ -86,6 +93,7 @@ fn main() {
     match cmd.as_str() {
         "list" => cmd_list(),
         "appraise" => cmd_appraise(&flags),
+        "trace" => cmd_trace(&flags),
         "probe" => cmd_probe(&flags),
         "ping" => cmd_ping(),
         "tput" => cmd_tput(&flags),
@@ -165,6 +173,73 @@ fn cmd_appraise(flags: &HashMap<String, String>) {
     println!("verdict: {:?}", a.verdict);
     if result.failures > 0 {
         println!("({} repetitions failed)", result.failures);
+    }
+}
+
+fn cmd_trace(flags: &HashMap<String, String>) {
+    let method = flags
+        .get("method")
+        .map(|m| method_by_label(m).unwrap_or_else(|| usage()))
+        .unwrap_or(MethodId::XhrGet);
+    let browser = flags
+        .get("browser")
+        .map(|b| browser_by_name(b).unwrap_or_else(|| usage()))
+        .unwrap_or(BrowserKind::Chrome);
+    let os = flags
+        .get("os")
+        .map(|o| os_by_name(o).unwrap_or_else(|| usage()))
+        .unwrap_or(OsKind::Ubuntu1204);
+    let reps: u32 = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(5);
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0xB32B_2013);
+    let format = flags.get("format").map(String::as_str).unwrap_or("text");
+    if !matches!(format, "text" | "json" | "csv") {
+        usage();
+    }
+
+    let cell = match ExperimentCell::builder(method, RuntimeSel::Browser(browser), os)
+        .reps(reps)
+        .seed(seed)
+        .trace(true)
+        .build()
+    {
+        Ok(cell) => cell,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let result = match ExperimentRunner::try_run(&cell) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match format {
+        "json" => println!("{}", attribution::to_json(&result.attributions)),
+        "csv" => print!("{}", attribution::to_csv(&result.attributions)),
+        _ => {
+            println!(
+                "Δd attribution for {} ({} reps, seed {seed:#x}), ms:\n",
+                cell.label(),
+                reps
+            );
+            print!("{}", attribution::render_table(&result.attributions));
+            if result.failures > 0 {
+                println!("({} repetitions failed)", result.failures);
+            }
+        }
+    }
+
+    // Raw event dump for the first repetition, in the same format.
+    if flags.contains_key("events") {
+        if let Some(t) = result.traces.first() {
+            match format {
+                "json" => println!("{}", t.to_json()),
+                _ => print!("{}", t.to_csv()),
+            }
+        }
     }
 }
 

@@ -83,7 +83,7 @@ fn dom_beats_xhr_and_stays_under_5ms_on_ubuntu() {
 #[test]
 fn websocket_is_accurate_and_consistent() {
     let r = run(MethodId::WebSocket, BrowserKind::Chrome, OsKind::Ubuntu1204, 20);
-    let a = Appraisal::of(&r);
+    let a = Appraisal::try_of(&r).unwrap();
     assert_eq!(a.verdict, Verdict::Accurate);
     assert!(a.pooled.median < 1.5, "median {}", a.pooled.median);
     assert!(a.pooled.iqr() < 2.0, "iqr {}", a.pooled.iqr());
@@ -182,7 +182,7 @@ fn table4_nanotime_fixes_java() {
             "{method:?}: no negative Δd with nanoTime"
         );
         if method == MethodId::JavaTcp {
-            let a = Appraisal::of(&r);
+            let a = Appraisal::try_of(&r).unwrap();
             assert!(a.pooled.mean < 0.3, "socket mean {}", a.pooled.mean);
             assert_eq!(a.verdict, Verdict::Accurate);
         }
