@@ -517,8 +517,12 @@ impl BrowserSession {
         } else {
             self.result.completed = true;
             self.phase = Phase::Done;
-            // Orderly teardown: close every connection we own.
-            let socks: Vec<SocketId> = self.conns.keys().copied().collect();
+            // Orderly teardown: close every connection we own, in
+            // socket-id order — HashMap order varies per process/thread,
+            // and the close order decides which teardown frame meets
+            // which fault draw, so it must be deterministic.
+            let mut socks: Vec<SocketId> = self.conns.keys().copied().collect();
+            socks.sort_unstable();
             for s in socks {
                 ctx.close(s);
             }

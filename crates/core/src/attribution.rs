@@ -48,6 +48,12 @@ pub struct RoundAttribution {
     pub handshake_ms: f64,
     /// Round-1 first-use (instantiation) costs.
     pub init_ms: f64,
+    /// TCP data-retransmission waits inside the round. Rounds whose
+    /// probes were retransmitted on the wire are excluded before
+    /// attribution (the paper's §3 rule), so this is 0 on every reported
+    /// round — it exists to make the exclusion auditable: a non-zero
+    /// value means a retransmitted round leaked past the matcher.
+    pub retrans_ms: f64,
     /// Browser timestamp quantization.
     pub quantization_ms: f64,
     /// Δd minus everything above.
@@ -56,7 +62,7 @@ pub struct RoundAttribution {
 
 impl RoundAttribution {
     /// The span-attributed components in report order.
-    pub fn components(&self) -> [(Component, f64); 6] {
+    pub fn components(&self) -> [(Component, f64); 7] {
         [
             (Component::Dispatch, self.dispatch_ms),
             (Component::Bridge, self.bridge_ms),
@@ -64,6 +70,7 @@ impl RoundAttribution {
             (Component::Stack, self.stack_ms),
             (Component::Handshake, self.handshake_ms),
             (Component::Init, self.init_ms),
+            (Component::Retrans, self.retrans_ms),
         ]
     }
 
@@ -113,6 +120,7 @@ pub fn attribute(
             stack_ms: total(Component::Stack),
             handshake_ms: total(Component::Handshake),
             init_ms: total(Component::Init),
+            retrans_ms: total(Component::Retrans),
             quantization_ms: m.browser.browser_rtt_ms() - virtual_ms,
             residual_ms: 0.0,
         };
@@ -126,12 +134,12 @@ pub fn attribute(
 pub fn to_csv(rows: &[RoundAttribution]) -> String {
     let mut s = String::from(
         "rep,round,delta_d_ms,dispatch_ms,bridge_ms,parse_ms,stack_ms,\
-         handshake_ms,init_ms,quantization_ms,residual_ms\n",
+         handshake_ms,init_ms,retrans_ms,quantization_ms,residual_ms\n",
     );
     for r in rows {
         let _ = writeln!(
             s,
-            "{},{},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?}",
+            "{},{},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?}",
             r.rep,
             r.round,
             r.delta_d_ms,
@@ -141,6 +149,7 @@ pub fn to_csv(rows: &[RoundAttribution]) -> String {
             r.stack_ms,
             r.handshake_ms,
             r.init_ms,
+            r.retrans_ms,
             r.quantization_ms,
             r.residual_ms
         );
@@ -159,8 +168,8 @@ pub fn to_json(rows: &[RoundAttribution]) -> String {
             s,
             "{{\"rep\":{},\"round\":{},\"delta_d_ms\":{:?},\"dispatch_ms\":{:?},\
              \"bridge_ms\":{:?},\"parse_ms\":{:?},\"stack_ms\":{:?},\
-             \"handshake_ms\":{:?},\"init_ms\":{:?},\"quantization_ms\":{:?},\
-             \"residual_ms\":{:?}}}",
+             \"handshake_ms\":{:?},\"init_ms\":{:?},\"retrans_ms\":{:?},\
+             \"quantization_ms\":{:?},\"residual_ms\":{:?}}}",
             r.rep,
             r.round,
             r.delta_d_ms,
@@ -170,6 +179,7 @@ pub fn to_json(rows: &[RoundAttribution]) -> String {
             r.stack_ms,
             r.handshake_ms,
             r.init_ms,
+            r.retrans_ms,
             r.quantization_ms,
             r.residual_ms
         );
@@ -183,14 +193,15 @@ pub fn render_table(rows: &[RoundAttribution]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:>4} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>10} {:>8} {:>10} {:>9}",
+        "{:>4} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8} {:>10} {:>9}",
         "rep", "round", "Δd", "dispatch", "bridge", "parse", "stack", "handshake", "init",
-        "quantiz.", "residual"
+        "retrans", "quantiz.", "residual"
     );
     for r in rows {
         let _ = writeln!(
             s,
-            "{:>4} {:>6} {:>9.3} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>10.3} {:>8.3} {:>10.3} {:>9.4}",
+            "{:>4} {:>6} {:>9.3} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>10.3} {:>8.3} {:>8.3} \
+             {:>10.3} {:>9.4}",
             r.rep,
             r.round,
             r.delta_d_ms,
@@ -200,6 +211,7 @@ pub fn render_table(rows: &[RoundAttribution]) -> String {
             r.stack_ms,
             r.handshake_ms,
             r.init_ms,
+            r.retrans_ms,
             r.quantization_ms,
             r.residual_ms
         );
@@ -222,6 +234,7 @@ mod tests {
             stack_ms: 1.0,
             handshake_ms: 0.0,
             init_ms: 3.5,
+            retrans_ms: 0.0,
             quantization_ms: 0.4,
             residual_ms: 0.1,
         }
@@ -232,7 +245,7 @@ mod tests {
         let r = row();
         assert!((r.attributed_sum_ms() - 9.5).abs() < 1e-12);
         assert!((r.explained_ms() - 9.9).abs() < 1e-12);
-        assert_eq!(r.components().len(), 6);
+        assert_eq!(r.components().len(), 7);
     }
 
     #[test]
@@ -245,6 +258,9 @@ mod tests {
         assert!(json.starts_with("[{\"rep\":0,\"round\":1"));
         assert_eq!(json, to_json(&rows));
         assert!(render_table(&rows).contains("handshake"));
+        assert!(csv.contains("retrans_ms"));
+        assert!(json.contains("\"retrans_ms\""));
+        assert!(render_table(&rows).contains("retrans"));
     }
 
     #[test]

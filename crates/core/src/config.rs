@@ -3,6 +3,7 @@
 use bnm_browser::BrowserKind;
 use bnm_methods::MethodId;
 use bnm_sim::time::SimDuration;
+use bnm_sim::Impairment;
 use bnm_time::{OsKind, TimingApiKind};
 
 use crate::error::RunError;
@@ -53,6 +54,11 @@ pub struct ExperimentCell {
     pub seed: u64,
     /// §5's Safari fix (force the Oracle JRE) — used by the Table 4 runs.
     pub fixed_safari_java: bool,
+    /// Network impairment on the testbed links (loss / corruption /
+    /// duplication plus delay jitter). The paper's headline runs were
+    /// loss-free ([`Impairment::NONE`], the default); non-clean values
+    /// exercise the retransmission-exclusion rule of §3.
+    pub impairment: Impairment,
     /// Record per-repetition traces and Δd attribution reports. Off by
     /// default: tracing allocates per-event and the paper's headline
     /// numbers don't need it.
@@ -82,6 +88,7 @@ impl ExperimentCell {
             capture_noise_ns: 0,
             seed: 0xB32B_0001,
             fixed_safari_java: false,
+            impairment: Impairment::NONE,
             trace: false,
         }
     }
@@ -113,6 +120,13 @@ impl ExperimentCell {
     /// Apply §5's Safari Java fix.
     pub fn with_fixed_safari_java(mut self) -> Self {
         self.fixed_safari_java = true;
+        self
+    }
+
+    /// Impair the testbed network (loss, corruption, duplication,
+    /// jitter).
+    pub fn with_impairment(mut self, imp: Impairment) -> Self {
+        self.impairment = imp;
         self
     }
 
@@ -211,6 +225,13 @@ impl CellBuilder {
     /// Apply (or clear) §5's Safari fix — force the Oracle JRE.
     pub fn fixed_safari_java(mut self, on: bool) -> Self {
         self.cell.fixed_safari_java = on;
+        self
+    }
+
+    /// Impair the testbed network (the default is the paper's clean
+    /// network, [`Impairment::NONE`]).
+    pub fn impairment(mut self, imp: Impairment) -> Self {
+        self.cell.impairment = imp;
         self
     }
 
@@ -314,6 +335,7 @@ mod tests {
         .capture_noise_ns(300_000)
         .seed(7)
         .fixed_safari_java(true)
+        .impairment(Impairment::loss(0.02))
         .trace(true)
         .build()
         .unwrap();
@@ -323,6 +345,8 @@ mod tests {
         assert_eq!(cell.capture_noise_ns, 300_000);
         assert_eq!(cell.seed, 7);
         assert!(cell.fixed_safari_java);
+        assert_eq!(cell.impairment, Impairment::loss(0.02));
+        assert!(!cell.impairment.is_clean());
         assert!(cell.trace);
         let cleared = ExperimentCell::builder(
             MethodId::JavaTcp,
@@ -375,6 +399,7 @@ mod tests {
         assert_eq!(cell.reps, 50);
         assert_eq!(cell.server_delay.as_millis(), 50);
         assert_eq!(cell.timing_override, None);
+        assert!(cell.impairment.is_clean());
         assert!(cell.is_runnable());
     }
 }

@@ -331,6 +331,7 @@ impl Executor {
             };
             match o.outcome {
                 Ok(rep) => {
+                    result.excluded_rounds += rep.excluded;
                     for m in rep.measurements {
                         match m.round {
                             1 => result.d1.push(m.delta_d_ms()),
@@ -390,6 +391,7 @@ mod tests {
             assert_eq!(s.d1, p.d1);
             assert_eq!(s.d2, p.d2);
             assert_eq!(s.failures, p.failures);
+            assert_eq!(s.excluded_rounds, p.excluded_rounds);
             assert_eq!(s.measurements.len(), p.measurements.len());
         }
     }

@@ -52,7 +52,9 @@ pub use appraisal::{Appraisal, Verdict};
 pub use attribution::RoundAttribution;
 pub use config::{CellBuilder, ExperimentCell, RuntimeSel};
 pub use delta::RoundMeasurement;
+pub use bnm_sim::{FaultSpec, Impairment};
 pub use error::RunError;
 pub use exec::{ExecStats, Executor, Progress};
+pub use matching::{MatchError, ParsedCapture};
 pub use runner::{CellResult, ExperimentRunner, RepOutcome};
 pub use testbed::{Testbed, TestbedBuilder, TestbedConfig};

@@ -30,6 +30,13 @@ pub enum MatchError {
     ResponseNotFound,
     /// A response was captured before the request (trace corruption).
     OutOfOrder,
+    /// A marker of the round appeared in more than one packet of the
+    /// same direction: the probe (or its response) was retransmitted or
+    /// duplicated on the wire. The paper excludes such rounds — a
+    /// retransmission inflates the network RTT estimate without the
+    /// browser seeing anything unusual, so Δd would absorb the whole
+    /// retransmission timeout.
+    Retransmitted,
 }
 
 impl std::fmt::Display for MatchError {
@@ -38,6 +45,7 @@ impl std::fmt::Display for MatchError {
             MatchError::RequestNotFound => "no captured packet carried the request marker",
             MatchError::ResponseNotFound => "no captured packet carried the response marker",
             MatchError::OutOfOrder => "response captured before its request",
+            MatchError::Retransmitted => "a probe marker was retransmitted on the wire",
         })
     }
 }
@@ -78,48 +86,102 @@ fn payload_of(frame: &[u8]) -> Option<Vec<u8>> {
     })
 }
 
+/// A capture whose frames have been parsed once, ready for repeated
+/// round matching.
+///
+/// [`match_round`] used to re-parse every frame for every round —
+/// O(rounds × frames) wire decoding per repetition. Parsing up front
+/// makes matching all of a session's rounds a single pass over the
+/// trace, and is what the retransmission check needs anyway: it must
+/// scan *every* record (no early exit) to count duplicate marker hits.
+#[derive(Debug, Clone)]
+pub struct ParsedCapture {
+    /// `(stamp, direction, transport payload)` of every frame that
+    /// parsed; corrupted or non-TCP/UDP frames are dropped, exactly as a
+    /// checksum-filtering analyst would drop them.
+    records: Vec<(SimTime, CaptureDir, Vec<u8>)>,
+}
+
+impl ParsedCapture {
+    /// Parse every frame of a capture once.
+    pub fn parse(capture: &CaptureBuffer) -> ParsedCapture {
+        ParsedCapture {
+            records: capture
+                .records()
+                .iter()
+                .filter_map(|rec| payload_of(&rec.frame).map(|p| (rec.ts, rec.dir, p)))
+                .collect(),
+        }
+    }
+
+    /// Capture stamps of all records in `dir` whose payload carries
+    /// `marker`, in capture order.
+    pub fn hits(&self, dir: CaptureDir, marker: &[u8]) -> Vec<SimTime> {
+        self.records
+            .iter()
+            .filter(|(_, d, p)| *d == dir && contains(p, marker))
+            .map(|(ts, _, _)| *ts)
+            .collect()
+    }
+
+    /// Find `tN_s`/`tN_r` for one round in a client-side capture.
+    ///
+    /// The whole trace is scanned: a marker seen in more than one packet
+    /// of the same direction means the probe was retransmitted (lost or
+    /// corrupted upstream) or duplicated (downstream), and the round is
+    /// reported as [`MatchError::Retransmitted`].
+    pub fn match_round(
+        &self,
+        method: MethodId,
+        round: u8,
+        token: u64,
+    ) -> Result<WireTimes, MatchError> {
+        let tx = self.hits(CaptureDir::Tx, &request_marker(method, round, token));
+        let rx = self.hits(CaptureDir::Rx, &response_marker(method, round, token));
+        if tx.len() > 1 || rx.len() > 1 {
+            return Err(MatchError::Retransmitted);
+        }
+        match (tx.first(), rx.first()) {
+            (None, _) => Err(MatchError::RequestNotFound),
+            (_, None) => Err(MatchError::ResponseNotFound),
+            (Some(&s), Some(&r)) => {
+                if r < s {
+                    Err(MatchError::OutOfOrder)
+                } else {
+                    Ok(WireTimes { tn_s: s, tn_r: r })
+                }
+            }
+        }
+    }
+
+    /// Whether either of the round's markers appears more than once in
+    /// any one direction of this capture.
+    ///
+    /// This is the *server-side* half of the exclusion rule: when the
+    /// response is dropped downstream, the client sees each marker
+    /// exactly once (only the retransmission arrives) — but the server's
+    /// capture records the response leaving twice. The paper ran
+    /// WinDump on both machines for exactly this reason.
+    pub fn round_retransmitted(&self, method: MethodId, round: u8, token: u64) -> bool {
+        let req = request_marker(method, round, token);
+        let resp = response_marker(method, round, token);
+        [CaptureDir::Tx, CaptureDir::Rx]
+            .iter()
+            .any(|&d| self.hits(d, &req).len() > 1 || self.hits(d, &resp).len() > 1)
+    }
+}
+
 /// Find `tN_s`/`tN_r` for one round in a client-side capture.
+///
+/// One-shot convenience over [`ParsedCapture`]; callers matching many
+/// rounds of the same capture should parse once and reuse it.
 pub fn match_round(
     capture: &CaptureBuffer,
     method: MethodId,
     round: u8,
     token: u64,
 ) -> Result<WireTimes, MatchError> {
-    let req_marker = request_marker(method, round, token);
-    let resp_marker = response_marker(method, round, token);
-    let mut tn_s = None;
-    let mut tn_r = None;
-    for rec in capture.records() {
-        let Some(payload) = payload_of(&rec.frame) else {
-            continue;
-        };
-        match rec.dir {
-            CaptureDir::Tx => {
-                if tn_s.is_none() && contains(&payload, &req_marker) {
-                    tn_s = Some(rec.ts);
-                }
-            }
-            CaptureDir::Rx => {
-                if tn_r.is_none() && contains(&payload, &resp_marker) {
-                    tn_r = Some(rec.ts);
-                }
-            }
-        }
-        if tn_s.is_some() && tn_r.is_some() {
-            break;
-        }
-    }
-    match (tn_s, tn_r) {
-        (None, _) => Err(MatchError::RequestNotFound),
-        (_, None) => Err(MatchError::ResponseNotFound),
-        (Some(s), Some(r)) => {
-            if r < s {
-                Err(MatchError::OutOfOrder)
-            } else {
-                Ok(WireTimes { tn_s: s, tn_r: r })
-            }
-        }
-    }
+    ParsedCapture::parse(capture).match_round(method, round, token)
 }
 
 #[cfg(test)]
@@ -245,6 +307,81 @@ mod tests {
         ]);
         let wt = match_round(&cap, MethodId::XhrGet, 1, 2).unwrap();
         assert_eq!(wt.tn_s, SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn retransmitted_request_is_reported() {
+        // The client's first copy was lost upstream; its TCP layer sent
+        // the marker again 200 ms later. Both show in the Tx capture.
+        let cap = capture_with(&[
+            (10, CaptureDir::Tx, b"m=xhr_get&r=1&t=7 "),
+            (210, CaptureDir::Tx, b"m=xhr_get&r=1&t=7 "),
+            (261, CaptureDir::Rx, b"pong r=1 t=7 "),
+        ]);
+        assert_eq!(
+            match_round(&cap, MethodId::XhrGet, 1, 7).unwrap_err(),
+            MatchError::Retransmitted
+        );
+    }
+
+    #[test]
+    fn duplicated_response_is_reported() {
+        let cap = capture_with(&[
+            (10, CaptureDir::Tx, b"m=xhr_get&r=1&t=7 "),
+            (61, CaptureDir::Rx, b"pong r=1 t=7 "),
+            (62, CaptureDir::Rx, b"pong r=1 t=7 "),
+        ]);
+        assert_eq!(
+            match_round(&cap, MethodId::XhrGet, 1, 7).unwrap_err(),
+            MatchError::Retransmitted
+        );
+    }
+
+    #[test]
+    fn retransmission_in_one_round_leaves_others_matchable() {
+        let cap = capture_with(&[
+            (10, CaptureDir::Tx, b"m=xhr_get&r=1&t=7 "),
+            (210, CaptureDir::Tx, b"m=xhr_get&r=1&t=7 "),
+            (261, CaptureDir::Rx, b"pong r=1 t=7 "),
+            (300, CaptureDir::Tx, b"m=xhr_get&r=2&t=7 "),
+            (351, CaptureDir::Rx, b"pong r=2 t=7 "),
+        ]);
+        let parsed = ParsedCapture::parse(&cap);
+        assert_eq!(
+            parsed.match_round(MethodId::XhrGet, 1, 7).unwrap_err(),
+            MatchError::Retransmitted
+        );
+        let r2 = parsed.match_round(MethodId::XhrGet, 2, 7).unwrap();
+        assert_eq!(r2.tn_s, SimTime::from_millis(300));
+        assert!(parsed.round_retransmitted(MethodId::XhrGet, 1, 7));
+        assert!(!parsed.round_retransmitted(MethodId::XhrGet, 2, 7));
+    }
+
+    #[test]
+    fn server_side_view_detects_downstream_retransmission() {
+        // Server capture: request arrives once (Rx), the response leaves
+        // twice (Tx) because the first copy was dropped downstream. The
+        // client capture would look clean; the server view catches it.
+        let cap = capture_with(&[
+            (35, CaptureDir::Rx, b"m=xhr_get&r=1&t=7 "),
+            (36, CaptureDir::Tx, b"pong r=1 t=7 "),
+            (236, CaptureDir::Tx, b"pong r=1 t=7 "),
+        ]);
+        let parsed = ParsedCapture::parse(&cap);
+        assert!(parsed.round_retransmitted(MethodId::XhrGet, 1, 7));
+    }
+
+    #[test]
+    fn parsed_capture_matches_like_the_one_shot_helper() {
+        let cap = capture_with(&[
+            (10, CaptureDir::Tx, b"GET /probe?m=xhr_get&r=1&t=7 HTTP/1.1\r\n\r\n"),
+            (61, CaptureDir::Rx, b"HTTP/1.1 200 OK\r\n\r\npong r=1 t=7 ....."),
+        ]);
+        let parsed = ParsedCapture::parse(&cap);
+        assert_eq!(
+            parsed.match_round(MethodId::XhrGet, 1, 7).unwrap(),
+            match_round(&cap, MethodId::XhrGet, 1, 7).unwrap()
+        );
     }
 
     #[test]

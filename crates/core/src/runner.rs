@@ -20,7 +20,7 @@ use crate::config::{ExperimentCell, RuntimeSel};
 use crate::delta::RoundMeasurement;
 use crate::error::RunError;
 use crate::exec::Executor;
-use crate::matching::{match_round, MatchError};
+use crate::matching::{MatchError, ParsedCapture};
 use crate::testbed::{Testbed, TestbedConfig};
 
 /// The outcome of one cell.
@@ -34,6 +34,10 @@ pub struct CellResult {
     pub measurements: Vec<RoundMeasurement>,
     /// Repetitions that failed (incomplete session or match error).
     pub failures: u32,
+    /// Rounds excluded because a probe marker was retransmitted or
+    /// duplicated on the wire (the paper's §3 exclusion rule). These
+    /// rounds contribute to neither `d1`/`d2` nor `measurements`.
+    pub excluded_rounds: u32,
     /// Per-repetition traces, rep order. Empty unless the cell was run
     /// with [`ExperimentCell::trace`] set.
     pub traces: Vec<TraceData>,
@@ -51,6 +55,8 @@ pub struct RepOutcome {
     pub trace: Option<TraceData>,
     /// One attribution row per measured round (empty when untraced).
     pub attribution: Vec<RoundAttribution>,
+    /// Rounds of this repetition excluded for wire retransmissions.
+    pub excluded: u32,
 }
 
 impl CellResult {
@@ -134,6 +140,7 @@ impl ExperimentRunner {
             server_delay: cell.server_delay,
             capture_noise_ns: cell.capture_noise_ns,
             seed: rng::derive_seed(cell.seed, "capture"),
+            impairment: cell.impairment,
             ..TestbedConfig::default()
         };
         let plan = cell.method.plan(cell.timing_override);
@@ -157,10 +164,32 @@ impl ExperimentRunner {
             return Err(RunError::Match(MatchError::ResponseNotFound));
         }
         let rounds = session.result().rounds.clone();
-        let capture = tb.engine.tap(tb.client_tap);
+        // Parse each capture once; every round then matches against the
+        // pre-parsed records instead of re-decoding the whole trace.
+        let parsed = ParsedCapture::parse(tb.engine.tap(tb.client_tap));
+        // The server-side capture only matters when the network can lose
+        // frames: a response dropped downstream leaves the client-side
+        // trace looking clean (one Tx, one Rx) while the server's NIC
+        // saw the response leave twice. Clean cells skip the parse.
+        let server_parsed = (!cell.impairment.is_clean())
+            .then(|| ParsedCapture::parse(tb.engine.tap(tb.server_tap)));
         let mut out = Vec::with_capacity(rounds.len());
+        let mut excluded = 0u32;
         for r in rounds {
-            let wire = match_round(capture, cell.method, r.round, u64::from(rep))?;
+            let wire = match parsed.match_round(cell.method, r.round, u64::from(rep)) {
+                Err(MatchError::Retransmitted) => {
+                    excluded += 1;
+                    continue;
+                }
+                other => other?,
+            };
+            if server_parsed
+                .as_ref()
+                .is_some_and(|sp| sp.round_retransmitted(cell.method, r.round, u64::from(rep)))
+            {
+                excluded += 1;
+                continue;
+            }
             out.push(RoundMeasurement {
                 round: r.round,
                 browser: r,
@@ -176,6 +205,7 @@ impl ExperimentRunner {
             measurements: out,
             trace,
             attribution,
+            excluded,
         })
     }
 

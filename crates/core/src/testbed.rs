@@ -21,7 +21,7 @@ use bnm_sim::rng;
 use bnm_sim::switch::Switch;
 use bnm_sim::time::{SimDuration, SimTime};
 use bnm_sim::wire::MacAddr;
-use bnm_sim::TapId;
+use bnm_sim::{Impairment, TapId};
 use bnm_tcp::{Host, HostConfig};
 use bnm_time::MachineTimer;
 
@@ -63,6 +63,12 @@ pub struct TestbedConfig {
     pub seed: u64,
     /// Optional cross-traffic source contending on the server link.
     pub cross_traffic: Option<CrossTraffic>,
+    /// Network impairment: `up` applies to the client's egress, `down`
+    /// to the server's egress (alongside the netem delay), and `jitter`
+    /// bounds a uniform per-frame addition to the server-side
+    /// `extra_delay`. [`Impairment::NONE`] (the default) leaves the
+    /// engine exactly as the clean build wires it.
+    pub impairment: Impairment,
 }
 
 impl Default for TestbedConfig {
@@ -73,6 +79,7 @@ impl Default for TestbedConfig {
             server: ServerConfig::default(),
             seed: 1,
             cross_traffic: None,
+            impairment: Impairment::NONE,
         }
     }
 }
@@ -191,6 +198,34 @@ impl Testbed {
         let client_link = engine.connect(client, 0, switch, 0, LinkSpec::fast_ethernet());
         let server_link = engine.connect(server, 0, switch, 1, LinkSpec::fast_ethernet());
         engine.set_one_way_delay(server_link, server, cfg.server_delay);
+        // Impairment wiring is fully gated: a clean Impairment installs
+        // nothing, so the clean path stays byte-identical to a build
+        // that never heard of the knob (asserted by `trace_parity`).
+        let imp = cfg.impairment;
+        if !imp.up.is_clean() {
+            engine.set_fault(
+                client_link,
+                client,
+                imp.up,
+                rng::stream_indexed(cfg.seed, "fault.up", rep_token),
+            );
+        }
+        if !imp.down.is_clean() {
+            engine.set_fault(
+                server_link,
+                server,
+                imp.down,
+                rng::stream_indexed(cfg.seed, "fault.down", rep_token),
+            );
+        }
+        if imp.jitter > SimDuration::ZERO {
+            engine.set_jitter(
+                server_link,
+                server,
+                imp.jitter,
+                rng::stream_indexed(cfg.seed, "jitter.down", rep_token),
+            );
+        }
         if let Some(ct) = cfg.cross_traffic {
             let interval =
                 SimDuration::from_nanos((1_000_000_000u64 / ct.rate_pps.max(1)).max(1));
@@ -296,6 +331,13 @@ impl TestbedBuilder {
     /// Add a cross-traffic source on the server link.
     pub fn cross_traffic(mut self, ct: CrossTraffic) -> Self {
         self.cfg.cross_traffic = Some(ct);
+        self
+    }
+
+    /// Impair the testbed network (loss / corruption / duplication /
+    /// jitter; the default is the paper's clean network).
+    pub fn impairment(mut self, imp: Impairment) -> Self {
+        self.cfg.impairment = imp;
         self
     }
 

@@ -44,6 +44,11 @@ pub enum Component {
     Handshake,
     /// One-time first-use costs (object instantiation, class loading).
     Init,
+    /// Time lost waiting for TCP data retransmissions (RTO expiries and
+    /// fast-retransmit recoveries on the traced stack). The paper
+    /// excluded rounds containing retransmissions, so attributed rounds
+    /// carry 0 here; the component makes the exclusion auditable.
+    Retrans,
     /// Browser timestamp quantization: `(tb_r − tb_s)` minus the
     /// virtual-time width of the round.
     Quantization,
@@ -55,13 +60,14 @@ pub enum Component {
 impl Component {
     /// The components attributed directly from trace spans, in report
     /// order.
-    pub const ATTRIBUTED: [Component; 6] = [
+    pub const ATTRIBUTED: [Component; 7] = [
         Component::Dispatch,
         Component::Bridge,
         Component::Parse,
         Component::Stack,
         Component::Handshake,
         Component::Init,
+        Component::Retrans,
     ];
 
     /// Stable lower-case name used in exports.
@@ -73,6 +79,7 @@ impl Component {
             Component::Stack => "stack",
             Component::Handshake => "handshake",
             Component::Init => "init",
+            Component::Retrans => "retrans",
             Component::Quantization => "quantization",
             Component::Residual => "residual",
         }
@@ -483,7 +490,8 @@ mod tests {
 
     #[test]
     fn component_names_are_stable() {
-        assert_eq!(Component::ATTRIBUTED.len(), 6);
+        assert_eq!(Component::ATTRIBUTED.len(), 7);
+        assert_eq!(Component::Retrans.name(), "retrans");
         assert_eq!(Component::Quantization.name(), "quantization");
         assert_eq!(Component::Dispatch.to_string(), "dispatch");
     }

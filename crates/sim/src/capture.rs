@@ -46,7 +46,9 @@ pub enum TimestampNoise {
     /// Exact virtual-time stamps.
     Exact,
     /// Uniform noise in `[0, bound_ns]` added to each stamp (capture
-    /// stamps lag the wire event; they never lead it).
+    /// stamps lag the wire event; they never lead it). Stamps are
+    /// additionally clamped to be monotone per tap — a real capturer's
+    /// clock never runs backwards between records.
     UniformLag {
         /// Upper bound of the lag, nanoseconds.
         bound_ns: u64,
@@ -62,6 +64,8 @@ pub struct CaptureBuffer {
     pub name: String,
     records: Vec<CaptureRecord>,
     noise: TimestampNoise,
+    /// Last stamped timestamp, for the monotonicity clamp under noise.
+    last_ts: SimTime,
     /// Snap length: frames longer than this are truncated in the record
     /// (the original length is not preserved — experiments use full snap).
     snaplen: usize,
@@ -74,6 +78,7 @@ impl CaptureBuffer {
             name: name.into(),
             records: Vec::new(),
             noise: TimestampNoise::Exact,
+            last_ts: SimTime::ZERO,
             snaplen: usize::MAX,
         }
     }
@@ -100,9 +105,14 @@ impl CaptureBuffer {
                 } else {
                     rng.gen_range(0..=*bound_ns)
                 };
-                ts + crate::time::SimDuration::from_nanos(lag)
+                // Clamp to the previous record's stamp: independent lag
+                // draws could otherwise order two nearby records
+                // backwards, which a real pcap never shows (the capture
+                // clock is read monotonically per tap).
+                (ts + crate::time::SimDuration::from_nanos(lag)).max(self.last_ts)
             }
         };
+        self.last_ts = stamped;
         let frame = if frame.len() > self.snaplen {
             frame.slice(..self.snaplen)
         } else {
@@ -166,6 +176,29 @@ mod tests {
         for r in buf.records() {
             assert!(r.ts >= t);
             assert!(r.ts.as_nanos() - t.as_nanos() <= 300_000);
+        }
+    }
+
+    #[test]
+    fn noisy_stamps_stay_monotone() {
+        let noise = TimestampNoise::UniformLag {
+            bound_ns: 300_000,
+            rng: rng::stream(11, "cap"),
+        };
+        let mut buf = CaptureBuffer::new("t").with_noise(noise);
+        // Records arriving a few ns apart: without clamping, a large lag
+        // on an early record would order it after a later one.
+        for i in 0..500u64 {
+            buf.record(
+                SimTime::from_nanos(i * 10),
+                CaptureDir::Rx,
+                &Bytes::from_static(b"x"),
+            );
+        }
+        let mut prev = SimTime::ZERO;
+        for r in buf.records() {
+            assert!(r.ts >= prev, "stamp went backwards: {:?} < {prev:?}", r.ts);
+            prev = r.ts;
         }
     }
 

@@ -11,6 +11,8 @@ use bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::time::SimDuration;
+
 /// What the injector decided to do with one frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultAction {
@@ -25,7 +27,7 @@ pub enum FaultAction {
 }
 
 /// Per-direction fault configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FaultSpec {
     /// Probability ∈ \[0,1\] of dropping a frame.
     pub drop_chance: f64,
@@ -53,6 +55,63 @@ impl FaultSpec {
             && self.corrupt_chance == 0.0
             && self.duplicate_chance == 0.0
             && self.size_limit == 0
+    }
+
+    /// A spec that only drops, at `rate` ∈ \[0,1\].
+    pub fn loss(rate: f64) -> FaultSpec {
+        FaultSpec {
+            drop_chance: rate,
+            ..FaultSpec::CLEAN
+        }
+    }
+}
+
+/// End-to-end network impairment for a testbed: per-direction fault
+/// specs plus a netem-style uniform jitter bound on the server's
+/// egress delay (`tc qdisc … netem delay 50ms <jitter>`).
+///
+/// "Up" is the client→server direction, "down" server→client, matching
+/// where the paper's netem delay sits. The default is the paper's
+/// clean network: no loss, no corruption, no duplication, no jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Impairment {
+    /// Faults on the client→server direction.
+    pub up: FaultSpec,
+    /// Faults on the server→client direction.
+    pub down: FaultSpec,
+    /// Uniform jitter bound added to the server-egress one-way delay:
+    /// each frame draws an extra delay in `[0, jitter]`.
+    pub jitter: SimDuration,
+}
+
+impl Impairment {
+    /// The paper's clean network (§3): no impairment at all.
+    pub const NONE: Impairment = Impairment {
+        up: FaultSpec::CLEAN,
+        down: FaultSpec::CLEAN,
+        jitter: SimDuration::ZERO,
+    };
+
+    /// Symmetric random loss at `rate` ∈ \[0,1\] in both directions.
+    pub fn loss(rate: f64) -> Impairment {
+        Impairment {
+            up: FaultSpec::loss(rate),
+            down: FaultSpec::loss(rate),
+            ..Impairment::NONE
+        }
+    }
+
+    /// Replace the jitter bound.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Impairment {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Whether this impairment can ever perturb the network. A clean
+    /// impairment must leave every simulation bit-identical to one that
+    /// never heard of impairments.
+    pub fn is_clean(&self) -> bool {
+        self.up.is_clean() && self.down.is_clean() && self.jitter == SimDuration::ZERO
     }
 }
 
@@ -91,14 +150,18 @@ impl FaultInjector {
             self.drops += 1;
             return FaultAction::Drop;
         }
-        if self.spec.corrupt_chance > 0.0 && self.rng.gen_bool(self.spec.corrupt_chance.min(1.0)) {
+        // An empty frame has no octet to mutate: skip the corruption
+        // draw entirely rather than counting a corruption that never
+        // happened and mislabelling the delivery.
+        if !frame.is_empty()
+            && self.spec.corrupt_chance > 0.0
+            && self.rng.gen_bool(self.spec.corrupt_chance.min(1.0))
+        {
             self.corruptions += 1;
             let mut data = frame.to_vec();
-            if !data.is_empty() {
-                let idx = self.rng.gen_range(0..data.len());
-                // Guaranteed-visible mutation.
-                data[idx] ^= self.rng.gen_range(1..=255u8);
-            }
+            let idx = self.rng.gen_range(0..data.len());
+            // Guaranteed-visible mutation.
+            data[idx] ^= self.rng.gen_range(1..=255u8);
             return FaultAction::DeliverCorrupted(Bytes::from(data));
         }
         if self.spec.duplicate_chance > 0.0 && self.rng.gen_bool(self.spec.duplicate_chance.min(1.0))
@@ -174,6 +237,40 @@ mod tests {
             inj.apply(Bytes::from_static(&[1, 2])),
             FaultAction::Deliver(Bytes::from_static(&[1, 2]))
         );
+    }
+
+    #[test]
+    fn empty_frames_are_never_counted_as_corrupted() {
+        let spec = FaultSpec {
+            corrupt_chance: 1.0,
+            ..FaultSpec::CLEAN
+        };
+        let mut inj = FaultInjector::new(spec, rng::stream(5, "t"));
+        for _ in 0..100 {
+            assert_eq!(
+                inj.apply(Bytes::new()),
+                FaultAction::Deliver(Bytes::new()),
+                "an empty frame cannot be corrupted"
+            );
+        }
+        assert_eq!(inj.counters(), (0, 0, 0));
+        // Non-empty frames still corrupt.
+        assert!(matches!(inj.apply(frame()), FaultAction::DeliverCorrupted(_)));
+        assert_eq!(inj.counters().1, 1);
+    }
+
+    #[test]
+    fn impairment_cleanliness_and_constructors() {
+        assert!(Impairment::NONE.is_clean());
+        assert!(Impairment::default().is_clean());
+        let lossy = Impairment::loss(0.02);
+        assert!(!lossy.is_clean());
+        assert_eq!(lossy.up.drop_chance, 0.02);
+        assert_eq!(lossy.down.drop_chance, 0.02);
+        assert_eq!(lossy.up.corrupt_chance, 0.0);
+        let jittered = Impairment::NONE.with_jitter(SimDuration::from_millis(2));
+        assert!(!jittered.is_clean());
+        assert!(jittered.up.is_clean() && jittered.down.is_clean());
     }
 
     #[test]

@@ -44,5 +44,6 @@ pub mod wire;
 
 pub use capture::{CaptureBuffer, CaptureRecord, TapId};
 pub use engine::{Ctx, Engine, Node, NodeId, PortNo};
+pub use fault::{FaultSpec, Impairment};
 pub use link::{LinkId, LinkSpec};
 pub use time::{SimDuration, SimTime};

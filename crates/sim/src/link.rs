@@ -6,6 +6,9 @@
 //! delay`, used to reproduce the paper's "additional delay of 50 ms on the
 //! server side".
 
+use rand::rngs::SmallRng;
+use rand::Rng;
+
 use crate::capture::TapId;
 use crate::engine::{NodeId, PortNo};
 use crate::fault::FaultInjector;
@@ -102,6 +105,31 @@ pub(crate) struct DirState {
     /// from the spec; can be overridden per direction — the paper's 50 ms
     /// applies to the server's egress only).
     pub extra_delay: SimDuration,
+    /// Netem-style uniform jitter on `extra_delay` (the `netem delay
+    /// 50ms 2ms` second argument): each frame draws an extra delay in
+    /// `[0, bound]` from a dedicated stream. `None` = no jitter.
+    pub jitter: Option<LinkJitter>,
+}
+
+/// Per-direction delay jitter: a bound and its RNG stream.
+#[derive(Debug)]
+pub(crate) struct LinkJitter {
+    /// Upper bound of the uniform extra delay.
+    pub bound: SimDuration,
+    /// Dedicated RNG stream (one draw per frame, in event order, so
+    /// runs stay deterministic).
+    pub rng: SmallRng,
+}
+
+impl LinkJitter {
+    /// Draw one frame's extra delay in `[0, bound]`.
+    pub(crate) fn draw(&mut self) -> SimDuration {
+        let bound = self.bound.as_nanos();
+        if bound == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos(self.rng.gen_range(0..=bound))
+    }
 }
 
 impl DirState {
@@ -112,6 +140,7 @@ impl DirState {
             queue_drops: 0,
             fault: None,
             extra_delay,
+            jitter: None,
         }
     }
 }

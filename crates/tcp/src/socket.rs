@@ -117,6 +117,12 @@ pub struct SocketOutput {
     pub segments: Vec<TcpSegment>,
     /// Events for the application.
     pub events: Vec<LocalEvent>,
+    /// A data retransmission happened: the `(wait_start, now)` interval
+    /// spent waiting for it (RTO expiry: from when the lost transmission
+    /// was sent; fast retransmit: zero-width at the third dup-ACK). SYN
+    /// retransmissions are *not* reported — their wait is already inside
+    /// the stack's handshake span and must not be double-counted.
+    pub retrans: Option<(SimTime, SimTime)>,
 }
 
 impl SocketOutput {
@@ -577,6 +583,7 @@ impl TcpSocket {
                 self.ssthresh = (self.inflight() / 2).max(2 * self.effective_mss());
                 self.cwnd = self.ssthresh;
                 out.seg(seg);
+                out.retrans = Some((now, now));
             }
         }
     }
@@ -784,6 +791,16 @@ impl TcpSocket {
                 self.cwnd = mss;
                 let seg = self.retransmit_head();
                 out.seg(seg);
+                // Report the RTO wait for data retransmissions so the
+                // tracing layer can attribute it. `dl` was armed at
+                // `send_time + rto` with the current (pre-doubling)
+                // rto, so `dl - rto` recovers the send time. SYN waits
+                // stay inside the handshake span (see `SocketOutput`).
+                if !matches!(self.state, TcpState::SynSent | TcpState::SynReceived) {
+                    let start =
+                        SimTime::from_nanos(dl.as_nanos().saturating_sub(self.rto.as_nanos()));
+                    out.retrans = Some((start, now));
+                }
                 self.rto = self.rto.saturating_mul(2).min(self.cfg.rto_max);
                 self.arm_rto(now);
             }

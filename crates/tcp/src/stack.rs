@@ -339,6 +339,16 @@ impl TcpStack {
         for seg in out.segments {
             self.out.push((peer_ip, seg));
         }
+        if let Some((start, end)) = out.retrans {
+            self.trace.span(
+                start.as_nanos(),
+                end.as_nanos(),
+                "tcp",
+                "retransmit",
+                Some(Component::Retrans),
+            );
+            self.trace.count("tcp.retransmits", 1);
+        }
         for ev in out.events {
             let mapped = match ev {
                 LocalEvent::Connected => {

@@ -23,6 +23,12 @@ cargo test -q
 echo "==> cargo test -q --test trace_parity"
 cargo test -q --test trace_parity
 
+# The impairment subsystem's guarantees: fault rates compose, lossy
+# cells exclude retransmitted rounds without breaking the attribution
+# closure, and impaired cells stay bit-identical across schedulers.
+echo "==> cargo test -q --test impairment"
+cargo test -q --test impairment
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

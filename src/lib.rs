@@ -29,7 +29,7 @@ pub use bnm_time as timeapi;
 // with `CellBuilder`, run them (in parallel, deterministically) with
 // `Executor` or `ExperimentRunner::try_run`, and handle `RunError`.
 pub use bnm_core::exec::{self, ExecStats, Executor, Progress};
-pub use bnm_core::{Appraisal, CellBuilder, CellResult, ExperimentCell, ExperimentRunner, RunError, RuntimeSel, Verdict};
+pub use bnm_core::{Appraisal, CellBuilder, CellResult, ExperimentCell, ExperimentRunner, FaultSpec, Impairment, RunError, RuntimeSel, Verdict};
 
 /// The curated working set for driving experiments.
 ///
@@ -56,8 +56,9 @@ pub mod prelude {
     pub use bnm_core::attribution::RoundAttribution;
     pub use bnm_core::exec::{ExecStats, Executor, Progress};
     pub use bnm_core::{
-        Appraisal, CellBuilder, CellResult, ExperimentCell, ExperimentRunner, RepOutcome,
-        RoundMeasurement, RunError, RuntimeSel, Testbed, TestbedBuilder, Verdict,
+        Appraisal, CellBuilder, CellResult, ExperimentCell, ExperimentRunner, FaultSpec,
+        Impairment, RepOutcome, RoundMeasurement, RunError, RuntimeSel, Testbed, TestbedBuilder,
+        Verdict,
     };
     pub use bnm_methods::MethodId;
     pub use bnm_obs::{Component, Trace, TraceData};

@@ -4,6 +4,7 @@
 //! bnm list                          the methods and their taxonomy
 //! bnm appraise [options]           run one experiment cell and appraise it
 //! bnm trace [options]              run traced and attribute Δd to components
+//! bnm impair [options]             run a cell on an impaired network
 //! bnm probe [--os windows|ubuntu]  the Figure 5 granularity probe
 //! bnm ping                          ICMP baseline over the testbed
 //! bnm tput [options]               throughput-estimate accuracy
@@ -21,7 +22,7 @@ use bnm::core::appraisal::Appraisal;
 use bnm::core::baseline::ping_baseline;
 use bnm::core::recommend::{self, Constraints};
 use bnm::core::throughput::run_bulk_rep;
-use bnm::core::{ExperimentCell, ExperimentRunner, RuntimeSel};
+use bnm::core::{ExperimentCell, ExperimentRunner, FaultSpec, Impairment, RuntimeSel};
 use bnm::methods::{table1_rows, MethodId};
 use bnm::sim::time::{SimDuration, SimTime};
 use bnm::stats::Summary;
@@ -71,6 +72,9 @@ fn usage() -> ! {
            appraise [--method L] [--browser B] [--os O] [--reps N] [--seed S] [--nanotime]\n  \
            trace [--method L] [--browser B] [--os O] [--reps N] [--seed S]\n        \
                  [--format text|json|csv] [--events]   Δd attribution per round\n  \
+           impair [--method L] [--browser B] [--os O] [--reps N] [--seed S]\n        \
+                 [--loss P] [--corrupt P] [--duplicate P] [--jitter MS]\n        \
+                 [--format text|json|csv]     Δd on an impaired network (P in [0,1])\n  \
            probe [--os O]                        timestamp-granularity probe (Figure 5)\n  \
            ping                                  ICMP baseline over the testbed\n  \
            tput [--method L] [--size BYTES]      throughput-estimate accuracy\n  \
@@ -94,6 +98,7 @@ fn main() {
         "list" => cmd_list(),
         "appraise" => cmd_appraise(&flags),
         "trace" => cmd_trace(&flags),
+        "impair" => cmd_impair(&flags),
         "probe" => cmd_probe(&flags),
         "ping" => cmd_ping(),
         "tput" => cmd_tput(&flags),
@@ -239,6 +244,136 @@ fn cmd_trace(flags: &HashMap<String, String>) {
                 "json" => println!("{}", t.to_json()),
                 _ => print!("{}", t.to_csv()),
             }
+        }
+    }
+}
+
+fn cmd_impair(flags: &HashMap<String, String>) {
+    let method = flags
+        .get("method")
+        .map(|m| method_by_label(m).unwrap_or_else(|| usage()))
+        .unwrap_or(MethodId::WebSocket);
+    let browser = flags
+        .get("browser")
+        .map(|b| browser_by_name(b).unwrap_or_else(|| usage()))
+        .unwrap_or(BrowserKind::Chrome);
+    let os = flags
+        .get("os")
+        .map(|o| os_by_name(o).unwrap_or_else(|| usage()))
+        .unwrap_or(OsKind::Ubuntu1204);
+    let reps: u32 = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(25);
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0xB32B_2013);
+    let format = flags.get("format").map(String::as_str).unwrap_or("text");
+    if !matches!(format, "text" | "json" | "csv") {
+        usage();
+    }
+    let prob = |name: &str| -> f64 {
+        let p = flags.get(name).and_then(|v| v.parse().ok()).unwrap_or(0.0);
+        if !(0.0..=1.0).contains(&p) {
+            usage();
+        }
+        p
+    };
+    let spec = FaultSpec {
+        drop_chance: prob("loss"),
+        corrupt_chance: prob("corrupt"),
+        duplicate_chance: prob("duplicate"),
+        ..FaultSpec::CLEAN
+    };
+    let jitter_ms: f64 = flags.get("jitter").and_then(|v| v.parse().ok()).unwrap_or(0.0);
+    let imp = Impairment {
+        up: spec,
+        down: spec,
+        jitter: SimDuration::from_millis_f64(jitter_ms),
+    };
+
+    let cell = match ExperimentCell::builder(method, RuntimeSel::Browser(browser), os)
+        .reps(reps)
+        .seed(seed)
+        .impairment(imp)
+        .build()
+    {
+        Ok(cell) => cell,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let result = match ExperimentRunner::try_run(&cell) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let med = |v: &[f64]| {
+        let mut s = v.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if s.is_empty() { f64::NAN } else { s[s.len() / 2] }
+    };
+    match format {
+        "json" => println!(
+            "{{\"cell\":{:?},\"loss\":{},\"corrupt\":{},\"duplicate\":{},\"jitter_ms\":{},\
+             \"d1_median_ms\":{},\"d2_median_ms\":{},\"d1_n\":{},\"d2_n\":{},\
+             \"excluded_rounds\":{},\"failures\":{}}}",
+            cell.label(),
+            spec.drop_chance,
+            spec.corrupt_chance,
+            spec.duplicate_chance,
+            jitter_ms,
+            med(&result.d1),
+            med(&result.d2),
+            result.d1.len(),
+            result.d2.len(),
+            result.excluded_rounds,
+            result.failures
+        ),
+        "csv" => {
+            println!(
+                "cell,loss,corrupt,duplicate,jitter_ms,d1_median_ms,d2_median_ms,d1_n,d2_n,\
+                 excluded_rounds,failures"
+            );
+            println!(
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                cell.label(),
+                spec.drop_chance,
+                spec.corrupt_chance,
+                spec.duplicate_chance,
+                jitter_ms,
+                med(&result.d1),
+                med(&result.d2),
+                result.d1.len(),
+                result.d2.len(),
+                result.excluded_rounds,
+                result.failures
+            );
+        }
+        _ => {
+            println!(
+                "{} on an impaired network ({} reps, seed {seed:#x}):",
+                cell.label(),
+                reps
+            );
+            println!(
+                "  loss {:.1}%  corrupt {:.1}%  duplicate {:.1}%  jitter ≤ {jitter_ms} ms",
+                spec.drop_chance * 100.0,
+                spec.corrupt_chance * 100.0,
+                spec.duplicate_chance * 100.0
+            );
+            println!(
+                "  Δd1 median {:8.3} ms over {} rounds",
+                med(&result.d1),
+                result.d1.len()
+            );
+            println!(
+                "  Δd2 median {:8.3} ms over {} rounds",
+                med(&result.d2),
+                result.d2.len()
+            );
+            println!(
+                "  excluded {} retransmitted round(s), {} failed repetition(s)",
+                result.excluded_rounds, result.failures
+            );
         }
     }
 }

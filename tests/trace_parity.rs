@@ -6,7 +6,8 @@
 //! 2. **Attribution closure** — for every Figure 3 method × runtime
 //!    combination on a noise-free capture, the per-round component
 //!    decomposition (dispatch + bridge + parse + stack + handshake +
-//!    init + quantization) explains the measured Δd to within 1 µs.
+//!    init + retrans + quantization) explains the measured Δd to
+//!    within 1 µs.
 //! 3. **Observer effect: none** — tracing must not change the numbers.
 
 #![deny(deprecated)]
@@ -114,6 +115,35 @@ fn attribution_components_tell_the_papers_stories() {
         }
         assert!(a.bridge_ms > 0.0, "Flash always crosses the plugin bridge");
     }
+}
+
+/// The impairment knob at rest must be invisible: a cell that spells
+/// out [`Impairment::NONE`] produces byte-identical traces, Δd samples
+/// and attributions to one that predates the knob (never mentions it),
+/// and excludes nothing.
+#[test]
+fn clean_impairment_is_byte_identical_to_no_impairment() {
+    let plain = traced_cell(
+        MethodId::WebSocket,
+        RuntimeSel::Browser(BrowserKind::Chrome),
+        OsKind::Ubuntu1204,
+        4,
+    );
+    let spelled_out = plain.clone().with_impairment(Impairment::NONE);
+    let a = ExperimentRunner::try_run(&plain).unwrap();
+    let b = ExperimentRunner::try_run(&spelled_out).unwrap();
+    assert_eq!(a.d1, b.d1);
+    assert_eq!(a.d2, b.d2);
+    assert_eq!(a.excluded_rounds, 0);
+    assert_eq!(b.excluded_rounds, 0);
+    for (at, bt) in a.traces.iter().zip(&b.traces) {
+        assert_eq!(at.to_json(), bt.to_json());
+        assert_eq!(at.to_csv(), bt.to_csv());
+    }
+    assert_eq!(
+        attribution::to_json(&a.attributions),
+        attribution::to_json(&b.attributions)
+    );
 }
 
 #[test]
