@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bnm_browser::BrowserKind;
-use bnm_core::{ExperimentCell, ExperimentRunner, Executor, RuntimeSel};
+use bnm_core::{Executor, ExperimentCell, ExperimentRunner, RuntimeSel};
 use bnm_methods::MethodId;
 use bnm_stats::{BoxStats, Cdf, MeanCi};
 use bnm_time::OsKind;
@@ -20,12 +20,9 @@ fn bench_single_reps(c: &mut Criterion) {
         (MethodId::JavaUdp, BrowserKind::Firefox, OsKind::Windows7),
     ] {
         let cell = ExperimentCell::paper(method, RuntimeSel::Browser(browser), os).with_reps(1);
-        group.bench_function(
-            format!("{}_{}", method.label(), browser.initial()),
-            |b| {
-                b.iter(|| ExperimentRunner::run_rep(&cell, 0).expect("rep succeeds"));
-            },
-        );
+        group.bench_function(format!("{}_{}", method.label(), browser.initial()), |b| {
+            b.iter(|| ExperimentRunner::run_rep(&cell, 0).expect("rep succeeds"));
+        });
     }
     group.finish();
 }
@@ -47,7 +44,11 @@ fn bench_full_cell(c: &mut Criterion) {
 fn bench_executor(c: &mut Criterion) {
     let cells: Vec<ExperimentCell> = [
         (MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204),
-        (MethodId::WebSocket, BrowserKind::Firefox, OsKind::Ubuntu1204),
+        (
+            MethodId::WebSocket,
+            BrowserKind::Firefox,
+            OsKind::Ubuntu1204,
+        ),
         (MethodId::JavaTcp, BrowserKind::Firefox, OsKind::Windows7),
         (MethodId::FlashGet, BrowserKind::Opera, OsKind::Windows7),
     ]

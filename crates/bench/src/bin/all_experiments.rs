@@ -30,7 +30,9 @@ fn run_bin(name: &str) {
 
 fn main() {
     let args = BenchArgs::parse();
-    for bin in ["table1", "table2", "fig3", "table3", "fig4", "fig5", "table4", "tput", "sweep"] {
+    for bin in [
+        "table1", "table2", "fig3", "table3", "fig4", "fig5", "table4", "tput", "sweep",
+    ] {
         run_bin(bin);
     }
 
@@ -100,8 +102,16 @@ fn main() {
         if !matches!(cell.method, MethodId::FlashGet | MethodId::WebSocket) {
             continue;
         }
-        let wire: Vec<f64> = result.measurements.iter().map(|m| m.network_rtt_ms()).collect();
-        let browser: Vec<f64> = result.measurements.iter().map(|m| m.browser_rtt_ms()).collect();
+        let wire: Vec<f64> = result
+            .measurements
+            .iter()
+            .map(|m| m.network_rtt_ms())
+            .collect();
+        let browser: Vec<f64> = result
+            .measurements
+            .iter()
+            .map(|m| m.browser_rtt_ms())
+            .collect();
         let j = JitterImpact::of(&wire, &browser);
         let med_wire = Summary::of(&wire).median;
         let med_browser = Summary::of(&browser).median;

@@ -34,7 +34,10 @@ fn main() {
             rows.extend(panel_rows(cell, result));
             csv_all.push_str(&to_csv(cell, result));
         }
-        print!("{}", render_panel(&format!("Δd (ms), {} reps", n), &rows, 58));
+        print!(
+            "{}",
+            render_panel(&format!("Δd (ms), {} reps", n), &rows, 58)
+        );
     }
     let path = args.save_artifact("fig3_deltas.csv", &csv_all);
     println!("\nArtifact written to {}", path.display());

@@ -24,22 +24,22 @@ fn main() {
     let mut cells: Vec<ExperimentCell> = BrowserKind::ALL
         .iter()
         .map(|&b| {
-            ExperimentCell::paper(
-                MethodId::JavaTcp,
-                RuntimeSel::Browser(b),
-                OsKind::Windows7,
-            )
-            .with_reps(n)
-            .with_seed(seed)
+            ExperimentCell::paper(MethodId::JavaTcp, RuntimeSel::Browser(b), OsKind::Windows7)
+                .with_reps(n)
+                .with_seed(seed)
         })
         .collect();
     // The appletviewer control runs in its own session (a different
     // afternoon on the machine's regime timeline): derive its seed so the
     // run straddles the coarse regime like the paper's Figure 4(b).
     cells.push(
-        ExperimentCell::paper(MethodId::JavaTcp, RuntimeSel::AppletViewer, OsKind::Windows7)
-            .with_reps(n)
-            .with_seed(seed ^ 0x0A12),
+        ExperimentCell::paper(
+            MethodId::JavaTcp,
+            RuntimeSel::AppletViewer,
+            OsKind::Windows7,
+        )
+        .with_reps(n)
+        .with_seed(seed ^ 0x0A12),
     );
     let results = run_cells(cells);
 
@@ -55,7 +55,12 @@ fn main() {
         print_levels(&format!("{} Δd2", b.initial()), &c2);
         for (round, data) in [(1u8, &result.d1), (2u8, &result.d2)] {
             for d in data {
-                csv.push_str(&format!("{},{},{:.4}\n", cell.runtime.figure_label(cell.os), round, d));
+                csv.push_str(&format!(
+                    "{},{},{:.4}\n",
+                    cell.runtime.figure_label(cell.os),
+                    round,
+                    d
+                ));
             }
         }
     }
@@ -65,7 +70,10 @@ fn main() {
         .find(|(c, _)| c.runtime == RuntimeSel::Browser(BrowserKind::Firefox))
         .unwrap();
     println!();
-    print!("{}", render_cdf_block("Firefox Δd1 CDF (Windows)", &Cdf::of(&ff.d1), 58, 10));
+    print!(
+        "{}",
+        render_cdf_block("Firefox Δd1 CDF (Windows)", &Cdf::of(&ff.d1), 58, 10)
+    );
 
     heading("Figure 4(b): the same, launched with appletviewer (no browser)");
     let (cell_av, av) = results

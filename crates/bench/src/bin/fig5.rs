@@ -10,7 +10,7 @@ use bnm_bench::cli::BenchArgs;
 use bnm_bench::heading;
 use bnm_sim::time::{SimDuration, SimTime};
 use bnm_time::{
-    make_api, probe_granularity, probe::probe_series, MachineTimer, OsKind, TimingApiKind,
+    make_api, probe::probe_series, probe_granularity, MachineTimer, OsKind, TimingApiKind,
 };
 
 fn main() {

@@ -13,7 +13,8 @@ fn main() {
         "Approach", "Technology", "Availability", "Method", "Same-origin", "Metrics"
     );
     println!("{}", "-".repeat(120));
-    let mut csv = String::from("approach,technology,availability,method,same_origin,metrics,tools\n");
+    let mut csv =
+        String::from("approach,technology,availability,method,same_origin,metrics,tools\n");
     let mut last_approach = "";
     for row in table1_rows() {
         let approach = if row.approach == last_approach {
@@ -24,7 +25,13 @@ fn main() {
         };
         println!(
             "{:<13} {:<12} {:<13} {:<10} {:<12} {:<16} {}",
-            approach, row.technology, row.availability, row.method, row.same_origin, row.metrics, row.tools
+            approach,
+            row.technology,
+            row.availability,
+            row.method,
+            row.same_origin,
+            row.metrics,
+            row.tools
         );
         csv.push_str(&format!(
             "{},{},{},{},{},\"{}\",\"{}\"\n",

@@ -35,8 +35,14 @@ fn main() {
         "{:<22} {:>9} {:>12} {:>12} {:>10}",
         "method", "size", "wire Mbps", "meas Mbps", "underest"
     );
-    let mut csv = String::from("method,browser,size_bytes,round,wire_mbps,browser_mbps,underestimation\n");
-    for method in [MethodId::XhrGet, MethodId::FlashGet, MethodId::JavaGet, MethodId::WebSocket] {
+    let mut csv =
+        String::from("method,browser,size_bytes,round,wire_mbps,browser_mbps,underestimation\n");
+    for method in [
+        MethodId::XhrGet,
+        MethodId::FlashGet,
+        MethodId::JavaGet,
+        MethodId::WebSocket,
+    ] {
         for size in [16 * 1024usize, 128 * 1024, 1024 * 1024] {
             let cell = ExperimentCell::paper(
                 method,

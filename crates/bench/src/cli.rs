@@ -204,7 +204,14 @@ mod tests {
     #[test]
     fn flags_override_defaults() {
         let a = parse(&[
-            "--seed", "0xAB", "--reps", "7", "--results", "/tmp/r", "--format", "json",
+            "--seed",
+            "0xAB",
+            "--reps",
+            "7",
+            "--results",
+            "/tmp/r",
+            "--format",
+            "json",
         ])
         .unwrap();
         assert_eq!(a.seed, 0xAB);
@@ -216,9 +223,13 @@ mod tests {
 
     #[test]
     fn bad_flags_are_reported() {
-        assert!(parse(&["--format", "xml"]).unwrap_err().contains("bad format"));
+        assert!(parse(&["--format", "xml"])
+            .unwrap_err()
+            .contains("bad format"));
         assert!(parse(&["--reps"]).unwrap_err().contains("needs a value"));
-        assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown flag"));
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("unknown flag"));
         assert!(parse(&["--seed", "zap"]).unwrap_err().contains("bad seed"));
     }
 

@@ -26,7 +26,7 @@ use std::fs;
 use std::io::IsTerminal;
 use std::path::{Path, PathBuf};
 
-use bnm_core::{CellResult, ExperimentCell, Executor};
+use bnm_core::{CellResult, Executor, ExperimentCell};
 
 /// Repetitions per cell: the paper's 50.
 pub const PAPER_REPS: u32 = 50;

@@ -385,19 +385,21 @@ impl BrowserProfile {
         // continuous noise on repeated use. Safari has no round-2 GET
         // penalty either — its Δd2 is *lower* than Δd1 in Table 4.
         if kind == BrowserKind::Safari {
-            prims.java_round2_noise = Some(DelayModel::lognorm(0.0, 4_000.0, 0.9).with_spike(
-                0.3,
-                4_000.0,
-                10_000.0,
-            ));
+            prims.java_round2_noise =
+                Some(DelayModel::lognorm(0.0, 4_000.0, 0.9).with_spike(0.3, 4_000.0, 10_000.0));
             prims.java_get_round2_extra = DelayModel::ZERO;
             prims.java_post_round2_scale = 0.85;
         }
         let first_use = FirstUse {
             xhr: DelayModel::lognorm(300.0, 900.0, 0.5).scaled(g),
             dom: DelayModel::lognorm(150.0, 350.0, 0.5).scaled(g),
-            flash_http: DelayModel::lognorm(9_000.0, 14_000.0, 0.4)
-                .scaled(if kind == BrowserKind::Opera { fl * 1.55 } else { fl }),
+            flash_http: DelayModel::lognorm(9_000.0, 14_000.0, 0.4).scaled(
+                if kind == BrowserKind::Opera {
+                    fl * 1.55
+                } else {
+                    fl
+                },
+            ),
             flash_socket: DelayModel::lognorm(100.0, 200.0, 0.4).scaled(fl),
             java_http: DelayModel::ZERO, // applet warm-up happens in prep
             java_socket: DelayModel::ZERO,
@@ -509,7 +511,12 @@ impl BrowserProfile {
 
     /// The delay segments between "measurement code decides to send" and
     /// "bytes handed to the network stack", for one probe.
-    pub fn send_path(&self, tech: Technology, transport: ProbeTransport, round: u8) -> Vec<PathSeg> {
+    pub fn send_path(
+        &self,
+        tech: Technology,
+        transport: ProbeTransport,
+        round: u8,
+    ) -> Vec<PathSeg> {
         use Component::{Bridge, Parse, Stack};
         let p = &self.prims;
         let mut path = match (tech, transport) {
@@ -561,7 +568,12 @@ impl BrowserProfile {
 
     /// The delay segments between "response bytes readable" and "the
     /// measurement code reads `tB_r`".
-    pub fn recv_path(&self, tech: Technology, transport: ProbeTransport, round: u8) -> Vec<PathSeg> {
+    pub fn recv_path(
+        &self,
+        tech: Technology,
+        transport: ProbeTransport,
+        round: u8,
+    ) -> Vec<PathSeg> {
         use Component::{Bridge, Dispatch, Parse, Stack};
         let p = &self.prims;
         let mut path = vec![seg("os_recv", Stack, p.os_recv)];
@@ -601,7 +613,11 @@ impl BrowserProfile {
                 if round >= 2 {
                     // Small warm-cache asymmetry: Table 4 shows socket Δd2
                     // marginally above Δd1.
-                    path.push(seg("java_socket_warm_cache", Stack, DelayModel::fixed(55.0)));
+                    path.push(seg(
+                        "java_socket_warm_cache",
+                        Stack,
+                        DelayModel::fixed(55.0),
+                    ));
                     if let Some(noise) = p.java_round2_noise {
                         path.push(seg("java_round2_noise", Parse, noise));
                     }
@@ -616,7 +632,11 @@ impl BrowserProfile {
     pub fn dom_recv_path(&self) -> Vec<PathSeg> {
         vec![
             seg("os_recv", Component::Stack, self.prims.os_recv),
-            seg("event_dispatch", Component::Dispatch, self.prims.event_dispatch),
+            seg(
+                "event_dispatch",
+                Component::Dispatch,
+                self.prims.event_dispatch,
+            ),
             seg("dom_onload", Component::Dispatch, self.prims.dom_onload),
         ]
     }
@@ -705,8 +725,9 @@ mod tests {
             + median_path_ms(&p.recv_path(Technology::Flash, ProbeTransport::HttpGet, 1));
         let ws = median_path_ms(&p.send_path(Technology::Native, ProbeTransport::WebSocketEcho, 1))
             + median_path_ms(&p.recv_path(Technology::Native, ProbeTransport::WebSocketEcho, 1));
-        let jsock = median_path_ms(&p.send_path(Technology::JavaApplet, ProbeTransport::TcpEcho, 1))
-            + median_path_ms(&p.recv_path(Technology::JavaApplet, ProbeTransport::TcpEcho, 1));
+        let jsock =
+            median_path_ms(&p.send_path(Technology::JavaApplet, ProbeTransport::TcpEcho, 1))
+                + median_path_ms(&p.recv_path(Technology::JavaApplet, ProbeTransport::TcpEcho, 1));
         assert!(flash > xhr, "Flash {flash} > XHR {xhr}");
         assert!(xhr > dom, "XHR {xhr} > DOM {dom}");
         assert!(dom > ws, "DOM {dom} > WS {ws}");
@@ -719,7 +740,11 @@ mod tests {
 
     #[test]
     fn windows_paths_cost_more_than_ubuntu() {
-        for kind in [BrowserKind::Chrome, BrowserKind::Firefox, BrowserKind::Opera] {
+        for kind in [
+            BrowserKind::Chrome,
+            BrowserKind::Firefox,
+            BrowserKind::Opera,
+        ] {
             let u = BrowserProfile::build(kind, OsKind::Ubuntu1204).unwrap();
             let w = BrowserProfile::build(kind, OsKind::Windows7).unwrap();
             let cost = |p: &BrowserProfile| {
@@ -746,10 +771,12 @@ mod tests {
         let get1 = median_path_ms(&p.recv_path(Technology::JavaApplet, ProbeTransport::HttpGet, 1));
         let get2 = median_path_ms(&p.recv_path(Technology::JavaApplet, ProbeTransport::HttpGet, 2));
         assert!(get2 > get1 + 1.0, "round-2 GET extra");
-        let post1 = median_path_ms(&p.send_path(Technology::JavaApplet, ProbeTransport::HttpPost, 1))
-            + median_path_ms(&p.recv_path(Technology::JavaApplet, ProbeTransport::HttpPost, 1));
-        let post2 = median_path_ms(&p.send_path(Technology::JavaApplet, ProbeTransport::HttpPost, 2))
-            + median_path_ms(&p.recv_path(Technology::JavaApplet, ProbeTransport::HttpPost, 2));
+        let post1 =
+            median_path_ms(&p.send_path(Technology::JavaApplet, ProbeTransport::HttpPost, 1))
+                + median_path_ms(&p.recv_path(Technology::JavaApplet, ProbeTransport::HttpPost, 1));
+        let post2 =
+            median_path_ms(&p.send_path(Technology::JavaApplet, ProbeTransport::HttpPost, 2))
+                + median_path_ms(&p.recv_path(Technology::JavaApplet, ProbeTransport::HttpPost, 2));
         assert!(post2 < post1, "round-2 POST cheaper");
     }
 

@@ -239,14 +239,19 @@ impl BrowserSession {
 
     fn user_agent(&self) -> String {
         match self.cfg.profile.runtime {
-            Runtime::Browser(b) => format!("{}/{} ({})", b.name(), b.version(), self.cfg.profile.os),
+            Runtime::Browser(b) => {
+                format!("{}/{} ({})", b.name(), b.version(), self.cfg.profile.os)
+            }
             Runtime::AppletViewer => "appletviewer/1.7".to_string(),
             Runtime::MobileWebKit => "Mobile Safari/537 (like iOS 6)".to_string(),
         }
     }
 
     fn probe_marker(&self, round: u8) -> String {
-        format!("m={}&r={}&t={}", self.cfg.plan.label, round, self.cfg.rep_token)
+        format!(
+            "m={}&r={}&t={}",
+            self.cfg.plan.label, round, self.cfg.rep_token
+        )
     }
 
     fn socket_payload(&self, round: u8) -> Bytes {
@@ -512,7 +517,11 @@ impl BrowserSession {
         if round < self.cfg.plan.rounds {
             // "a second RTT measurement immediately after the first one"
             // — a short think gap, then reuse the same object.
-            self.schedule(ctx, SimDuration::from_millis(20), Step::StartRound(round + 1));
+            self.schedule(
+                ctx,
+                SimDuration::from_millis(20),
+                Step::StartRound(round + 1),
+            );
             self.phase = Phase::AwaitSend(round + 1);
         } else {
             self.result.completed = true;

@@ -85,7 +85,10 @@ impl Appraisal {
     ///
     /// # Panics
     /// If the result holds no samples; prefer [`Appraisal::try_of`].
-    #[deprecated(since = "0.2.0", note = "use `try_of`, which reports `RunError` instead of panicking")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_of`, which reports `RunError` instead of panicking"
+    )]
     pub fn of(result: &CellResult) -> Appraisal {
         match Self::try_of(result) {
             Ok(a) => a,
@@ -111,10 +114,7 @@ impl Appraisal {
 
     /// Appraise with custom thresholds, reporting an empty cell as
     /// [`RunError::NoSamples`].
-    pub fn try_with_thresholds(
-        result: &CellResult,
-        th: Thresholds,
-    ) -> Result<Appraisal, RunError> {
+    pub fn try_with_thresholds(result: &CellResult, th: Thresholds) -> Result<Appraisal, RunError> {
         let pooled_samples = result.pooled();
         if pooled_samples.is_empty() {
             return Err(RunError::NoSamples);
@@ -130,8 +130,7 @@ impl Appraisal {
             / pooled_samples.len() as f64;
         let verdict = if neg > th.negative_fraction {
             Verdict::UnderEstimates
-        } else if pooled.median.abs() <= th.accurate_median_ms && pooled.iqr() <= th.stable_iqr_ms
-        {
+        } else if pooled.median.abs() <= th.accurate_median_ms && pooled.iqr() <= th.stable_iqr_ms {
             Verdict::Accurate
         } else if pooled.iqr() <= th.stable_iqr_ms {
             Verdict::Calibratable
@@ -186,7 +185,10 @@ mod tests {
 
     #[test]
     fn stable_biased_samples_are_calibratable() {
-        let r = cell_with(repeat(&[3.9, 4.0, 4.1, 4.2], 25), repeat(&[3.8, 4.0, 4.3], 25));
+        let r = cell_with(
+            repeat(&[3.9, 4.0, 4.1, 4.2], 25),
+            repeat(&[3.8, 4.0, 4.3], 25),
+        );
         let a = appraise(&r);
         assert_eq!(a.verdict, Verdict::Calibratable);
     }

@@ -194,8 +194,18 @@ pub fn render_table(rows: &[RoundAttribution]) -> String {
     let _ = writeln!(
         s,
         "{:>4} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8} {:>10} {:>9}",
-        "rep", "round", "Δd", "dispatch", "bridge", "parse", "stack", "handshake", "init",
-        "retrans", "quantiz.", "residual"
+        "rep",
+        "round",
+        "Δd",
+        "dispatch",
+        "bridge",
+        "parse",
+        "stack",
+        "handshake",
+        "init",
+        "retrans",
+        "quantiz.",
+        "residual"
     );
     for r in rows {
         let _ = writeln!(
@@ -283,6 +293,9 @@ mod tests {
             },
         };
         let err = attribute(&TraceData::default(), &[m], 0).unwrap_err();
-        assert_eq!(err, RunError::InvalidInput("trace lacks session round markers"));
+        assert_eq!(
+            err,
+            RunError::InvalidInput("trace lacks session round markers")
+        );
     }
 }

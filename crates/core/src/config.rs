@@ -300,9 +300,7 @@ mod tests {
     fn websocket_cells_runnable_only_where_supported() {
         let runnable = figure3_combos()
             .into_iter()
-            .filter(|(r, os)| {
-                ExperimentCell::paper(MethodId::WebSocket, *r, *os).is_runnable()
-            })
+            .filter(|(r, os)| ExperimentCell::paper(MethodId::WebSocket, *r, *os).is_runnable())
             .count();
         // 3 Ubuntu + Chrome/Firefox/Opera on Windows = 6 (no IE, Safari).
         assert_eq!(runnable, 6);

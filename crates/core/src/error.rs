@@ -60,7 +60,11 @@ impl fmt::Display for RunError {
         match self {
             // Phrasing kept from the historical assert message so panics
             // raised by the deprecated façades read the same.
-            RunError::Unrunnable { method, runtime, os } => write!(
+            RunError::Unrunnable {
+                method,
+                runtime,
+                os,
+            } => write!(
                 f,
                 "{} cannot run {}",
                 runtime.figure_label(*os),

@@ -254,8 +254,9 @@ impl Executor {
         let queues: Vec<Mutex<VecDeque<(usize, u32)>>> =
             queues.into_iter().map(Mutex::new).collect();
         let sink: Mutex<Vec<Outcome>> = Mutex::new(Vec::with_capacity(total));
-        let tallies: Vec<Mutex<WorkerTally>> =
-            (0..workers).map(|_| Mutex::new((0, Duration::ZERO))).collect();
+        let tallies: Vec<Mutex<WorkerTally>> = (0..workers)
+            .map(|_| Mutex::new((0, Duration::ZERO)))
+            .collect();
         let completed = AtomicUsize::new(0);
 
         // A worker never panics here (run_rep is fallible, not panicky),
@@ -369,13 +370,15 @@ mod tests {
     fn grid() -> Vec<ExperimentCell> {
         [
             (MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204),
-            (MethodId::WebSocket, BrowserKind::Firefox, OsKind::Ubuntu1204),
+            (
+                MethodId::WebSocket,
+                BrowserKind::Firefox,
+                OsKind::Ubuntu1204,
+            ),
             (MethodId::Dom, BrowserKind::Opera, OsKind::Windows7),
         ]
         .into_iter()
-        .map(|(m, b, os)| {
-            ExperimentCell::paper(m, RuntimeSel::Browser(b), os).with_reps(6)
-        })
+        .map(|(m, b, os)| ExperimentCell::paper(m, RuntimeSel::Browser(b), os).with_reps(6))
         .collect()
     }
 

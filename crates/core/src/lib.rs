@@ -50,9 +50,9 @@ pub mod throughput;
 
 pub use appraisal::{Appraisal, Verdict};
 pub use attribution::RoundAttribution;
+pub use bnm_sim::{FaultSpec, Impairment};
 pub use config::{CellBuilder, ExperimentCell, RuntimeSel};
 pub use delta::RoundMeasurement;
-pub use bnm_sim::{FaultSpec, Impairment};
 pub use error::RunError;
 pub use exec::{ExecStats, Executor, Progress};
 pub use matching::{MatchError, ParsedCapture};

@@ -190,7 +190,9 @@ mod tests {
     use bytes::Bytes;
     use std::net::Ipv4Addr;
 
-    use bnm_sim::wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, TcpFlags, TcpSegment};
+    use bnm_sim::wire::{
+        EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, TcpFlags, TcpSegment,
+    };
 
     const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
     const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
@@ -234,8 +236,16 @@ mod tests {
     #[test]
     fn http_round_matches() {
         let cap = capture_with(&[
-            (10, CaptureDir::Tx, b"GET /probe?m=xhr_get&r=1&t=7 HTTP/1.1\r\n\r\n"),
-            (61, CaptureDir::Rx, b"HTTP/1.1 200 OK\r\n\r\npong r=1 t=7 ....."),
+            (
+                10,
+                CaptureDir::Tx,
+                b"GET /probe?m=xhr_get&r=1&t=7 HTTP/1.1\r\n\r\n",
+            ),
+            (
+                61,
+                CaptureDir::Rx,
+                b"HTTP/1.1 200 OK\r\n\r\npong r=1 t=7 .....",
+            ),
         ]);
         let wt = match_round(&cap, MethodId::XhrGet, 1, 7).unwrap();
         assert_eq!(wt.tn_s, SimTime::from_millis(10));
@@ -245,10 +255,26 @@ mod tests {
     #[test]
     fn rounds_do_not_cross_match() {
         let cap = capture_with(&[
-            (10, CaptureDir::Tx, b"GET /probe?m=xhr_get&r=1&t=7 HTTP/1.1\r\n\r\n"),
-            (61, CaptureDir::Rx, b"HTTP/1.1 200 OK\r\n\r\npong r=1 t=7 ....."),
-            (80, CaptureDir::Tx, b"GET /probe?m=xhr_get&r=2&t=7 HTTP/1.1\r\n\r\n"),
-            (131, CaptureDir::Rx, b"HTTP/1.1 200 OK\r\n\r\npong r=2 t=7 ....."),
+            (
+                10,
+                CaptureDir::Tx,
+                b"GET /probe?m=xhr_get&r=1&t=7 HTTP/1.1\r\n\r\n",
+            ),
+            (
+                61,
+                CaptureDir::Rx,
+                b"HTTP/1.1 200 OK\r\n\r\npong r=1 t=7 .....",
+            ),
+            (
+                80,
+                CaptureDir::Tx,
+                b"GET /probe?m=xhr_get&r=2&t=7 HTTP/1.1\r\n\r\n",
+            ),
+            (
+                131,
+                CaptureDir::Rx,
+                b"HTTP/1.1 200 OK\r\n\r\npong r=2 t=7 .....",
+            ),
         ]);
         let r2 = match_round(&cap, MethodId::XhrGet, 2, 7).unwrap();
         assert_eq!(r2.tn_s, SimTime::from_millis(80));
@@ -374,8 +400,16 @@ mod tests {
     #[test]
     fn parsed_capture_matches_like_the_one_shot_helper() {
         let cap = capture_with(&[
-            (10, CaptureDir::Tx, b"GET /probe?m=xhr_get&r=1&t=7 HTTP/1.1\r\n\r\n"),
-            (61, CaptureDir::Rx, b"HTTP/1.1 200 OK\r\n\r\npong r=1 t=7 ....."),
+            (
+                10,
+                CaptureDir::Tx,
+                b"GET /probe?m=xhr_get&r=1&t=7 HTTP/1.1\r\n\r\n",
+            ),
+            (
+                61,
+                CaptureDir::Rx,
+                b"HTTP/1.1 200 OK\r\n\r\npong r=1 t=7 .....",
+            ),
         ]);
         let parsed = ParsedCapture::parse(&cap);
         assert_eq!(

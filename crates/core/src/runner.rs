@@ -97,7 +97,10 @@ impl ExperimentRunner {
     }
 
     /// Execute one cell, panicking if it is not runnable.
-    #[deprecated(since = "0.2.0", note = "use `try_run`, which reports `RunError` instead of panicking")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_run`, which reports `RunError` instead of panicking"
+    )]
     pub fn run(cell: &ExperimentCell) -> CellResult {
         match Self::try_run(cell) {
             Ok(r) => r,
@@ -348,13 +351,16 @@ mod tests {
 
     #[test]
     fn nanotime_removes_java_underestimation() {
-        let base = small_cell(MethodId::JavaTcp, BrowserKind::Firefox, OsKind::Windows7)
-            .with_reps(16);
+        let base =
+            small_cell(MethodId::JavaTcp, BrowserKind::Firefox, OsKind::Windows7).with_reps(16);
         let gettime = run(&base);
         let nano = run(&base.clone().with_timing(TimingApiKind::JavaNanoTime));
         let neg_gettime = gettime.pooled().iter().filter(|&&d| d < 0.0).count();
         let neg_nano = nano.pooled().iter().filter(|&&d| d < 0.0).count();
-        assert!(neg_gettime > 0, "Date.getTime must under-estimate sometimes");
+        assert!(
+            neg_gettime > 0,
+            "Date.getTime must under-estimate sometimes"
+        );
         assert_eq!(neg_nano, 0, "nanoTime must never under-estimate");
         // And the nanoTime overhead is tiny.
         assert!(nano.pooled().iter().all(|&d| d < 1.0));
@@ -376,8 +382,8 @@ mod tests {
     /// attribution must explain each round's Δd down to f64 rounding.
     #[test]
     fn traced_rep_matches_untraced_and_attributes_delta() {
-        let plain = small_cell(MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204)
-            .with_reps(3);
+        let plain =
+            small_cell(MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204).with_reps(3);
         let traced = plain.clone().with_trace();
         let a = run(&plain);
         let b = run(&traced);

@@ -69,7 +69,10 @@ pub fn try_sweep(
 
 /// Run `cell` at each server delay and collect the Δd medians,
 /// panicking on any failure.
-#[deprecated(since = "0.2.0", note = "use `try_sweep`, which reports `RunError` instead of panicking")]
+#[deprecated(
+    since = "0.2.0",
+    note = "use `try_sweep`, which reports `RunError` instead of panicking"
+)]
 pub fn delay_sweep(cell: &ExperimentCell, delays: &[SimDuration]) -> Vec<SweepPoint> {
     match try_sweep(cell, delays) {
         Ok(points) => points,

@@ -150,7 +150,15 @@ impl Testbed {
         rep_token: u64,
         session_seed: u64,
     ) -> Testbed {
-        Self::build_traced(cfg, plan, profile, machine, rep_token, session_seed, Trace::disabled())
+        Self::build_traced(
+            cfg,
+            plan,
+            profile,
+            machine,
+            rep_token,
+            session_seed,
+            Trace::disabled(),
+        )
     }
 
     /// [`Testbed::build`] with a trace handle wired through the engine,
@@ -227,8 +235,7 @@ impl Testbed {
             );
         }
         if let Some(ct) = cfg.cross_traffic {
-            let interval =
-                SimDuration::from_nanos((1_000_000_000u64 / ct.rate_pps.max(1)).max(1));
+            let interval = SimDuration::from_nanos((1_000_000_000u64 / ct.rate_pps.max(1)).max(1));
             let sends = ct.duration.as_nanos() / interval.as_nanos().max(1);
             let noise = engine.add_node(Box::new(Host::new(
                 HostConfig::new("noise", MacAddr::local(3), Ipv4Addr::new(192, 168, 1, 3))
@@ -281,7 +288,9 @@ impl Testbed {
 
     /// The client's session (read results after [`Testbed::run`]).
     pub fn session(&self) -> &BrowserSession {
-        self.engine.node_ref::<Host<BrowserSession>>(self.client).app()
+        self.engine
+            .node_ref::<Host<BrowserSession>>(self.client)
+            .app()
     }
 
     /// The server application (stats).
@@ -382,7 +391,9 @@ impl TestbedBuilder {
     /// conditions the unchecked [`Testbed::build`] path surfaces as
     /// mid-run panics.
     pub fn build(self) -> Result<Testbed, RunError> {
-        let plan = self.plan.ok_or(RunError::InvalidInput("a probe plan is required"))?;
+        let plan = self
+            .plan
+            .ok_or(RunError::InvalidInput("a probe plan is required"))?;
         let profile = self
             .profile
             .ok_or(RunError::InvalidInput("a browser profile is required"))?;
@@ -394,7 +405,11 @@ impl TestbedBuilder {
                 "plan requires WebSocket but the runtime lacks it",
             ));
         }
-        let trace = if self.trace { Trace::enabled() } else { Trace::disabled() };
+        let trace = if self.trace {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        };
         Ok(Testbed::build_traced(
             &self.cfg,
             plan,
@@ -425,7 +440,14 @@ mod tests {
     fn build_default() -> Testbed {
         let profile = BrowserProfile::build(BrowserKind::Chrome, OsKind::Ubuntu1204).unwrap();
         let machine = MachineTimer::new(OsKind::Ubuntu1204, 7);
-        Testbed::build(&TestbedConfig::default(), xhr_plan(), profile, machine, 0, 7)
+        Testbed::build(
+            &TestbedConfig::default(),
+            xhr_plan(),
+            profile,
+            machine,
+            0,
+            7,
+        )
     }
 
     #[test]
@@ -507,7 +529,10 @@ mod tests {
         assert!(tb.session().result().completed);
         let data = tb.take_trace().expect("tracing was enabled");
         assert!(data.counters["link.frames"] > 0);
-        assert!(data.events.iter().any(|e| e.scope == "session" && e.label == "round.start"));
+        assert!(data
+            .events
+            .iter()
+            .any(|e| e.scope == "session" && e.label == "round.start"));
         // Same seeds as build_default(): identical wire behaviour.
         let mut direct = build_default();
         direct.run();

@@ -66,8 +66,7 @@ pub fn match_bulk_round(
         format!("bulk n={n} r={round} t={token}").into_bytes()
     };
     let resp_needle = format!("bulk r={round} t={token} ").into_bytes();
-    let contains =
-        |hay: &[u8], needle: &[u8]| hay.windows(needle.len()).any(|w| w == needle);
+    let contains = |hay: &[u8], needle: &[u8]| hay.windows(needle.len()).any(|w| w == needle);
 
     let mut tn_s = None;
     let mut resp_ports: Option<(u16, u16)> = None;

@@ -215,8 +215,8 @@ mod tests {
 
     #[test]
     fn post_gets_content_length() {
-        let req = HttpRequest::new(Method::Post, "/probe")
-            .with_body(Bytes::from_static(b"r=1&t=42"));
+        let req =
+            HttpRequest::new(Method::Post, "/probe").with_body(Bytes::from_static(b"r=1&t=42"));
         let text = String::from_utf8(req.emit().to_vec()).unwrap();
         assert!(text.contains("Content-Length: 8\r\n"));
         assert!(text.ends_with("r=1&t=42"));

@@ -114,7 +114,8 @@ impl HttpParser {
         self.buf.drain(..total);
         if self.trace.is_enabled() {
             let start = self.msg_start_ns.take().unwrap_or(self.last_feed_ns);
-            self.trace.span(start, self.last_feed_ns, "http", "message", None);
+            self.trace
+                .span(start, self.last_feed_ns, "http", "message", None);
             self.trace.count("http.messages", 1);
             // Pipelined leftovers belong to the next message, whose first
             // byte arrived in the same feed.
@@ -232,9 +233,9 @@ mod tests {
     #[test]
     fn parses_response_with_body() {
         let mut p = HttpParser::new();
-        let r = expect_response(p.feed(
-            b"HTTP/1.1 200 OK\r\nServer: apache\r\nContent-Length: 4\r\n\r\npong",
-        ));
+        let r = expect_response(
+            p.feed(b"HTTP/1.1 200 OK\r\nServer: apache\r\nContent-Length: 4\r\n\r\npong"),
+        );
         assert_eq!(r.status, 200);
         assert_eq!(r.reason, "OK");
         assert_eq!(&r.body[..], b"pong");
@@ -243,9 +244,9 @@ mod tests {
     #[test]
     fn parses_101_upgrade() {
         let mut p = HttpParser::new();
-        let r = expect_response(p.feed(
-            b"HTTP/1.1 101 Switching Protocols\r\nUpgrade: websocket\r\n\r\n",
-        ));
+        let r = expect_response(
+            p.feed(b"HTTP/1.1 101 Switching Protocols\r\nUpgrade: websocket\r\n\r\n"),
+        );
         assert_eq!(r.status, 101);
         assert_eq!(r.get_header("upgrade"), Some("websocket"));
     }

@@ -281,10 +281,17 @@ impl WebServer {
 
     /// Write as much of `bytes` as the send buffer takes; stash the rest
     /// for the `Writable` event (backpressure-correct bulk replies).
-    fn send_with_backlog(&mut self, ctx: &mut HostCtx, sock: SocketId, bytes: Bytes, close_after: bool) {
+    fn send_with_backlog(
+        &mut self,
+        ctx: &mut HostCtx,
+        sock: SocketId,
+        bytes: Bytes,
+        close_after: bool,
+    ) {
         let n = ctx.send(sock, &bytes);
         if n < bytes.len() {
-            self.tx_backlog.insert(sock, (bytes.slice(n..), close_after));
+            self.tx_backlog
+                .insert(sock, (bytes.slice(n..), close_after));
         } else if close_after {
             ctx.close(sock);
         }
@@ -575,8 +582,7 @@ mod tests {
 
     #[test]
     fn probe_post_parses_form_body() {
-        let wire =
-            b"POST /probe HTTP/1.1\r\nHost: s\r\nContent-Length: 7\r\n\r\nr=2&t=9".to_vec();
+        let wire = b"POST /probe HTTP/1.1\r\nHost: s\r\nContent-Length: 7\r\n\r\nr=2&t=9".to_vec();
         let (e, c, s) = run_with_client(ServerConfig::default(), 80, wire);
         let client = e.node_ref::<Host<RawClient>>(c).app();
         let text = String::from_utf8_lossy(&client.received);

@@ -58,7 +58,8 @@ pub fn server_handshake(req: &HttpRequest) -> Option<HttpResponse> {
 /// Validate the server's 101 against the client's key.
 pub fn verify_accept(resp: &HttpResponse, nonce: [u8; 16]) -> bool {
     resp.status == 101
-        && resp.get_header("sec-websocket-accept") == Some(accept_key(&base64::encode(&nonce)).as_str())
+        && resp.get_header("sec-websocket-accept")
+            == Some(accept_key(&base64::encode(&nonce)).as_str())
 }
 
 #[cfg(test)]

@@ -4,7 +4,13 @@
 
 /// Compute the SHA-1 digest of `data`.
 pub fn sha1(data: &[u8]) -> [u8; 20] {
-    let mut h: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+    let mut h: [u32; 5] = [
+        0x6745_2301,
+        0xEFCD_AB89,
+        0x98BA_DCFE,
+        0x1032_5476,
+        0xC3D2_E1F0,
+    ];
 
     // Padding: 0x80, zeros, 64-bit big-endian bit length.
     let ml = (data.len() as u64).wrapping_mul(8);
@@ -67,9 +73,14 @@ mod tests {
 
     #[test]
     fn rfc3174_test_vectors() {
-        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
         assert_eq!(
-            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
         assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
@@ -78,16 +89,17 @@ mod tests {
     #[test]
     fn million_a() {
         let data = vec![b'a'; 1_000_000];
-        assert_eq!(hex(&sha1(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(&sha1(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]
     fn boundary_lengths() {
         // Lengths around the 55/56/64-byte padding boundaries must not
         // panic and must differ from each other.
-        let digests: Vec<String> = (53..=66)
-            .map(|n| hex(&sha1(&vec![0x42u8; n])))
-            .collect();
+        let digests: Vec<String> = (53..=66).map(|n| hex(&sha1(&vec![0x42u8; n]))).collect();
         let mut unique = digests.clone();
         unique.sort();
         unique.dedup();

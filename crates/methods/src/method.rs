@@ -130,7 +130,9 @@ impl MethodId {
             MethodId::XhrGet | MethodId::Dom | MethodId::FlashGet | MethodId::JavaGet => {
                 ProbeTransport::HttpGet
             }
-            MethodId::XhrPost | MethodId::FlashPost | MethodId::JavaPost => ProbeTransport::HttpPost,
+            MethodId::XhrPost | MethodId::FlashPost | MethodId::JavaPost => {
+                ProbeTransport::HttpPost
+            }
             MethodId::FlashTcp | MethodId::JavaTcp => ProbeTransport::TcpEcho,
             MethodId::JavaUdp => ProbeTransport::UdpEcho,
             MethodId::WebSocket => ProbeTransport::WebSocketEcho,
@@ -203,15 +205,16 @@ impl MethodId {
     /// Representative tools/services using the method (Table 1 column).
     pub fn tools(self) -> &'static str {
         match self {
-            MethodId::XhrGet | MethodId::XhrPost => {
-                "Speedof.me, BandwidthPlace, Janc's methods"
-            }
+            MethodId::XhrGet | MethodId::XhrPost => "Speedof.me, BandwidthPlace, Janc's methods",
             MethodId::Dom => "Janc's methods, BandwidthPlace, Wang's method",
             MethodId::FlashGet | MethodId::FlashPost => {
                 "Speedtest.net, AuditMyPC, Speedchecker, Bandwidth Meter, InternetFrog"
             }
             MethodId::FlashTcp => "Speedtest.net",
-            MethodId::WebSocket | MethodId::JavaGet | MethodId::JavaPost | MethodId::JavaTcp
+            MethodId::WebSocket
+            | MethodId::JavaGet
+            | MethodId::JavaPost
+            | MethodId::JavaTcp
             | MethodId::JavaUdp => "Netalyzr, HMN, JavaNws, Pingtest, NDT, AuditMyPC",
         }
     }
@@ -265,7 +268,10 @@ mod tests {
     #[test]
     fn http_socket_split_matches_table1() {
         let http: Vec<_> = MethodId::ALL.iter().filter(|m| m.is_http_based()).collect();
-        let socket: Vec<_> = MethodId::ALL.iter().filter(|m| !m.is_http_based()).collect();
+        let socket: Vec<_> = MethodId::ALL
+            .iter()
+            .filter(|m| !m.is_http_based())
+            .collect();
         assert_eq!(http.len(), 7);
         assert_eq!(socket.len(), 4);
     }
@@ -289,9 +295,18 @@ mod tests {
 
     #[test]
     fn default_timing_follows_technology() {
-        assert_eq!(MethodId::XhrGet.default_timing(), TimingApiKind::JsDateGetTime);
-        assert_eq!(MethodId::FlashTcp.default_timing(), TimingApiKind::FlashGetTime);
-        assert_eq!(MethodId::JavaPost.default_timing(), TimingApiKind::JavaDateGetTime);
+        assert_eq!(
+            MethodId::XhrGet.default_timing(),
+            TimingApiKind::JsDateGetTime
+        );
+        assert_eq!(
+            MethodId::FlashTcp.default_timing(),
+            TimingApiKind::FlashGetTime
+        );
+        assert_eq!(
+            MethodId::JavaPost.default_timing(),
+            TimingApiKind::JavaDateGetTime
+        );
     }
 
     #[test]

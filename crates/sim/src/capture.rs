@@ -155,8 +155,16 @@ mod tests {
     #[test]
     fn records_in_order() {
         let mut buf = CaptureBuffer::new("t");
-        buf.record(SimTime::from_millis(1), CaptureDir::Tx, &Bytes::from_static(b"a"));
-        buf.record(SimTime::from_millis(2), CaptureDir::Rx, &Bytes::from_static(b"b"));
+        buf.record(
+            SimTime::from_millis(1),
+            CaptureDir::Tx,
+            &Bytes::from_static(b"a"),
+        );
+        buf.record(
+            SimTime::from_millis(2),
+            CaptureDir::Rx,
+            &Bytes::from_static(b"b"),
+        );
         assert_eq!(buf.len(), 2);
         assert_eq!(buf.records()[0].dir, CaptureDir::Tx);
         assert_eq!(buf.records()[1].ts, SimTime::from_millis(2));

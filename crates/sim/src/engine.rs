@@ -156,15 +156,24 @@ impl Engine {
         spec: LinkSpec,
     ) -> LinkId {
         let id = self.links.len();
-        let ea = Endpoint { node: a, port: a_port };
-        let eb = Endpoint { node: b, port: b_port };
+        let ea = Endpoint {
+            node: a,
+            port: a_port,
+        };
+        let eb = Endpoint {
+            node: b,
+            port: b_port,
+        };
         self.links.push(Link::new(spec, ea, eb));
         for (node, port) in [(a, a_port), (b, b_port)] {
             let ports = &mut self.port_map[node];
             if ports.len() <= port {
                 ports.resize(port + 1, None);
             }
-            assert!(ports[port].is_none(), "port {port} on node {node} already wired");
+            assert!(
+                ports[port].is_none(),
+                "port {port} on node {node} already wired"
+            );
             ports[port] = Some(id);
         }
         id
@@ -189,7 +198,13 @@ impl Engine {
 
     /// Install fault injection on one direction of a link. `from` names
     /// the transmitting node of the affected direction.
-    pub fn set_fault(&mut self, link: LinkId, from: NodeId, spec: FaultSpec, rng: rand::rngs::SmallRng) {
+    pub fn set_fault(
+        &mut self,
+        link: LinkId,
+        from: NodeId,
+        spec: FaultSpec,
+        rng: rand::rngs::SmallRng,
+    ) {
         let l = &mut self.links[link];
         let dir = if l.a.node == from {
             Dir::AToB
@@ -288,7 +303,8 @@ impl Engine {
         if !self.started {
             self.started = true;
             for id in 0..self.nodes.len() {
-                self.queue.push(SimTime::ZERO, EventKind::Start { node: id });
+                self.queue
+                    .push(SimTime::ZERO, EventKind::Start { node: id });
             }
         }
     }
@@ -413,14 +429,21 @@ impl Engine {
             if self.trace.is_enabled() {
                 self.trace
                     .instant(t.as_nanos(), "link", "enqueue", Some(len as f64));
-                self.trace
-                    .span(start.as_nanos(), tx_done.as_nanos(), "link", "serialize", None);
+                self.trace.span(
+                    start.as_nanos(),
+                    tx_done.as_nanos(),
+                    "link",
+                    "serialize",
+                    None,
+                );
                 self.trace
                     .instant(tx_done.as_nanos(), "link", "dequeue", Some(len as f64));
                 self.trace.count("link.frames", 1);
                 self.trace.count("link.bytes", len as u64);
-                self.trace
-                    .observe("link.serialize_ns", tx_done.saturating_since(start).as_nanos());
+                self.trace.observe(
+                    "link.serialize_ns",
+                    tx_done.saturating_since(start).as_nanos(),
+                );
             }
             self.queue.push(
                 tx_done,
@@ -512,7 +535,9 @@ mod tests {
             sent_at: Vec::new(),
             replies: Vec::new(),
         }));
-        let s = e.add_node(Box::new(Echo { received: Vec::new() }));
+        let s = e.add_node(Box::new(Echo {
+            received: Vec::new(),
+        }));
         e.connect(p, 0, s, 0, spec);
         (e, p, s)
     }
@@ -617,7 +642,10 @@ mod tests {
 
     #[test]
     fn run_until_stops_at_deadline() {
-        let (mut e, _, _) = two_node_setup(LinkSpec::fast_ethernet_delayed(SimDuration::from_secs(1)), 1);
+        let (mut e, _, _) = two_node_setup(
+            LinkSpec::fast_ethernet_delayed(SimDuration::from_secs(1)),
+            1,
+        );
         let t = e.run_until(SimTime::from_millis(100));
         assert_eq!(t, SimTime::from_millis(100));
         // Finishing the run delivers the reply.
@@ -668,7 +696,9 @@ mod tests {
         assert_eq!(d.counters["link.frames"], 4);
         assert_eq!(d.histograms["link.serialize_ns"].count, 4);
         let has = |scope: &str, label: &str| {
-            d.events.iter().any(|ev| ev.scope == scope && ev.label == label)
+            d.events
+                .iter()
+                .any(|ev| ev.scope == scope && ev.label == label)
         };
         assert!(has("link", "enqueue"));
         assert!(has("link", "serialize"));

@@ -164,7 +164,8 @@ impl FaultInjector {
             data[idx] ^= self.rng.gen_range(1..=255u8);
             return FaultAction::DeliverCorrupted(Bytes::from(data));
         }
-        if self.spec.duplicate_chance > 0.0 && self.rng.gen_bool(self.spec.duplicate_chance.min(1.0))
+        if self.spec.duplicate_chance > 0.0
+            && self.rng.gen_bool(self.spec.duplicate_chance.min(1.0))
         {
             self.duplicates += 1;
             return FaultAction::Duplicate(frame);
@@ -255,7 +256,10 @@ mod tests {
         }
         assert_eq!(inj.counters(), (0, 0, 0));
         // Non-empty frames still corrupt.
-        assert!(matches!(inj.apply(frame()), FaultAction::DeliverCorrupted(_)));
+        assert!(matches!(
+            inj.apply(frame()),
+            FaultAction::DeliverCorrupted(_)
+        ));
         assert_eq!(inj.counters().1, 1);
     }
 

@@ -126,6 +126,9 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        assert_eq!(IcmpEcho::parse(&[8, 0, 0]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            IcmpEcho::parse(&[8, 0, 0]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 }

@@ -42,7 +42,11 @@ impl UdpDatagram {
     }
 
     /// Parse and verify length and checksum.
-    pub fn parse(data: &[u8], src_ip: Ipv4Addr, dst_ip: Ipv4Addr) -> Result<UdpDatagram, WireError> {
+    pub fn parse(
+        data: &[u8],
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+    ) -> Result<UdpDatagram, WireError> {
         if data.len() < HEADER_LEN {
             return Err(WireError::Truncated);
         }

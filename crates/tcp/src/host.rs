@@ -465,14 +465,12 @@ mod tests {
         }
     }
 
-    fn testbed(
-        handler_delay: SimDuration,
-    ) -> (Engine, usize, usize) {
+    fn testbed(handler_delay: SimDuration) -> (Engine, usize, usize) {
         let mut e = Engine::new();
-        let client_cfg = HostConfig::new("client", CLIENT_MAC, CLIENT_IP)
-            .with_neighbor(SERVER_IP, SERVER_MAC);
-        let server_cfg = HostConfig::new("server", SERVER_MAC, SERVER_IP)
-            .with_neighbor(CLIENT_IP, CLIENT_MAC);
+        let client_cfg =
+            HostConfig::new("client", CLIENT_MAC, CLIENT_IP).with_neighbor(SERVER_IP, SERVER_MAC);
+        let server_cfg =
+            HostConfig::new("server", SERVER_MAC, SERVER_IP).with_neighbor(CLIENT_IP, CLIENT_MAC);
         let client = e.add_node(Box::new(Host::new(
             client_cfg,
             ProbeClient {

@@ -286,7 +286,9 @@ impl TcpSocket {
     /// Queue application data; returns bytes accepted.
     pub fn send(&mut self, data: &[u8]) -> usize {
         match self.state {
-            TcpState::Established | TcpState::CloseWait | TcpState::SynSent
+            TcpState::Established
+            | TcpState::CloseWait
+            | TcpState::SynSent
             | TcpState::SynReceived => {
                 if self.fin_queued {
                     return 0;
@@ -338,7 +340,9 @@ impl TcpSocket {
     /// drains.
     pub fn close(&mut self) {
         match self.state {
-            TcpState::Established | TcpState::CloseWait | TcpState::SynReceived
+            TcpState::Established
+            | TcpState::CloseWait
+            | TcpState::SynReceived
             | TcpState::SynSent => {
                 self.fin_queued = true;
             }
@@ -621,7 +625,8 @@ impl TcpSocket {
             }
         }
         // In-order FIN (its sequence slot is right at rcv_nxt).
-        if has_fin && (payload_end == self.rcv_nxt || (seg.payload.is_empty() && seq == self.rcv_nxt))
+        if has_fin
+            && (payload_end == self.rcv_nxt || (seg.payload.is_empty() && seq == self.rcv_nxt))
         {
             self.rcv_nxt += 1;
             out.ev(LocalEvent::PeerClosed);
@@ -810,10 +815,14 @@ impl TcpSocket {
 
     /// Earliest pending timer deadline, if any.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        [self.rto_deadline, self.ack_deadline, self.time_wait_deadline]
-            .into_iter()
-            .flatten()
-            .min()
+        [
+            self.rto_deadline,
+            self.ack_deadline,
+            self.time_wait_deadline,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
     }
 
     /// Smoothed RTT estimate, if one has been taken.
@@ -955,7 +964,12 @@ mod tests {
             recv_buf: 2000,
             ..TcpConfig::default()
         };
-        let mut c = TcpSocket::new((CLIENT_IP, 1), (SERVER_IP, 2), SeqNum(0), TcpConfig::default());
+        let mut c = TcpSocket::new(
+            (CLIENT_IP, 1),
+            (SERVER_IP, 2),
+            SeqNum(0),
+            TcpConfig::default(),
+        );
         let mut s = TcpSocket::new((SERVER_IP, 2), (CLIENT_IP, 1), SeqNum(0), cfg);
         establish(&mut c, &mut s);
         let now = SimTime::from_millis(1);
@@ -1096,7 +1110,9 @@ mod tests {
         let dl = c.next_deadline().unwrap();
         let rtx = c.on_timers(dl);
         let events = converge(dl, &mut c, &mut s, rtx.segments);
-        assert!(events.iter().any(|(w, e)| *w == "server" && *e == LocalEvent::DataReady));
+        assert!(events
+            .iter()
+            .any(|(w, e)| *w == "server" && *e == LocalEvent::DataReady));
         // All 3000 bytes eventually arrive exactly once.
         let mut total = s.recv().len();
         for _ in 0..10 {
@@ -1118,7 +1134,12 @@ mod tests {
             ..TcpConfig::default()
         };
         let mut c = TcpSocket::new((CLIENT_IP, 1), (SERVER_IP, 2), SeqNum(0), cfg);
-        let mut s = TcpSocket::new((SERVER_IP, 2), (CLIENT_IP, 1), SeqNum(0), TcpConfig::default());
+        let mut s = TcpSocket::new(
+            (SERVER_IP, 2),
+            (CLIENT_IP, 1),
+            SeqNum(0),
+            TcpConfig::default(),
+        );
         establish(&mut c, &mut s);
         let now = SimTime::from_millis(1);
         c.send(b"first");
@@ -1140,7 +1161,12 @@ mod tests {
             delayed_ack: Some(SimDuration::from_millis(40)),
             ..TcpConfig::default()
         };
-        let mut c = TcpSocket::new((CLIENT_IP, 1), (SERVER_IP, 2), SeqNum(0), TcpConfig::default());
+        let mut c = TcpSocket::new(
+            (CLIENT_IP, 1),
+            (SERVER_IP, 2),
+            SeqNum(0),
+            TcpConfig::default(),
+        );
         let mut s = TcpSocket::new((SERVER_IP, 2), (CLIENT_IP, 1), SeqNum(0), cfg);
         establish(&mut c, &mut s);
         let now = SimTime::from_millis(1);
@@ -1161,7 +1187,12 @@ mod tests {
             delayed_ack: Some(SimDuration::from_millis(40)),
             ..TcpConfig::default()
         };
-        let mut c = TcpSocket::new((CLIENT_IP, 1), (SERVER_IP, 2), SeqNum(0), TcpConfig::default());
+        let mut c = TcpSocket::new(
+            (CLIENT_IP, 1),
+            (SERVER_IP, 2),
+            SeqNum(0),
+            TcpConfig::default(),
+        );
         let mut s = TcpSocket::new((SERVER_IP, 2), (CLIENT_IP, 1), SeqNum(0), cfg);
         establish(&mut c, &mut s);
         let now = SimTime::from_millis(1);

@@ -131,10 +131,7 @@ impl TcpStack {
         for _ in 0..16_384 {
             let p = self.next_ephemeral;
             self.next_ephemeral = if p == u16::MAX { 49152 } else { p + 1 };
-            let in_use = self
-                .tuple_map
-                .keys()
-                .any(|&(_, _, local)| local == p);
+            let in_use = self.tuple_map.keys().any(|&(_, _, local)| local == p);
             if !in_use && !self.listeners.contains(&p) {
                 return p;
             }
@@ -231,7 +228,10 @@ impl TcpStack {
 
     /// Connection state, if the socket exists.
     pub fn state(&self, sock: SocketId) -> Option<TcpState> {
-        self.sockets.get(sock).and_then(Option::as_ref).map(|s| s.state)
+        self.sockets
+            .get(sock)
+            .and_then(Option::as_ref)
+            .map(|s| s.state)
     }
 
     /// Smoothed RTT of a socket.
@@ -448,7 +448,11 @@ mod tests {
         let sev = drain(&mut server);
         assert!(cev.contains(&SockEvent::Connected { sock: cs }));
         let ss = match sev.as_slice() {
-            [SockEvent::Accepted { listener_port: 80, sock, .. }] => *sock,
+            [SockEvent::Accepted {
+                listener_port: 80,
+                sock,
+                ..
+            }] => *sock,
             other => panic!("unexpected events {other:?}"),
         };
         // Client sends a request; server reads it and answers.

@@ -38,7 +38,10 @@ impl GranularityRegimes {
     /// levels, dwell times of 2–8 minutes.
     pub fn windows7(rng: SmallRng) -> Self {
         Self::new(
-            vec![SimDuration::from_millis(1), SimDuration::from_micros(15_625)],
+            vec![
+                SimDuration::from_millis(1),
+                SimDuration::from_micros(15_625),
+            ],
             SimDuration::from_secs(120),
             SimDuration::from_secs(480),
             rng,

@@ -94,7 +94,10 @@ mod tests {
             3 * 60, // 3 hours of minute-spaced probes
         );
         let fine = series.iter().filter(|(_, g)| *g <= 1.0).count();
-        let coarse = series.iter().filter(|(_, g)| (14.0..=16.0).contains(g)).count();
+        let coarse = series
+            .iter()
+            .filter(|(_, g)| (14.0..=16.0).contains(g))
+            .count();
         assert!(fine > 0, "1 ms observations present");
         assert!(coarse > 0, "~15.6 ms observations present");
         assert_eq!(fine + coarse, series.len(), "only the two levels appear");

@@ -39,7 +39,11 @@ fn main() {
                 }
             }
             let cells: Vec<String> = seen.iter().map(|g| format!("{g:.6} ms")).collect();
-            println!("  {:<26} granularities observed: {}", kind.to_string(), cells.join(", "));
+            println!(
+                "  {:<26} granularities observed: {}",
+                kind.to_string(),
+                cells.join(", ")
+            );
         }
         println!();
     }
@@ -49,7 +53,10 @@ fn main() {
     let mut api = make_api(TimingApiKind::JavaDateGetTime, &machine);
     let series = probe_series(api.as_mut(), SimTime::ZERO, SimDuration::from_secs(30), 240);
     for (hour, chunk) in series.chunks(120).enumerate() {
-        let line: String = chunk.iter().map(|(_, g)| if *g > 2.0 { 'C' } else { '.' }).collect();
+        let line: String = chunk
+            .iter()
+            .map(|(_, g)| if *g > 2.0 { 'C' } else { '.' })
+            .collect();
         println!("  hour {}: {line}", hour + 1);
     }
     println!("  legend: '.' = 1 ms tick, 'C' = ~15.625 ms tick");

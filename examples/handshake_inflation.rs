@@ -20,8 +20,8 @@ fn median(v: &[f64]) -> f64 {
 }
 
 fn run(method: MethodId, browser: BrowserKind) -> bnm::core::CellResult {
-    let cell = ExperimentCell::paper(method, RuntimeSel::Browser(browser), OsKind::Windows7)
-        .with_reps(25);
+    let cell =
+        ExperimentCell::paper(method, RuntimeSel::Browser(browser), OsKind::Windows7).with_reps(25);
     ExperimentRunner::try_run(&cell).expect("Flash cells run on Windows")
 }
 
@@ -38,7 +38,12 @@ fn main() {
         ("Opera Flash POST", &opera_post),
         ("Chrome Flash GET", &chrome_get),
     ] {
-        println!("{:<26} {:>10.1} {:>10.1}", name, median(&r.d1), median(&r.d2));
+        println!(
+            "{:<26} {:>10.1} {:>10.1}",
+            name,
+            median(&r.d1),
+            median(&r.d2)
+        );
     }
 
     let new_conns_d1 = opera_get
@@ -59,7 +64,10 @@ fn main() {
     );
 
     println!("\n--- Calibration (§5) ---");
-    for (name, r) in [("Opera Flash GET", &opera_get), ("Chrome Flash GET", &chrome_get)] {
+    for (name, r) in [
+        ("Opera Flash GET", &opera_get),
+        ("Chrome Flash GET", &chrome_get),
+    ] {
         let cal = Calibration::derive(r);
         println!(
             "{name}: offset {:.1} ms, residual IQR {:.1} ms, 95% span {:.1} ms → trustworthy to ±2 ms: {}",

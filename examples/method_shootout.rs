@@ -58,7 +58,10 @@ fn main() {
         score(&a.1).partial_cmp(&score(&b.1)).unwrap()
     });
 
-    println!("\n{:<28} {:>9} {:>9} {:>8}  verdict", "method", "Δd1 med", "Δd2 med", "IQR");
+    println!(
+        "\n{:<28} {:>9} {:>9} {:>8}  verdict",
+        "method", "Δd1 med", "Δd2 med", "IQR"
+    );
     println!("{}", "-".repeat(72));
     for (method, a) in &scored {
         println!(
@@ -83,7 +86,15 @@ fn main() {
         recommend::preferred_browser(os).name()
     );
     println!("\nTop recommendations under default constraints:");
-    for rec in recommend::recommend_methods(&recommend::Constraints::default()).iter().take(3) {
-        println!("  {:<24} with {:<24} — {}", rec.method.display_name(), rec.timing.to_string(), rec.rationale);
+    for rec in recommend::recommend_methods(&recommend::Constraints::default())
+        .iter()
+        .take(3)
+    {
+        println!(
+            "  {:<24} with {:<24} — {}",
+            rec.method.display_name(),
+            rec.timing.to_string(),
+            rec.rationale
+        );
     }
 }

@@ -22,7 +22,11 @@ use bnm::timeapi::OsKind;
 fn main() {
     let mobile = std::env::args().nth(1).as_deref() == Some("mobile");
     let (runtime, os, label) = if mobile {
-        (RuntimeSel::MobileWebKit, OsKind::Ubuntu1204, "mobile WebKit")
+        (
+            RuntimeSel::MobileWebKit,
+            OsKind::Ubuntu1204,
+            "mobile WebKit",
+        )
     } else {
         (
             RuntimeSel::Browser(BrowserKind::Firefox),
@@ -39,11 +43,13 @@ fn main() {
     };
     let rec = recommend_methods(&constraints)
         .into_iter()
-        .find(|r| {
-            ExperimentCell::paper(r.method, runtime, os).is_runnable()
-        })
+        .find(|r| ExperimentCell::paper(r.method, runtime, os).is_runnable())
         .expect("some method is always available");
-    println!("method selection: {} with {}", rec.method.display_name(), rec.timing);
+    println!(
+        "method selection: {} with {}",
+        rec.method.display_name(),
+        rec.timing
+    );
     println!("  rationale: {}\n", rec.rationale);
 
     // 2. Measure RTT with it, and calibrate using Δd2 (§5).
@@ -61,7 +67,10 @@ fn main() {
     let corrected: Vec<f64> = browser_rtts.iter().map(|&r| cal.correct(r)).collect();
     let raw = Summary::of(&browser_rtts);
     let fixed = Summary::of(&corrected);
-    println!("RTT (raw browser measurement) : median {:7.2} ms", raw.median);
+    println!(
+        "RTT (raw browser measurement) : median {:7.2} ms",
+        raw.median
+    );
     println!(
         "RTT (calibrated, −{:.2} ms)    : median {:7.2} ms ± residual IQR {:.2} ms",
         cal.offset_ms, fixed.median, cal.residual_iqr_ms

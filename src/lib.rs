@@ -29,7 +29,10 @@ pub use bnm_time as timeapi;
 // with `CellBuilder`, run them (in parallel, deterministically) with
 // `Executor` or `ExperimentRunner::try_run`, and handle `RunError`.
 pub use bnm_core::exec::{self, ExecStats, Executor, Progress};
-pub use bnm_core::{Appraisal, CellBuilder, CellResult, ExperimentCell, ExperimentRunner, FaultSpec, Impairment, RunError, RuntimeSel, Verdict};
+pub use bnm_core::{
+    Appraisal, CellBuilder, CellResult, ExperimentCell, ExperimentRunner, FaultSpec, Impairment,
+    RunError, RuntimeSel, Verdict,
+};
 
 /// The curated working set for driving experiments.
 ///

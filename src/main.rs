@@ -108,7 +108,10 @@ fn main() {
 }
 
 fn cmd_list() {
-    println!("{:<12} {:<13} {:<12} {:<10} {:<11} metrics", "label", "approach", "technology", "method", "same-origin");
+    println!(
+        "{:<12} {:<13} {:<12} {:<10} {:<11} metrics",
+        "label", "approach", "technology", "method", "same-origin"
+    );
     for row in table1_rows() {
         println!(
             "{:<12} {:<13} {:<12} {:<10} {:<11} {}",
@@ -136,7 +139,10 @@ fn cmd_appraise(flags: &HashMap<String, String>) {
         .map(|o| os_by_name(o).unwrap_or_else(|| usage()))
         .unwrap_or(OsKind::Ubuntu1204);
     let reps: u32 = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(25);
-    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0xB32B_2013);
+    let seed: u64 = flags
+        .get("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xB32B_2013);
 
     let mut builder = ExperimentCell::builder(method, RuntimeSel::Browser(browser), os)
         .reps(reps)
@@ -155,7 +161,11 @@ fn cmd_appraise(flags: &HashMap<String, String>) {
             std::process::exit(1);
         }
     };
-    println!("Appraising {} ({} reps, seed {seed:#x}) …", cell.label(), reps);
+    println!(
+        "Appraising {} ({} reps, seed {seed:#x}) …",
+        cell.label(),
+        reps
+    );
     let result = match ExperimentRunner::try_run(&cell) {
         Ok(r) => r,
         Err(e) => {
@@ -170,10 +180,20 @@ fn cmd_appraise(flags: &HashMap<String, String>) {
             std::process::exit(1);
         }
     };
-    println!("\nΔd1: median {:8.3} ms  IQR [{:8.3}, {:8.3}]  outliers {}",
-        a.d1.median, a.d1.q1, a.d1.q3, a.d1.outliers.len());
-    println!("Δd2: median {:8.3} ms  IQR [{:8.3}, {:8.3}]  outliers {}",
-        a.d2.median, a.d2.q1, a.d2.q3, a.d2.outliers.len());
+    println!(
+        "\nΔd1: median {:8.3} ms  IQR [{:8.3}, {:8.3}]  outliers {}",
+        a.d1.median,
+        a.d1.q1,
+        a.d1.q3,
+        a.d1.outliers.len()
+    );
+    println!(
+        "Δd2: median {:8.3} ms  IQR [{:8.3}, {:8.3}]  outliers {}",
+        a.d2.median,
+        a.d2.q1,
+        a.d2.q3,
+        a.d2.outliers.len()
+    );
     println!("pooled mean ± 95% CI: {} ms", a.mean_ci.format_table4());
     println!("verdict: {:?}", a.verdict);
     if result.failures > 0 {
@@ -195,7 +215,10 @@ fn cmd_trace(flags: &HashMap<String, String>) {
         .map(|o| os_by_name(o).unwrap_or_else(|| usage()))
         .unwrap_or(OsKind::Ubuntu1204);
     let reps: u32 = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(5);
-    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0xB32B_2013);
+    let seed: u64 = flags
+        .get("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xB32B_2013);
     let format = flags.get("format").map(String::as_str).unwrap_or("text");
     if !matches!(format, "text" | "json" | "csv") {
         usage();
@@ -262,7 +285,10 @@ fn cmd_impair(flags: &HashMap<String, String>) {
         .map(|o| os_by_name(o).unwrap_or_else(|| usage()))
         .unwrap_or(OsKind::Ubuntu1204);
     let reps: u32 = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(25);
-    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0xB32B_2013);
+    let seed: u64 = flags
+        .get("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xB32B_2013);
     let format = flags.get("format").map(String::as_str).unwrap_or("text");
     if !matches!(format, "text" | "json" | "csv") {
         usage();
@@ -280,7 +306,10 @@ fn cmd_impair(flags: &HashMap<String, String>) {
         duplicate_chance: prob("duplicate"),
         ..FaultSpec::CLEAN
     };
-    let jitter_ms: f64 = flags.get("jitter").and_then(|v| v.parse().ok()).unwrap_or(0.0);
+    let jitter_ms: f64 = flags
+        .get("jitter")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
     let imp = Impairment {
         up: spec,
         down: spec,
@@ -309,7 +338,11 @@ fn cmd_impair(flags: &HashMap<String, String>) {
     let med = |v: &[f64]| {
         let mut s = v.to_vec();
         s.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        if s.is_empty() { f64::NAN } else { s[s.len() / 2] }
+        if s.is_empty() {
+            f64::NAN
+        } else {
+            s[s.len() / 2]
+        }
     };
     match format {
         "json" => println!(

@@ -5,12 +5,16 @@
 use bnm::browser::BrowserKind;
 use bnm::methods::MethodId;
 use bnm::timeapi::OsKind;
-use bnm::{ExperimentCell, ExperimentRunner, Executor, RunError, RuntimeSel};
+use bnm::{Executor, ExperimentCell, ExperimentRunner, RunError, RuntimeSel};
 
 fn grid() -> Vec<ExperimentCell> {
     [
         (MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204),
-        (MethodId::WebSocket, BrowserKind::Firefox, OsKind::Ubuntu1204),
+        (
+            MethodId::WebSocket,
+            BrowserKind::Firefox,
+            OsKind::Ubuntu1204,
+        ),
         (MethodId::JavaTcp, BrowserKind::Firefox, OsKind::Windows7),
         (MethodId::FlashGet, BrowserKind::Opera, OsKind::Windows7),
     ]

@@ -158,7 +158,10 @@ fn corruption_and_duplication_are_excluded_like_loss() {
     .build()
     .unwrap();
     let r = ExperimentRunner::try_run(&cell).unwrap();
-    assert!(r.excluded_rounds > 0, "corruption/duplication must exclude rounds");
+    assert!(
+        r.excluded_rounds > 0,
+        "corruption/duplication must exclude rounds"
+    );
     assert_eq!(r.failures, 0);
     for &d in r.d1.iter().chain(&r.d2) {
         assert!(d < 50.0, "Δd {d} ms on an included round");
@@ -181,12 +184,12 @@ fn jitter_spreads_delta_d_within_the_bound() {
     .build()
     .unwrap();
     let jittered = ExperimentRunner::try_run(&cell).unwrap();
-    let clean = ExperimentRunner::try_run(
-        &cell.clone().with_impairment(Impairment::NONE),
-    )
-    .unwrap();
+    let clean = ExperimentRunner::try_run(&cell.clone().with_impairment(Impairment::NONE)).unwrap();
     assert_eq!(jittered.failures, 0);
-    assert_eq!(jittered.excluded_rounds, 0, "jitter alone never retransmits");
+    assert_eq!(
+        jittered.excluded_rounds, 0,
+        "jitter alone never retransmits"
+    );
     assert_ne!(jittered.d1, clean.d1, "2 ms of jitter must be visible");
     // Jitter delays the response by at most `bound`, so Δd (browser
     // minus wire interval) can move by at most that much either way.

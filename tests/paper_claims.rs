@@ -46,7 +46,10 @@ fn socket_methods_beat_http_methods() {
         worst_socket < best_http,
         "sockets {socket_meds:?} must all beat HTTP {http_meds:?}"
     );
-    assert!(worst_socket < 3.0, "socket overheads are small: {socket_meds:?}");
+    assert!(
+        worst_socket < 3.0,
+        "socket overheads are small: {socket_meds:?}"
+    );
 }
 
 /// §4: "The Flash GET and POST methods are most unreliable, because their
@@ -56,21 +59,33 @@ fn flash_http_has_the_highest_overhead() {
     let browser = BrowserKind::Firefox;
     let os = OsKind::Windows7;
     let flash_get = median(&run(MethodId::FlashGet, browser, os, 15).d2);
-    for m in [MethodId::XhrGet, MethodId::XhrPost, MethodId::Dom, MethodId::JavaGet] {
+    for m in [
+        MethodId::XhrGet,
+        MethodId::XhrPost,
+        MethodId::Dom,
+        MethodId::JavaGet,
+    ] {
         let other = median(&run(m, browser, os, 15).d2);
         assert!(
             flash_get > other,
             "Flash GET Δd2 {flash_get} must exceed {m:?} {other}"
         );
     }
-    assert!(flash_get > 20.0, "Flash overhead is tens of ms: {flash_get}");
+    assert!(
+        flash_get > 20.0,
+        "Flash overhead is tens of ms: {flash_get}"
+    );
 }
 
 /// §4: "The DOM method achieves a better result than XHR and Flash. Most
 /// of the median overheads are smaller than 5 ms" (on Ubuntu).
 #[test]
 fn dom_beats_xhr_and_stays_under_5ms_on_ubuntu() {
-    for browser in [BrowserKind::Chrome, BrowserKind::Firefox, BrowserKind::Opera] {
+    for browser in [
+        BrowserKind::Chrome,
+        BrowserKind::Firefox,
+        BrowserKind::Opera,
+    ] {
         let dom = median(&run(MethodId::Dom, browser, OsKind::Ubuntu1204, 15).pooled());
         let xhr = median(&run(MethodId::XhrGet, browser, OsKind::Ubuntu1204, 15).pooled());
         assert!(dom < xhr, "{browser:?}: DOM {dom} < XHR {xhr}");
@@ -82,7 +97,12 @@ fn dom_beats_xhr_and_stays_under_5ms_on_ubuntu() {
 /// measurement in the context of JavaScript and DOM".
 #[test]
 fn websocket_is_accurate_and_consistent() {
-    let r = run(MethodId::WebSocket, BrowserKind::Chrome, OsKind::Ubuntu1204, 20);
+    let r = run(
+        MethodId::WebSocket,
+        BrowserKind::Chrome,
+        OsKind::Ubuntu1204,
+        20,
+    );
     let a = Appraisal::try_of(&r).unwrap();
     assert_eq!(a.verdict, Verdict::Accurate);
     assert!(a.pooled.median < 1.5, "median {}", a.pooled.median);
@@ -94,7 +114,12 @@ fn websocket_is_accurate_and_consistent() {
 #[test]
 fn table3_handshake_arithmetic() {
     let get = run(MethodId::FlashGet, BrowserKind::Opera, OsKind::Windows7, 15);
-    let post = run(MethodId::FlashPost, BrowserKind::Opera, OsKind::Windows7, 15);
+    let post = run(
+        MethodId::FlashPost,
+        BrowserKind::Opera,
+        OsKind::Windows7,
+        15,
+    );
     let get_d1 = median(&get.d1);
     let get_d2 = median(&get.d2);
     let post_d1 = median(&post.d1);
@@ -113,9 +138,17 @@ fn table3_handshake_arithmetic() {
         get_d2
     );
     // Non-Opera browsers show no handshake in Δd1.
-    let chrome = run(MethodId::FlashGet, BrowserKind::Chrome, OsKind::Windows7, 15);
+    let chrome = run(
+        MethodId::FlashGet,
+        BrowserKind::Chrome,
+        OsKind::Windows7,
+        15,
+    );
     assert!(
-        chrome.measurements.iter().all(|m| !m.browser.opened_new_connection),
+        chrome
+            .measurements
+            .iter()
+            .all(|m| !m.browser.opened_new_connection),
         "Chrome reuses connections"
     );
 }
@@ -161,7 +194,10 @@ fn figure4_discrete_levels_gap() {
             }
         }
     }
-    assert!(found, "no Windows cell showed the ~15.6 ms two-level structure");
+    assert!(
+        found,
+        "no Windows cell showed the ~15.6 ms two-level structure"
+    );
 }
 
 /// Table 4 / §4.2: switching to System.nanoTime() removes the
@@ -220,9 +256,13 @@ fn appletviewer_shows_quantization_without_browser() {
     // a coarse regime and then show the discrete-level structure.
     let mut found = false;
     for seed in 0..6u64 {
-        let cell = ExperimentCell::paper(MethodId::JavaTcp, RuntimeSel::AppletViewer, OsKind::Windows7)
-            .with_reps(20)
-            .with_seed(seed);
+        let cell = ExperimentCell::paper(
+            MethodId::JavaTcp,
+            RuntimeSel::AppletViewer,
+            OsKind::Windows7,
+        )
+        .with_reps(20)
+        .with_seed(seed);
         let r = ExperimentRunner::try_run(&cell).unwrap();
         let levels = Cdf::of(&r.d1).levels(3.0);
         if levels.len() >= 2 {
@@ -233,7 +273,10 @@ fn appletviewer_shows_quantization_without_browser() {
             break;
         }
     }
-    assert!(found, "appletviewer never sampled the coarse regime across seeds");
+    assert!(
+        found,
+        "appletviewer never sampled the coarse regime across seeds"
+    );
 }
 
 /// The whole pipeline is deterministic under a fixed seed.
@@ -279,9 +322,10 @@ fn full_grid_smoke() {
 fn distribution_level_checks_via_ks() {
     use bnm::stats::ks_two_sample;
     let java = |b: BrowserKind| {
-        let cell = ExperimentCell::paper(MethodId::JavaTcp, RuntimeSel::Browser(b), OsKind::Windows7)
-            .with_reps(25)
-            .with_timing(TimingApiKind::JavaNanoTime);
+        let cell =
+            ExperimentCell::paper(MethodId::JavaTcp, RuntimeSel::Browser(b), OsKind::Windows7)
+                .with_reps(25)
+                .with_timing(TimingApiKind::JavaNanoTime);
         ExperimentRunner::try_run(&cell).unwrap().pooled()
     };
     let chrome = java(BrowserKind::Chrome);
@@ -294,8 +338,20 @@ fn distribution_level_checks_via_ks() {
         t.p_value
     );
     // WebSocket vs Flash GET: unmistakably different distributions.
-    let ws = run(MethodId::WebSocket, BrowserKind::Chrome, OsKind::Ubuntu1204, 25).pooled();
-    let flash = run(MethodId::FlashGet, BrowserKind::Chrome, OsKind::Ubuntu1204, 25).pooled();
+    let ws = run(
+        MethodId::WebSocket,
+        BrowserKind::Chrome,
+        OsKind::Ubuntu1204,
+        25,
+    )
+    .pooled();
+    let flash = run(
+        MethodId::FlashGet,
+        BrowserKind::Chrome,
+        OsKind::Ubuntu1204,
+        25,
+    )
+    .pooled();
     let t2 = ks_two_sample(&ws, &flash);
     assert!(t2.rejects_same_distribution(0.01), "D={}", t2.statistic);
 }

@@ -59,7 +59,10 @@ fn client_and_server_captures_tell_one_story() {
         assert!(server_turn < client_rtt);
         // One-way 50 ms delay on the server egress: response path ≈ 50 ms.
         let resp_path = cw.tn_r.signed_millis_since(sw.response_tx);
-        assert!((49.9..51.0).contains(&resp_path), "response path {resp_path}");
+        assert!(
+            (49.9..51.0).contains(&resp_path),
+            "response path {resp_path}"
+        );
     }
 }
 

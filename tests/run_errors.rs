@@ -81,7 +81,10 @@ fn invalid_input_from_builders() {
     )
     .reps(0)
     .build();
-    assert_eq!(zero.unwrap_err(), RunError::InvalidInput("reps must be >= 1"));
+    assert_eq!(
+        zero.unwrap_err(),
+        RunError::InvalidInput("reps must be >= 1")
+    );
     let tb_err = match Testbed::builder().build() {
         Ok(_) => panic!("empty testbed builder must not validate"),
         Err(e) => e,

@@ -28,7 +28,11 @@ fn traced_cell(method: MethodId, rt: RuntimeSel, os: OsKind, reps: u32) -> Exper
 fn parallel_traces_are_byte_identical_to_serial() {
     let cells: Vec<ExperimentCell> = [
         (MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204),
-        (MethodId::WebSocket, BrowserKind::Firefox, OsKind::Ubuntu1204),
+        (
+            MethodId::WebSocket,
+            BrowserKind::Firefox,
+            OsKind::Ubuntu1204,
+        ),
         (MethodId::FlashGet, BrowserKind::Opera, OsKind::Windows7),
         (MethodId::JavaTcp, BrowserKind::Firefox, OsKind::Windows7),
     ]
@@ -108,7 +112,11 @@ fn attribution_components_tell_the_papers_stories() {
     for a in &r.attributions {
         if a.round == 1 {
             // The hidden handshake is a full ~50 ms server-delay RTT.
-            assert!(a.handshake_ms > 45.0, "round 1 handshake {}", a.handshake_ms);
+            assert!(
+                a.handshake_ms > 45.0,
+                "round 1 handshake {}",
+                a.handshake_ms
+            );
             assert!(a.init_ms > 0.0, "round 1 first-use {}", a.init_ms);
         } else {
             assert_eq!(a.handshake_ms, 0.0, "round 2 reuses the connection");
