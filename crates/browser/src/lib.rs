@@ -34,4 +34,4 @@ pub mod session;
 pub use delay::DelayModel;
 pub use plan::{ProbePlan, ProbeTransport, Technology};
 pub use profile::{BrowserKind, BrowserProfile, ConnPolicy, PathSeg, Runtime};
-pub use session::{BrowserSession, RoundResult, SessionResult};
+pub use session::{session_token, split_token, BrowserSession, RoundResult, SessionResult};

@@ -69,6 +69,19 @@ pub struct SessionResult {
     pub completed: bool,
 }
 
+/// Compose the marker token carried on the wire by a session's probes:
+/// the session id in the high 32 bits, the repetition in the low 32.
+/// Session 0 therefore produces the same token (and the same wire bytes)
+/// as the single-session testbed always did.
+pub fn session_token(session: u64, rep_token: u64) -> u64 {
+    (session << 32) | (rep_token & 0xFFFF_FFFF)
+}
+
+/// Split a composite marker token back into `(session, rep)`.
+pub fn split_token(token: u64) -> (u64, u64) {
+    (token >> 32, token & 0xFFFF_FFFF)
+}
+
 /// Session configuration.
 pub struct SessionConfig {
     /// The web server's address.
@@ -88,6 +101,11 @@ pub struct SessionConfig {
     /// Repetition token — embedded in probe markers so capture analysis
     /// can tell rounds and repetitions apart.
     pub rep_token: u64,
+    /// Session id within a multi-client scenario; combined with
+    /// `rep_token` via [`session_token`] in every probe marker so
+    /// concurrent sessions' captures stay matchable. 0 in the
+    /// single-session testbed (tokens unchanged).
+    pub session: u64,
     /// Master seed for this session's noise streams.
     pub seed: u64,
     /// Trace handle (disabled by default): browser-side delay segments
@@ -247,17 +265,21 @@ impl BrowserSession {
         }
     }
 
+    /// The composite marker token for this session's probes.
+    fn token(&self) -> u64 {
+        session_token(self.cfg.session, self.cfg.rep_token)
+    }
+
     fn probe_marker(&self, round: u8) -> String {
-        format!(
-            "m={}&r={}&t={}",
-            self.cfg.plan.label, round, self.cfg.rep_token
-        )
+        format!("m={}&r={}&t={}", self.cfg.plan.label, round, self.token())
     }
 
     fn socket_payload(&self, round: u8) -> Bytes {
         let mut s = format!(
             "probe m={} r={} t={} ",
-            self.cfg.plan.label, round, self.cfg.rep_token
+            self.cfg.plan.label,
+            round,
+            self.token()
         );
         // Pad to the configured size; never truncate the marker itself.
         while s.len() < self.cfg.plan.request_size {
@@ -449,10 +471,7 @@ impl BrowserSession {
             ProbeTransport::WebSocketEcho => {
                 let sock = self.ws_conn.expect("ws connected");
                 let frame = match self.cfg.plan.bulk {
-                    Some(n) => Frame::text(&format!(
-                        "bulk n={} r={} t={}",
-                        n, round, self.cfg.rep_token
-                    )),
+                    Some(n) => Frame::text(&format!("bulk n={} r={} t={}", n, round, self.token())),
                     None => Frame::text(std::str::from_utf8(&self.socket_payload(round)).unwrap()),
                 };
                 // Deterministic zero masking key: RFC-shaped frames whose
@@ -703,9 +722,9 @@ impl HostApp for BrowserSession {
                         ctx.send(sock, &req);
                     }
                     Role::WebSocket => {
-                        // Deterministic nonce derived from the rep token.
+                        // Deterministic nonce derived from the marker token.
                         let mut nonce = [0u8; 16];
-                        nonce[..8].copy_from_slice(&self.cfg.rep_token.to_le_bytes());
+                        nonce[..8].copy_from_slice(&self.token().to_le_bytes());
                         let req = websocket::client_handshake(
                             "/ws",
                             &self.cfg.server_ip.to_string(),
@@ -805,6 +824,7 @@ mod tests {
             profile,
             machine,
             rep_token: 42,
+            session: 0,
             seed: 99,
             trace: Trace::disabled(),
         });
@@ -1004,6 +1024,7 @@ mod tests {
                 profile,
                 machine,
                 rep_token: rep,
+                session: 0,
                 seed: rep,
                 trace: Trace::disabled(),
             });
@@ -1085,6 +1106,7 @@ mod cache_tests {
             profile,
             machine,
             rep_token: 9,
+            session: 0,
             seed: 77,
             trace: Trace::disabled(),
         });

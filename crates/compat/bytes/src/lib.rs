@@ -58,7 +58,11 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len(),
         };
-        assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of bounds of {}", self.len());
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of bounds of {}",
+            self.len()
+        );
         Bytes {
             data: Arc::clone(&self.data),
             start: self.start + lo,
@@ -95,7 +99,11 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let data: Arc<[u8]> = v.into();
         let end = data.len();
-        Bytes { data, start: 0, end }
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -213,7 +221,9 @@ impl BytesMut {
 
     /// An empty buffer with reserved capacity.
     pub fn with_capacity(cap: usize) -> BytesMut {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Length in bytes.
@@ -249,7 +259,9 @@ impl BytesMut {
     /// Split off and return the first `at` bytes, leaving the rest.
     pub fn split_to(&mut self, at: usize) -> BytesMut {
         let rest = self.data.split_off(at);
-        BytesMut { data: std::mem::replace(&mut self.data, rest) }
+        BytesMut {
+            data: std::mem::replace(&mut self.data, rest),
+        }
     }
 }
 

@@ -52,7 +52,11 @@ impl Criterion {
     }
 
     /// Run one benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
         let mut b = Bencher {
             samples: Vec::new(),
             budget: self.measurement_time,
@@ -80,7 +84,11 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Run one benchmark inside the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.into());
         self.parent.bench_function(full, f);
         self
@@ -206,10 +214,14 @@ mod tests {
         let mut g = c.benchmark_group("g");
         let mut n = 0;
         g.bench_function("inner", |b| {
-            b.iter_batched(|| vec![1u8; 8], |v| {
-                n += 1;
-                v.len()
-            }, BatchSize::SmallInput)
+            b.iter_batched(
+                || vec![1u8; 8],
+                |v| {
+                    n += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
         });
         g.finish();
         assert!(n >= 2);

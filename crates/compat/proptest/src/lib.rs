@@ -217,7 +217,11 @@ fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
             }
         };
         let (min_rep, max_rep) = if i < chars.len() && chars[i] == '{' {
-            let close = chars[i..].iter().position(|&c| c == '}').expect("closing }") + i;
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("closing }")
+                + i;
             let spec: String = chars[i + 1..close].iter().collect();
             i = close + 1;
             match spec.split_once(',') {

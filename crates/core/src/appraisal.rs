@@ -81,37 +81,6 @@ impl Appraisal {
         Self::try_with_thresholds(result, Thresholds::default())
     }
 
-    /// Appraise a cell result with default thresholds.
-    ///
-    /// # Panics
-    /// If the result holds no samples; prefer [`Appraisal::try_of`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `try_of`, which reports `RunError` instead of panicking"
-    )]
-    pub fn of(result: &CellResult) -> Appraisal {
-        match Self::try_of(result) {
-            Ok(a) => a,
-            Err(e) => panic!("appraisal of empty cell: {e}"),
-        }
-    }
-
-    /// Appraise with custom thresholds.
-    ///
-    /// # Panics
-    /// If the result holds no samples; prefer
-    /// [`Appraisal::try_with_thresholds`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `try_with_thresholds`, which reports `RunError` instead of panicking"
-    )]
-    pub fn with_thresholds(result: &CellResult, th: Thresholds) -> Appraisal {
-        match Self::try_with_thresholds(result, th) {
-            Ok(a) => a,
-            Err(e) => panic!("appraisal of empty cell: {e}"),
-        }
-    }
-
     /// Appraise with custom thresholds, reporting an empty cell as
     /// [`RunError::NoSamples`].
     pub fn try_with_thresholds(result: &CellResult, th: Thresholds) -> Result<Appraisal, RunError> {
@@ -228,13 +197,5 @@ mod tests {
             Appraisal::try_of(&cell_with(vec![], vec![])).unwrap_err(),
             crate::error::RunError::NoSamples
         );
-    }
-
-    /// The panicking façade keeps its historical contract.
-    #[test]
-    #[should_panic(expected = "empty")]
-    fn empty_cell_panics() {
-        #[allow(deprecated)]
-        Appraisal::of(&cell_with(vec![], vec![]));
     }
 }

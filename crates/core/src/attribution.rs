@@ -32,6 +32,10 @@ use crate::error::RunError;
 pub struct RoundAttribution {
     /// Repetition index within the cell.
     pub rep: u32,
+    /// Session id within the scenario (0 in the single-client testbed —
+    /// and in multi-client scenarios too: only the lowest-id session is
+    /// traced, so it is the only one attribution rows exist for).
+    pub session: u64,
     /// Round number (1 = Δd1, 2 = Δd2).
     pub round: u8,
     /// Measured Δd (Eq. 1), ms.
@@ -112,6 +116,7 @@ pub fn attribute(
         let total = |c| trace.component_total_ns(c, Some(m.round)) as f64 / 1e6;
         let mut a = RoundAttribution {
             rep,
+            session: m.session,
             round: m.round,
             delta_d_ms,
             dispatch_ms: total(Component::Dispatch),
@@ -133,14 +138,15 @@ pub fn attribute(
 /// CSV export (header + one row per round).
 pub fn to_csv(rows: &[RoundAttribution]) -> String {
     let mut s = String::from(
-        "rep,round,delta_d_ms,dispatch_ms,bridge_ms,parse_ms,stack_ms,\
+        "rep,session,round,delta_d_ms,dispatch_ms,bridge_ms,parse_ms,stack_ms,\
          handshake_ms,init_ms,retrans_ms,quantization_ms,residual_ms\n",
     );
     for r in rows {
         let _ = writeln!(
             s,
-            "{},{},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?}",
+            "{},{},{},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?}",
             r.rep,
+            r.session,
             r.round,
             r.delta_d_ms,
             r.dispatch_ms,
@@ -166,11 +172,13 @@ pub fn to_json(rows: &[RoundAttribution]) -> String {
         }
         let _ = write!(
             s,
-            "{{\"rep\":{},\"round\":{},\"delta_d_ms\":{:?},\"dispatch_ms\":{:?},\
+            "{{\"rep\":{},\"session\":{},\"round\":{},\"delta_d_ms\":{:?},\
+             \"dispatch_ms\":{:?},\
              \"bridge_ms\":{:?},\"parse_ms\":{:?},\"stack_ms\":{:?},\
              \"handshake_ms\":{:?},\"init_ms\":{:?},\"retrans_ms\":{:?},\
              \"quantization_ms\":{:?},\"residual_ms\":{:?}}}",
             r.rep,
+            r.session,
             r.round,
             r.delta_d_ms,
             r.dispatch_ms,
@@ -193,8 +201,9 @@ pub fn render_table(rows: &[RoundAttribution]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:>4} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8} {:>10} {:>9}",
+        "{:>4} {:>4} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8} {:>10} {:>9}",
         "rep",
+        "sess",
         "round",
         "Δd",
         "dispatch",
@@ -210,9 +219,10 @@ pub fn render_table(rows: &[RoundAttribution]) -> String {
     for r in rows {
         let _ = writeln!(
             s,
-            "{:>4} {:>6} {:>9.3} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>10.3} {:>8.3} {:>8.3} \
+            "{:>4} {:>4} {:>6} {:>9.3} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>10.3} {:>8.3} {:>8.3} \
              {:>10.3} {:>9.4}",
             r.rep,
+            r.session,
             r.round,
             r.delta_d_ms,
             r.dispatch_ms,
@@ -236,6 +246,7 @@ mod tests {
     fn row() -> RoundAttribution {
         RoundAttribution {
             rep: 0,
+            session: 0,
             round: 1,
             delta_d_ms: 10.0,
             dispatch_ms: 3.0,
@@ -262,10 +273,10 @@ mod tests {
     fn exports_are_deterministic_and_well_formed() {
         let rows = vec![row(), RoundAttribution { round: 2, ..row() }];
         let csv = to_csv(&rows);
-        assert!(csv.starts_with("rep,round,delta_d_ms"));
+        assert!(csv.starts_with("rep,session,round,delta_d_ms"));
         assert_eq!(csv.lines().count(), 3);
         let json = to_json(&rows);
-        assert!(json.starts_with("[{\"rep\":0,\"round\":1"));
+        assert!(json.starts_with("[{\"rep\":0,\"session\":0,\"round\":1"));
         assert_eq!(json, to_json(&rows));
         assert!(render_table(&rows).contains("handshake"));
         assert!(csv.contains("retrans_ms"));
@@ -280,6 +291,7 @@ mod tests {
         use bnm_browser::RoundResult;
         use bnm_sim::time::SimTime;
         let m = RoundMeasurement {
+            session: 0,
             round: 1,
             browser: RoundResult {
                 round: 1,

@@ -63,6 +63,18 @@ pub struct ExperimentCell {
     /// default: tracing allocates per-event and the paper's headline
     /// numbers don't need it.
     pub trace: bool,
+    /// Concurrent measuring sessions sharing the testbed (the `contend`
+    /// extension). 1 — the paper's setup and the default — runs the
+    /// legacy single-client testbed byte-for-byte; N > 1 builds a
+    /// [`crate::scenario::Scenario`] of N clients behind one switch, all
+    /// probing the same server, with per-session results keyed in
+    /// [`crate::runner::CellResult::sessions`].
+    pub clients: u32,
+    /// Override the server access link's line rate, bits/s (`None` = the
+    /// paper's 100 Mbps fast Ethernet). The `contend` experiment narrows
+    /// this shared bottleneck so handshakes queue behind concurrent
+    /// sessions' traffic.
+    pub server_link_rate_bps: Option<u64>,
 }
 
 impl ExperimentCell {
@@ -90,6 +102,8 @@ impl ExperimentCell {
             fixed_safari_java: false,
             impairment: Impairment::NONE,
             trace: false,
+            clients: 1,
+            server_link_rate_bps: None,
         }
     }
 
@@ -127,6 +141,18 @@ impl ExperimentCell {
     /// jitter).
     pub fn with_impairment(mut self, imp: Impairment) -> Self {
         self.impairment = imp;
+        self
+    }
+
+    /// Run N concurrent measuring sessions against the shared server.
+    pub fn with_clients(mut self, clients: u32) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Override the server access link's line rate, bits/s.
+    pub fn with_server_link_rate(mut self, rate_bps: u64) -> Self {
+        self.server_link_rate_bps = Some(rate_bps);
         self
     }
 
@@ -241,14 +267,36 @@ impl CellBuilder {
         self
     }
 
+    /// Concurrent measuring sessions (1–64).
+    pub fn clients(mut self, clients: u32) -> Self {
+        self.cell.clients = clients;
+        self
+    }
+
+    /// Override the server access link's line rate, bits/s.
+    pub fn server_link_rate(mut self, rate_bps: u64) -> Self {
+        self.cell.server_link_rate_bps = Some(rate_bps);
+        self
+    }
+
     /// Validate and produce the cell.
     ///
     /// Fails with [`RunError::Unrunnable`] when the runtime cannot
     /// execute the method (Table 2), and
-    /// [`RunError::InvalidInput`] when `reps` is zero.
+    /// [`RunError::InvalidInput`] when `reps` is zero, `clients` is out
+    /// of the scenario's 1–64 range, or a link-rate override is zero.
     pub fn build(self) -> Result<ExperimentCell, RunError> {
         if self.cell.reps == 0 {
             return Err(RunError::InvalidInput("reps must be >= 1"));
+        }
+        if self.cell.clients == 0 {
+            return Err(RunError::InvalidInput("clients must be >= 1"));
+        }
+        if self.cell.clients as usize > crate::scenario::Scenario::MAX_SESSIONS {
+            return Err(RunError::InvalidInput("clients must be <= 64"));
+        }
+        if self.cell.server_link_rate_bps == Some(0) {
+            return Err(RunError::InvalidInput("server link rate must be > 0"));
         }
         if !self.cell.is_runnable() {
             return Err(RunError::unrunnable(&self.cell));
@@ -335,6 +383,8 @@ mod tests {
         .fixed_safari_java(true)
         .impairment(Impairment::loss(0.02))
         .trace(true)
+        .clients(4)
+        .server_link_rate(10_000_000)
         .build()
         .unwrap();
         assert_eq!(cell.timing_override, Some(TimingApiKind::JavaNanoTime));
@@ -346,6 +396,8 @@ mod tests {
         assert_eq!(cell.impairment, Impairment::loss(0.02));
         assert!(!cell.impairment.is_clean());
         assert!(cell.trace);
+        assert_eq!(cell.clients, 4);
+        assert_eq!(cell.server_link_rate_bps, Some(10_000_000));
         let cleared = ExperimentCell::builder(
             MethodId::JavaTcp,
             RuntimeSel::Browser(BrowserKind::Firefox),
@@ -376,6 +428,26 @@ mod tests {
         .reps(0)
         .build();
         assert_eq!(zero_reps, Err(RunError::InvalidInput("reps must be >= 1")));
+
+        let chrome = || {
+            ExperimentCell::builder(
+                MethodId::XhrGet,
+                RuntimeSel::Browser(BrowserKind::Chrome),
+                OsKind::Ubuntu1204,
+            )
+        };
+        assert_eq!(
+            chrome().clients(0).build(),
+            Err(RunError::InvalidInput("clients must be >= 1"))
+        );
+        assert_eq!(
+            chrome().clients(65).build(),
+            Err(RunError::InvalidInput("clients must be <= 64"))
+        );
+        assert_eq!(
+            chrome().server_link_rate(0).build(),
+            Err(RunError::InvalidInput("server link rate must be > 0"))
+        );
 
         // build_unchecked lets both through for later filtering.
         let cell = ExperimentCell::builder(

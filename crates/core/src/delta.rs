@@ -7,6 +7,9 @@ use crate::matching::WireTimes;
 /// One round's browser-level and network-level timestamps combined.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundMeasurement {
+    /// Session id within the scenario that measured this round (0 in the
+    /// single-client testbed).
+    pub session: u64,
     /// Round number (1 or 2).
     pub round: u8,
     /// Browser-level timestamps (through the timing API, ms).
@@ -40,6 +43,7 @@ mod tests {
 
     fn meas(tb_s: f64, tb_r: f64, tn_s_ms: u64, tn_r_us: u64) -> RoundMeasurement {
         RoundMeasurement {
+            session: 0,
             round: 1,
             browser: RoundResult {
                 round: 1,

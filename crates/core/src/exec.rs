@@ -333,10 +333,25 @@ impl Executor {
             match o.outcome {
                 Ok(rep) => {
                     result.excluded_rounds += rep.excluded;
+                    for (sid, excluded) in rep.excluded_by_session {
+                        result.session_mut(sid).excluded_rounds += excluded;
+                    }
                     for m in rep.measurements {
+                        // The flat d1/d2 sets stay session-0 only: they
+                        // are the single-client API, and in a scenario
+                        // session 0 is the reference client. Every
+                        // session's samples land in `sessions`.
+                        if m.session == 0 {
+                            match m.round {
+                                1 => result.d1.push(m.delta_d_ms()),
+                                2 => result.d2.push(m.delta_d_ms()),
+                                _ => {}
+                            }
+                        }
+                        let samples = result.session_mut(m.session);
                         match m.round {
-                            1 => result.d1.push(m.delta_d_ms()),
-                            2 => result.d2.push(m.delta_d_ms()),
+                            1 => samples.d1.push(m.delta_d_ms()),
+                            2 => samples.d2.push(m.delta_d_ms()),
                             _ => {}
                         }
                         result.measurements.push(m);

@@ -43,6 +43,7 @@ pub mod matching;
 pub mod recommend;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod server_side;
 pub mod sweep;
 pub mod testbed;
@@ -56,5 +57,6 @@ pub use delta::RoundMeasurement;
 pub use error::RunError;
 pub use exec::{ExecStats, Executor, Progress};
 pub use matching::{MatchError, ParsedCapture};
-pub use runner::{CellResult, ExperimentRunner, RepOutcome};
+pub use runner::{CellResult, ExperimentRunner, RepOutcome, SessionSamples};
+pub use scenario::{Scenario, SessionSpec};
 pub use testbed::{Testbed, TestbedBuilder, TestbedConfig};

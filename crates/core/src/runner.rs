@@ -21,16 +21,43 @@ use crate::delta::RoundMeasurement;
 use crate::error::RunError;
 use crate::exec::Executor;
 use crate::matching::{MatchError, ParsedCapture};
+use crate::scenario::{Scenario, SessionSpec};
 use crate::testbed::{Testbed, TestbedConfig};
 
-/// The outcome of one cell.
-#[derive(Debug, Clone, Default)]
-pub struct CellResult {
+/// One session's Δd sample sets within a cell (ascending session-id
+/// order inside [`CellResult::sessions`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionSamples {
+    /// The session id the samples belong to.
+    pub session: u64,
     /// Δd of the first round per repetition, ms.
     pub d1: Vec<f64>,
     /// Δd of the second round per repetition, ms.
     pub d2: Vec<f64>,
-    /// Full per-round measurements (both rounds, rep order).
+    /// Rounds of this session excluded for wire retransmissions.
+    pub excluded_rounds: u32,
+}
+
+impl SessionSamples {
+    /// Both rounds' Δd pooled.
+    pub fn pooled(&self) -> Vec<f64> {
+        let mut all = self.d1.clone();
+        all.extend_from_slice(&self.d2);
+        all
+    }
+}
+
+/// The outcome of one cell.
+#[derive(Debug, Clone, Default)]
+pub struct CellResult {
+    /// Δd of the first round per repetition, ms — **session 0 only** (the
+    /// traced/reference client), which in the single-client testbed is
+    /// everything. Per-session sets live in [`CellResult::sessions`].
+    pub d1: Vec<f64>,
+    /// Δd of the second round per repetition, ms (session 0 only).
+    pub d2: Vec<f64>,
+    /// Full per-round measurements (every session, rep order, ascending
+    /// session id within a rep).
     pub measurements: Vec<RoundMeasurement>,
     /// Repetitions that failed (incomplete session or match error).
     pub failures: u32,
@@ -43,36 +70,68 @@ pub struct CellResult {
     pub traces: Vec<TraceData>,
     /// Per-round Δd attributions, rep order. Empty unless traced.
     pub attributions: Vec<RoundAttribution>,
+    /// Per-session sample sets, ascending session id. A single-client
+    /// cell has exactly one entry (session 0) mirroring `d1`/`d2`.
+    pub sessions: Vec<SessionSamples>,
 }
 
 /// One repetition's full outcome: the measurements plus — when the cell
 /// asked for tracing — the recorded trace and its Δd attribution.
 #[derive(Debug, Clone)]
 pub struct RepOutcome {
-    /// Both rounds' measurements.
+    /// Both rounds' measurements, every session.
     pub measurements: Vec<RoundMeasurement>,
     /// The repetition's trace (`None` when tracing was off).
     pub trace: Option<TraceData>,
     /// One attribution row per measured round (empty when untraced).
     pub attribution: Vec<RoundAttribution>,
-    /// Rounds of this repetition excluded for wire retransmissions.
+    /// Rounds of this repetition excluded for wire retransmissions,
+    /// summed over sessions.
     pub excluded: u32,
+    /// The exclusion count broken down by session id (ascending).
+    pub excluded_by_session: Vec<(u64, u32)>,
 }
 
 impl CellResult {
-    /// Both rounds' Δd pooled.
+    /// Both rounds' Δd pooled (session 0 only, like `d1`/`d2`).
     pub fn pooled(&self) -> Vec<f64> {
         let mut all = self.d1.clone();
         all.extend_from_slice(&self.d2);
         all
     }
 
-    /// Δd samples for one round (1 or 2).
+    /// Δd samples for one round (1 or 2), session 0 only.
     pub fn round(&self, round: u8) -> Result<&[f64], RunError> {
         match round {
             1 => Ok(&self.d1),
             2 => Ok(&self.d2),
             other => Err(RunError::InvalidRound(other)),
+        }
+    }
+
+    /// The sample set of one session, if that session ran in this cell.
+    pub fn session(&self, id: u64) -> Option<&SessionSamples> {
+        self.sessions
+            .binary_search_by_key(&id, |s| s.session)
+            .ok()
+            .map(|i| &self.sessions[i])
+    }
+
+    /// The sample set of one session, created empty (in id order) on
+    /// first touch — the merge path in [`crate::exec`].
+    pub(crate) fn session_mut(&mut self, id: u64) -> &mut SessionSamples {
+        match self.sessions.binary_search_by_key(&id, |s| s.session) {
+            Ok(i) => &mut self.sessions[i],
+            Err(i) => {
+                self.sessions.insert(
+                    i,
+                    SessionSamples {
+                        session: id,
+                        ..SessionSamples::default()
+                    },
+                );
+                &mut self.sessions[i]
+            }
         }
     }
 }
@@ -96,18 +155,6 @@ impl ExperimentRunner {
             .expect("executor returns one result per cell")
     }
 
-    /// Execute one cell, panicking if it is not runnable.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `try_run`, which reports `RunError` instead of panicking"
-    )]
-    pub fn run(cell: &ExperimentCell) -> CellResult {
-        match Self::try_run(cell) {
-            Ok(r) => r,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// One repetition: fresh testbed, run, capture-match both rounds.
     ///
     /// Honours [`ExperimentCell::trace`] but discards the trace; use
@@ -126,6 +173,9 @@ impl ExperimentRunner {
         let profile = Self::try_profile(cell)?;
         if !cell.method.available_in(&profile) {
             return Err(RunError::unrunnable(cell));
+        }
+        if cell.clients > 1 {
+            return Self::run_rep_scenario(cell, rep, profile);
         }
         // All repetitions of a cell run on the *same machine*, a few
         // seconds apart: one timer-regime timeline, sampled at increasing
@@ -194,6 +244,7 @@ impl ExperimentRunner {
                 continue;
             }
             out.push(RoundMeasurement {
+                session: 0,
                 round: r.round,
                 browser: r,
                 wire,
@@ -209,6 +260,125 @@ impl ExperimentRunner {
             trace,
             attribution,
             excluded,
+            excluded_by_session: vec![(0, excluded)],
+        })
+    }
+
+    /// One repetition of a multi-client cell: one [`Scenario`] of
+    /// `cell.clients` sessions, every session running the cell's method
+    /// concurrently against the shared server; each session's capture is
+    /// matched independently through its composite marker token.
+    ///
+    /// Session 0's seed streams derive from exactly the labels the
+    /// single-client path uses, so the reference client is the *same
+    /// client* across client counts — only its competition changes.
+    /// Sessions 1.. derive from `".s{id}"`-suffixed labels.
+    fn run_rep_scenario(
+        cell: &ExperimentCell,
+        rep: u32,
+        profile: BrowserProfile,
+    ) -> Result<RepOutcome, RunError> {
+        let label = cell.label();
+        let mut tb_cfg = TestbedConfig {
+            server_delay: cell.server_delay,
+            capture_noise_ns: cell.capture_noise_ns,
+            seed: rng::derive_seed(cell.seed, "capture"),
+            impairment: cell.impairment,
+            ..TestbedConfig::default()
+        };
+        if let Some(rate) = cell.server_link_rate_bps {
+            tb_cfg.server_link = bnm_sim::link::LinkSpec {
+                rate_bps: rate,
+                ..bnm_sim::link::LinkSpec::fast_ethernet()
+            };
+        }
+        let plan = cell.method.plan(cell.timing_override);
+        let specs = (0..u64::from(cell.clients))
+            .map(|sid| {
+                let suffix = if sid == 0 {
+                    String::new()
+                } else {
+                    format!(".s{sid}")
+                };
+                let machine_seed = rng::derive_seed(cell.seed, &format!("machine.{label}{suffix}"));
+                let machine = MachineTimer::new(cell.os, machine_seed).at_offset(
+                    bnm_sim::time::SimDuration::from_secs(4).saturating_mul(u64::from(rep)),
+                );
+                let session_seed = rng::derive_seed(cell.seed, &format!("session.{label}{suffix}"));
+                SessionSpec {
+                    id: sid,
+                    plan: plan.clone(),
+                    profile: profile.clone(),
+                    machine,
+                    seed: session_seed ^ u64::from(rep),
+                }
+            })
+            .collect();
+        let trace = if cell.trace {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        };
+        let mut sc = Scenario::build_traced(&tb_cfg, specs, u64::from(rep), trace);
+        sc.run();
+        for i in 0..sc.len() {
+            if !sc.session(i).result().completed {
+                return Err(RunError::Match(MatchError::ResponseNotFound));
+            }
+        }
+        let server_parsed = (!cell.impairment.is_clean())
+            .then(|| ParsedCapture::parse(sc.engine.tap(sc.server_tap)));
+        let mut out = Vec::new();
+        let mut excluded_total = 0u32;
+        let mut excluded_by_session = Vec::with_capacity(sc.len());
+        for i in 0..sc.len() {
+            let sid = sc.session_id(i);
+            let token = bnm_browser::session_token(sid, u64::from(rep));
+            let rounds = sc.session(i).result().rounds.clone();
+            let parsed = ParsedCapture::parse(sc.engine.tap(sc.client_taps[i]));
+            let mut excluded = 0u32;
+            for r in rounds {
+                let wire = match parsed.match_round(cell.method, r.round, token) {
+                    Err(MatchError::Retransmitted) => {
+                        excluded += 1;
+                        continue;
+                    }
+                    other => other?,
+                };
+                if server_parsed
+                    .as_ref()
+                    .is_some_and(|sp| sp.round_retransmitted(cell.method, r.round, token))
+                {
+                    excluded += 1;
+                    continue;
+                }
+                out.push(RoundMeasurement {
+                    session: sid,
+                    round: r.round,
+                    browser: r,
+                    wire,
+                });
+            }
+            excluded_total += excluded;
+            excluded_by_session.push((sid, excluded));
+        }
+        let trace = sc.take_trace();
+        let attribution = match &trace {
+            Some(t) => {
+                // Only session 0 is traced (see `Scenario::build_traced`):
+                // its rounds are the only ones the spans can explain.
+                let session0: Vec<RoundMeasurement> =
+                    out.iter().copied().filter(|m| m.session == 0).collect();
+                attribution::attribute(t, &session0, rep)?
+            }
+            None => Vec::new(),
+        };
+        Ok(RepOutcome {
+            measurements: out,
+            trace,
+            attribution,
+            excluded: excluded_total,
+            excluded_by_session,
         })
     }
 
@@ -402,12 +572,75 @@ mod tests {
         }
     }
 
-    /// The deprecated façade keeps its historical panic contract.
+    /// A multi-client cell keys every session's samples into
+    /// `sessions`, keeps the flat `d1`/`d2` as session 0's view, and
+    /// matches each session's probes from its own tap.
     #[test]
-    #[should_panic(expected = "cannot run")]
-    fn unrunnable_cell_panics() {
+    fn contended_cell_keys_results_by_session() {
+        let cell = small_cell(MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204)
+            .with_reps(3)
+            .with_clients(3);
+        let r = run(&cell);
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.sessions.len(), 3);
+        for (i, s) in r.sessions.iter().enumerate() {
+            assert_eq!(s.session, i as u64);
+            assert_eq!(s.d1.len(), 3, "session {i} d1");
+            assert_eq!(s.d2.len(), 3, "session {i} d2");
+            assert!(s.pooled().iter().all(|&d| d > 0.0 && d < 60.0));
+        }
+        assert_eq!(r.d1, r.sessions[0].d1);
+        assert_eq!(r.d2, r.sessions[0].d2);
+        // 3 reps × 3 sessions × 2 rounds.
+        assert_eq!(r.measurements.len(), 18);
+    }
+
+    /// The single-client path reports exactly one session entry that
+    /// mirrors the flat sample sets.
+    #[test]
+    fn single_client_cell_has_one_session_entry() {
+        let cell =
+            small_cell(MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204).with_reps(4);
+        let r = run(&cell);
+        assert_eq!(r.sessions.len(), 1);
+        assert_eq!(r.sessions[0].session, 0);
+        assert_eq!(r.sessions[0].d1, r.d1);
+        assert_eq!(r.sessions[0].d2, r.d2);
+        assert_eq!(r.sessions[0].excluded_rounds, r.excluded_rounds);
+    }
+
+    /// A traced multi-client rep still attributes the reference
+    /// session's Δd down to rounding: the other sessions' frames cross
+    /// the same switch but must not leak into session 0's components.
+    #[test]
+    fn traced_contended_rep_attributes_session_zero() {
+        let cell = small_cell(MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204)
+            .with_reps(2)
+            .with_clients(4)
+            .with_trace();
+        let r = run(&cell);
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.traces.len(), 2);
+        assert_eq!(r.attributions.len(), 4, "2 reps × 2 rounds, session 0");
+        for att in &r.attributions {
+            assert_eq!(att.session, 0);
+            assert!(
+                att.residual_ms.abs() < 1e-3,
+                "round {} residual {} ms",
+                att.round,
+                att.residual_ms
+            );
+        }
+    }
+
+    /// An unrunnable Table 2 hole reports `Unrunnable` rather than
+    /// producing an empty result.
+    #[test]
+    fn unrunnable_cell_reports_error() {
         let cell = small_cell(MethodId::WebSocket, BrowserKind::Ie9, OsKind::Windows7);
-        #[allow(deprecated)]
-        ExperimentRunner::run(&cell);
+        assert!(matches!(
+            ExperimentRunner::try_run(&cell),
+            Err(crate::error::RunError::Unrunnable { .. })
+        ));
     }
 }

@@ -1,0 +1,422 @@
+//! Multi-client scenarios: one engine, N concurrent measuring sessions.
+//!
+//! The paper's testbed (Figure 2) is one client machine measuring through
+//! one switch. A [`Scenario`] generalizes it: N browser sessions, each
+//! with its own TCP stack, machine timer and client-side capture tap,
+//! share the switch and contend for the same web server. The
+//! single-client [`crate::testbed::Testbed`] is the N = 1 special case —
+//! it is *built through* this module, so a one-session scenario is
+//! byte-identical to the legacy testbed by construction (asserted by
+//! `tests/scenario_parity.rs`).
+//!
+//! Contention enters the measured Δd through exactly one door: time spent
+//! *before* `tN_s` inside the browser-timed interval. Network queueing
+//! between `tN_s` and `tN_r` cancels out of Eq. 1. So methods that open a
+//! fresh TCP connection inside a timed round (Opera's Flash GET round 1,
+//! Flash POST every round) absorb a handshake that must queue behind
+//! other sessions' traffic — their Δd grows with the client count — while
+//! connection-reusing methods (WebSocket) stay tight.
+
+use std::net::Ipv4Addr;
+
+use bnm_browser::session::SessionConfig;
+use bnm_browser::{BrowserProfile, BrowserSession, ProbePlan};
+use bnm_http::server::WebServer;
+use bnm_obs::{Trace, TraceData};
+use bnm_sim::capture::{CaptureBuffer, TimestampNoise};
+use bnm_sim::engine::{Engine, NodeId, PortNo};
+use bnm_sim::link::LinkSpec;
+use bnm_sim::rng;
+use bnm_sim::switch::Switch;
+use bnm_sim::time::{SimDuration, SimTime};
+use bnm_sim::wire::MacAddr;
+use bnm_sim::TapId;
+use bnm_tcp::{Host, HostConfig};
+use bnm_time::MachineTimer;
+
+use crate::testbed::{NoiseSource, TestbedConfig, CLIENT_IP, CLIENT_MAC, SERVER_IP, SERVER_MAC};
+
+/// One measuring session within a [`Scenario`].
+#[derive(Debug)]
+pub struct SessionSpec {
+    /// Session id, embedded (via [`bnm_browser::session_token`]) in every
+    /// probe marker the session puts on the wire. Ids must be unique
+    /// within a scenario; id 0 reproduces the legacy testbed's tokens.
+    pub id: u64,
+    /// The measurement method this session executes.
+    pub plan: ProbePlan,
+    /// The session's runtime cost profile.
+    pub profile: BrowserProfile,
+    /// The session's machine timer (its own granularity regimes).
+    pub machine: MachineTimer,
+    /// Master seed for the session's noise streams.
+    pub seed: u64,
+}
+
+/// Per-client addressing. Position 0 keeps the legacy testbed identity
+/// (`"client"`, [`CLIENT_MAC`], [`CLIENT_IP`]); later positions get
+/// derived names, locally-administered MACs from 5 upward and addresses
+/// from `192.168.1.65` upward — disjoint from the server (`.10`) and the
+/// cross-traffic noise source (`.3`).
+pub fn client_addr(position: usize) -> (String, MacAddr, Ipv4Addr) {
+    if position == 0 {
+        ("client".to_string(), CLIENT_MAC, CLIENT_IP)
+    } else {
+        (
+            format!("client-{position}"),
+            MacAddr::local(4 + position as u8),
+            Ipv4Addr::new(192, 168, 1, 64 + position as u8),
+        )
+    }
+}
+
+/// N concurrent browser sessions attached through one switch to one web
+/// server. Nodes, links and taps are created in a fixed order (clients by
+/// ascending session id, then server, then switch extras), so a scenario
+/// is deterministic and — at N = 1 with the default config — reproduces
+/// the legacy [`crate::testbed::Testbed`] wiring byte for byte.
+pub struct Scenario {
+    /// The shared simulation engine.
+    pub engine: Engine,
+    /// Client host nodes, ascending session-id order.
+    pub clients: Vec<NodeId>,
+    /// The web-server host node.
+    pub server: NodeId,
+    /// The shared switch node.
+    pub switch: NodeId,
+    /// One capture tap per client NIC, same order as `clients`.
+    pub client_taps: Vec<TapId>,
+    /// The tap at the server's NIC.
+    pub server_tap: TapId,
+    pub(crate) trace: Trace,
+    pub(crate) session_ids: Vec<u64>,
+}
+
+impl Scenario {
+    /// Hard cap on concurrent sessions (bounded by the per-client MAC /
+    /// IP allocation scheme of [`client_addr`]).
+    pub const MAX_SESSIONS: usize = 64;
+
+    /// Build a scenario without tracing.
+    pub fn build(cfg: &TestbedConfig, specs: Vec<SessionSpec>, rep_token: u64) -> Scenario {
+        Self::build_traced(cfg, specs, rep_token, Trace::disabled())
+    }
+
+    /// Build a scenario. The trace handle is wired to the engine and to
+    /// the *lowest-id* session only (its stack and browser): attribution
+    /// decomposes one session's Δd, and a second traced stack would
+    /// interleave spans from an unrelated connection timeline.
+    ///
+    /// # Panics
+    /// If `specs` is empty, exceeds [`Scenario::MAX_SESSIONS`], or
+    /// contains duplicate session ids.
+    pub fn build_traced(
+        cfg: &TestbedConfig,
+        mut specs: Vec<SessionSpec>,
+        rep_token: u64,
+        trace: Trace,
+    ) -> Scenario {
+        assert!(!specs.is_empty(), "a scenario needs at least one session");
+        assert!(
+            specs.len() <= Self::MAX_SESSIONS,
+            "a scenario holds at most {} sessions, got {}",
+            Self::MAX_SESSIONS,
+            specs.len()
+        );
+        // Results and wiring are keyed by session id, not insertion
+        // order: sorting here is what makes per-session output invariant
+        // to the order the caller pushed the specs.
+        specs.sort_by_key(|s| s.id);
+        for pair in specs.windows(2) {
+            assert!(
+                pair[0].id != pair[1].id,
+                "duplicate session id {} in scenario",
+                pair[0].id
+            );
+        }
+
+        let n = specs.len();
+        let mut engine = Engine::new();
+        engine.set_trace(trace.clone());
+
+        let mut clients = Vec::with_capacity(n);
+        let mut session_ids = Vec::with_capacity(n);
+        for (i, spec) in specs.into_iter().enumerate() {
+            let session_trace = if i == 0 {
+                trace.clone()
+            } else {
+                Trace::disabled()
+            };
+            let (name, mac, ip) = client_addr(i);
+            let session = BrowserSession::new(SessionConfig {
+                server_ip: SERVER_IP,
+                http_port: cfg.server.http_port,
+                echo_port: cfg.server.tcp_echo_port,
+                udp_port: cfg.server.udp_echo_port,
+                plan: spec.plan,
+                profile: spec.profile,
+                machine: spec.machine,
+                rep_token,
+                session: spec.id,
+                seed: spec.seed,
+                trace: session_trace.clone(),
+            });
+            session_ids.push(spec.id);
+            clients.push(
+                engine.add_node(Box::new(
+                    Host::new(
+                        HostConfig::new(name, mac, ip).with_neighbor(SERVER_IP, SERVER_MAC),
+                        session,
+                    )
+                    // Position 0's offset is the stack's power-on state, so
+                    // the N = 1 scenario allocates the legacy ports/ISNs;
+                    // later positions get disjoint ephemeral-port windows and
+                    // well-separated ISNs.
+                    .with_flow_offset(i as u64)
+                    // Only the traced client's stack records spans: its
+                    // handshakes are the ones inside the browser-measured
+                    // interval (see `build_traced` docs).
+                    .with_trace(session_trace),
+                )),
+            );
+        }
+
+        let mut server_cfg = HostConfig::new("server", SERVER_MAC, SERVER_IP);
+        for i in 0..n {
+            let (_, mac, ip) = client_addr(i);
+            server_cfg = server_cfg.with_neighbor(ip, mac);
+        }
+        let server = engine.add_node(Box::new(Host::new(
+            server_cfg,
+            WebServer::new(cfg.server.clone()),
+        )));
+
+        let switch_ports = n + 1 + usize::from(cfg.cross_traffic.is_some());
+        let switch = engine.add_node(Box::new(Switch::new(switch_ports)));
+
+        let mut client_links = Vec::with_capacity(n);
+        for (i, &client) in clients.iter().enumerate() {
+            client_links.push(engine.connect(
+                client,
+                0,
+                switch,
+                i as PortNo,
+                LinkSpec::fast_ethernet(),
+            ));
+        }
+        // The server's access link is the shared bottleneck every session
+        // contends for; its spec is a config knob so the `contend`
+        // experiment can narrow it. The default is the same fast Ethernet
+        // as always — the legacy clean path is untouched.
+        let server_link = engine.connect(server, 0, switch, n as PortNo, cfg.server_link);
+        engine.set_one_way_delay(server_link, server, cfg.server_delay);
+
+        // Impairment wiring is fully gated, exactly as in the legacy
+        // build: a clean Impairment installs nothing. Client 0 keeps the
+        // legacy stream labels; later clients draw from their own
+        // suffixed streams so adding a session never perturbs another's
+        // fault pattern.
+        let imp = cfg.impairment;
+        if !imp.up.is_clean() {
+            for (i, (&client, &link)) in clients.iter().zip(&client_links).enumerate() {
+                let stream = if i == 0 {
+                    "fault.up".to_string()
+                } else {
+                    format!("fault.up.{i}")
+                };
+                engine.set_fault(
+                    link,
+                    client,
+                    imp.up,
+                    rng::stream_indexed(cfg.seed, &stream, rep_token),
+                );
+            }
+        }
+        if !imp.down.is_clean() {
+            engine.set_fault(
+                server_link,
+                server,
+                imp.down,
+                rng::stream_indexed(cfg.seed, "fault.down", rep_token),
+            );
+        }
+        if imp.jitter > SimDuration::ZERO {
+            engine.set_jitter(
+                server_link,
+                server,
+                imp.jitter,
+                rng::stream_indexed(cfg.seed, "jitter.down", rep_token),
+            );
+        }
+
+        if let Some(ct) = cfg.cross_traffic {
+            let interval = SimDuration::from_nanos((1_000_000_000u64 / ct.rate_pps.max(1)).max(1));
+            let sends = ct.duration.as_nanos() / interval.as_nanos().max(1);
+            let noise = engine.add_node(Box::new(Host::new(
+                HostConfig::new("noise", MacAddr::local(3), Ipv4Addr::new(192, 168, 1, 3))
+                    .with_neighbor(SERVER_IP, SERVER_MAC),
+                NoiseSource::new(
+                    (SERVER_IP, cfg.server.udp_echo_port),
+                    interval,
+                    sends,
+                    ct.payload,
+                ),
+            )));
+            engine.connect(noise, 0, switch, n + 1, LinkSpec::fast_ethernet());
+        }
+
+        let mk_tap = |name: &str, stream: &str| {
+            let buf = CaptureBuffer::new(name);
+            if cfg.capture_noise_ns > 0 {
+                buf.with_noise(TimestampNoise::UniformLag {
+                    bound_ns: cfg.capture_noise_ns,
+                    rng: rng::stream_indexed(cfg.seed, stream, rep_token),
+                })
+            } else {
+                buf
+            }
+        };
+        let mut client_taps = Vec::with_capacity(n);
+        for (i, (&client, &link)) in clients.iter().zip(&client_links).enumerate() {
+            let (tap_name, stream) = if i == 0 {
+                ("client-nic".to_string(), "cap.client".to_string())
+            } else {
+                (format!("client-nic-{i}"), format!("cap.client.{i}"))
+            };
+            client_taps.push(engine.add_tap(link, client, mk_tap(&tap_name, &stream)));
+        }
+        let server_tap = engine.add_tap(server_link, server, mk_tap("server-nic", "cap.server"));
+
+        Scenario {
+            engine,
+            clients,
+            server,
+            switch,
+            client_taps,
+            server_tap,
+            trace,
+            session_ids,
+        }
+    }
+
+    /// Number of sessions in the scenario.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether the scenario holds no sessions (never true for a built
+    /// scenario; kept for API completeness next to [`Scenario::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// The session id at client position `i` (ascending-id order).
+    pub fn session_id(&self, i: usize) -> u64 {
+        self.session_ids[i]
+    }
+
+    /// Run all sessions to completion (generous horizon as a hang
+    /// backstop) and return the finishing time.
+    pub fn run(&mut self) -> SimTime {
+        self.engine.run_until(SimTime::from_secs(300))
+    }
+
+    /// The browser session at client position `i` (read results after
+    /// [`Scenario::run`]).
+    pub fn session(&self, i: usize) -> &BrowserSession {
+        self.engine
+            .node_ref::<Host<BrowserSession>>(self.clients[i])
+            .app()
+    }
+
+    /// The shared server application (stats: `peak_concurrent` records
+    /// the contention it actually saw).
+    pub fn web_server(&self) -> &WebServer {
+        self.engine.node_ref::<Host<WebServer>>(self.server).app()
+    }
+
+    /// Extract the recorded trace data, if tracing was enabled. Takes
+    /// `&mut self`: the buffer is moved out.
+    pub fn take_trace(&mut self) -> Option<TraceData> {
+        self.trace.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnm_browser::{BrowserKind, ProbeTransport, Technology};
+    use bnm_time::{OsKind, TimingApiKind};
+
+    fn xhr_plan() -> ProbePlan {
+        ProbePlan::new(
+            "xhr_get",
+            Technology::Native,
+            ProbeTransport::HttpGet,
+            TimingApiKind::JsDateGetTime,
+        )
+    }
+
+    fn spec(id: u64) -> SessionSpec {
+        SessionSpec {
+            id,
+            plan: xhr_plan(),
+            profile: BrowserProfile::build(BrowserKind::Chrome, OsKind::Ubuntu1204).unwrap(),
+            machine: MachineTimer::new(OsKind::Ubuntu1204, 7 + id),
+            seed: 100 + id,
+        }
+    }
+
+    #[test]
+    fn every_session_completes_and_is_captured() {
+        let mut sc = Scenario::build(
+            &TestbedConfig::default(),
+            vec![spec(0), spec(1), spec(2)],
+            0,
+        );
+        sc.run();
+        assert_eq!(sc.len(), 3);
+        for i in 0..3 {
+            assert!(sc.session(i).result().completed, "session {i}");
+            assert!(!sc.engine.tap(sc.client_taps[i]).is_empty(), "tap {i}");
+        }
+        // The shared server served every session's page + 2 probes.
+        assert_eq!(sc.web_server().stats.pages, 3);
+        assert_eq!(sc.web_server().stats.gets, 6);
+        assert!(sc.web_server().stats.peak_concurrent >= 2);
+    }
+
+    #[test]
+    fn session_order_is_by_id_not_insertion() {
+        let run = |ids: Vec<u64>| {
+            let mut sc = Scenario::build(
+                &TestbedConfig::default(),
+                ids.into_iter().map(spec).collect(),
+                0,
+            );
+            sc.run();
+            (0..sc.len())
+                .map(|i| (sc.session_id(i), sc.session(i).result().rounds.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(vec![2, 0, 1]), run(vec![0, 1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate session id")]
+    fn duplicate_ids_are_rejected() {
+        Scenario::build(&TestbedConfig::default(), vec![spec(3), spec(3)], 0);
+    }
+
+    #[test]
+    fn client_addressing_is_disjoint() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..Scenario::MAX_SESSIONS {
+            let (name, mac, ip) = client_addr(i);
+            assert!(seen.insert((mac, ip)), "collision at position {i}");
+            assert!(!name.is_empty());
+            assert_ne!(ip, SERVER_IP);
+            assert_ne!(ip, Ipv4Addr::new(192, 168, 1, 3)); // noise source
+        }
+    }
+}

@@ -67,19 +67,6 @@ pub fn try_sweep(
         .collect()
 }
 
-/// Run `cell` at each server delay and collect the Δd medians,
-/// panicking on any failure.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `try_sweep`, which reports `RunError` instead of panicking"
-)]
-pub fn delay_sweep(cell: &ExperimentCell, delays: &[SimDuration]) -> Vec<SweepPoint> {
-    match try_sweep(cell, delays) {
-        Ok(points) => points,
-        Err(e) => panic!("{e}"),
-    }
-}
-
 /// Least-squares slope of `y` against `x` (how much Δd grows per ms of
 /// extra network delay; ≈ 0 for reuse methods, ≈ 1 for
 /// handshake-including ones). Needs at least two points.

@@ -10,22 +10,19 @@ use std::net::Ipv4Addr;
 
 use bytes::Bytes;
 
-use bnm_browser::session::SessionConfig;
 use bnm_browser::{BrowserProfile, BrowserSession, ProbePlan, ProbeTransport};
 use bnm_http::server::{ServerConfig, WebServer};
 use bnm_obs::{Trace, TraceData};
-use bnm_sim::capture::{CaptureBuffer, TimestampNoise};
 use bnm_sim::engine::{Engine, NodeId};
 use bnm_sim::link::LinkSpec;
-use bnm_sim::rng;
-use bnm_sim::switch::Switch;
 use bnm_sim::time::{SimDuration, SimTime};
 use bnm_sim::wire::MacAddr;
 use bnm_sim::{Impairment, TapId};
-use bnm_tcp::{Host, HostConfig};
+use bnm_tcp::Host;
 use bnm_time::MachineTimer;
 
 use crate::error::RunError;
+use crate::scenario::{Scenario, SessionSpec};
 
 /// Addresses of the testbed (the paper's lab subnet flavour).
 pub const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 2);
@@ -61,6 +58,11 @@ pub struct TestbedConfig {
     pub server: ServerConfig,
     /// Master seed for the capture-noise stream.
     pub seed: u64,
+    /// The server's access link — the segment every session of a
+    /// multi-client [`crate::scenario::Scenario`] contends for. The
+    /// default is the paper's 100 Mbps fast Ethernet; the `contend`
+    /// experiment narrows it to make the shared bottleneck bite.
+    pub server_link: LinkSpec,
     /// Optional cross-traffic source contending on the server link.
     pub cross_traffic: Option<CrossTraffic>,
     /// Network impairment: `up` applies to the client's egress, `down`
@@ -78,6 +80,7 @@ impl Default for TestbedConfig {
             capture_noise_ns: 0,
             server: ServerConfig::default(),
             seed: 1,
+            server_link: LinkSpec::fast_ethernet(),
             cross_traffic: None,
             impairment: Impairment::NONE,
         }
@@ -86,12 +89,29 @@ impl Default for TestbedConfig {
 
 /// A UDP noise source: floods the server's echo port at a fixed rate for
 /// a fixed duration.
-struct NoiseSource {
+pub(crate) struct NoiseSource {
     target: (Ipv4Addr, u16),
     interval: SimDuration,
     remaining: u64,
     payload: usize,
     port: u16,
+}
+
+impl NoiseSource {
+    pub(crate) fn new(
+        target: (Ipv4Addr, u16),
+        interval: SimDuration,
+        remaining: u64,
+        payload: usize,
+    ) -> NoiseSource {
+        NoiseSource {
+            target,
+            interval,
+            remaining,
+            payload,
+            port: 0,
+        }
+    }
 }
 
 impl bnm_tcp::HostApp for NoiseSource {
@@ -163,6 +183,11 @@ impl Testbed {
 
     /// [`Testbed::build`] with a trace handle wired through the engine,
     /// the client host's TCP stack and the browser session.
+    ///
+    /// Since the multi-client refactor this is a thin wrapper: it builds
+    /// a one-session [`Scenario`] (session id 0) and unwraps it, so the
+    /// legacy single-client testbed *is* the N = 1 scenario — there is no
+    /// second wiring path to drift out of sync.
     pub fn build_traced(
         cfg: &TestbedConfig,
         plan: ProbePlan,
@@ -172,111 +197,43 @@ impl Testbed {
         session_seed: u64,
         trace: Trace,
     ) -> Testbed {
-        let session = BrowserSession::new(SessionConfig {
-            server_ip: SERVER_IP,
-            http_port: cfg.server.http_port,
-            echo_port: cfg.server.tcp_echo_port,
-            udp_port: cfg.server.udp_echo_port,
-            plan,
-            profile,
-            machine,
+        let scenario = Scenario::build_traced(
+            cfg,
+            vec![SessionSpec {
+                id: 0,
+                plan,
+                profile,
+                machine,
+                seed: session_seed,
+            }],
             rep_token,
-            seed: session_seed,
-            trace: trace.clone(),
-        });
-        let mut engine = Engine::new();
-        engine.set_trace(trace.clone());
-        let client = engine.add_node(Box::new(
-            Host::new(
-                HostConfig::new("client", CLIENT_MAC, CLIENT_IP)
-                    .with_neighbor(SERVER_IP, SERVER_MAC),
-                session,
-            )
-            // Only the client stack is traced: its handshake spans are
-            // the ones inside the browser-measured interval, and a traced
-            // server would double-count every connection.
-            .with_trace(trace.clone()),
-        ));
-        let server = engine.add_node(Box::new(Host::new(
-            HostConfig::new("server", SERVER_MAC, SERVER_IP).with_neighbor(CLIENT_IP, CLIENT_MAC),
-            WebServer::new(cfg.server.clone()),
-        )));
-        let switch_ports = if cfg.cross_traffic.is_some() { 3 } else { 2 };
-        let switch = engine.add_node(Box::new(Switch::new(switch_ports)));
-        let client_link = engine.connect(client, 0, switch, 0, LinkSpec::fast_ethernet());
-        let server_link = engine.connect(server, 0, switch, 1, LinkSpec::fast_ethernet());
-        engine.set_one_way_delay(server_link, server, cfg.server_delay);
-        // Impairment wiring is fully gated: a clean Impairment installs
-        // nothing, so the clean path stays byte-identical to a build
-        // that never heard of the knob (asserted by `trace_parity`).
-        let imp = cfg.impairment;
-        if !imp.up.is_clean() {
-            engine.set_fault(
-                client_link,
-                client,
-                imp.up,
-                rng::stream_indexed(cfg.seed, "fault.up", rep_token),
-            );
-        }
-        if !imp.down.is_clean() {
-            engine.set_fault(
-                server_link,
-                server,
-                imp.down,
-                rng::stream_indexed(cfg.seed, "fault.down", rep_token),
-            );
-        }
-        if imp.jitter > SimDuration::ZERO {
-            engine.set_jitter(
-                server_link,
-                server,
-                imp.jitter,
-                rng::stream_indexed(cfg.seed, "jitter.down", rep_token),
-            );
-        }
-        if let Some(ct) = cfg.cross_traffic {
-            let interval = SimDuration::from_nanos((1_000_000_000u64 / ct.rate_pps.max(1)).max(1));
-            let sends = ct.duration.as_nanos() / interval.as_nanos().max(1);
-            let noise = engine.add_node(Box::new(Host::new(
-                HostConfig::new("noise", MacAddr::local(3), Ipv4Addr::new(192, 168, 1, 3))
-                    .with_neighbor(SERVER_IP, SERVER_MAC),
-                NoiseSource {
-                    target: (SERVER_IP, cfg.server.udp_echo_port),
-                    interval,
-                    remaining: sends,
-                    payload: ct.payload,
-                    port: 0,
-                },
-            )));
-            engine.connect(noise, 0, switch, 2, LinkSpec::fast_ethernet());
-        }
-
-        let mk_tap = |name: &str, stream: &str| {
-            let buf = CaptureBuffer::new(name);
-            if cfg.capture_noise_ns > 0 {
-                buf.with_noise(TimestampNoise::UniformLag {
-                    bound_ns: cfg.capture_noise_ns,
-                    rng: rng::stream_indexed(cfg.seed, stream, rep_token),
-                })
-            } else {
-                buf
-            }
-        };
-        let client_tap = engine.add_tap(client_link, client, mk_tap("client-nic", "cap.client"));
-        let server_tap = engine.add_tap(server_link, server, mk_tap("server-nic", "cap.server"));
-        Testbed {
+            trace,
+        );
+        let Scenario {
             engine,
-            client,
+            clients,
             server,
             switch,
-            client_tap,
+            client_taps,
+            server_tap,
+            trace,
+            session_ids: _,
+        } = scenario;
+        Testbed {
+            engine,
+            client: clients[0],
+            server,
+            switch,
+            client_tap: client_taps[0],
             server_tap,
             trace,
         }
     }
 
-    /// Extract the recorded trace data, if tracing was enabled.
-    pub fn take_trace(&self) -> Option<TraceData> {
+    /// Extract the recorded trace data, if tracing was enabled. Takes
+    /// `&mut self`: the buffer is moved out, and reading it back later
+    /// would observe an empty trace.
+    pub fn take_trace(&mut self) -> Option<TraceData> {
         self.trace.take()
     }
 
@@ -334,6 +291,13 @@ impl TestbedBuilder {
     /// Master seed for the capture-noise stream.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
+        self
+    }
+
+    /// The server's access link spec (the shared bottleneck of
+    /// multi-client scenarios; defaults to fast Ethernet).
+    pub fn server_link(mut self, spec: LinkSpec) -> Self {
+        self.cfg.server_link = spec;
         self
     }
 

@@ -115,6 +115,9 @@ pub struct ServerStats {
     pub not_found: u64,
     /// Bulk (throughput-test) bytes served.
     pub bulk_bytes: u64,
+    /// Most TCP connections open at once — the accept/parse backlog a
+    /// multi-client scenario piles onto one server.
+    pub peak_concurrent: u64,
 }
 
 /// The web server application.
@@ -439,6 +442,8 @@ impl HostApp for WebServer {
                     }
                 };
                 self.conns.insert(sock, conn);
+                self.stats.peak_concurrent =
+                    self.stats.peak_concurrent.max(self.conns.len() as u64);
             }
             SockEvent::Data { sock } => {
                 let data = ctx.recv(sock);

@@ -22,6 +22,59 @@ pub type NodeId = usize;
 /// Interface index on a node.
 pub type PortNo = usize;
 
+/// Typed failure of a node lookup: with many clients in one engine a
+/// wrong-node bug is likely, and "node type mismatch" without the node
+/// id or the types involved is useless to debug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The node id is out of range.
+    NoSuchNode {
+        /// The requested id.
+        id: NodeId,
+        /// How many nodes the engine holds.
+        count: usize,
+    },
+    /// The node is temporarily out of the table (its handler is running).
+    BeingDispatched {
+        /// The requested id.
+        id: NodeId,
+    },
+    /// The node exists but is not of the requested type.
+    TypeMismatch {
+        /// The requested id.
+        id: NodeId,
+        /// The type the caller asked for.
+        expected: &'static str,
+        /// The type actually stored at that id.
+        actual: &'static str,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::NoSuchNode { id, count } => {
+                write!(f, "node {id} does not exist (engine holds {count} nodes)")
+            }
+            EngineError::BeingDispatched { id } => {
+                write!(f, "node {id} is being dispatched (re-entrant access)")
+            }
+            EngineError::TypeMismatch {
+                id,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "node {id} is a `{actual}`, not the requested `{expected}`"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Anything attached to the simulated network.
 ///
 /// Handlers run at a single virtual instant; to model processing time, a
@@ -41,6 +94,11 @@ pub trait Node: Any {
 
     /// Mutable downcasting support.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// The concrete type's name, for diagnostics on failed downcasts.
+    fn type_name(&self) -> &'static str {
+        std::any::type_name::<Self>()
+    }
 }
 
 /// Handler-side view of the engine.
@@ -266,26 +324,57 @@ impl Engine {
         &mut self.taps[id]
     }
 
+    /// Borrow a node downcast to its concrete type, reporting the node
+    /// id and both type names on failure.
+    pub fn try_node_ref<T: Node>(&self, id: NodeId) -> Result<&T, EngineError> {
+        let slot = self.nodes.get(id).ok_or(EngineError::NoSuchNode {
+            id,
+            count: self.nodes.len(),
+        })?;
+        let node = slot.as_ref().ok_or(EngineError::BeingDispatched { id })?;
+        node.as_any()
+            .downcast_ref::<T>()
+            .ok_or_else(|| EngineError::TypeMismatch {
+                id,
+                expected: std::any::type_name::<T>(),
+                actual: node.type_name(),
+            })
+    }
+
+    /// Mutable sibling of [`Engine::try_node_ref`].
+    pub fn try_node_mut<T: Node>(&mut self, id: NodeId) -> Result<&mut T, EngineError> {
+        let count = self.nodes.len();
+        let slot = self
+            .nodes
+            .get_mut(id)
+            .ok_or(EngineError::NoSuchNode { id, count })?;
+        let node = slot.as_mut().ok_or(EngineError::BeingDispatched { id })?;
+        let actual = node.type_name();
+        node.as_any_mut()
+            .downcast_mut::<T>()
+            .ok_or(EngineError::TypeMismatch {
+                id,
+                expected: std::any::type_name::<T>(),
+                actual,
+            })
+    }
+
     /// Borrow a node downcast to its concrete type.
     ///
-    /// Panics if the id is out of range or the type does not match.
+    /// Panics with the node id and the expected/actual type names when
+    /// the lookup fails; use [`Engine::try_node_ref`] to handle the
+    /// failure instead.
     pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
-        self.nodes[id]
-            .as_ref()
-            .expect("node is being dispatched")
-            .as_any()
-            .downcast_ref::<T>()
-            .expect("node type mismatch")
+        self.try_node_ref(id).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Mutably borrow a node downcast to its concrete type.
+    ///
+    /// Panics with the node id and the expected/actual type names when
+    /// the lookup fails; use [`Engine::try_node_mut`] to handle the
+    /// failure instead.
     pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
-        self.nodes[id]
-            .as_mut()
-            .expect("node is being dispatched")
-            .as_any_mut()
-            .downcast_mut::<T>()
-            .expect("node type mismatch")
+        self.try_node_mut(id).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Queue-drop counter for the direction of `link` transmitted by
@@ -834,6 +923,58 @@ mod more_tests {
         e2.tap_mut(tap2).clear();
         assert!(e2.tap(tap2).is_empty());
         let _ = (tap, &e);
+    }
+
+    #[test]
+    fn failed_downcasts_report_id_and_types() {
+        let mut e = Engine::new();
+        let a = e.add_node(Box::new(Inert));
+        assert!(e.try_node_ref::<Inert>(a).is_ok());
+        assert_eq!(
+            e.try_node_ref::<Inert>(7).map(|_| ()),
+            Err(EngineError::NoSuchNode { id: 7, count: 1 })
+        );
+        struct Other;
+        impl Node for Other {
+            fn on_frame(&mut self, _: &mut Ctx, _: PortNo, _: Bytes) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let err = e.try_node_mut::<Other>(a).map(|_| ()).unwrap_err();
+        match err {
+            EngineError::TypeMismatch {
+                id,
+                expected,
+                actual,
+            } => {
+                assert_eq!(id, a);
+                assert!(expected.contains("Other"), "expected name: {expected}");
+                assert!(actual.contains("Inert"), "actual name: {actual}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "node 0 is a")]
+    fn node_ref_panic_names_the_types() {
+        struct Other;
+        impl Node for Other {
+            fn on_frame(&mut self, _: &mut Ctx, _: PortNo, _: Bytes) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut e = Engine::new();
+        let a = e.add_node(Box::new(Inert));
+        let _ = e.node_ref::<Other>(a);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod time;
 pub mod wire;
 
 pub use capture::{CaptureBuffer, CaptureRecord, TapId};
-pub use engine::{Ctx, Engine, Node, NodeId, PortNo};
+pub use engine::{Ctx, Engine, EngineError, Node, NodeId, PortNo};
 pub use fault::{FaultSpec, Impairment};
 pub use link::{LinkId, LinkSpec};
 pub use time::{SimDuration, SimTime};

@@ -280,6 +280,13 @@ impl<A: HostApp> Host<A> {
         self
     }
 
+    /// Offset this host's ephemeral-port/ISN sequences by a flow index
+    /// (see [`TcpStack::set_flow_offset`]); index 0 is a no-op.
+    pub fn with_flow_offset(mut self, index: u64) -> Self {
+        self.tcp.set_flow_offset(index);
+        self
+    }
+
     /// Borrow the application (to read results after a run).
     pub fn app(&self) -> &A {
         &self.app

@@ -103,6 +103,18 @@ impl TcpStack {
         self.trace = trace;
     }
 
+    /// Offset the ephemeral-port and ISN sequences by a flow index, so
+    /// several client stacks in one simulation never collide on a
+    /// `(port, ISN)` pair even though each stack is deterministic.
+    /// Index 0 leaves the stack exactly as [`TcpStack::new`] built it.
+    pub fn set_flow_offset(&mut self, index: u64) {
+        // 128 ports per stack keeps 64 clients well inside the 49152..
+        // ephemeral range; the ISN stride dwarfs the per-connection
+        // +64000 step so streams stay disjoint for any realistic run.
+        self.next_ephemeral = 49152 + (index as u16 % 128) * 128;
+        self.isn_counter = 0x1000u32.wrapping_add((index as u32).wrapping_mul(0x0100_0000));
+    }
+
     /// The IP this stack answers for.
     pub fn local_ip(&self) -> Ipv4Addr {
         self.local_ip

@@ -1,13 +1,24 @@
 #!/usr/bin/env bash
 # Repo health gate: the tier-1 acceptance commands plus lint and docs.
 #
-#   scripts/check.sh            # build + test + parity + clippy + docs
+#   scripts/check.sh            # fmt + build + test + parity + clippy + docs + smoke
 #   scripts/check.sh --fast     # skip the release build (debug test run only)
+#   scripts/check.sh --quick    # skip the bench-sweep smoke steps
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
-[[ "${1:-}" == "--fast" ]] && fast=1
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    --quick) quick=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
 
 if [[ $fast -eq 0 ]]; then
   echo "==> cargo build --release"
@@ -29,10 +40,30 @@ cargo test -q --test trace_parity
 echo "==> cargo test -q --test impairment"
 cargo test -q --test impairment
 
+# The multi-client scenario layer's guarantees: the N = 1 scenario is
+# byte-identical to the legacy testbed path, per-session results are
+# keyed by id (not insertion order), and contended cells keep the
+# executor's serial/parallel bit parity.
+echo "==> cargo test -q --test scenario_parity"
+cargo test -q --test scenario_parity
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+# Bench-sweep smoke: one tiny contention sweep end to end (run, CSV
+# rows). `--quick` skips it, and `--fast` implies it (no release binary
+# to run).
+if [[ $quick -eq 0 && $fast -eq 0 ]]; then
+  echo "==> bench smoke: contend (2 reps, capped at 4 clients)"
+  smoke_csv=$(./target/release/bnm contend --clients 4 --reps 2 --format csv)
+  rows=$(printf '%s\n' "$smoke_csv" | wc -l)
+  if [[ $rows -lt 4 ]]; then
+    echo "contend smoke produced $rows rows, expected >= 4" >&2
+    exit 1
+  fi
+fi
 
 echo "OK"

@@ -60,8 +60,8 @@ pub mod prelude {
     pub use bnm_core::exec::{ExecStats, Executor, Progress};
     pub use bnm_core::{
         Appraisal, CellBuilder, CellResult, ExperimentCell, ExperimentRunner, FaultSpec,
-        Impairment, RepOutcome, RoundMeasurement, RunError, RuntimeSel, Testbed, TestbedBuilder,
-        Verdict,
+        Impairment, RepOutcome, RoundMeasurement, RunError, RuntimeSel, Scenario, SessionSamples,
+        SessionSpec, Testbed, TestbedBuilder, Verdict,
     };
     pub use bnm_methods::MethodId;
     pub use bnm_obs::{Component, Trace, TraceData};

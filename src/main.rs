@@ -5,6 +5,7 @@
 //! bnm appraise [options]           run one experiment cell and appraise it
 //! bnm trace [options]              run traced and attribute Δd to components
 //! bnm impair [options]             run a cell on an impaired network
+//! bnm contend [options]            Δd vs concurrent clients on a shared link
 //! bnm probe [--os windows|ubuntu]  the Figure 5 granularity probe
 //! bnm ping                          ICMP baseline over the testbed
 //! bnm tput [options]               throughput-estimate accuracy
@@ -75,6 +76,9 @@ fn usage() -> ! {
            impair [--method L] [--browser B] [--os O] [--reps N] [--seed S]\n        \
                  [--loss P] [--corrupt P] [--duplicate P] [--jitter MS]\n        \
                  [--format text|json|csv]     Δd on an impaired network (P in [0,1])\n  \
+           contend [--method L] [--browser B] [--os O] [--clients N] [--reps N]\n        \
+                 [--seed S] [--rate-mbps R] [--format text|json|csv]\n        \
+                 Δd vs concurrent clients sharing one server link (N in [1,64])\n  \
            probe [--os O]                        timestamp-granularity probe (Figure 5)\n  \
            ping                                  ICMP baseline over the testbed\n  \
            tput [--method L] [--size BYTES]      throughput-estimate accuracy\n  \
@@ -99,6 +103,7 @@ fn main() {
         "appraise" => cmd_appraise(&flags),
         "trace" => cmd_trace(&flags),
         "impair" => cmd_impair(&flags),
+        "contend" => cmd_contend(&flags),
         "probe" => cmd_probe(&flags),
         "ping" => cmd_ping(),
         "tput" => cmd_tput(&flags),
@@ -408,6 +413,158 @@ fn cmd_impair(flags: &HashMap<String, String>) {
                 result.excluded_rounds, result.failures
             );
         }
+    }
+}
+
+fn cmd_contend(flags: &HashMap<String, String>) {
+    let method = flags
+        .get("method")
+        .map(|m| method_by_label(m).unwrap_or_else(|| usage()))
+        .unwrap_or(MethodId::FlashGet);
+    let browser = flags
+        .get("browser")
+        .map(|b| browser_by_name(b).unwrap_or_else(|| usage()))
+        .unwrap_or(BrowserKind::Opera);
+    let os = flags
+        .get("os")
+        .map(|o| os_by_name(o).unwrap_or_else(|| usage()))
+        .unwrap_or(OsKind::Windows7);
+    let max_clients: u32 = flags
+        .get("clients")
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(64);
+    if !(1..=64).contains(&max_clients) {
+        usage();
+    }
+    let reps: u32 = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(10);
+    let seed: u64 = flags
+        .get("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xB32B_2013);
+    let rate_mbps: f64 = flags
+        .get("rate-mbps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.4);
+    if rate_mbps <= 0.0 || !rate_mbps.is_finite() {
+        usage();
+    }
+    let rate_bps = (rate_mbps * 1e6) as u64;
+    let format = flags.get("format").map(String::as_str).unwrap_or("text");
+    if !matches!(format, "text" | "json" | "csv") {
+        usage();
+    }
+
+    // Sweep the powers of two up to the requested cap (the cap itself is
+    // always included so `--clients 48` still ends at 48).
+    let mut counts: Vec<u32> = std::iter::successors(Some(1u32), |c| Some(c * 2))
+        .take_while(|c| *c < max_clients)
+        .collect();
+    counts.push(max_clients);
+
+    let med = |v: &[f64]| {
+        let mut s = v.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if s.is_empty() {
+            f64::NAN
+        } else {
+            s[s.len() / 2]
+        }
+    };
+
+    if format == "text" {
+        println!(
+            "{} vs concurrent clients on a {rate_mbps} Mbps server link \
+             ({reps} reps, seed {seed:#x}):",
+            method.display_name()
+        );
+        println!(
+            "  {:>8} {:>12} {:>12} {:>7} {:>9} {:>9}",
+            "clients", "Δd1 med ms", "Δd2 med ms", "n", "excluded", "failures"
+        );
+    } else if format == "csv" {
+        println!(
+            "cell,clients,rate_mbps,d1_median_ms,d2_median_ms,d1_n,d2_n,\
+             excluded_rounds,failures"
+        );
+    }
+    let mut json_rows = Vec::new();
+    let mut cell_label = String::new();
+    for c in counts {
+        let cell = match ExperimentCell::builder(method, RuntimeSel::Browser(browser), os)
+            .reps(reps)
+            .seed(seed)
+            .clients(c)
+            .server_link_rate(rate_bps)
+            .build()
+        {
+            Ok(cell) => cell,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        };
+        cell_label = cell.label();
+        let result = match ExperimentRunner::try_run(&cell) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("run failed at {c} client(s): {e}");
+                std::process::exit(1);
+            }
+        };
+        // Every session is a measuring client, so pool them all.
+        let d1: Vec<f64> = result
+            .sessions
+            .iter()
+            .flat_map(|s| s.d1.iter().copied())
+            .collect();
+        let d2: Vec<f64> = result
+            .sessions
+            .iter()
+            .flat_map(|s| s.d2.iter().copied())
+            .collect();
+        match format {
+            "json" => json_rows.push(format!(
+                "{{\"clients\":{c},\"d1_median_ms\":{},\"d2_median_ms\":{},\
+                 \"d1_n\":{},\"d2_n\":{},\"excluded_rounds\":{},\"failures\":{}}}",
+                med(&d1),
+                med(&d2),
+                d1.len(),
+                d2.len(),
+                result.excluded_rounds,
+                result.failures
+            )),
+            "csv" => println!(
+                "{},{c},{rate_mbps},{},{},{},{},{},{}",
+                cell.label(),
+                med(&d1),
+                med(&d2),
+                d1.len(),
+                d2.len(),
+                result.excluded_rounds,
+                result.failures
+            ),
+            _ => println!(
+                "  {c:>8} {:>12.3} {:>12.3} {:>7} {:>9} {:>9}",
+                med(&d1),
+                med(&d2),
+                d1.len() + d2.len(),
+                result.excluded_rounds,
+                result.failures
+            ),
+        }
+    }
+    if format == "json" {
+        println!(
+            "{{\"cell\":{cell_label:?},\"rate_mbps\":{rate_mbps},\"sweep\":[{}]}}",
+            json_rows.join(",")
+        );
+    } else if format == "text" {
+        println!(
+            "\nFresh-connection methods (Flash GET round 1, Flash POST every round)\n\
+             queue their in-round handshake behind the crowd's traffic — that wait\n\
+             lands before tN_s and inflates Δd. Connection-reusing methods shed the\n\
+             crowd's queueing because it falls between tN_s and tN_r (Eq. 1)."
+        );
     }
 }
 

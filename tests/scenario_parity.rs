@@ -1,0 +1,186 @@
+//! Tier-1 guarantees of the multi-client scenario layer:
+//!
+//! 1. **N = 1 parity** — a one-session [`Scenario`] built through the
+//!    public API reproduces the legacy single-client runner path byte
+//!    for byte: same captures, same measurements, same trace, same Δd
+//!    attribution. The testbed of Figure 2 *is* the N = 1 scenario.
+//! 2. **Insertion-order invariance** — per-session results are keyed by
+//!    session id, never by the order the caller pushed the specs.
+//! 3. **Scheduler parity** — multi-client cells are bit-identical
+//!    between the serial and the work-stealing executor.
+
+#![deny(deprecated)]
+
+use bnm::browser::session_token;
+use bnm::core::attribution;
+use bnm::core::matching::ParsedCapture;
+use bnm::core::testbed::TestbedConfig;
+use bnm::prelude::*;
+use bnm::sim::rng;
+use bnm::sim::time::SimDuration;
+use bnm::timeapi::MachineTimer;
+
+fn cell(clients: u32, reps: u32, trace: bool) -> ExperimentCell {
+    let b = ExperimentCell::builder(
+        MethodId::XhrGet,
+        RuntimeSel::Browser(BrowserKind::Chrome),
+        OsKind::Ubuntu1204,
+    )
+    .reps(reps)
+    .seed(0xB32B_5CEA)
+    .clients(clients);
+    if trace { b.trace(true) } else { b }.build().unwrap()
+}
+
+/// Replicate the runner's per-rep derivations and build the same session
+/// as a hand-rolled one-element `Scenario`. Any drift between this and
+/// `ExperimentRunner`'s own construction shows up as a parity failure
+/// below.
+fn scenario_for_rep(c: &ExperimentCell, rep: u32, trace: Trace) -> Scenario {
+    let machine_seed = rng::derive_seed(c.seed, &format!("machine.{}", c.label()));
+    let machine = MachineTimer::new(c.os, machine_seed)
+        .at_offset(SimDuration::from_secs(4).saturating_mul(u64::from(rep)));
+    let session_seed = rng::derive_seed(c.seed, &format!("session.{}", c.label()));
+    let cfg = TestbedConfig {
+        server_delay: c.server_delay,
+        capture_noise_ns: c.capture_noise_ns,
+        seed: rng::derive_seed(c.seed, "capture"),
+        impairment: c.impairment,
+        ..TestbedConfig::default()
+    };
+    let profile = bnm::browser::BrowserProfile::build(BrowserKind::Chrome, c.os).unwrap();
+    Scenario::build_traced(
+        &cfg,
+        vec![SessionSpec {
+            id: 0,
+            plan: c.method.plan(c.timing_override),
+            profile,
+            machine,
+            seed: session_seed ^ u64::from(rep),
+        }],
+        u64::from(rep),
+        trace,
+    )
+}
+
+/// (1) The one-session scenario reproduces the legacy runner rep —
+/// captures, measurements, trace and attribution all byte-identical.
+#[test]
+fn one_session_scenario_matches_the_legacy_testbed_path() {
+    let c = cell(1, 3, true);
+    for rep in 0..c.reps {
+        let legacy = ExperimentRunner::run_rep_traced(&c, rep).unwrap();
+
+        let mut sc = scenario_for_rep(&c, rep, Trace::enabled());
+        sc.run();
+        assert!(sc.session(0).result().completed);
+
+        // Session 0's marker token must be the legacy rep token exactly.
+        let token = session_token(0, u64::from(rep));
+        assert_eq!(token, u64::from(rep));
+
+        let parsed = ParsedCapture::parse(sc.engine.tap(sc.client_taps[0]));
+        let mut measurements = Vec::new();
+        for r in sc.session(0).result().rounds.clone() {
+            let wire = parsed.match_round(c.method, r.round, token).unwrap();
+            measurements.push(RoundMeasurement {
+                session: 0,
+                round: r.round,
+                browser: r,
+                wire,
+            });
+        }
+        assert_eq!(measurements, legacy.measurements, "rep {rep} measurements");
+
+        let trace = sc.take_trace().unwrap();
+        let legacy_trace = legacy.trace.unwrap();
+        assert_eq!(trace, legacy_trace, "rep {rep} trace data");
+        assert_eq!(trace.to_json(), legacy_trace.to_json());
+
+        let attr = attribution::attribute(&trace, &measurements, rep).unwrap();
+        assert_eq!(
+            attribution::to_json(&attr),
+            attribution::to_json(&legacy.attribution),
+            "rep {rep} attribution"
+        );
+    }
+}
+
+/// (1b) The `clients` knob at rest is invisible: a cell that spells out
+/// `clients(1)` is byte-identical to one that never mentions it.
+#[test]
+fn clients_one_is_byte_identical_to_the_plain_cell() {
+    let plain = cell(1, 4, false);
+    let spelled = plain.clone().with_clients(1);
+    let a = ExperimentRunner::try_run(&plain).unwrap();
+    let b = ExperimentRunner::try_run(&spelled).unwrap();
+    assert_eq!(a.d1, b.d1);
+    assert_eq!(a.d2, b.d2);
+    assert_eq!(a.measurements, b.measurements);
+    assert_eq!(a.sessions.len(), 1);
+    assert_eq!(a.sessions[0].d1, b.sessions[0].d1);
+    assert_eq!(a.sessions[0].d2, b.sessions[0].d2);
+}
+
+/// (2) Per-session output is keyed by session id: pushing the specs in a
+/// different order changes nothing — results, captures, server load.
+#[test]
+fn per_session_results_are_invariant_to_insertion_order() {
+    let build = |ids: &[u64]| {
+        let specs = ids
+            .iter()
+            .map(|&id| SessionSpec {
+                id,
+                plan: MethodId::XhrGet.plan(None),
+                profile: bnm::browser::BrowserProfile::build(
+                    BrowserKind::Chrome,
+                    OsKind::Ubuntu1204,
+                )
+                .unwrap(),
+                machine: MachineTimer::new(OsKind::Ubuntu1204, 11 + id),
+                seed: 900 + id,
+            })
+            .collect();
+        let mut sc = Scenario::build(&TestbedConfig::default(), specs, 5);
+        sc.run();
+        sc
+    };
+    let a = build(&[2, 0, 3, 1]);
+    let b = build(&[0, 1, 2, 3]);
+    assert_eq!(a.len(), b.len());
+    for i in 0..a.len() {
+        assert_eq!(a.session_id(i), b.session_id(i), "position {i}");
+        assert_eq!(
+            a.session(i).result().rounds,
+            b.session(i).result().rounds,
+            "position {i} rounds"
+        );
+        // The capture at each client NIC is byte-identical too: same
+        // frames, same timestamps, same order.
+        assert_eq!(
+            format!("{:?}", a.engine.tap(a.client_taps[i]).records()),
+            format!("{:?}", b.engine.tap(b.client_taps[i]).records()),
+            "position {i} capture"
+        );
+    }
+    assert_eq!(a.web_server().stats.pages, b.web_server().stats.pages);
+}
+
+/// (3) Multi-client cells keep the executor's bit-parity guarantee:
+/// serial and work-stealing runs agree on every session's samples.
+#[test]
+fn contended_cells_are_bit_identical_across_schedulers() {
+    let cells = vec![cell(3, 3, false)];
+    let serial = Executor::serial().run(&cells);
+    let parallel = Executor::with_workers(4).run(&cells);
+    let (s, p) = (serial[0].as_ref().unwrap(), parallel[0].as_ref().unwrap());
+    assert_eq!(s.measurements, p.measurements);
+    assert_eq!(s.sessions.len(), 3);
+    assert_eq!(s.sessions.len(), p.sessions.len());
+    for (ss, ps) in s.sessions.iter().zip(&p.sessions) {
+        assert_eq!(ss.session, ps.session);
+        assert_eq!(ss.d1, ps.d1);
+        assert_eq!(ss.d2, ps.d2);
+        assert_eq!(ss.excluded_rounds, ps.excluded_rounds);
+    }
+}
