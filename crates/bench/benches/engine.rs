@@ -4,11 +4,12 @@
 use std::any::Any;
 
 use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 
 use bnm_sim::engine::{Ctx, Engine, Node, PortNo};
 use bnm_sim::link::LinkSpec;
 use bnm_sim::switch::Switch;
+use bnm_sim::time::SimDuration;
 use bnm_sim::wire::{
     EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, ParsedPacket, TcpFlags, TcpSegment,
 };
@@ -157,9 +158,184 @@ fn bench_wire_codec(c: &mut Criterion) {
     });
 }
 
+// ---------------------------------------------------------------------
+// Crowd workload: the scheduler-bound regime.
+//
+// N clients each arm T timers at pseudorandom instants inside a one-
+// second horizon, and every firing timer pushes a 200-byte frame down a
+// dedicated link to a shared sink. The standing event population is
+// N * T at boot (64,000 for the default 1000 x 64), which is exactly
+// where the original `BinaryHeap` scheduler paid O(log n) with cache
+// misses per operation and the hierarchical timer wheel pays O(1).
+// Run once with the production configuration (wheel + frame pool) and
+// once with the seed baseline (`use_reference_scheduler` + pool off)
+// to measure the gap in events/sec.
+
+const CROWD_CLIENTS: usize = 1000;
+const CROWD_TIMERS: usize = 4096;
+
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+struct CrowdClient {
+    seed: u64,
+    timers: usize,
+}
+impl Node for CrowdClient {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        for k in 0..self.timers {
+            self.seed = xorshift(self.seed);
+            let delay = self.seed % 16_000_000; // inside a 16 ms horizon
+            ctx.set_timer(SimDuration::from_nanos(delay), k as u64);
+        }
+    }
+    fn on_frame(&mut self, _ctx: &mut Ctx, _port: PortNo, _frame: Bytes) {}
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        // Every 32nd firing pushes a frame so the pool stays exercised
+        // without the transmit path drowning out the scheduler.
+        if token.is_multiple_of(32) {
+            ctx.send_frame(0, Bytes::from(vec![token as u8; 200]));
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct Sink {
+    received: u64,
+}
+impl Node for Sink {
+    fn on_frame(&mut self, _ctx: &mut Ctx, _port: PortNo, _frame: Bytes) {
+        self.received += 1;
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn crowd_engine(clients: usize, timers: usize, reference: bool) -> Engine {
+    let mut e = Engine::new();
+    if reference {
+        e.use_reference_scheduler();
+    }
+    let sink = e.add_node(Box::new(Sink { received: 0 }));
+    for i in 0..clients {
+        let c = e.add_node(Box::new(CrowdClient {
+            seed: 0x9E37_79B9_7F4A_7C15 ^ (i as u64 + 1),
+            timers,
+        }));
+        e.connect(c, 0, sink, i, LinkSpec::fast_ethernet());
+    }
+    e
+}
+
+/// One full crowd run; returns (events processed, frames delivered).
+fn run_crowd(clients: usize, timers: usize, reference: bool, pooled: bool) -> (u64, u64) {
+    bytes::pool::set_enabled(pooled);
+    let mut e = crowd_engine(clients, timers, reference);
+    e.run();
+    bytes::pool::set_enabled(true);
+    let sink: &Sink = e.node_ref(0);
+    (e.events_processed(), sink.received)
+}
+
+fn bench_crowd_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("crowd_1000x4096_wheel_pooled", |b| {
+        b.iter(|| run_crowd(CROWD_CLIENTS, CROWD_TIMERS, false, true))
+    });
+    g.bench_function("crowd_1000x4096_reference_heap", |b| {
+        b.iter(|| run_crowd(CROWD_CLIENTS, CROWD_TIMERS, true, false))
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------------
+// Quick mode: `BNM_BENCH_QUICK=1 cargo bench -p bnm-bench --bench engine`
+// (what `scripts/check.sh --bench` runs) skips the statistics pass,
+// times the crowd workload directly — best of three for each scheduler —
+// and writes machine-readable `BENCH_engine.json` (events/sec for both
+// configurations, the speedup, peak RSS) to `$BNM_BENCH_OUT` or the
+// current directory.
+
+fn peak_rss_kib() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn time_crowd(reference: bool, pooled: bool) -> (u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        let (ev, _) = run_crowd(CROWD_CLIENTS, CROWD_TIMERS, reference, pooled);
+        let dt = start.elapsed().as_secs_f64();
+        events = ev;
+        if dt < best {
+            best = dt;
+        }
+    }
+    (events, best)
+}
+
+fn quick_crowd_report() {
+    let (ev_wheel, s_wheel) = time_crowd(false, true);
+    let (ev_heap, s_heap) = time_crowd(true, false);
+    assert_eq!(
+        ev_wheel, ev_heap,
+        "schedulers must process identical event streams"
+    );
+    let eps_wheel = ev_wheel as f64 / s_wheel;
+    let eps_heap = ev_heap as f64 / s_heap;
+    let speedup = eps_wheel / eps_heap;
+    let rss = peak_rss_kib();
+    let json = format!(
+        "{{\n  \"bench\": \"engine_crowd\",\n  \"clients\": {CROWD_CLIENTS},\n  \"timers_per_client\": {CROWD_TIMERS},\n  \"events\": {ev_wheel},\n  \"wheel_pooled\": {{ \"seconds\": {s_wheel:.6}, \"events_per_sec\": {eps_wheel:.0} }},\n  \"reference_heap\": {{ \"seconds\": {s_heap:.6}, \"events_per_sec\": {eps_heap:.0} }},\n  \"speedup\": {speedup:.2},\n  \"peak_rss_kib\": {rss}\n}}\n"
+    );
+    let out = std::env::var("BNM_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_engine.json");
+    println!(
+        "engine crowd bench ({CROWD_CLIENTS} clients x {CROWD_TIMERS} timers, {ev_wheel} events)"
+    );
+    println!("  wheel+pool      {eps_wheel:>12.0} events/sec  ({s_wheel:.3} s)");
+    println!("  reference heap  {eps_heap:>12.0} events/sec  ({s_heap:.3} s)");
+    println!("  speedup         {speedup:>12.2}x");
+    println!("  peak RSS        {rss:>12} KiB");
+    println!("  wrote {out}");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_engine_pingpong, bench_switch_forwarding, bench_wire_codec
+    targets = bench_engine_pingpong, bench_switch_forwarding, bench_wire_codec, bench_crowd_scheduler
 }
-criterion_main!(benches);
+
+fn main() {
+    if std::env::var("BNM_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        quick_crowd_report();
+        return;
+    }
+    benches();
+}

@@ -1,9 +1,11 @@
 //! Extension experiment: Δd vs concurrent measuring clients — what does
 //! contention on the shared server link do to each method's overhead?
 //!
-//! Sweeps the client count from 1 to 64, every client running the same
-//! method concurrently against one web server whose access link is
-//! narrowed (the shared bottleneck). Per Eq. 1, queueing
+//! Sweeps the client count from 1 to 64 at a fixed narrowed link, every
+//! client running the same method concurrently against one web server
+//! whose access link is the shared bottleneck — then pushes on into the
+//! crowd regime (128 to 1,000 clients) with the link scaled to a
+//! constant per-client share. Per Eq. 1, queueing
 //! *between* `tN_s` and `tN_r` cancels out of Δd — so methods that reuse
 //! their measurement connection (XHR steady-state, WebSocket) should
 //! stay tight at any client count, while methods that open a **fresh TCP
@@ -14,6 +16,7 @@
 use bnm_bench::cli::BenchArgs;
 use bnm_bench::heading;
 use bnm_browser::BrowserKind;
+use bnm_core::config::ContentionSpec;
 use bnm_core::{ExperimentCell, ExperimentRunner, RuntimeSel};
 use bnm_methods::MethodId;
 use bnm_time::OsKind;
@@ -70,8 +73,7 @@ fn main() {
             let cell = ExperimentCell::builder(method, RuntimeSel::Browser(browser), os)
                 .reps(n)
                 .seed(args.seed)
-                .clients(c)
-                .server_link_rate(rate)
+                .contention(ContentionSpec::clients(c).with_server_link_rate(rate))
                 .build()
                 .expect("sweep cells are runnable");
             let r = match ExperimentRunner::try_run(&cell) {
@@ -118,6 +120,76 @@ fn main() {
          methods barely move: for them the crowd's queueing falls between tN_s and\n\
          tN_r, which Eq. 1 subtracts away."
     );
+    // ---- Crowd regime: 128 .. 1,000 clients -------------------------
+    //
+    // At these scales a fixed link would starve every session, so the
+    // shared link grows with the crowd instead: each client keeps the
+    // same per-client share it had at the legacy sweep's 64-client
+    // endpoint (rate/64, 6,250 bps under the default 0.4 Mbps). What is
+    // held constant is therefore *fairness*, and what the sweep shows is
+    // pure crowd-size effect: whether a method's Δd degrades simply
+    // because 1,000 handshakes and probes interleave on one line.
+    let per_client = (rate / 64).max(1);
+    let crowd_reps = n.min(2);
+    let crowd_counts = [128u32, 256, 512, 1000];
+    heading("Crowd regime: constant per-client share of the server link");
+    println!(
+        "{:<24} {:>8} {:>12}  {:>9} {:>9} {:>7} {:>9} {:>9}",
+        "method / runtime",
+        "clients",
+        "rate bps",
+        "Δd1 med",
+        "Δd2 med",
+        "n",
+        "excluded",
+        "failures"
+    );
+    for (method, browser, os) in [
+        (MethodId::WebSocket, BrowserKind::Chrome, OsKind::Ubuntu1204),
+        (MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204),
+    ] {
+        let label = format!("{} / {}", method.display_name(), browser.initial());
+        for c in crowd_counts {
+            let crowd_rate = per_client * u64::from(c);
+            let cell = ExperimentCell::builder(method, RuntimeSel::Browser(browser), os)
+                .reps(crowd_reps)
+                .seed(args.seed)
+                .contention(ContentionSpec::clients(c).with_server_link_rate(crowd_rate))
+                .build()
+                .expect("crowd cells are runnable");
+            let r = match ExperimentRunner::try_run(&cell) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("skipping {label} @ {c} clients: {e}");
+                    continue;
+                }
+            };
+            let d1: Vec<f64> = r.sessions.iter().flat_map(|s| s.d1.clone()).collect();
+            let d2: Vec<f64> = r.sessions.iter().flat_map(|s| s.d2.clone()).collect();
+            println!(
+                "{label:<24} {c:>8} {crowd_rate:>12}  {:>9.3} {:>9.3} {:>7} {:>9} {:>9}",
+                median(&d1),
+                median(&d2),
+                d1.len() + d2.len(),
+                r.excluded_rounds,
+                r.failures
+            );
+            csv.push_str(&format!(
+                "{},{},{},{},{:.4},{:.4},{},{},{},{}\n",
+                method.label(),
+                browser.initial(),
+                c,
+                crowd_rate,
+                median(&d1),
+                median(&d2),
+                d1.len(),
+                d2.len(),
+                r.excluded_rounds,
+                r.failures
+            ));
+        }
+        println!();
+    }
     let path = args.save_artifact("contend.csv", &csv);
     println!("Artifact written to {}", path.display());
 }

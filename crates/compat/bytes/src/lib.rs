@@ -3,17 +3,139 @@
 //! immutable [`Bytes`] (backed by an `Arc` with zero-copy `slice`),
 //! growable [`BytesMut`] with `freeze`, and the [`BufMut`] put-methods the
 //! wire codecs emit through.
+//!
+//! Unlike the first iteration of this shim (which stored `Arc<[u8]>` and
+//! therefore had to copy on every `Vec<u8> -> Bytes` conversion), the
+//! buffer is an `Arc<Vec<u8>>`: conversion and `freeze` are moves, and
+//! when the last reference drops the backing `Vec` is returned to a
+//! thread-local [`pool`] for reuse. In the simulator's hot loop — build
+//! frame, deliver through links/switch ports, tap it, drop it — this
+//! turns per-frame heap churn into constant-space buffer recycling.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::mem::ManuallyDrop;
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
+
+/// Thread-local recycling pool for the `Vec<u8>` allocations behind
+/// [`Bytes`] and [`BytesMut`].
+///
+/// The pool is best-effort and invisible to value semantics: buffers are
+/// cleared before reuse, so whether an allocation is fresh or recycled
+/// never changes observable bytes (and therefore never perturbs the
+/// simulator's determinism). Each thread keeps its own free list; a
+/// buffer reclaimed on one thread is reused by that thread only.
+pub mod pool {
+    use std::cell::RefCell;
+
+    /// Retain at most this many free buffers per thread.
+    const MAX_POOLED_BUFFERS: usize = 4096;
+    /// Don't retain buffers larger than this (keeps a burst of jumbo
+    /// allocations from pinning memory forever).
+    const MAX_POOLED_CAPACITY: usize = 1 << 16;
+
+    /// Counters describing pool behaviour since the last
+    /// [`reset_stats`], for benchmarks and diagnostics.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    pub struct PoolStats {
+        /// Buffers handed back out from the free list.
+        pub reused: u64,
+        /// Buffers that had to be freshly allocated.
+        pub allocated: u64,
+        /// Buffers returned to the free list on drop.
+        pub reclaimed: u64,
+    }
+
+    struct PoolInner {
+        enabled: bool,
+        free: Vec<Vec<u8>>,
+        stats: PoolStats,
+    }
+
+    thread_local! {
+        static POOL: RefCell<PoolInner> = const {
+            RefCell::new(PoolInner {
+                enabled: true,
+                free: Vec::new(),
+                stats: PoolStats {
+                    reused: 0,
+                    allocated: 0,
+                    reclaimed: 0,
+                },
+            })
+        };
+    }
+
+    /// Enable or disable recycling on the current thread. Disabling
+    /// drops the free list; allocation behaviour then matches a
+    /// pool-free build (useful as a benchmark baseline).
+    pub fn set_enabled(on: bool) {
+        let _ = POOL.try_with(|p| {
+            let mut p = p.borrow_mut();
+            p.enabled = on;
+            if !on {
+                p.free.clear();
+            }
+        });
+    }
+
+    /// Pool counters for the current thread.
+    pub fn stats() -> PoolStats {
+        POOL.try_with(|p| p.borrow().stats).unwrap_or_default()
+    }
+
+    /// Zero the counters for the current thread.
+    pub fn reset_stats() {
+        let _ = POOL.try_with(|p| p.borrow_mut().stats = PoolStats::default());
+    }
+
+    /// Number of buffers currently parked on this thread's free list.
+    pub fn free_buffers() -> usize {
+        POOL.try_with(|p| p.borrow().free.len()).unwrap_or(0)
+    }
+
+    pub(crate) fn acquire(cap: usize) -> Vec<u8> {
+        POOL.try_with(|p| {
+            let mut p = p.borrow_mut();
+            if p.enabled {
+                if let Some(mut v) = p.free.pop() {
+                    v.clear();
+                    if v.capacity() < cap {
+                        v.reserve(cap - v.len());
+                    }
+                    p.stats.reused += 1;
+                    return v;
+                }
+            }
+            p.stats.allocated += 1;
+            Vec::with_capacity(cap)
+        })
+        .unwrap_or_else(|_| Vec::with_capacity(cap))
+    }
+
+    pub(crate) fn reclaim(mut v: Vec<u8>) {
+        if v.capacity() == 0 || v.capacity() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        let _ = POOL.try_with(|p| {
+            let mut p = p.borrow_mut();
+            if p.enabled && p.free.len() < MAX_POOLED_BUFFERS {
+                v.clear();
+                p.free.push(v);
+                p.stats.reclaimed += 1;
+            }
+        });
+    }
+}
 
 /// A cheaply cloneable, sliceable, immutable byte buffer.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    // `ManuallyDrop` so `Drop` can take the `Arc` out and, when this was
+    // the last reference, recycle the backing `Vec` through the pool.
+    data: ManuallyDrop<Arc<Vec<u8>>>,
     start: usize,
     end: usize,
 }
@@ -25,14 +147,17 @@ impl Bytes {
     }
 
     /// Wrap a static slice (no allocation in the real crate; here one
-    /// `Arc` allocation, amortized by clones being free).
+    /// buffer allocation, amortized by clones being free).
     pub fn from_static(bytes: &'static [u8]) -> Bytes {
-        Bytes::from(bytes.to_vec())
+        Bytes::copy_from_slice(bytes)
     }
 
-    /// Copy a slice into a new buffer.
+    /// Copy a slice into a new buffer (recycled from the pool when one
+    /// is available).
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes::from(data.to_vec())
+        let mut v = pool::acquire(data.len());
+        v.extend_from_slice(data);
+        Bytes::from(v)
     }
 
     /// Length of the view.
@@ -64,7 +189,7 @@ impl Bytes {
             self.len()
         );
         Bytes {
-            data: Arc::clone(&self.data),
+            data: ManuallyDrop::new(Arc::clone(&self.data)),
             start: self.start + lo,
             end: self.start + hi,
         }
@@ -73,6 +198,17 @@ impl Bytes {
     /// Copy the view out into a `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
+    }
+}
+
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        // SAFETY: `self.data` is never touched again — this is the drop
+        // glue, and `ManuallyDrop` suppresses the automatic second drop.
+        let arc = unsafe { ManuallyDrop::take(&mut self.data) };
+        if let Ok(v) = Arc::try_unwrap(arc) {
+            pool::reclaim(v);
+        }
     }
 }
 
@@ -97,10 +233,9 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
+        let end = v.len();
         Bytes {
-            data,
+            data: ManuallyDrop::new(Arc::new(v)),
             start: 0,
             end,
         }
@@ -216,13 +351,15 @@ pub struct BytesMut {
 impl BytesMut {
     /// An empty buffer.
     pub fn new() -> BytesMut {
-        BytesMut::default()
+        BytesMut {
+            data: pool::acquire(0),
+        }
     }
 
     /// An empty buffer with reserved capacity.
     pub fn with_capacity(cap: usize) -> BytesMut {
         BytesMut {
-            data: Vec::with_capacity(cap),
+            data: pool::acquire(cap),
         }
     }
 
@@ -246,9 +383,9 @@ impl BytesMut {
         self.data.reserve(additional);
     }
 
-    /// Convert into an immutable [`Bytes`].
-    pub fn freeze(self) -> Bytes {
-        Bytes::from(self.data)
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(mut self) -> Bytes {
+        Bytes::from(std::mem::take(&mut self.data))
     }
 
     /// Drop all contents.
@@ -262,6 +399,12 @@ impl BytesMut {
         BytesMut {
             data: std::mem::replace(&mut self.data, rest),
         }
+    }
+}
+
+impl Drop for BytesMut {
+    fn drop(&mut self) {
+        pool::reclaim(std::mem::take(&mut self.data));
     }
 }
 
@@ -418,5 +561,68 @@ mod tests {
         assert_eq!(b.remaining(), 3);
         b.advance(2);
         assert_eq!(b.chunk(), &[7]);
+    }
+
+    #[test]
+    fn from_vec_is_a_move() {
+        let v = vec![1u8; 64];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), ptr, "From<Vec<u8>> must not copy");
+    }
+
+    #[test]
+    fn freeze_is_a_move() {
+        let mut m = BytesMut::with_capacity(64);
+        m.put_slice(&[7u8; 48]);
+        let ptr = m.as_ref().as_ptr();
+        let b = m.freeze();
+        assert_eq!(b.as_ref().as_ptr(), ptr, "freeze must not copy");
+    }
+
+    #[test]
+    fn slices_keep_buffer_alive_after_parent_drop() {
+        let b = Bytes::from(vec![9u8; 32]);
+        let s = b.slice(8..16);
+        drop(b);
+        assert_eq!(&s[..], &[9u8; 8]);
+    }
+
+    #[test]
+    fn pool_recycles_dropped_buffers() {
+        pool::set_enabled(true);
+        pool::reset_stats();
+        // Drain whatever the test harness left parked so the reuse is
+        // attributable to the buffer we drop below.
+        let baseline = pool::free_buffers();
+        let b = Bytes::from(vec![1u8; 256]);
+        drop(b);
+        assert!(pool::free_buffers() > baseline, "drop should reclaim");
+        let c = Bytes::copy_from_slice(&[2u8; 128]);
+        assert_eq!(&c[..], &[2u8; 128]);
+        assert!(pool::stats().reused >= 1, "copy should reuse the buffer");
+    }
+
+    #[test]
+    fn pool_disabled_matches_plain_alloc() {
+        pool::set_enabled(false);
+        pool::reset_stats();
+        drop(Bytes::from(vec![1u8; 64]));
+        assert_eq!(pool::free_buffers(), 0);
+        assert_eq!(pool::stats().reclaimed, 0);
+        let b = Bytes::copy_from_slice(b"still works");
+        assert_eq!(&b[..], b"still works");
+        pool::set_enabled(true);
+    }
+
+    #[test]
+    fn shared_buffers_are_not_reclaimed_early() {
+        pool::set_enabled(true);
+        let b = Bytes::from(vec![5u8; 64]);
+        let clone = b.clone();
+        let before = pool::free_buffers();
+        drop(b); // still referenced by `clone`
+        assert_eq!(pool::free_buffers(), before);
+        assert_eq!(&clone[..], &[5u8; 64]);
     }
 }

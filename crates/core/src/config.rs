@@ -30,6 +30,78 @@ impl RuntimeSel {
     }
 }
 
+/// How many sessions share the testbed, and how narrow the shared
+/// bottleneck is — the scale knobs of the `contend` extension as one
+/// typed value.
+///
+/// Replaces the loose `.clients(n)` / `.server_link_rate(bps)` builder
+/// pair (now deprecated): the two knobs only mean something together,
+/// since narrowing the server link without contention measures nothing
+/// and contention over full fast Ethernet barely queues.
+///
+/// ```
+/// use bnm_core::config::ContentionSpec;
+///
+/// let spec = ContentionSpec::clients(64).with_server_link_rate(400_000);
+/// assert_eq!(spec.clients, 64);
+/// assert_eq!(spec.server_link_rate_bps, Some(400_000));
+/// assert_eq!(ContentionSpec::solo(), ContentionSpec::default());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentionSpec {
+    /// Concurrent measuring sessions sharing the testbed. 1 reproduces
+    /// the paper's single-client testbed byte for byte.
+    pub clients: u32,
+    /// Server access link rate override, bits/s (`None` = the paper's
+    /// 100 Mbps fast Ethernet).
+    pub server_link_rate_bps: Option<u64>,
+}
+
+impl Default for ContentionSpec {
+    fn default() -> Self {
+        Self::solo()
+    }
+}
+
+impl ContentionSpec {
+    /// The paper's setup: one client, full-rate server link.
+    pub const fn solo() -> ContentionSpec {
+        ContentionSpec {
+            clients: 1,
+            server_link_rate_bps: None,
+        }
+    }
+
+    /// `n` concurrent sessions over the default server link.
+    pub const fn clients(n: u32) -> ContentionSpec {
+        ContentionSpec {
+            clients: n,
+            server_link_rate_bps: None,
+        }
+    }
+
+    /// Narrow the shared server access link to `rate_bps` bits/s.
+    pub const fn with_server_link_rate(mut self, rate_bps: u64) -> ContentionSpec {
+        self.server_link_rate_bps = Some(rate_bps);
+        self
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), RunError> {
+        if self.clients == 0 {
+            return Err(RunError::InvalidInput("clients must be >= 1"));
+        }
+        if self.clients as usize > crate::scenario::Scenario::DEFAULT_SESSION_LIMIT {
+            return Err(RunError::InvalidInput(
+                "clients exceeds the scenario session limit",
+            ));
+        }
+        if self.server_link_rate_bps == Some(0) {
+            return Err(RunError::InvalidInput("server link rate must be > 0"));
+        }
+        Ok(())
+    }
+}
+
 /// One cell of the experiment grid: a method on a runtime on an OS,
 /// repeated.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,15 +217,39 @@ impl ExperimentCell {
     }
 
     /// Run N concurrent measuring sessions against the shared server.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use with_contention(ContentionSpec::clients(n))"
+    )]
     pub fn with_clients(mut self, clients: u32) -> Self {
         self.clients = clients;
         self
     }
 
     /// Override the server access link's line rate, bits/s.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use with_contention(ContentionSpec::clients(n).with_server_link_rate(bps))"
+    )]
     pub fn with_server_link_rate(mut self, rate_bps: u64) -> Self {
         self.server_link_rate_bps = Some(rate_bps);
         self
+    }
+
+    /// Apply a typed contention specification (client count + shared
+    /// bottleneck rate together).
+    pub fn with_contention(mut self, spec: ContentionSpec) -> Self {
+        self.clients = spec.clients;
+        self.server_link_rate_bps = spec.server_link_rate_bps;
+        self
+    }
+
+    /// The cell's contention configuration as one typed value.
+    pub fn contention(&self) -> ContentionSpec {
+        ContentionSpec {
+            clients: self.clients,
+            server_link_rate_bps: self.server_link_rate_bps,
+        }
     }
 
     /// Cell label for reports: "XHR GET / C (U) / Δd".
@@ -267,15 +363,28 @@ impl CellBuilder {
         self
     }
 
-    /// Concurrent measuring sessions (1–64).
+    /// Concurrent measuring sessions.
+    #[deprecated(since = "0.3.0", note = "use contention(ContentionSpec::clients(n))")]
     pub fn clients(mut self, clients: u32) -> Self {
         self.cell.clients = clients;
         self
     }
 
     /// Override the server access link's line rate, bits/s.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use contention(ContentionSpec::clients(n).with_server_link_rate(bps))"
+    )]
     pub fn server_link_rate(mut self, rate_bps: u64) -> Self {
         self.cell.server_link_rate_bps = Some(rate_bps);
+        self
+    }
+
+    /// Concurrent sessions and shared-bottleneck rate as one typed
+    /// value (see [`ContentionSpec`]).
+    pub fn contention(mut self, spec: ContentionSpec) -> Self {
+        self.cell.clients = spec.clients;
+        self.cell.server_link_rate_bps = spec.server_link_rate_bps;
         self
     }
 
@@ -283,21 +392,14 @@ impl CellBuilder {
     ///
     /// Fails with [`RunError::Unrunnable`] when the runtime cannot
     /// execute the method (Table 2), and
-    /// [`RunError::InvalidInput`] when `reps` is zero, `clients` is out
-    /// of the scenario's 1–64 range, or a link-rate override is zero.
+    /// [`RunError::InvalidInput`] when `reps` is zero, the contention
+    /// spec is out of range (zero clients, more clients than the
+    /// scenario session limit), or a link-rate override is zero.
     pub fn build(self) -> Result<ExperimentCell, RunError> {
         if self.cell.reps == 0 {
             return Err(RunError::InvalidInput("reps must be >= 1"));
         }
-        if self.cell.clients == 0 {
-            return Err(RunError::InvalidInput("clients must be >= 1"));
-        }
-        if self.cell.clients as usize > crate::scenario::Scenario::MAX_SESSIONS {
-            return Err(RunError::InvalidInput("clients must be <= 64"));
-        }
-        if self.cell.server_link_rate_bps == Some(0) {
-            return Err(RunError::InvalidInput("server link rate must be > 0"));
-        }
+        self.cell.contention().validate()?;
         if !self.cell.is_runnable() {
             return Err(RunError::unrunnable(&self.cell));
         }
@@ -383,8 +485,7 @@ mod tests {
         .fixed_safari_java(true)
         .impairment(Impairment::loss(0.02))
         .trace(true)
-        .clients(4)
-        .server_link_rate(10_000_000)
+        .contention(ContentionSpec::clients(4).with_server_link_rate(10_000_000))
         .build()
         .unwrap();
         assert_eq!(cell.timing_override, Some(TimingApiKind::JavaNanoTime));
@@ -437,16 +538,38 @@ mod tests {
             )
         };
         assert_eq!(
-            chrome().clients(0).build(),
+            chrome().contention(ContentionSpec::clients(0)).build(),
             Err(RunError::InvalidInput("clients must be >= 1"))
         );
         assert_eq!(
-            chrome().clients(65).build(),
-            Err(RunError::InvalidInput("clients must be <= 64"))
+            chrome().contention(ContentionSpec::clients(4097)).build(),
+            Err(RunError::InvalidInput(
+                "clients exceeds the scenario session limit"
+            ))
         );
+        // The old 64-client ceiling is gone: a crowd-scale cell builds.
+        let crowd = chrome()
+            .contention(ContentionSpec::clients(1000).with_server_link_rate(6_250_000))
+            .build()
+            .unwrap();
+        assert_eq!(crowd.contention().clients, 1000);
         assert_eq!(
-            chrome().server_link_rate(0).build(),
+            chrome()
+                .contention(ContentionSpec::solo().with_server_link_rate(0))
+                .build(),
             Err(RunError::InvalidInput("server link rate must be > 0"))
+        );
+        // The deprecated loose knobs still work, delegating to the same
+        // validation.
+        #[allow(deprecated)]
+        let legacy = chrome()
+            .clients(2)
+            .server_link_rate(400_000)
+            .build()
+            .unwrap();
+        assert_eq!(
+            legacy.contention(),
+            ContentionSpec::clients(2).with_server_link_rate(400_000)
         );
 
         // build_unchecked lets both through for later filtering.

@@ -1,0 +1,102 @@
+//! Shared frame-parsing helpers for capture analysis.
+//!
+//! Both the client-side matcher ([`crate::matching`]) and the
+//! server-side overhead appraisal ([`crate::server_side`]) grep
+//! transport payloads out of raw captured frames. The two modules used
+//! to carry verbatim copies of these helpers; they live here once.
+
+use bnm_sim::wire::{ParsedPacket, Transport};
+use bytes::Bytes;
+
+/// Transport payload of a captured frame, if it parses.
+///
+/// Returns the parser's own refcounted payload view — no extra copy is
+/// made for the caller. Frames that fail to parse, and transports
+/// without a greppable payload (ICMP, unknown), yield `None`, exactly
+/// as a checksum-filtering analyst would drop them.
+pub fn payload_of(frame: &[u8]) -> Option<Bytes> {
+    let parsed = ParsedPacket::parse(frame).ok()?;
+    match parsed.transport {
+        Transport::Tcp(seg) => Some(seg.payload),
+        Transport::Udp(d) => Some(d.payload),
+        Transport::Icmp(_) | Transport::Other(_) => None,
+    }
+}
+
+/// Substring search (the capture analyst's `grep`).
+pub fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnm_sim::wire::{
+        EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, TcpFlags, TcpSegment,
+        UdpDatagram,
+    };
+    use std::net::Ipv4Addr;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn wrap(protocol: IpProtocol, payload: Bytes) -> Bytes {
+        let ip = Ipv4Packet {
+            src: A,
+            dst: B,
+            protocol,
+            ttl: 64,
+            ident: 1,
+            payload,
+        };
+        EthernetFrame {
+            dst: MacAddr([2; 6]),
+            src: MacAddr([1; 6]),
+            ethertype: EtherType::Ipv4,
+            payload: ip.emit(),
+        }
+        .emit()
+    }
+
+    #[test]
+    fn tcp_payload_extracted() {
+        let seg = TcpSegment {
+            src_port: 5,
+            dst_port: 80,
+            seq: 1,
+            ack: 1,
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            window: 1000,
+            mss: None,
+            payload: Bytes::from_static(b"m=xhr_get&r=1&t=7"),
+        };
+        let frame = wrap(IpProtocol::Tcp, seg.emit(A, B));
+        let p = payload_of(&frame).expect("parses");
+        assert_eq!(&p[..], b"m=xhr_get&r=1&t=7");
+    }
+
+    #[test]
+    fn udp_payload_extracted() {
+        let dgram = UdpDatagram {
+            src_port: 5,
+            dst_port: 53,
+            payload: Bytes::from_static(b"probe"),
+        };
+        let frame = wrap(IpProtocol::Udp, dgram.emit(A, B));
+        assert_eq!(&payload_of(&frame).unwrap()[..], b"probe");
+    }
+
+    #[test]
+    fn garbage_yields_none() {
+        assert!(payload_of(b"not a frame").is_none());
+        assert!(payload_of(&[]).is_none());
+    }
+
+    #[test]
+    fn contains_finds_substrings() {
+        assert!(contains(b"xx pong r=1 t=0 yy", b"pong r=1 t=0 "));
+        assert!(!contains(b"pong r=1", b"pong r=10"));
+        assert!(!contains(b"anything", b""), "empty needle never matches");
+        assert!(contains(b"abc", b"abc"));
+    }
+}

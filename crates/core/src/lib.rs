@@ -38,6 +38,7 @@ pub mod config;
 pub mod delta;
 pub mod error;
 pub mod exec;
+pub mod frames;
 pub mod impact;
 pub mod matching;
 pub mod recommend;
@@ -52,11 +53,11 @@ pub mod throughput;
 pub use appraisal::{Appraisal, Verdict};
 pub use attribution::RoundAttribution;
 pub use bnm_sim::{FaultSpec, Impairment};
-pub use config::{CellBuilder, ExperimentCell, RuntimeSel};
+pub use config::{CellBuilder, ContentionSpec, ExperimentCell, RuntimeSel};
 pub use delta::RoundMeasurement;
 pub use error::RunError;
 pub use exec::{ExecStats, Executor, Progress};
 pub use matching::{MatchError, ParsedCapture};
 pub use runner::{CellResult, ExperimentRunner, RepOutcome, SessionSamples};
-pub use scenario::{Scenario, SessionSpec};
+pub use scenario::{Scenario, ScenarioBuilder, SessionSpec};
 pub use testbed::{Testbed, TestbedBuilder, TestbedConfig};

@@ -10,7 +10,9 @@
 use bnm_methods::MethodId;
 use bnm_sim::capture::{CaptureBuffer, CaptureDir};
 use bnm_sim::time::SimTime;
-use bnm_sim::wire::{ParsedPacket, Transport};
+use bytes::Bytes;
+
+use crate::frames::{contains, payload_of};
 
 /// Network-level timestamps of one round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,11 +54,6 @@ impl std::fmt::Display for MatchError {
 
 impl std::error::Error for MatchError {}
 
-/// Substring search (the capture analyst's `grep`).
-fn contains(haystack: &[u8], needle: &[u8]) -> bool {
-    !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
-}
-
 /// The request marker the session embeds for (method, round, token).
 pub fn request_marker(method: MethodId, round: u8, token: u64) -> Vec<u8> {
     if method.is_http_based() {
@@ -76,16 +73,6 @@ pub fn response_marker(method: MethodId, round: u8, token: u64) -> Vec<u8> {
     }
 }
 
-/// Transport payload of a captured frame, if it parses.
-fn payload_of(frame: &[u8]) -> Option<Vec<u8>> {
-    let parsed = ParsedPacket::parse(frame).ok()?;
-    Some(match parsed.transport {
-        Transport::Tcp(seg) => seg.payload.to_vec(),
-        Transport::Udp(d) => d.payload.to_vec(),
-        Transport::Icmp(_) | Transport::Other(_) => return None,
-    })
-}
-
 /// A capture whose frames have been parsed once, ready for repeated
 /// round matching.
 ///
@@ -98,8 +85,9 @@ fn payload_of(frame: &[u8]) -> Option<Vec<u8>> {
 pub struct ParsedCapture {
     /// `(stamp, direction, transport payload)` of every frame that
     /// parsed; corrupted or non-TCP/UDP frames are dropped, exactly as a
-    /// checksum-filtering analyst would drop them.
-    records: Vec<(SimTime, CaptureDir, Vec<u8>)>,
+    /// checksum-filtering analyst would drop them. Payloads are
+    /// refcounted views into the parser's buffers, not copies.
+    records: Vec<(SimTime, CaptureDir, Bytes)>,
 }
 
 impl ParsedCapture {
@@ -228,7 +216,7 @@ mod tests {
     fn capture_with(records: &[(u64, CaptureDir, &[u8])]) -> CaptureBuffer {
         let mut buf = CaptureBuffer::new("test");
         for (ms, dir, payload) in records {
-            buf.record(SimTime::from_millis(*ms), *dir, &tcp_frame(payload, 5, 80));
+            buf.record(SimTime::from_millis(*ms), *dir, tcp_frame(payload, 5, 80));
         }
         buf
     }
@@ -427,7 +415,7 @@ mod tests {
         cap.record(
             SimTime::from_millis(1),
             CaptureDir::Rx,
-            &Bytes::from_static(b"not a frame"),
+            Bytes::from_static(b"not a frame"),
         );
         assert!(match_round(&cap, MethodId::XhrGet, 1, 0).is_ok());
     }

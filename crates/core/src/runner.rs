@@ -420,6 +420,8 @@ mod tests {
     use bnm_methods::MethodId;
     use bnm_time::{OsKind, TimingApiKind};
 
+    use crate::config::ContentionSpec;
+
     fn small_cell(method: MethodId, browser: BrowserKind, os: OsKind) -> ExperimentCell {
         ExperimentCell::paper(method, RuntimeSel::Browser(browser), os).with_reps(10)
     }
@@ -579,7 +581,7 @@ mod tests {
     fn contended_cell_keys_results_by_session() {
         let cell = small_cell(MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204)
             .with_reps(3)
-            .with_clients(3);
+            .with_contention(ContentionSpec::clients(3));
         let r = run(&cell);
         assert_eq!(r.failures, 0);
         assert_eq!(r.sessions.len(), 3);
@@ -616,7 +618,7 @@ mod tests {
     fn traced_contended_rep_attributes_session_zero() {
         let cell = small_cell(MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204)
             .with_reps(2)
-            .with_clients(4)
+            .with_contention(ContentionSpec::clients(4))
             .with_trace();
         let r = run(&cell);
         assert_eq!(r.failures, 0);

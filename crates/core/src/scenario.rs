@@ -34,6 +34,7 @@ use bnm_sim::TapId;
 use bnm_tcp::{Host, HostConfig};
 use bnm_time::MachineTimer;
 
+use crate::error::RunError;
 use crate::testbed::{NoiseSource, TestbedConfig, CLIENT_IP, CLIENT_MAC, SERVER_IP, SERVER_MAC};
 
 /// One measuring session within a [`Scenario`].
@@ -53,19 +54,42 @@ pub struct SessionSpec {
     pub seed: u64,
 }
 
+/// Highest client position still using the original single-octet
+/// addressing scheme. Keeping the original formula for these positions
+/// preserves existing multi-client traces bit for bit.
+const LEGACY_ADDR_POSITIONS: usize = 190;
+
 /// Per-client addressing. Position 0 keeps the legacy testbed identity
-/// (`"client"`, [`CLIENT_MAC`], [`CLIENT_IP`]); later positions get
-/// derived names, locally-administered MACs from 5 upward and addresses
-/// from `192.168.1.65` upward — disjoint from the server (`.10`) and the
-/// cross-traffic noise source (`.3`).
+/// (`"client"`, [`CLIENT_MAC`], [`CLIENT_IP`]); positions 1 through
+/// `LEGACY_ADDR_POSITIONS` (190) get the original derived scheme —
+/// locally-administered MACs from 5 upward and addresses from
+/// `192.168.1.65` upward, disjoint from the server (`.10`) and the
+/// cross-traffic noise source (`.3`). Positions beyond that exhaust the
+/// `192.168.1.0/24` octet and move to a two-octet scheme: MACs
+/// `02-42-4e-4d-HH-LL` and addresses `10.77.HH.LL` keyed by the
+/// position's two low bytes. Neighbor tables are static, so the mixed
+/// "subnets" are purely cosmetic — every host is one switch hop away.
 pub fn client_addr(position: usize) -> (String, MacAddr, Ipv4Addr) {
     if position == 0 {
         ("client".to_string(), CLIENT_MAC, CLIENT_IP)
-    } else {
+    } else if position <= LEGACY_ADDR_POSITIONS {
         (
             format!("client-{position}"),
             MacAddr::local(4 + position as u8),
             Ipv4Addr::new(192, 168, 1, 64 + position as u8),
+        )
+    } else {
+        assert!(
+            position < Scenario::ADDRESS_CAPACITY,
+            "client position {position} exceeds the addressing capacity of {}",
+            Scenario::ADDRESS_CAPACITY
+        );
+        let hi = (position >> 8) as u8;
+        let lo = position as u8;
+        (
+            format!("client-{position}"),
+            MacAddr([0x02, 0x42, 0x4E, 0x4D, hi, lo]),
+            Ipv4Addr::new(10, 77, hi, lo),
         )
     }
 }
@@ -93,9 +117,32 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Hard cap on concurrent sessions (bounded by the per-client MAC /
-    /// IP allocation scheme of [`client_addr`]).
+    /// Default cap on concurrent sessions, enforced by
+    /// [`ScenarioBuilder::build`] and the cell validation in
+    /// [`crate::config`]. Raise it per scenario with
+    /// [`ScenarioBuilder::session_limit`], up to
+    /// [`Scenario::ADDRESS_CAPACITY`].
+    pub const DEFAULT_SESSION_LIMIT: usize = 4096;
+
+    /// Hard ceiling of the per-client MAC / IP allocation scheme of
+    /// [`client_addr`] (two address octets).
+    pub const ADDRESS_CAPACITY: usize = 65_536;
+
+    /// The old fixed cap on concurrent sessions.
+    #[deprecated(
+        since = "0.3.0",
+        note = "the fixed 64-session cap is gone; the default limit is \
+                Scenario::DEFAULT_SESSION_LIMIT and \
+                ScenarioBuilder::session_limit makes it configurable"
+    )]
     pub const MAX_SESSIONS: usize = 64;
+
+    /// Start building a scenario, mirroring
+    /// [`crate::testbed::Testbed::builder`]. Validates at
+    /// [`ScenarioBuilder::build`] time instead of panicking.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::new()
+    }
 
     /// Build a scenario without tracing.
     pub fn build(cfg: &TestbedConfig, specs: Vec<SessionSpec>, rep_token: u64) -> Scenario {
@@ -108,8 +155,10 @@ impl Scenario {
     /// interleave spans from an unrelated connection timeline.
     ///
     /// # Panics
-    /// If `specs` is empty, exceeds [`Scenario::MAX_SESSIONS`], or
-    /// contains duplicate session ids.
+    /// If `specs` is empty, exceeds
+    /// [`Scenario::DEFAULT_SESSION_LIMIT`], or contains duplicate
+    /// session ids. [`Scenario::builder`] reports the same conditions
+    /// as errors instead, and can lift the session limit.
     pub fn build_traced(
         cfg: &TestbedConfig,
         mut specs: Vec<SessionSpec>,
@@ -118,9 +167,10 @@ impl Scenario {
     ) -> Scenario {
         assert!(!specs.is_empty(), "a scenario needs at least one session");
         assert!(
-            specs.len() <= Self::MAX_SESSIONS,
-            "a scenario holds at most {} sessions, got {}",
-            Self::MAX_SESSIONS,
+            specs.len() <= Self::DEFAULT_SESSION_LIMIT,
+            "a scenario holds at most {} sessions by default \
+             (ScenarioBuilder::session_limit raises the cap), got {}",
+            Self::DEFAULT_SESSION_LIMIT,
             specs.len()
         );
         // Results and wiring are keyed by session id, not insertion
@@ -134,7 +184,18 @@ impl Scenario {
                 pair[0].id
             );
         }
+        Self::build_inner(cfg, specs, rep_token, trace)
+    }
 
+    /// Shared construction path behind [`Scenario::build_traced`] and
+    /// [`ScenarioBuilder::build`]. `specs` must be non-empty, sorted by
+    /// id and free of duplicates.
+    fn build_inner(
+        cfg: &TestbedConfig,
+        specs: Vec<SessionSpec>,
+        rep_token: u64,
+        trace: Trace,
+    ) -> Scenario {
         let n = specs.len();
         let mut engine = Engine::new();
         engine.set_trace(trace.clone());
@@ -342,6 +403,133 @@ impl Scenario {
     }
 }
 
+/// Builds a [`Scenario`], mirroring [`crate::testbed::TestbedBuilder`]:
+/// every knob defaults to the single-client paper testbed, and
+/// validation happens once in [`ScenarioBuilder::build`] — returning
+/// [`RunError`] instead of panicking mid-construction.
+///
+/// ```
+/// use bnm_core::scenario::Scenario;
+/// # use bnm_browser::{BrowserKind, BrowserProfile, ProbePlan, ProbeTransport, Technology};
+/// # use bnm_core::scenario::SessionSpec;
+/// # use bnm_time::{MachineTimer, OsKind, TimingApiKind};
+/// # let spec = |id: u64| SessionSpec {
+/// #     id,
+/// #     plan: ProbePlan::new("xhr_get", Technology::Native,
+/// #         ProbeTransport::HttpGet, TimingApiKind::JsDateGetTime),
+/// #     profile: BrowserProfile::build(BrowserKind::Chrome, OsKind::Ubuntu1204).unwrap(),
+/// #     machine: MachineTimer::new(OsKind::Ubuntu1204, 7 + id),
+/// #     seed: 100 + id,
+/// # };
+/// let mut sc = Scenario::builder()
+///     .sessions([spec(0), spec(1)])
+///     .build()
+///     .unwrap();
+/// sc.run();
+/// assert!(sc.session(0).result().completed);
+/// ```
+pub struct ScenarioBuilder {
+    cfg: TestbedConfig,
+    specs: Vec<SessionSpec>,
+    rep_token: u64,
+    trace: Trace,
+    session_limit: usize,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioBuilder {
+    /// A builder with the paper-default testbed config, no sessions,
+    /// repetition token 0, tracing disabled, and the default session
+    /// limit.
+    pub fn new() -> Self {
+        ScenarioBuilder {
+            cfg: TestbedConfig::default(),
+            specs: Vec::new(),
+            rep_token: 0,
+            trace: Trace::disabled(),
+            session_limit: Scenario::DEFAULT_SESSION_LIMIT,
+        }
+    }
+
+    /// Replace the testbed configuration (server link, impairments,
+    /// capture noise, cross traffic, …).
+    pub fn config(mut self, cfg: TestbedConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Add one session.
+    pub fn session(mut self, spec: SessionSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Add many sessions.
+    pub fn sessions(mut self, specs: impl IntoIterator<Item = SessionSpec>) -> Self {
+        self.specs.extend(specs);
+        self
+    }
+
+    /// Repetition token mixed into every probe marker (distinguishes
+    /// repetitions of the same cell on the wire).
+    pub fn rep_token(mut self, token: u64) -> Self {
+        self.rep_token = token;
+        self
+    }
+
+    /// Install a trace handle (wired to the engine and the lowest-id
+    /// session; see [`Scenario::build_traced`]).
+    pub fn trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Raise (or lower) the validated session cap for this scenario.
+    /// The limit itself is validated against
+    /// [`Scenario::ADDRESS_CAPACITY`] at build time.
+    pub fn session_limit(mut self, limit: usize) -> Self {
+        self.session_limit = limit;
+        self
+    }
+
+    /// Validate and build the scenario.
+    pub fn build(mut self) -> Result<Scenario, RunError> {
+        if self.specs.is_empty() {
+            return Err(RunError::InvalidInput(
+                "a scenario needs at least one session",
+            ));
+        }
+        if self.session_limit == 0 {
+            return Err(RunError::InvalidInput("session limit must be >= 1"));
+        }
+        if self.session_limit > Scenario::ADDRESS_CAPACITY {
+            return Err(RunError::InvalidInput(
+                "session limit exceeds the client addressing capacity",
+            ));
+        }
+        if self.specs.len() > self.session_limit {
+            return Err(RunError::InvalidInput(
+                "scenario session count exceeds the configured session limit",
+            ));
+        }
+        self.specs.sort_by_key(|s| s.id);
+        if self.specs.windows(2).any(|w| w[0].id == w[1].id) {
+            return Err(RunError::InvalidInput("duplicate session id in scenario"));
+        }
+        Ok(Scenario::build_inner(
+            &self.cfg,
+            self.specs,
+            self.rep_token,
+            self.trace,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,13 +598,99 @@ mod tests {
 
     #[test]
     fn client_addressing_is_disjoint() {
+        // Cover the whole legacy range, the scheme transition at
+        // position 191, and a crowd well past 1,000 clients.
         let mut seen = std::collections::HashSet::new();
-        for i in 0..Scenario::MAX_SESSIONS {
+        for i in 0..2_000 {
             let (name, mac, ip) = client_addr(i);
             assert!(seen.insert((mac, ip)), "collision at position {i}");
             assert!(!name.is_empty());
             assert_ne!(ip, SERVER_IP);
             assert_ne!(ip, Ipv4Addr::new(192, 168, 1, 3)); // noise source
+            assert!(!mac.is_multicast(), "unicast MAC required at {i}");
+        }
+        // The legacy formula is frozen: positions 1..=190 must keep
+        // producing the addresses existing traces were recorded with.
+        assert_eq!(
+            client_addr(190).2,
+            Ipv4Addr::new(192, 168, 1, 254),
+            "legacy scheme must stay bit-identical"
+        );
+        assert_eq!(client_addr(191).2, Ipv4Addr::new(10, 77, 0, 191));
+    }
+
+    #[test]
+    fn builder_mirrors_build() {
+        // Same sessions, same knobs → the builder's scenario must be
+        // observably identical to the legacy constructor's.
+        let via_build = {
+            let mut sc = Scenario::build(&TestbedConfig::default(), vec![spec(0), spec(1)], 3);
+            sc.run();
+            (0..sc.len())
+                .map(|i| sc.session(i).result().rounds.clone())
+                .collect::<Vec<_>>()
+        };
+        let via_builder = {
+            let mut sc = Scenario::builder()
+                .sessions([spec(1), spec(0)])
+                .rep_token(3)
+                .build()
+                .unwrap();
+            sc.run();
+            (0..sc.len())
+                .map(|i| sc.session(i).result().rounds.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(via_build, via_builder);
+    }
+
+    #[test]
+    fn builder_validates_instead_of_panicking() {
+        assert!(matches!(
+            Scenario::builder().build(),
+            Err(RunError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            Scenario::builder().sessions([spec(4), spec(4)]).build(),
+            Err(RunError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            Scenario::builder()
+                .sessions([spec(0), spec(1)])
+                .session_limit(1)
+                .build(),
+            Err(RunError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            Scenario::builder()
+                .session(spec(0))
+                .session_limit(Scenario::ADDRESS_CAPACITY + 1)
+                .build(),
+            Err(RunError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            Scenario::builder()
+                .session(spec(0))
+                .session_limit(0)
+                .build(),
+            Err(RunError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn builder_lifts_the_legacy_cap() {
+        // More sessions than the old 64-session cap, validated through
+        // the builder. Running them to completion is the contend
+        // sweep's job; here we only need construction to succeed and
+        // the addressing to hold up.
+        let sc = Scenario::builder()
+            .sessions((0..100).map(spec))
+            .build()
+            .unwrap();
+        assert_eq!(sc.len(), 100);
+        #[allow(deprecated)]
+        {
+            assert!(sc.len() > Scenario::MAX_SESSIONS);
         }
     }
 }

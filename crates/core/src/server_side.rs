@@ -11,8 +11,8 @@
 use bnm_methods::MethodId;
 use bnm_sim::capture::{CaptureBuffer, CaptureDir};
 use bnm_sim::time::SimTime;
-use bnm_sim::wire::{ParsedPacket, Transport};
 
+use crate::frames::{contains, payload_of};
 use crate::matching::{request_marker, response_marker, MatchError};
 
 /// Server-side timestamps of one round.
@@ -35,19 +35,6 @@ impl ServerTimes {
     pub fn overhead_ms(&self, handler_delay_ms: f64) -> f64 {
         self.turnaround_ms() - handler_delay_ms
     }
-}
-
-fn payload_of(frame: &[u8]) -> Option<Vec<u8>> {
-    let parsed = ParsedPacket::parse(frame).ok()?;
-    Some(match parsed.transport {
-        Transport::Tcp(seg) => seg.payload.to_vec(),
-        Transport::Udp(d) => d.payload.to_vec(),
-        Transport::Icmp(_) | Transport::Other(_) => return None,
-    })
-}
-
-fn contains(haystack: &[u8], needle: &[u8]) -> bool {
-    !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
 }
 
 /// Match one round in a **server-side** capture.

@@ -96,7 +96,12 @@ impl CaptureBuffer {
     }
 
     /// Record one frame at wire-event time `ts`.
-    pub fn record(&mut self, ts: SimTime, dir: CaptureDir, frame: &Bytes) {
+    ///
+    /// Takes the frame by value: `Bytes` is a refcounted view, so the
+    /// record indexes into the same allocation the wire delivered —
+    /// nothing is copied, even under a snap length (truncation is a
+    /// zero-copy sub-view).
+    pub fn record(&mut self, ts: SimTime, dir: CaptureDir, frame: Bytes) {
         let stamped = match &mut self.noise {
             TimestampNoise::Exact => ts,
             TimestampNoise::UniformLag { bound_ns, rng } => {
@@ -116,7 +121,7 @@ impl CaptureBuffer {
         let frame = if frame.len() > self.snaplen {
             frame.slice(..self.snaplen)
         } else {
-            frame.clone()
+            frame
         };
         self.records.push(CaptureRecord {
             ts: stamped,
@@ -158,12 +163,12 @@ mod tests {
         buf.record(
             SimTime::from_millis(1),
             CaptureDir::Tx,
-            &Bytes::from_static(b"a"),
+            Bytes::from_static(b"a"),
         );
         buf.record(
             SimTime::from_millis(2),
             CaptureDir::Rx,
-            &Bytes::from_static(b"b"),
+            Bytes::from_static(b"b"),
         );
         assert_eq!(buf.len(), 2);
         assert_eq!(buf.records()[0].dir, CaptureDir::Tx);
@@ -179,7 +184,7 @@ mod tests {
         let mut buf = CaptureBuffer::new("t").with_noise(noise);
         let t = SimTime::from_millis(10);
         for _ in 0..100 {
-            buf.record(t, CaptureDir::Rx, &Bytes::from_static(b"x"));
+            buf.record(t, CaptureDir::Rx, Bytes::from_static(b"x"));
         }
         for r in buf.records() {
             assert!(r.ts >= t);
@@ -200,7 +205,7 @@ mod tests {
             buf.record(
                 SimTime::from_nanos(i * 10),
                 CaptureDir::Rx,
-                &Bytes::from_static(b"x"),
+                Bytes::from_static(b"x"),
             );
         }
         let mut prev = SimTime::ZERO;
@@ -213,18 +218,14 @@ mod tests {
     #[test]
     fn snaplen_truncates() {
         let mut buf = CaptureBuffer::new("t").with_snaplen(3);
-        buf.record(
-            SimTime::ZERO,
-            CaptureDir::Tx,
-            &Bytes::from_static(b"abcdef"),
-        );
+        buf.record(SimTime::ZERO, CaptureDir::Tx, Bytes::from_static(b"abcdef"));
         assert_eq!(&buf.records()[0].frame[..], b"abc");
     }
 
     #[test]
     fn clear_empties() {
         let mut buf = CaptureBuffer::new("t");
-        buf.record(SimTime::ZERO, CaptureDir::Tx, &Bytes::from_static(b"a"));
+        buf.record(SimTime::ZERO, CaptureDir::Tx, Bytes::from_static(b"a"));
         buf.clear();
         assert!(buf.is_empty());
     }

@@ -184,6 +184,21 @@ impl Engine {
         self.trace = trace;
     }
 
+    /// Swap the scheduler for the reference `BinaryHeap` implementation
+    /// (see [`EventQueue::reference_heap`]). Pop order — and therefore
+    /// every simulation result — is identical to the default timer
+    /// wheel; this exists for differential tests and as the benchmark
+    /// baseline.
+    ///
+    /// Panics if the simulation has already started.
+    pub fn use_reference_scheduler(&mut self) {
+        assert!(
+            !self.started && self.queue.is_empty(),
+            "scheduler must be selected before the simulation starts"
+        );
+        self.queue = EventQueue::reference_heap();
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -475,27 +490,39 @@ impl Engine {
         // Transmit-side taps see the frame as the host hands it to the
         // wire, before fault injection — smoltcp's "dropped packets still
         // get traced" behaviour, and what a capture driver on the sending
-        // host sees.
-        let src_taps: Vec<TapId> = self.links[link_id].source_taps(dir).to_vec();
-        if self.trace.is_enabled() && !src_taps.is_empty() {
+        // host sees. Taps are walked by index so the hot path borrows
+        // the link's tap list without copying it.
+        let n_src_taps = self.links[link_id].source_taps(dir).len();
+        if self.trace.is_enabled() && n_src_taps > 0 {
             self.trace
                 .instant(t.as_nanos(), "tap", "tx", Some(frame.len() as f64));
         }
-        for tap in src_taps {
-            self.taps[tap].record(t, CaptureDir::Tx, &frame);
+        for i in 0..n_src_taps {
+            let tap = self.links[link_id].source_taps(dir)[i];
+            self.taps[tap].record(t, CaptureDir::Tx, frame.clone());
         }
 
         let action = match self.links[link_id].dir_state(dir).fault.as_mut() {
             Some(inj) => inj.apply(frame),
             None => FaultAction::Deliver(frame),
         };
-        let frames: Vec<Bytes> = match action {
+        // At most two frames leave (the duplication fault); threading
+        // them through an `Option` keeps the common single-frame case
+        // free of a `Vec` allocation. The refcounted buffer means the
+        // duplicate shares the original's allocation.
+        let (first, dup) = match action {
             FaultAction::Drop => return,
-            FaultAction::Deliver(f) | FaultAction::DeliverCorrupted(f) => vec![f],
-            FaultAction::Duplicate(f) => vec![f.clone(), f],
+            FaultAction::Deliver(f) | FaultAction::DeliverCorrupted(f) => (f, false),
+            FaultAction::Duplicate(f) => (f, true),
         };
+        let mut dup_pending = dup;
+        let mut next_frame = Some(first);
 
-        for f in frames {
+        while let Some(f) = next_frame.take() {
+            if dup_pending {
+                dup_pending = false;
+                next_frame = Some(f.clone());
+            }
             let len = f.len();
             let st = self.links[link_id].dir_state(dir);
             if st.queued_bytes + len > spec.queue_limit_bytes {
@@ -545,17 +572,18 @@ impl Engine {
             let arrival = tx_done + spec.propagation + extra;
             let sink = self.links[link_id].sink(dir);
             // Receive-side taps stamp at arrival.
-            let sink_taps: Vec<TapId> = self.links[link_id].sink_taps(dir).to_vec();
-            if self.trace.is_enabled() && !sink_taps.is_empty() {
+            let n_sink_taps = self.links[link_id].sink_taps(dir).len();
+            if self.trace.is_enabled() && n_sink_taps > 0 {
                 self.trace
                     .instant(arrival.as_nanos(), "tap", "rx", Some(len as f64));
             }
-            for tap in sink_taps {
+            for i in 0..n_sink_taps {
                 // Tap records are written at schedule time but stamped with
                 // the arrival instant; since `arrival` is deterministic this
                 // is equivalent to recording on delivery, and keeps taps
                 // ordered even if the receiving node is slow.
-                self.taps[tap].record(arrival, CaptureDir::Rx, &f);
+                let tap = self.links[link_id].sink_taps(dir)[i];
+                self.taps[tap].record(arrival, CaptureDir::Rx, f.clone());
             }
             self.queue.push(
                 arrival,

@@ -27,27 +27,42 @@ fn write_global_header<W: Write>(w: &mut W, snaplen: u32) -> io::Result<()> {
     Ok(())
 }
 
-/// Serialize `buffer` as a pcap byte stream.
-pub fn to_bytes(buffer: &CaptureBuffer) -> Vec<u8> {
-    let mut out = Vec::new();
-    write_global_header(&mut out, 65535).expect("writing to Vec cannot fail");
+/// Stream `buffer` as a pcap byte stream into any writer.
+///
+/// Records are written straight from the capture's shared frame
+/// buffers — no intermediate full-trace copy is materialized, so
+/// exporting a capture costs one pass over the records regardless of
+/// trace size.
+pub fn write_to<W: Write>(buffer: &CaptureBuffer, w: &mut W) -> io::Result<()> {
+    write_global_header(w, 65535)?;
     for rec in buffer.records() {
         let ts_ns = rec.ts.as_nanos();
         let ts_sec = (ts_ns / 1_000_000_000) as u32;
         let ts_usec = ((ts_ns % 1_000_000_000) / 1_000) as u32;
         let len = rec.frame.len() as u32;
-        out.extend_from_slice(&ts_sec.to_le_bytes());
-        out.extend_from_slice(&ts_usec.to_le_bytes());
-        out.extend_from_slice(&len.to_le_bytes()); // incl_len
-        out.extend_from_slice(&len.to_le_bytes()); // orig_len
-        out.extend_from_slice(&rec.frame);
+        w.write_all(&ts_sec.to_le_bytes())?;
+        w.write_all(&ts_usec.to_le_bytes())?;
+        w.write_all(&len.to_le_bytes())?; // incl_len
+        w.write_all(&len.to_le_bytes())?; // orig_len
+        w.write_all(&rec.frame)?;
     }
+    Ok(())
+}
+
+/// Serialize `buffer` as a pcap byte stream in memory.
+pub fn to_bytes(buffer: &CaptureBuffer) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_to(buffer, &mut out).expect("writing to Vec cannot fail");
     out
 }
 
-/// Write `buffer` to a `.pcap` file at `path`.
+/// Write `buffer` to a `.pcap` file at `path`, streaming records
+/// through a buffered writer instead of building the trace in memory.
 pub fn write_file(buffer: &CaptureBuffer, path: &Path) -> io::Result<()> {
-    std::fs::write(path, to_bytes(buffer))
+    let file = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(file);
+    write_to(buffer, &mut w)?;
+    w.flush()
 }
 
 #[cfg(test)]
@@ -62,12 +77,12 @@ mod tests {
         b.record(
             SimTime::from_nanos(1_500_002_000),
             CaptureDir::Tx,
-            &Bytes::from_static(&[0xAA; 60]),
+            Bytes::from_static(&[0xAA; 60]),
         );
         b.record(
             SimTime::from_millis(1600),
             CaptureDir::Rx,
-            &Bytes::from_static(&[0xBB; 100]),
+            Bytes::from_static(&[0xBB; 100]),
         );
         b
     }

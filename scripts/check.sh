@@ -4,15 +4,19 @@
 #   scripts/check.sh            # fmt + build + test + parity + clippy + docs + smoke
 #   scripts/check.sh --fast     # skip the release build (debug test run only)
 #   scripts/check.sh --quick    # skip the bench-sweep smoke steps
+#   scripts/check.sh --bench    # also run the engine bench (quick mode),
+#                               # writing machine-readable BENCH_engine.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
 quick=0
+bench=0
 for arg in "$@"; do
   case "$arg" in
     --fast) fast=1 ;;
     --quick) quick=1 ;;
+    --bench) bench=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -64,6 +68,15 @@ if [[ $quick -eq 0 && $fast -eq 0 ]]; then
     echo "contend smoke produced $rows rows, expected >= 4" >&2
     exit 1
   fi
+fi
+
+# Engine benchmark, quick mode: one timed crowd run per scheduler
+# (wheel+pool vs the reference BinaryHeap baseline), events/sec and
+# peak RSS written to BENCH_engine.json at the repo root.
+if [[ $bench -eq 1 ]]; then
+  echo "==> engine bench (quick mode) -> BENCH_engine.json"
+  BNM_BENCH_QUICK=1 BNM_BENCH_OUT="$PWD/BENCH_engine.json" \
+    cargo bench -p bnm-bench --bench engine
 fi
 
 echo "OK"

@@ -30,8 +30,8 @@ pub use bnm_time as timeapi;
 // `Executor` or `ExperimentRunner::try_run`, and handle `RunError`.
 pub use bnm_core::exec::{self, ExecStats, Executor, Progress};
 pub use bnm_core::{
-    Appraisal, CellBuilder, CellResult, ExperimentCell, ExperimentRunner, FaultSpec, Impairment,
-    RunError, RuntimeSel, Verdict,
+    Appraisal, CellBuilder, CellResult, ContentionSpec, ExperimentCell, ExperimentRunner,
+    FaultSpec, Impairment, RunError, RuntimeSel, Verdict,
 };
 
 /// The curated working set for driving experiments.
@@ -59,9 +59,9 @@ pub mod prelude {
     pub use bnm_core::attribution::RoundAttribution;
     pub use bnm_core::exec::{ExecStats, Executor, Progress};
     pub use bnm_core::{
-        Appraisal, CellBuilder, CellResult, ExperimentCell, ExperimentRunner, FaultSpec,
-        Impairment, RepOutcome, RoundMeasurement, RunError, RuntimeSel, Scenario, SessionSamples,
-        SessionSpec, Testbed, TestbedBuilder, Verdict,
+        Appraisal, CellBuilder, CellResult, ContentionSpec, ExperimentCell, ExperimentRunner,
+        FaultSpec, Impairment, RepOutcome, RoundMeasurement, RunError, RuntimeSel, Scenario,
+        ScenarioBuilder, SessionSamples, SessionSpec, Testbed, TestbedBuilder, Verdict,
     };
     pub use bnm_methods::MethodId;
     pub use bnm_obs::{Component, Trace, TraceData};

@@ -23,7 +23,9 @@ use bnm::core::appraisal::Appraisal;
 use bnm::core::baseline::ping_baseline;
 use bnm::core::recommend::{self, Constraints};
 use bnm::core::throughput::run_bulk_rep;
-use bnm::core::{ExperimentCell, ExperimentRunner, FaultSpec, Impairment, RuntimeSel};
+use bnm::core::{
+    ContentionSpec, ExperimentCell, ExperimentRunner, FaultSpec, Impairment, RuntimeSel,
+};
 use bnm::methods::{table1_rows, MethodId};
 use bnm::sim::time::{SimDuration, SimTime};
 use bnm::stats::Summary;
@@ -78,7 +80,7 @@ fn usage() -> ! {
                  [--format text|json|csv]     Δd on an impaired network (P in [0,1])\n  \
            contend [--method L] [--browser B] [--os O] [--clients N] [--reps N]\n        \
                  [--seed S] [--rate-mbps R] [--format text|json|csv]\n        \
-                 Δd vs concurrent clients sharing one server link (N in [1,64])\n  \
+                 Δd vs concurrent clients sharing one server link (N in [1,4096])\n  \
            probe [--os O]                        timestamp-granularity probe (Figure 5)\n  \
            ping                                  ICMP baseline over the testbed\n  \
            tput [--method L] [--size BYTES]      throughput-estimate accuracy\n  \
@@ -433,7 +435,7 @@ fn cmd_contend(flags: &HashMap<String, String>) {
         .get("clients")
         .and_then(|c| c.parse().ok())
         .unwrap_or(64);
-    if !(1..=64).contains(&max_clients) {
+    if !(1..=4096).contains(&max_clients) {
         usage();
     }
     let reps: u32 = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(10);
@@ -493,8 +495,7 @@ fn cmd_contend(flags: &HashMap<String, String>) {
         let cell = match ExperimentCell::builder(method, RuntimeSel::Browser(browser), os)
             .reps(reps)
             .seed(seed)
-            .clients(c)
-            .server_link_rate(rate_bps)
+            .contention(ContentionSpec::clients(c).with_server_link_rate(rate_bps))
             .build()
         {
             Ok(cell) => cell,

@@ -28,7 +28,7 @@ fn cell(clients: u32, reps: u32, trace: bool) -> ExperimentCell {
     )
     .reps(reps)
     .seed(0xB32B_5CEA)
-    .clients(clients);
+    .contention(ContentionSpec::clients(clients));
     if trace { b.trace(true) } else { b }.build().unwrap()
 }
 
@@ -111,7 +111,7 @@ fn one_session_scenario_matches_the_legacy_testbed_path() {
 #[test]
 fn clients_one_is_byte_identical_to_the_plain_cell() {
     let plain = cell(1, 4, false);
-    let spelled = plain.clone().with_clients(1);
+    let spelled = plain.clone().with_contention(ContentionSpec::clients(1));
     let a = ExperimentRunner::try_run(&plain).unwrap();
     let b = ExperimentRunner::try_run(&spelled).unwrap();
     assert_eq!(a.d1, b.d1);
