@@ -270,17 +270,7 @@ fn bench_crowd_scheduler(c: &mut Criterion) {
 // configurations, the speedup, peak RSS) to `$BNM_BENCH_OUT` or the
 // current directory.
 
-fn peak_rss_kib() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines()
-                .find(|l| l.starts_with("VmHWM:"))
-                .and_then(|l| l.split_whitespace().nth(1))
-                .and_then(|v| v.parse().ok())
-        })
-        .unwrap_or(0)
-}
+use bnm_bench::meta::peak_rss_kib;
 
 fn time_crowd(reference: bool, pooled: bool) -> (u64, f64) {
     let mut best = f64::INFINITY;
@@ -309,7 +299,8 @@ fn quick_crowd_report() {
     let speedup = eps_wheel / eps_heap;
     let rss = peak_rss_kib();
     let json = format!(
-        "{{\n  \"bench\": \"engine_crowd\",\n  \"clients\": {CROWD_CLIENTS},\n  \"timers_per_client\": {CROWD_TIMERS},\n  \"events\": {ev_wheel},\n  \"wheel_pooled\": {{ \"seconds\": {s_wheel:.6}, \"events_per_sec\": {eps_wheel:.0} }},\n  \"reference_heap\": {{ \"seconds\": {s_heap:.6}, \"events_per_sec\": {eps_heap:.0} }},\n  \"speedup\": {speedup:.2},\n  \"peak_rss_kib\": {rss}\n}}\n"
+        "{{\n  \"bench\": \"engine_crowd\",\n  \"meta\": {},\n  \"clients\": {CROWD_CLIENTS},\n  \"timers_per_client\": {CROWD_TIMERS},\n  \"events\": {ev_wheel},\n  \"wheel_pooled\": {{ \"seconds\": {s_wheel:.6}, \"events_per_sec\": {eps_wheel:.0} }},\n  \"reference_heap\": {{ \"seconds\": {s_heap:.6}, \"events_per_sec\": {eps_heap:.0} }},\n  \"speedup\": {speedup:.2},\n  \"peak_rss_kib\": {rss}\n}}\n",
+        bnm_bench::meta::json_object()
     );
     let out = std::env::var("BNM_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
     std::fs::write(&out, &json).expect("write BENCH_engine.json");

@@ -1,0 +1,173 @@
+//! Post-processing pipeline benchmark: batch retention + full-capture
+//! re-parsing (the PR 6 baseline behaviour) against the streaming
+//! pipeline (incremental tap draining, per-direction server marker
+//! index, sketch-backed bounded retention).
+//!
+//! The headline workload is the crowd tier of the contention sweep —
+//! 1,000 XHR clients sharing a server link at the sweep's constant
+//! per-client rate — with 2% frame loss, run end to end through
+//! `ExperimentRunner`. Loss is where the two pipelines diverge hardest:
+//! the batch path answers "was this round retransmitted?" by scanning
+//! the *entire* retained server capture once per (session, round),
+//! which is quadratic in the crowd size, while the streaming
+//! `ServerMarkerIndex` folds every marker occurrence into per-round
+//! counters in a single pass at capture time.
+//!
+//! Two memory figures are reported, deliberately:
+//!
+//! * `peak_rss_kib` — whole-process `VmHWM`. At 1,000 clients this is
+//!   dominated by live simulation state (TCP send/retransmission
+//!   buffers, queued frames), which no post-processing change can
+//!   touch, so the ratio understates the pipeline's effect.
+//! * `capture_live_peak_frames` — the frame pool's live-buffer
+//!   high-water mark, i.e. the retention footprint the pipeline
+//!   actually controls. This is the basis of the headline `rss_ratio`.
+//!
+//! Quick mode (`BNM_BENCH_QUICK=1`, what `scripts/check.sh --bench`
+//! runs) times both configurations once each and writes
+//! `BENCH_pipeline.json` (to `$BNM_BENCH_PIPELINE_OUT` or the current
+//! directory). `VmHWM` is monotone over a process lifetime, so the
+//! low-memory streaming configuration MUST run first; the batch peak
+//! read afterwards is still the true batch peak because it dominates.
+
+use criterion::{criterion_group, Criterion};
+
+use bnm_bench::meta;
+use bnm_browser::BrowserKind;
+use bnm_core::config::{ContentionSpec, StreamingSpec};
+use bnm_core::{CellResult, Executor, ExperimentCell, Impairment, RuntimeSel};
+use bnm_methods::MethodId;
+use bnm_time::OsKind;
+
+/// Crowd tier size: the contention sweep's largest tier.
+const CROWD_CLIENTS: u32 = 1000;
+/// Per-client share of the server link, matching the sweep's crowd
+/// regime (0.4 Mbps legacy link split 64 ways).
+const PER_CLIENT_BPS: u64 = 6_250;
+const CROWD_REPS: u32 = 2;
+/// Frame loss on the shared link: retransmissions force the exclusion
+/// check, the regime the marker index exists for.
+const LOSS: f64 = 0.02;
+/// Raw samples kept per session before spilling to sketches.
+const RETENTION: u32 = 64;
+
+fn crowd_cell(clients: u32, streaming: StreamingSpec) -> ExperimentCell {
+    ExperimentCell::builder(
+        MethodId::XhrGet,
+        RuntimeSel::Browser(BrowserKind::Chrome),
+        OsKind::Ubuntu1204,
+    )
+    .reps(CROWD_REPS)
+    .seed(0xC0FF_EE01)
+    .contention(
+        ContentionSpec::clients(clients).with_server_link_rate(PER_CLIENT_BPS * u64::from(clients)),
+    )
+    .impairment(Impairment::loss(LOSS))
+    .streaming(streaming)
+    .build()
+    .expect("crowd cell is runnable")
+}
+
+/// The streaming configuration under test: incremental draining,
+/// bounded retention, marker-index exclusion checks.
+fn streaming_spec() -> StreamingSpec {
+    StreamingSpec::bounded(RETENTION)
+}
+
+/// One timed end-to-end run; returns the result, the wall seconds and
+/// the pool's live-frame high-water mark.
+fn timed(cell: &ExperimentCell) -> (CellResult, f64, i64) {
+    let start = std::time::Instant::now();
+    let (mut results, stats) = Executor::new().run_with_stats(std::slice::from_ref(cell), |_| {});
+    let dt = start.elapsed().as_secs_f64();
+    let r = results
+        .pop()
+        .expect("one result per cell")
+        .expect("crowd run succeeds");
+    (r, dt, stats.pool.live_peak)
+}
+
+// ---------------------------------------------------------------------
+// Criterion mode: a smaller tier so the statistics pass stays tractable.
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("crowd_128_batch", |b| {
+        let cell = crowd_cell(128, StreamingSpec::batch());
+        b.iter(|| timed(&cell))
+    });
+    g.bench_function("crowd_128_streaming", |b| {
+        let cell = crowd_cell(128, streaming_spec());
+        b.iter(|| timed(&cell))
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------------
+// Quick mode: the full 1,000-client tier, once per configuration, with
+// the acceptance numbers written to BENCH_pipeline.json.
+
+fn quick_pipeline_report() {
+    // Streaming first: VmHWM is monotone, and this is the low-water
+    // configuration.
+    let (stream_res, s_stream, frames_stream) = timed(&crowd_cell(CROWD_CLIENTS, streaming_spec()));
+    let rss_stream = meta::peak_rss_kib();
+    let (batch_res, s_batch, frames_batch) =
+        timed(&crowd_cell(CROWD_CLIENTS, StreamingSpec::batch()));
+    let rss_batch = meta::peak_rss_kib();
+
+    // The pipelines must agree on what they measured: same exclusions,
+    // same per-session samples (retention of 64 keeps all raw samples
+    // at 2 reps, so the comparison is exact).
+    assert_eq!(
+        stream_res.excluded_rounds, batch_res.excluded_rounds,
+        "streaming and batch disagree on exclusions"
+    );
+    assert_eq!(
+        stream_res.failures, batch_res.failures,
+        "streaming and batch disagree on failures"
+    );
+    for (a, b) in stream_res.sessions.iter().zip(&batch_res.sessions) {
+        assert_eq!(a.d1, b.d1, "session {} d1 diverged", a.session);
+        assert_eq!(a.d2, b.d2, "session {} d2 diverged", a.session);
+    }
+
+    let speedup = s_batch / s_stream;
+    let process_ratio = rss_batch as f64 / rss_stream.max(1) as f64;
+    let capture_ratio = frames_batch as f64 / frames_stream.max(1) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline_crowd\",\n  \"meta\": {},\n  \"clients\": {CROWD_CLIENTS},\n  \"reps\": {CROWD_REPS},\n  \"loss\": {LOSS},\n  \"retention\": {RETENTION},\n  \"streaming\": {{ \"seconds\": {s_stream:.6}, \"peak_rss_kib\": {rss_stream}, \"capture_live_peak_frames\": {frames_stream} }},\n  \"batch\": {{ \"seconds\": {s_batch:.6}, \"peak_rss_kib\": {rss_batch}, \"capture_live_peak_frames\": {frames_batch} }},\n  \"speedup\": {speedup:.2},\n  \"rss_ratio\": {capture_ratio:.2},\n  \"rss_ratio_basis\": \"capture_live_peak_frames\",\n  \"process_rss_ratio\": {process_ratio:.2}\n}}\n",
+        meta::json_object()
+    );
+    let out =
+        std::env::var("BNM_BENCH_PIPELINE_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_pipeline.json");
+    println!("pipeline crowd bench ({CROWD_CLIENTS} clients x {CROWD_REPS} reps, {LOSS} loss)");
+    println!(
+        "  streaming  {s_stream:>9.3} s   peak RSS {rss_stream:>9} KiB   live frames {frames_stream:>8}"
+    );
+    println!(
+        "  batch      {s_batch:>9.3} s   peak RSS {rss_batch:>9} KiB   live frames {frames_batch:>8}"
+    );
+    println!("  speedup             {speedup:>8.2}x");
+    println!("  capture footprint   {capture_ratio:>8.2}x lower (process RSS {process_ratio:.2}x)");
+    println!("  wrote {out}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+
+fn main() {
+    if std::env::var("BNM_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        quick_pipeline_report();
+        return;
+    }
+    benches();
+}

@@ -16,8 +16,8 @@
 use bnm_bench::cli::BenchArgs;
 use bnm_bench::heading;
 use bnm_browser::BrowserKind;
-use bnm_core::config::ContentionSpec;
-use bnm_core::{ExperimentCell, ExperimentRunner, RuntimeSel};
+use bnm_core::config::{ContentionSpec, StreamingSpec};
+use bnm_core::{CellResult, Executor, ExperimentCell, RunError, RuntimeSel};
 use bnm_methods::MethodId;
 use bnm_time::OsKind;
 
@@ -43,6 +43,16 @@ fn median(v: &[f64]) -> f64 {
     }
 }
 
+/// One tier end to end, returning the result plus the frame pool's
+/// per-tier counters (live-buffer high-water mark and fresh
+/// allocations) so the CSV records the capture footprint alongside the
+/// Δd numbers.
+fn run_tier(cell: &ExperimentCell) -> Result<(CellResult, bytes::pool::PoolStats), RunError> {
+    let (mut results, stats) = Executor::new().run_with_stats(std::slice::from_ref(cell), |_| {});
+    let r = results.pop().expect("one result per cell")?;
+    Ok((r, stats.pool))
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let n = args.reps.min(10);
@@ -65,7 +75,7 @@ fn main() {
     );
     let mut csv = String::from(
         "method,runtime,clients,rate_bps,d1_median_ms,d2_median_ms,d1_n,d2_n,\
-         excluded_rounds,failures\n",
+         excluded_rounds,failures,pool_live_peak,pool_allocated\n",
     );
     for (method, browser, os) in methods {
         let label = format!("{} / {}", method.display_name(), browser.initial());
@@ -76,8 +86,8 @@ fn main() {
                 .contention(ContentionSpec::clients(c).with_server_link_rate(rate))
                 .build()
                 .expect("sweep cells are runnable");
-            let r = match ExperimentRunner::try_run(&cell) {
-                Ok(r) => r,
+            let (r, pool) = match run_tier(&cell) {
+                Ok(out) => out,
                 Err(e) => {
                     eprintln!("skipping {label} @ {c} clients: {e}");
                     continue;
@@ -97,7 +107,7 @@ fn main() {
                 r.failures
             );
             csv.push_str(&format!(
-                "{},{},{},{},{:.4},{:.4},{},{},{},{}\n",
+                "{},{},{},{},{:.4},{:.4},{},{},{},{},{},{}\n",
                 method.label(),
                 browser.initial(),
                 c,
@@ -107,7 +117,9 @@ fn main() {
                 d1.len(),
                 d2.len(),
                 r.excluded_rounds,
-                r.failures
+                r.failures,
+                pool.live_peak,
+                pool.allocated
             ));
         }
         println!();
@@ -151,14 +163,22 @@ fn main() {
         let label = format!("{} / {}", method.display_name(), browser.initial());
         for c in crowd_counts {
             let crowd_rate = per_client * u64::from(c);
+            // Crowd tiers run the streaming pipeline with bounded
+            // retention: frames recycle at capture time instead of
+            // accumulating a tier's whole capture, and the per-session
+            // samples spill to sketches past 64 raw values (at crowd
+            // reps <= 2 every raw sample is retained, so the medians
+            // are exactly the batch pipeline's — asserted bit-for-bit
+            // by tests/streaming_parity.rs).
             let cell = ExperimentCell::builder(method, RuntimeSel::Browser(browser), os)
                 .reps(crowd_reps)
                 .seed(args.seed)
                 .contention(ContentionSpec::clients(c).with_server_link_rate(crowd_rate))
+                .streaming(StreamingSpec::bounded(64))
                 .build()
                 .expect("crowd cells are runnable");
-            let r = match ExperimentRunner::try_run(&cell) {
-                Ok(r) => r,
+            let (r, pool) = match run_tier(&cell) {
+                Ok(out) => out,
                 Err(e) => {
                     eprintln!("skipping {label} @ {c} clients: {e}");
                     continue;
@@ -175,7 +195,7 @@ fn main() {
                 r.failures
             );
             csv.push_str(&format!(
-                "{},{},{},{},{:.4},{:.4},{},{},{},{}\n",
+                "{},{},{},{},{:.4},{:.4},{},{},{},{},{},{}\n",
                 method.label(),
                 browser.initial(),
                 c,
@@ -185,7 +205,9 @@ fn main() {
                 d1.len(),
                 d2.len(),
                 r.excluded_rounds,
-                r.failures
+                r.failures,
+                pool.live_peak,
+                pool.allocated
             ));
         }
         println!();

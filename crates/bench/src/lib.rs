@@ -21,6 +21,7 @@
 #![deny(deprecated)]
 
 pub mod cli;
+pub mod meta;
 
 use std::fs;
 use std::io::IsTerminal;

@@ -1,0 +1,121 @@
+//! Run metadata for the machine-readable bench reports.
+//!
+//! Every `BENCH_*.json` artifact embeds the commit, date, toolchain and
+//! core count it was produced with, so a regression flagged by
+//! `scripts/bench_compare.sh` can always be traced to a concrete
+//! environment. All probes degrade to `"unknown"` rather than failing —
+//! a bench run must never die on a missing `git` binary.
+
+use std::process::Command;
+
+/// First line of a command's stdout, or `None`.
+fn probe(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let line = s.lines().next()?.trim();
+    (!line.is_empty()).then(|| line.to_string())
+}
+
+/// Short hash of the checked-out commit, with `+dirty` when the work
+/// tree has local modifications.
+pub fn git_rev() -> String {
+    let Some(rev) = probe("git", &["rev-parse", "--short=12", "HEAD"]) else {
+        return "unknown".into();
+    };
+    let dirty = probe("git", &["status", "--porcelain"]).is_some_and(|s| !s.is_empty());
+    if dirty {
+        format!("{rev}+dirty")
+    } else {
+        rev
+    }
+}
+
+/// The `rustc --version` line.
+pub fn rustc_version() -> String {
+    probe("rustc", &["--version"]).unwrap_or_else(|| "unknown".into())
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, derived from the system clock
+/// without a calendar dependency (Howard Hinnant's civil-from-days).
+pub fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let z = secs.div_euclid(86_400) + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Logical cores available to this process.
+pub fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The shared `"meta"` JSON object (no trailing comma/newline), ready
+/// to splice into a report: `{"git_rev": ..., "date": ..., "rustc":
+/// ..., "cores": ...}`.
+pub fn json_object() -> String {
+    format!(
+        "{{ \"git_rev\": \"{}\", \"date\": \"{}\", \"rustc\": \"{}\", \"cores\": {} }}",
+        git_rev(),
+        utc_date(),
+        rustc_version(),
+        cores()
+    )
+}
+
+/// Peak resident set size of this process in KiB (`VmHWM` — monotone
+/// over the process lifetime, so measure the low-water configuration
+/// first).
+pub fn peak_rss_kib() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_is_iso_shaped() {
+        let d = utc_date();
+        assert_eq!(d.len(), 10, "{d}");
+        assert_eq!(&d[4..5], "-");
+        assert_eq!(&d[7..8], "-");
+        assert!(d[..4].parse::<u32>().unwrap() >= 2024);
+    }
+
+    #[test]
+    fn meta_object_is_populated() {
+        let j = json_object();
+        assert!(j.contains("\"git_rev\""));
+        assert!(j.contains("\"cores\""));
+        assert!(!j.contains("\"\""), "empty field in {j}");
+    }
+
+    #[test]
+    fn rss_probe_reads_something() {
+        assert!(peak_rss_kib() > 0);
+    }
+}

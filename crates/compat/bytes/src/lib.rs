@@ -46,6 +46,17 @@ pub mod pool {
         pub allocated: u64,
         /// Buffers returned to the free list on drop.
         pub reclaimed: u64,
+        /// `Bytes` backing buffers currently alive on this thread:
+        /// births (every `Vec<u8> -> Bytes` conversion with nonzero
+        /// capacity, which all allocating constructors funnel through)
+        /// minus last-reference drops. A buffer that migrates to
+        /// another thread before its final drop is debited there, so
+        /// per-thread values are approximate under cross-thread
+        /// hand-off; single-threaded flows (an engine run) are exact.
+        pub live: i64,
+        /// High-water mark of [`PoolStats::live`] since the last reset
+        /// — the retention gauge the streaming capture pipeline bounds.
+        pub live_peak: i64,
     }
 
     struct PoolInner {
@@ -63,9 +74,25 @@ pub mod pool {
                     reused: 0,
                     allocated: 0,
                     reclaimed: 0,
+                    live: 0,
+                    live_peak: 0,
                 },
             })
         };
+    }
+
+    impl PoolStats {
+        /// Fold another thread's counters into this one: counts and
+        /// `live` add; `live_peak` adds too, making the absorbed value
+        /// an **upper bound** on the true cross-thread peak (the
+        /// threads' peaks need not have coincided in time).
+        pub fn absorb(&mut self, other: &PoolStats) {
+            self.reused += other.reused;
+            self.allocated += other.allocated;
+            self.reclaimed += other.reclaimed;
+            self.live += other.live;
+            self.live_peak += other.live_peak;
+        }
     }
 
     /// Enable or disable recycling on the current thread. Disabling
@@ -86,7 +113,9 @@ pub mod pool {
         POOL.try_with(|p| p.borrow().stats).unwrap_or_default()
     }
 
-    /// Zero the counters for the current thread.
+    /// Zero the counters for the current thread. `live`/`live_peak`
+    /// restart from zero, so they gauge buffers born after the reset;
+    /// buffers already outstanding debit below zero when they drop.
     pub fn reset_stats() {
         let _ = POOL.try_with(|p| p.borrow_mut().stats = PoolStats::default());
     }
@@ -113,6 +142,22 @@ pub mod pool {
             Vec::with_capacity(cap)
         })
         .unwrap_or_else(|_| Vec::with_capacity(cap))
+    }
+
+    /// A `Bytes` backing buffer came alive on this thread.
+    pub(crate) fn note_birth() {
+        let _ = POOL.try_with(|p| {
+            let mut p = p.borrow_mut();
+            p.stats.live += 1;
+            if p.stats.live > p.stats.live_peak {
+                p.stats.live_peak = p.stats.live;
+            }
+        });
+    }
+
+    /// The last reference to a `Bytes` backing buffer dropped.
+    pub(crate) fn note_death() {
+        let _ = POOL.try_with(|p| p.borrow_mut().stats.live -= 1);
     }
 
     pub(crate) fn reclaim(mut v: Vec<u8>) {
@@ -207,6 +252,9 @@ impl Drop for Bytes {
         // glue, and `ManuallyDrop` suppresses the automatic second drop.
         let arc = unsafe { ManuallyDrop::take(&mut self.data) };
         if let Ok(v) = Arc::try_unwrap(arc) {
+            if v.capacity() > 0 {
+                pool::note_death();
+            }
             pool::reclaim(v);
         }
     }
@@ -233,6 +281,12 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
+        // Capacity-0 vectors (e.g. the derived `Default`) hold no
+        // allocation, so they don't count toward the live gauge —
+        // `Drop` applies the same gate.
+        if v.capacity() > 0 {
+            pool::note_birth();
+        }
         let end = v.len();
         Bytes {
             data: ManuallyDrop::new(Arc::new(v)),
@@ -613,6 +667,28 @@ mod tests {
         let b = Bytes::copy_from_slice(b"still works");
         assert_eq!(&b[..], b"still works");
         pool::set_enabled(true);
+    }
+
+    #[test]
+    fn live_gauge_tracks_births_and_last_drops() {
+        pool::reset_stats();
+        let base = pool::stats().live;
+        let a = Bytes::from(vec![1u8; 32]);
+        let b = Bytes::copy_from_slice(&[2u8; 32]);
+        let c = Bytes::from(String::from("frozen payload"));
+        assert_eq!(pool::stats().live, base + 3);
+        assert!(pool::stats().live_peak >= base + 3);
+        let view = a.slice(4..8); // clone of the same buffer: no birth
+        assert_eq!(pool::stats().live, base + 3);
+        drop(a); // `view` still holds the buffer
+        assert_eq!(pool::stats().live, base + 3);
+        drop(view);
+        assert_eq!(pool::stats().live, base + 2);
+        drop((b, c));
+        assert_eq!(pool::stats().live, base);
+        // Default/empty Bytes hold no allocation and never count.
+        drop(Bytes::new());
+        assert_eq!(pool::stats().live, base);
     }
 
     #[test]

@@ -35,7 +35,7 @@ impl RuntimeSel {
 /// typed value.
 ///
 /// Replaces the loose `.clients(n)` / `.server_link_rate(bps)` builder
-/// pair (now deprecated): the two knobs only mean something together,
+/// pair (removed in 0.3.0): the two knobs only mean something together,
 /// since narrowing the server link without contention measures nothing
 /// and contention over full fast Ethernet barely queues.
 ///
@@ -102,6 +102,92 @@ impl ContentionSpec {
     }
 }
 
+/// How the post-processing pipeline consumes captures and stores
+/// per-session samples — the streaming knobs of the crowd-scale
+/// extension as one typed value.
+///
+/// The default reproduces the batch pipeline byte for byte: taps retain
+/// every frame until the repetition ends, matching parses the full
+/// trace, and every session keeps its raw Δd sample vectors. The
+/// streaming knobs trade retention for bounded memory without changing
+/// a single output bit (asserted by `tests/streaming_parity.rs`):
+///
+/// ```
+/// use bnm_core::config::StreamingSpec;
+///
+/// let spec = StreamingSpec::bounded(64);
+/// assert!(spec.stream_captures);
+/// assert_eq!(spec.session_retention, Some(64));
+/// assert_eq!(StreamingSpec::batch(), StreamingSpec::default());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamingSpec {
+    /// Consume capture records at capture time through marker sinks
+    /// ([`crate::streaming`]) instead of retaining frames until the run
+    /// ends. Frames recycle through the pool mid-run, so peak memory no
+    /// longer scales with the crowd's total traffic. Incompatible with
+    /// `trace` output only in the sense that traces still retain what
+    /// they always did; capture retention is what this switches off.
+    pub stream_captures: bool,
+    /// Per-session raw-sample retention threshold. `None` keeps every
+    /// raw Δd sample (the paper's 50-rep cells need them for exact
+    /// boxplots). `Some(n)` keeps at most `n` raw samples per session
+    /// and folds **all** samples into a [`bnm_stats::QuantileSketch`],
+    /// so crowd sweeps get quantiles in O(log-buckets) memory per
+    /// session instead of O(reps).
+    pub session_retention: Option<u32>,
+    /// Worker threads for per-session capture matching in the batch
+    /// path. `None` picks automatically (parallel when a repetition has
+    /// enough sessions to pay for it); `Some(1)` forces serial;
+    /// `Some(n)` forces `n` workers. Output is bit-identical either
+    /// way — matching is per-session-independent and folded in
+    /// ascending session order.
+    pub match_workers: Option<usize>,
+}
+
+impl StreamingSpec {
+    /// The batch pipeline: full retention, raw samples, auto matching.
+    pub const fn batch() -> StreamingSpec {
+        StreamingSpec {
+            stream_captures: false,
+            session_retention: None,
+            match_workers: None,
+        }
+    }
+
+    /// Stream captures through marker sinks (full raw-sample retention).
+    pub const fn streaming() -> StreamingSpec {
+        StreamingSpec {
+            stream_captures: true,
+            session_retention: None,
+            match_workers: None,
+        }
+    }
+
+    /// The crowd-scale preset: stream captures *and* cap raw samples at
+    /// `retention` per session, sketching the rest.
+    pub const fn bounded(retention: u32) -> StreamingSpec {
+        StreamingSpec {
+            stream_captures: true,
+            session_retention: Some(retention),
+            match_workers: None,
+        }
+    }
+
+    /// Override the matching worker count.
+    pub const fn with_match_workers(mut self, workers: usize) -> StreamingSpec {
+        self.match_workers = Some(workers);
+        self
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), RunError> {
+        if self.match_workers == Some(0) {
+            return Err(RunError::InvalidInput("match workers must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
 /// One cell of the experiment grid: a method on a runtime on an OS,
 /// repeated.
 #[derive(Debug, Clone, PartialEq)]
@@ -147,6 +233,10 @@ pub struct ExperimentCell {
     /// this shared bottleneck so handshakes queue behind concurrent
     /// sessions' traffic.
     pub server_link_rate_bps: Option<u64>,
+    /// How the pipeline consumes captures and stores samples (the
+    /// streaming extension; [`StreamingSpec::batch`] — the default —
+    /// reproduces the retained-capture pipeline byte for byte).
+    pub streaming: StreamingSpec,
 }
 
 impl ExperimentCell {
@@ -176,6 +266,7 @@ impl ExperimentCell {
             trace: false,
             clients: 1,
             server_link_rate_bps: None,
+            streaming: StreamingSpec::batch(),
         }
     }
 
@@ -216,31 +307,18 @@ impl ExperimentCell {
         self
     }
 
-    /// Run N concurrent measuring sessions against the shared server.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use with_contention(ContentionSpec::clients(n))"
-    )]
-    pub fn with_clients(mut self, clients: u32) -> Self {
-        self.clients = clients;
-        self
-    }
-
-    /// Override the server access link's line rate, bits/s.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use with_contention(ContentionSpec::clients(n).with_server_link_rate(bps))"
-    )]
-    pub fn with_server_link_rate(mut self, rate_bps: u64) -> Self {
-        self.server_link_rate_bps = Some(rate_bps);
-        self
-    }
-
     /// Apply a typed contention specification (client count + shared
     /// bottleneck rate together).
     pub fn with_contention(mut self, spec: ContentionSpec) -> Self {
         self.clients = spec.clients;
         self.server_link_rate_bps = spec.server_link_rate_bps;
+        self
+    }
+
+    /// Apply a typed streaming specification (capture consumption +
+    /// sample retention + matching parallelism together).
+    pub fn with_streaming(mut self, spec: StreamingSpec) -> Self {
+        self.streaming = spec;
         self
     }
 
@@ -363,28 +441,17 @@ impl CellBuilder {
         self
     }
 
-    /// Concurrent measuring sessions.
-    #[deprecated(since = "0.3.0", note = "use contention(ContentionSpec::clients(n))")]
-    pub fn clients(mut self, clients: u32) -> Self {
-        self.cell.clients = clients;
-        self
-    }
-
-    /// Override the server access link's line rate, bits/s.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use contention(ContentionSpec::clients(n).with_server_link_rate(bps))"
-    )]
-    pub fn server_link_rate(mut self, rate_bps: u64) -> Self {
-        self.cell.server_link_rate_bps = Some(rate_bps);
-        self
-    }
-
     /// Concurrent sessions and shared-bottleneck rate as one typed
     /// value (see [`ContentionSpec`]).
     pub fn contention(mut self, spec: ContentionSpec) -> Self {
         self.cell.clients = spec.clients;
         self.cell.server_link_rate_bps = spec.server_link_rate_bps;
+        self
+    }
+
+    /// Capture consumption and sample storage (see [`StreamingSpec`]).
+    pub fn streaming(mut self, spec: StreamingSpec) -> Self {
+        self.cell.streaming = spec;
         self
     }
 
@@ -400,6 +467,7 @@ impl CellBuilder {
             return Err(RunError::InvalidInput("reps must be >= 1"));
         }
         self.cell.contention().validate()?;
+        self.cell.streaming.validate()?;
         if !self.cell.is_runnable() {
             return Err(RunError::unrunnable(&self.cell));
         }
@@ -559,18 +627,17 @@ mod tests {
                 .build(),
             Err(RunError::InvalidInput("server link rate must be > 0"))
         );
-        // The deprecated loose knobs still work, delegating to the same
-        // validation.
-        #[allow(deprecated)]
-        let legacy = chrome()
-            .clients(2)
-            .server_link_rate(400_000)
+        assert_eq!(
+            chrome()
+                .streaming(StreamingSpec::batch().with_match_workers(0))
+                .build(),
+            Err(RunError::InvalidInput("match workers must be >= 1"))
+        );
+        let bounded = chrome()
+            .streaming(StreamingSpec::bounded(32))
             .build()
             .unwrap();
-        assert_eq!(
-            legacy.contention(),
-            ContentionSpec::clients(2).with_server_link_rate(400_000)
-        );
+        assert_eq!(bounded.streaming, StreamingSpec::bounded(32));
 
         // build_unchecked lets both through for later filtering.
         let cell = ExperimentCell::builder(

@@ -58,6 +58,14 @@ pub struct ExecStats {
     /// Time each worker spent inside repetitions (excludes idle/steal
     /// spinning).
     pub worker_busy: Vec<Duration>,
+    /// Frame-pool counters aggregated over the batch's workers.
+    /// Parallel batches run on fresh scoped threads, so each worker's
+    /// thread-local counters are exactly its batch contribution; the
+    /// aggregate's `live_peak` sums per-worker peaks and is therefore an
+    /// upper bound on the true simultaneous peak. A serial batch resets
+    /// the calling thread's counters when it starts draining, so the
+    /// numbers are the batch's own there too.
+    pub pool: bytes::pool::PoolStats,
 }
 
 impl ExecStats {
@@ -86,8 +94,72 @@ struct Outcome {
     outcome: Result<RepOutcome, RunError>,
 }
 
-/// Per-worker tallies gathered while draining (units, busy time).
-type WorkerTally = (usize, Duration);
+/// Per-worker tallies gathered while draining (units, busy time, the
+/// worker thread's frame-pool counters).
+type WorkerTally = (usize, Duration, bytes::pool::PoolStats);
+
+/// Lock a mutex, recovering from poisoning: all executor-internal state
+/// stays consistent under any interleaving, so a panicked peer cannot
+/// leave a guard-protected value half-updated in a way that matters.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Generic work-stealing fan-out over indexed items — the same dealt
+/// deque + steal-from-the-back discipline [`Executor`] uses for
+/// `(cell × rep)` units, reused by the runner's per-session capture
+/// matching. Results come back in item order regardless of which worker
+/// computed what, so callers can fold them ascending and stay
+/// bit-identical to a serial loop.
+pub(crate) fn fan_out<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.min(n.max(1));
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let mut queues: Vec<VecDeque<(usize, T)>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for (i, t) in items.into_iter().enumerate() {
+        queues[i % workers].push_back((i, t));
+    }
+    let queues: Vec<Mutex<VecDeque<(usize, T)>>> = queues.into_iter().map(Mutex::new).collect();
+    let sink: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        let queues = &queues;
+        let sink = &sink;
+        let f = &f;
+        for wid in 0..workers {
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let mut next = lock(&queues[wid]).pop_front();
+                    if next.is_none() {
+                        for off in 1..workers {
+                            next = lock(&queues[(wid + off) % workers]).pop_back();
+                            if next.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                    let Some((i, t)) = next else { break };
+                    local.push((i, f(i, t)));
+                }
+                lock(sink).extend(local);
+            });
+        }
+    });
+    let mut tagged = sink.into_inner().unwrap_or_else(PoisonError::into_inner);
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
 
 /// Work-stealing scheduler for experiment cells.
 ///
@@ -197,13 +269,18 @@ impl Executor {
         } else {
             Self::drain_parallel(cells, units, total, workers, &on_progress)
         };
-        Self::merge(outcomes, &mut slots);
+        Self::merge(cells, outcomes, &mut slots);
+        let mut pool = bytes::pool::PoolStats::default();
+        for t in &tallies {
+            pool.absorb(&t.2);
+        }
         let stats = ExecStats {
             workers,
             units: total,
             wall: batch_start.elapsed(),
             worker_units: tallies.iter().map(|t| t.0).collect(),
             worker_busy: tallies.iter().map(|t| t.1).collect(),
+            pool,
         };
         (slots, stats)
     }
@@ -215,6 +292,10 @@ impl Executor {
         total: usize,
         on_progress: &F,
     ) -> (Vec<Outcome>, Vec<WorkerTally>) {
+        // The batch's pool contribution is the counter delta from here
+        // to the end of the drain; resetting makes the end snapshot that
+        // delta directly (documented on [`ExecStats::pool`]).
+        bytes::pool::reset_stats();
         let mut outcomes = Vec::with_capacity(total);
         let mut busy = Duration::ZERO;
         for (completed, &(cell, rep)) in units.iter().enumerate() {
@@ -232,7 +313,7 @@ impl Executor {
                 rep,
             });
         }
-        (outcomes, vec![(total, busy)])
+        (outcomes, vec![(total, busy, bytes::pool::stats())])
     }
 
     /// Multi-worker path: per-worker deques plus back-of-queue stealing.
@@ -255,16 +336,9 @@ impl Executor {
             queues.into_iter().map(Mutex::new).collect();
         let sink: Mutex<Vec<Outcome>> = Mutex::new(Vec::with_capacity(total));
         let tallies: Vec<Mutex<WorkerTally>> = (0..workers)
-            .map(|_| Mutex::new((0, Duration::ZERO)))
+            .map(|_| Mutex::new((0, Duration::ZERO, bytes::pool::PoolStats::default())))
             .collect();
         let completed = AtomicUsize::new(0);
-
-        // A worker never panics here (run_rep is fallible, not panicky),
-        // but recover from poisoning anyway: the queues hold plain data
-        // that stays consistent under any interleaving.
-        fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-            m.lock().unwrap_or_else(PoisonError::into_inner)
-        }
 
         std::thread::scope(|scope| {
             let queues = &queues;
@@ -308,7 +382,9 @@ impl Executor {
                         });
                     }
                     lock(sink).extend(local);
-                    *lock(&tallies[wid]) = (done_units, busy);
+                    // A scoped worker is a fresh thread: its thread-local
+                    // pool counters are exactly this batch's contribution.
+                    *lock(&tallies[wid]) = (done_units, busy, bytes::pool::stats());
                 });
             }
         });
@@ -323,9 +399,14 @@ impl Executor {
     /// Fold outcomes into the per-cell slots in `(cell, rep)` order —
     /// exactly the order the serial loop consumes them, which is what
     /// makes parallel output bit-identical to serial.
-    fn merge(mut outcomes: Vec<Outcome>, slots: &mut [Result<CellResult, RunError>]) {
+    fn merge(
+        cells: &[ExperimentCell],
+        mut outcomes: Vec<Outcome>,
+        slots: &mut [Result<CellResult, RunError>],
+    ) {
         outcomes.sort_by_key(|o| (o.cell, o.rep));
         for o in outcomes {
+            let retention = cells[o.cell].streaming.session_retention;
             let Ok(result) = &mut slots[o.cell] else {
                 // Units are only scheduled for runnable cells.
                 unreachable!("outcome for a cell that was never scheduled");
@@ -337,24 +418,40 @@ impl Executor {
                         result.session_mut(sid).excluded_rounds += excluded;
                     }
                     for m in rep.measurements {
+                        let v = m.delta_d_ms();
                         // The flat d1/d2 sets stay session-0 only: they
                         // are the single-client API, and in a scenario
                         // session 0 is the reference client. Every
-                        // session's samples land in `sessions`.
+                        // session's samples land in `sessions`. Under a
+                        // retention threshold they truncate like session
+                        // 0's raw vectors (the full distribution is in
+                        // its sketches).
                         if m.session == 0 {
-                            match m.round {
-                                1 => result.d1.push(m.delta_d_ms()),
-                                2 => result.d2.push(m.delta_d_ms()),
-                                _ => {}
+                            let raw = match m.round {
+                                1 => Some(&mut result.d1),
+                                2 => Some(&mut result.d2),
+                                _ => None,
+                            };
+                            if let Some(raw) = raw {
+                                let keep = match retention {
+                                    None => true,
+                                    Some(limit) => raw.len() < limit as usize,
+                                };
+                                if keep {
+                                    raw.push(v);
+                                }
                             }
                         }
-                        let samples = result.session_mut(m.session);
-                        match m.round {
-                            1 => samples.d1.push(m.delta_d_ms()),
-                            2 => samples.d2.push(m.delta_d_ms()),
-                            _ => {}
+                        result
+                            .session_mut(m.session)
+                            .push_round(m.round, v, retention);
+                        // Bounded mode keeps the full per-round
+                        // measurement rows only for the reference
+                        // session; a crowd's worth of rows is exactly
+                        // the O(sessions × reps) growth the mode bounds.
+                        if retention.is_none() || m.session == 0 {
+                            result.measurements.push(m);
                         }
-                        result.measurements.push(m);
                     }
                     if let Some(t) = rep.trace {
                         result.traces.push(t);

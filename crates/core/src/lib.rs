@@ -46,6 +46,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod server_side;
+pub mod streaming;
 pub mod sweep;
 pub mod testbed;
 pub mod throughput;
@@ -53,11 +54,12 @@ pub mod throughput;
 pub use appraisal::{Appraisal, Verdict};
 pub use attribution::RoundAttribution;
 pub use bnm_sim::{FaultSpec, Impairment};
-pub use config::{CellBuilder, ContentionSpec, ExperimentCell, RuntimeSel};
+pub use config::{CellBuilder, ContentionSpec, ExperimentCell, RuntimeSel, StreamingSpec};
 pub use delta::RoundMeasurement;
 pub use error::RunError;
 pub use exec::{ExecStats, Executor, Progress};
 pub use matching::{MatchError, ParsedCapture};
 pub use runner::{CellResult, ExperimentRunner, RepOutcome, SessionSamples};
 pub use scenario::{Scenario, ScenarioBuilder, SessionSpec};
+pub use streaming::{DiscardSink, ServerMarkerIndex, SessionMarkerSink};
 pub use testbed::{Testbed, TestbedBuilder, TestbedConfig};

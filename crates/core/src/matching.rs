@@ -102,6 +102,19 @@ impl ParsedCapture {
         }
     }
 
+    /// Parse records that were [`CaptureBuffer::drain`]ed out of their
+    /// tap — the owned-record path the parallel matcher hands worker
+    /// threads, since a drained `Vec<CaptureRecord>` is `Send` while a
+    /// whole engine is not. Identical filtering to [`Self::parse`].
+    pub fn parse_records(records: &[bnm_sim::CaptureRecord]) -> ParsedCapture {
+        ParsedCapture {
+            records: records
+                .iter()
+                .filter_map(|rec| payload_of(&rec.frame).map(|p| (rec.ts, rec.dir, p)))
+                .collect(),
+        }
+    }
+
     /// Capture stamps of all records in `dir` whose payload carries
     /// `marker`, in capture order.
     pub fn hits(&self, dir: CaptureDir, marker: &[u8]) -> Vec<SimTime> {

@@ -12,7 +12,9 @@
 
 use bnm_browser::BrowserProfile;
 use bnm_obs::{Trace, TraceData};
-use bnm_sim::rng;
+use bnm_sim::capture::CaptureSink;
+use bnm_sim::{rng, CaptureRecord};
+use bnm_stats::QuantileSketch;
 use bnm_time::MachineTimer;
 
 use crate::attribution::{self, RoundAttribution};
@@ -22,7 +24,21 @@ use crate::error::RunError;
 use crate::exec::Executor;
 use crate::matching::{MatchError, ParsedCapture};
 use crate::scenario::{Scenario, SessionSpec};
+use crate::streaming::{DiscardSink, ServerMarkerIndex, SessionMarkerSink};
 use crate::testbed::{Testbed, TestbedConfig};
+
+/// Sketch-backed Δd distributions for one session — the bounded-memory
+/// companion to the raw vectors when the cell runs with
+/// [`crate::config::StreamingSpec::session_retention`] set. The sketches
+/// see *every* sample (including the ones retained raw), so their
+/// quantiles describe the full repetition set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionSketches {
+    /// Streaming distribution of first-round Δd, ms.
+    pub d1: QuantileSketch,
+    /// Streaming distribution of second-round Δd, ms.
+    pub d2: QuantileSketch,
+}
 
 /// One session's Δd sample sets within a cell (ascending session-id
 /// order inside [`CellResult::sessions`]).
@@ -30,20 +46,91 @@ use crate::testbed::{Testbed, TestbedConfig};
 pub struct SessionSamples {
     /// The session id the samples belong to.
     pub session: u64,
-    /// Δd of the first round per repetition, ms.
+    /// Δd of the first round per repetition, ms. In bounded-retention
+    /// mode this keeps only the first `session_retention` samples; the
+    /// full distribution lives in [`SessionSamples::sketches`].
     pub d1: Vec<f64>,
-    /// Δd of the second round per repetition, ms.
+    /// Δd of the second round per repetition, ms (same retention rule).
     pub d2: Vec<f64>,
     /// Rounds of this session excluded for wire retransmissions.
     pub excluded_rounds: u32,
+    /// Streaming sketches over *all* samples — `Some` only when the
+    /// cell ran with a retention threshold.
+    pub sketches: Option<SessionSketches>,
 }
 
 impl SessionSamples {
-    /// Both rounds' Δd pooled.
+    /// Both rounds' Δd pooled (raw retained samples).
     pub fn pooled(&self) -> Vec<f64> {
         let mut all = self.d1.clone();
         all.extend_from_slice(&self.d2);
         all
+    }
+
+    /// Record one round's Δd, honouring the cell's retention threshold:
+    /// `None` keeps every raw sample (and builds no sketch); `Some(n)`
+    /// keeps at most `n` raw samples per round and folds every sample
+    /// into the round's sketch.
+    pub(crate) fn push_round(&mut self, round: u8, v: f64, retention: Option<u32>) {
+        let raw = match round {
+            1 => &mut self.d1,
+            2 => &mut self.d2,
+            _ => return,
+        };
+        match retention {
+            None => raw.push(v),
+            Some(limit) => {
+                if raw.len() < limit as usize {
+                    raw.push(v);
+                }
+                let sk = self.sketches.get_or_insert_with(SessionSketches::default);
+                match round {
+                    1 => sk.d1.insert(v),
+                    _ => sk.d2.insert(v),
+                }
+            }
+        }
+    }
+
+    /// Samples recorded for one round (1 or 2) — the sketch count when
+    /// sketching, else the raw vector length.
+    pub fn count(&self, round: u8) -> u64 {
+        match &self.sketches {
+            Some(sk) => match round {
+                1 => sk.d1.count(),
+                _ => sk.d2.count(),
+            },
+            None => match round {
+                1 => self.d1.len() as u64,
+                _ => self.d2.len() as u64,
+            },
+        }
+    }
+
+    /// The `p`-quantile of one round's Δd over **all** recorded samples:
+    /// exact R-7 on the raw vector when every sample was retained, the
+    /// sketch's bounded-error estimate otherwise.
+    pub fn quantile(&self, round: u8, p: f64) -> f64 {
+        match &self.sketches {
+            Some(sk) => match round {
+                1 => sk.d1.quantile(p),
+                _ => sk.d2.quantile(p),
+            },
+            None => {
+                let raw = match round {
+                    1 => &self.d1,
+                    _ => &self.d2,
+                };
+                let mut sorted = raw.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                bnm_stats::summary::quantile(&sorted, p)
+            }
+        }
+    }
+
+    /// Median Δd of one round over all recorded samples.
+    pub fn median(&self, round: u8) -> f64 {
+        self.quantile(round, 0.5)
     }
 }
 
@@ -136,6 +223,20 @@ impl CellResult {
     }
 }
 
+/// Sessions below this threshold match serially in the batch path:
+/// thread spin-up costs more than the matching itself for small
+/// scenarios (and the single-client path never fans out at all).
+const PARALLEL_MATCH_MIN_SESSIONS: usize = 16;
+
+/// One session's matching work, drained out of its tap so worker
+/// threads can own it.
+struct SessionMatchItem {
+    sid: u64,
+    token: u64,
+    rounds: Vec<bnm_browser::RoundResult>,
+    records: Vec<CaptureRecord>,
+}
+
 /// Runs experiment cells.
 pub struct ExperimentRunner;
 
@@ -197,6 +298,7 @@ impl ExperimentRunner {
             ..TestbedConfig::default()
         };
         let plan = cell.method.plan(cell.timing_override);
+        let plan_rounds = plan.rounds;
         let trace = if cell.trace {
             Trace::enabled()
         } else {
@@ -211,44 +313,76 @@ impl ExperimentRunner {
             session_seed ^ u64::from(rep),
             trace,
         );
+        let token = u64::from(rep);
+        let streaming = cell.streaming.stream_captures;
+        if streaming {
+            // Streaming mode: marker sinks consume every record at
+            // capture time (identically stamped and truncated to what a
+            // retaining tap would store), so frames recycle through the
+            // pool mid-run instead of pinning until the parse below.
+            Self::install_sinks(
+                &mut tb.engine,
+                std::slice::from_ref(&tb.client_tap),
+                tb.server_tap,
+                cell,
+                plan_rounds,
+                &[token],
+            );
+        }
         tb.run();
         let session = tb.session();
         if !session.result().completed {
             return Err(RunError::Match(MatchError::ResponseNotFound));
         }
         let rounds = session.result().rounds.clone();
-        // Parse each capture once; every round then matches against the
-        // pre-parsed records instead of re-decoding the whole trace.
-        let parsed = ParsedCapture::parse(tb.engine.tap(tb.client_tap));
-        // The server-side capture only matters when the network can lose
-        // frames: a response dropped downstream leaves the client-side
-        // trace looking clean (one Tx, one Rx) while the server's NIC
-        // saw the response leave twice. Clean cells skip the parse.
-        let server_parsed = (!cell.impairment.is_clean())
-            .then(|| ParsedCapture::parse(tb.engine.tap(tb.server_tap)));
         let mut out = Vec::with_capacity(rounds.len());
         let mut excluded = 0u32;
-        for r in rounds {
-            let wire = match parsed.match_round(cell.method, r.round, u64::from(rep)) {
-                Err(MatchError::Retransmitted) => {
+        if streaming {
+            let client_sink = Self::take_session_sink(&mut tb.engine, tb.client_tap);
+            let server_index = Self::take_server_index(&mut tb.engine, tb.server_tap);
+            Self::fold_streamed_session(
+                0,
+                token,
+                &rounds,
+                &*client_sink,
+                server_index.as_deref(),
+                &mut out,
+                &mut excluded,
+            )?;
+        } else {
+            // Parse each capture once; every round then matches against
+            // the pre-parsed records instead of re-decoding the whole
+            // trace.
+            let parsed = ParsedCapture::parse(tb.engine.tap(tb.client_tap));
+            // The server-side capture only matters when the network can
+            // lose frames: a response dropped downstream leaves the
+            // client-side trace looking clean (one Tx, one Rx) while the
+            // server's NIC saw the response leave twice. Clean cells
+            // skip the parse.
+            let server_parsed = (!cell.impairment.is_clean())
+                .then(|| ParsedCapture::parse(tb.engine.tap(tb.server_tap)));
+            for r in rounds {
+                let wire = match parsed.match_round(cell.method, r.round, token) {
+                    Err(MatchError::Retransmitted) => {
+                        excluded += 1;
+                        continue;
+                    }
+                    other => other?,
+                };
+                if server_parsed
+                    .as_ref()
+                    .is_some_and(|sp| sp.round_retransmitted(cell.method, r.round, token))
+                {
                     excluded += 1;
                     continue;
                 }
-                other => other?,
-            };
-            if server_parsed
-                .as_ref()
-                .is_some_and(|sp| sp.round_retransmitted(cell.method, r.round, u64::from(rep)))
-            {
-                excluded += 1;
-                continue;
+                out.push(RoundMeasurement {
+                    session: 0,
+                    round: r.round,
+                    browser: r,
+                    wire,
+                });
             }
-            out.push(RoundMeasurement {
-                session: 0,
-                round: r.round,
-                browser: r,
-                wire,
-            });
         }
         let trace = tb.take_trace();
         let attribution = match &trace {
@@ -293,6 +427,7 @@ impl ExperimentRunner {
             };
         }
         let plan = cell.method.plan(cell.timing_override);
+        let plan_rounds = plan.rounds;
         let specs = (0..u64::from(cell.clients))
             .map(|sid| {
                 let suffix = if sid == 0 {
@@ -320,47 +455,83 @@ impl ExperimentRunner {
             Trace::disabled()
         };
         let mut sc = Scenario::build_traced(&tb_cfg, specs, u64::from(rep), trace);
+        let streaming = cell.streaming.stream_captures;
+        if streaming {
+            let tokens: Vec<u64> = (0..sc.len())
+                .map(|i| bnm_browser::session_token(sc.session_id(i), u64::from(rep)))
+                .collect();
+            Self::install_sinks(
+                &mut sc.engine,
+                &sc.client_taps,
+                sc.server_tap,
+                cell,
+                plan_rounds,
+                &tokens,
+            );
+        }
         sc.run();
         for i in 0..sc.len() {
             if !sc.session(i).result().completed {
                 return Err(RunError::Match(MatchError::ResponseNotFound));
             }
         }
-        let server_parsed = (!cell.impairment.is_clean())
-            .then(|| ParsedCapture::parse(sc.engine.tap(sc.server_tap)));
         let mut out = Vec::new();
         let mut excluded_total = 0u32;
         let mut excluded_by_session = Vec::with_capacity(sc.len());
-        for i in 0..sc.len() {
-            let sid = sc.session_id(i);
-            let token = bnm_browser::session_token(sid, u64::from(rep));
-            let rounds = sc.session(i).result().rounds.clone();
-            let parsed = ParsedCapture::parse(sc.engine.tap(sc.client_taps[i]));
-            let mut excluded = 0u32;
-            for r in rounds {
-                let wire = match parsed.match_round(cell.method, r.round, token) {
-                    Err(MatchError::Retransmitted) => {
-                        excluded += 1;
-                        continue;
-                    }
-                    other => other?,
-                };
-                if server_parsed
-                    .as_ref()
-                    .is_some_and(|sp| sp.round_retransmitted(cell.method, r.round, token))
-                {
-                    excluded += 1;
-                    continue;
-                }
-                out.push(RoundMeasurement {
-                    session: sid,
-                    round: r.round,
-                    browser: r,
-                    wire,
-                });
+        if streaming {
+            let server_index = Self::take_server_index(&mut sc.engine, sc.server_tap);
+            for i in 0..sc.len() {
+                let sid = sc.session_id(i);
+                let token = bnm_browser::session_token(sid, u64::from(rep));
+                let rounds = sc.session(i).result().rounds.clone();
+                let client_sink = Self::take_session_sink(&mut sc.engine, sc.client_taps[i]);
+                let mut excluded = 0u32;
+                Self::fold_streamed_session(
+                    sid,
+                    token,
+                    &rounds,
+                    &*client_sink,
+                    server_index.as_deref(),
+                    &mut out,
+                    &mut excluded,
+                )?;
+                excluded_total += excluded;
+                excluded_by_session.push((sid, excluded));
             }
-            excluded_total += excluded;
-            excluded_by_session.push((sid, excluded));
+        } else {
+            // Batch path: drain every session's records out of its tap
+            // (owned records are `Send`; a whole engine is not) and
+            // match sessions independently — in parallel when the crowd
+            // is big enough to pay for the threads. Results fold in
+            // ascending session order, and a session's first match error
+            // is reported exactly where the serial loop would have
+            // stopped, so output is bit-identical to serial matching.
+            let server_parsed = (!cell.impairment.is_clean())
+                .then(|| ParsedCapture::parse(sc.engine.tap(sc.server_tap)));
+            let mut items: Vec<SessionMatchItem> = (0..sc.len())
+                .map(|i| {
+                    let sid = sc.session_id(i);
+                    SessionMatchItem {
+                        sid,
+                        token: bnm_browser::session_token(sid, u64::from(rep)),
+                        rounds: sc.session(i).result().rounds.clone(),
+                        records: Vec::new(),
+                    }
+                })
+                .collect();
+            for (i, item) in items.iter_mut().enumerate() {
+                item.records = sc.engine.tap_mut(sc.client_taps[i]).drain();
+            }
+            let workers = Self::match_worker_count(cell, items.len());
+            let matched = crate::exec::fan_out(items, workers, |_, item| {
+                Self::match_session(cell, item, server_parsed.as_ref())
+            });
+            for res in matched {
+                let (sid, measurements, excluded) = res?;
+                excluded_total += excluded;
+                excluded_by_session.push((sid, excluded));
+                out.extend(measurements);
+            }
         }
         let trace = sc.take_trace();
         let attribution = match &trace {
@@ -380,6 +551,158 @@ impl ExperimentRunner {
             excluded: excluded_total,
             excluded_by_session,
         })
+    }
+
+    /// Install streaming marker sinks on a run's taps before it starts:
+    /// one [`SessionMarkerSink`] per client tap (paired with that
+    /// session's marker token) and, on the server tap, a
+    /// [`ServerMarkerIndex`] when the network can retransmit or a
+    /// [`DiscardSink`] on a clean network (whose server capture the
+    /// batch path never parses either).
+    fn install_sinks(
+        engine: &mut bnm_sim::Engine,
+        client_taps: &[bnm_sim::TapId],
+        server_tap: bnm_sim::TapId,
+        cell: &ExperimentCell,
+        rounds: u8,
+        tokens: &[u64],
+    ) {
+        for (&tap, &token) in client_taps.iter().zip(tokens) {
+            engine
+                .tap_mut(tap)
+                .set_sink(Box::new(SessionMarkerSink::new(cell.method, rounds, token)));
+        }
+        let server_sink: Box<dyn CaptureSink> = if cell.impairment.is_clean() {
+            Box::new(DiscardSink::default())
+        } else {
+            Box::new(ServerMarkerIndex::new(cell.method, rounds, tokens))
+        };
+        engine.tap_mut(server_tap).set_sink(server_sink);
+    }
+
+    /// Remove the streaming sink from a client tap after the run.
+    fn take_session_sink(
+        engine: &mut bnm_sim::Engine,
+        tap: bnm_sim::TapId,
+    ) -> Box<dyn CaptureSink> {
+        engine
+            .tap_mut(tap)
+            .take_sink()
+            .expect("streaming client tap carries a sink")
+    }
+
+    /// Remove the server tap's sink; `Some` when it is the impaired-run
+    /// marker index, `None` for the clean-run discard sink.
+    fn take_server_index(
+        engine: &mut bnm_sim::Engine,
+        tap: bnm_sim::TapId,
+    ) -> Option<Box<dyn CaptureSink>> {
+        let sink = engine
+            .tap_mut(tap)
+            .take_sink()
+            .expect("streaming server tap carries a sink");
+        sink.as_any()
+            .downcast_ref::<ServerMarkerIndex>()
+            .is_some()
+            .then_some(sink)
+    }
+
+    /// Replay one streamed session's rounds from its sink's accumulated
+    /// marker evidence — the same checks in the same order as
+    /// [`ParsedCapture::match_round`] plus the server-side
+    /// retransmission rule, appending measurements and counting
+    /// exclusions exactly like the batch loop.
+    fn fold_streamed_session(
+        sid: u64,
+        token: u64,
+        rounds: &[bnm_browser::RoundResult],
+        client_sink: &dyn CaptureSink,
+        server_index: Option<&dyn CaptureSink>,
+        out: &mut Vec<RoundMeasurement>,
+        excluded: &mut u32,
+    ) -> Result<(), RunError> {
+        let sink = client_sink
+            .as_any()
+            .downcast_ref::<SessionMarkerSink>()
+            .expect("client tap sink is a SessionMarkerSink");
+        let index = server_index.map(|s| {
+            s.as_any()
+                .downcast_ref::<ServerMarkerIndex>()
+                .expect("server tap sink is a ServerMarkerIndex")
+        });
+        for r in rounds {
+            let wire = match sink.match_round(r.round) {
+                Err(MatchError::Retransmitted) => {
+                    *excluded += 1;
+                    continue;
+                }
+                other => other?,
+            };
+            if index.is_some_and(|ix| ix.round_retransmitted(r.round, token)) {
+                *excluded += 1;
+                continue;
+            }
+            out.push(RoundMeasurement {
+                session: sid,
+                round: r.round,
+                browser: *r,
+                wire,
+            });
+        }
+        Ok(())
+    }
+
+    /// Worker threads for batch-path session matching: the explicit
+    /// override when set, else parallel only once a repetition has
+    /// enough sessions for thread spin-up to pay for itself.
+    fn match_worker_count(cell: &ExperimentCell, sessions: usize) -> usize {
+        match cell.streaming.match_workers {
+            Some(n) => n,
+            None => {
+                if sessions >= PARALLEL_MATCH_MIN_SESSIONS {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1)
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// Match one session's drained records: parse once, match every
+    /// round, apply the server-side retransmission rule. Stops at the
+    /// session's first hard error, exactly like the serial loop.
+    fn match_session(
+        cell: &ExperimentCell,
+        item: SessionMatchItem,
+        server_parsed: Option<&ParsedCapture>,
+    ) -> Result<(u64, Vec<RoundMeasurement>, u32), RunError> {
+        let parsed = ParsedCapture::parse_records(&item.records);
+        let mut out = Vec::with_capacity(item.rounds.len());
+        let mut excluded = 0u32;
+        for r in item.rounds {
+            let wire = match parsed.match_round(cell.method, r.round, item.token) {
+                Err(MatchError::Retransmitted) => {
+                    excluded += 1;
+                    continue;
+                }
+                other => other?,
+            };
+            if server_parsed
+                .is_some_and(|sp| sp.round_retransmitted(cell.method, r.round, item.token))
+            {
+                excluded += 1;
+                continue;
+            }
+            out.push(RoundMeasurement {
+                session: item.sid,
+                round: r.round,
+                browser: r,
+                wire,
+            });
+        }
+        Ok((item.sid, out, excluded))
     }
 
     /// Resolve the runtime profile for a cell, or report why it cannot

@@ -128,15 +128,6 @@ impl Scenario {
     /// [`client_addr`] (two address octets).
     pub const ADDRESS_CAPACITY: usize = 65_536;
 
-    /// The old fixed cap on concurrent sessions.
-    #[deprecated(
-        since = "0.3.0",
-        note = "the fixed 64-session cap is gone; the default limit is \
-                Scenario::DEFAULT_SESSION_LIMIT and \
-                ScenarioBuilder::session_limit makes it configurable"
-    )]
-    pub const MAX_SESSIONS: usize = 64;
-
     /// Start building a scenario, mirroring
     /// [`crate::testbed::Testbed::builder`]. Validates at
     /// [`ScenarioBuilder::build`] time instead of panicking.
@@ -688,9 +679,5 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(sc.len(), 100);
-        #[allow(deprecated)]
-        {
-            assert!(sc.len() > Scenario::MAX_SESSIONS);
-        }
     }
 }

@@ -1,0 +1,690 @@
+//! Streaming capture consumption — the incremental half of the
+//! post-processing pipeline.
+//!
+//! The batch pipeline retains every delivered frame in its tap until the
+//! run ends, then parses and greps the whole trace per session
+//! ([`crate::matching::ParsedCapture`]). At crowd scale that retention
+//! *is* the peak-memory story: 1,000 sessions' page loads and probes
+//! pinned as refcounted frames defeats the frame pool entirely. The
+//! sinks here hang off [`bnm_sim::capture::CaptureBuffer`]'s streaming
+//! mode instead: each record is parsed and grepped **at capture time**,
+//! the marker evidence (a timestamp and a count per marker × direction)
+//! is folded into constant-size accumulators, and the frame drops
+//! immediately — pooled buffers recycle mid-run.
+//!
+//! Bit-parity with the batch path is the design constraint, not an
+//! afterthought:
+//!
+//! * the tap stamps records identically in both modes (same noise RNG
+//!   stream, same monotonicity clamp) — the sink sees the exact records
+//!   a retaining tap would store;
+//! * [`SessionMarkerSink`] applies the *same* payload extraction
+//!   ([`crate::frames::payload_of`]) and substring test
+//!   ([`crate::frames::contains`]) as `ParsedCapture::hits`, and its
+//!   [`SessionMarkerSink::match_round`] replays the exact decision
+//!   order of `ParsedCapture::match_round`;
+//! * [`ServerMarkerIndex`] replicates `contains`' semantics *exactly*,
+//!   including the subtle one: an HTTP request marker
+//!   (`m={label}&r={round}&t={token}`, no terminator) hits every record
+//!   whose digit run has the token's decimal form as a **byte prefix**
+//!   — token `1` matches a frame carrying token `10`. The index
+//!   preserves that by structured prefix scanning rather than by
+//!   assuming well-formed tokens, so the streaming retransmission check
+//!   answers identically to a full second parse.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use bnm_methods::MethodId;
+use bnm_sim::capture::{CaptureDir, CaptureSink};
+use bnm_sim::time::SimTime;
+use bytes::Bytes;
+
+use crate::frames::{contains, payload_of};
+use crate::matching::{request_marker, response_marker, MatchError, WireTimes};
+
+/// Constant-size accumulator for one marker × direction: everything
+/// `ParsedCapture::hits` feeds into `match_round` — the first hit's
+/// stamp and the hit count (a count above one is already a
+/// retransmission regardless of how far above).
+#[derive(Debug, Clone, Copy, Default)]
+struct HitAcc {
+    count: u32,
+    first: Option<SimTime>,
+}
+
+impl HitAcc {
+    fn note(&mut self, ts: SimTime) {
+        self.count += 1;
+        if self.first.is_none() {
+            self.first = Some(ts);
+        }
+    }
+}
+
+/// Per-round marker evidence for one session's client-side tap.
+#[derive(Debug, Clone)]
+struct RoundHits {
+    round: u8,
+    /// Full request marker bytes (needle for `contains`).
+    req: Vec<u8>,
+    /// Full response marker bytes.
+    resp: Vec<u8>,
+    /// Tx records carrying the request marker.
+    req_tx: HitAcc,
+    /// Rx records carrying the response marker.
+    resp_rx: HitAcc,
+}
+
+/// Streaming replacement for parsing a *client* tap after the run: greps
+/// each record for the session's round markers as it is captured.
+///
+/// Matching semantics are identical to
+/// `ParsedCapture::parse` + `match_round` — same payload extraction,
+/// same substring test, same error precedence — asserted against the
+/// batch matcher by the tests below and by `tests/streaming_parity.rs`
+/// on full scenario runs.
+#[derive(Debug)]
+pub struct SessionMarkerSink {
+    rounds: Vec<RoundHits>,
+    /// Records seen (diagnostics only).
+    records: u64,
+}
+
+impl SessionMarkerSink {
+    /// A sink grepping for `rounds` rounds of `method` probes under
+    /// `token` (the session's composite marker token).
+    pub fn new(method: MethodId, rounds: u8, token: u64) -> SessionMarkerSink {
+        SessionMarkerSink {
+            rounds: (1..=rounds)
+                .map(|r| RoundHits {
+                    round: r,
+                    req: request_marker(method, r, token),
+                    resp: response_marker(method, r, token),
+                    req_tx: HitAcc::default(),
+                    resp_rx: HitAcc::default(),
+                })
+                .collect(),
+            records: 0,
+        }
+    }
+
+    /// `ParsedCapture::match_round`, answered from the accumulated
+    /// evidence: same checks, same order.
+    pub fn match_round(&self, round: u8) -> Result<WireTimes, MatchError> {
+        let h = self
+            .rounds
+            .iter()
+            .find(|h| h.round == round)
+            .ok_or(MatchError::RequestNotFound)?;
+        if h.req_tx.count > 1 || h.resp_rx.count > 1 {
+            return Err(MatchError::Retransmitted);
+        }
+        match (h.req_tx.first, h.resp_rx.first) {
+            (None, _) => Err(MatchError::RequestNotFound),
+            (_, None) => Err(MatchError::ResponseNotFound),
+            (Some(s), Some(r)) => {
+                if r < s {
+                    Err(MatchError::OutOfOrder)
+                } else {
+                    Ok(WireTimes { tn_s: s, tn_r: r })
+                }
+            }
+        }
+    }
+
+    /// Records this sink observed.
+    pub fn records_seen(&self) -> u64 {
+        self.records
+    }
+}
+
+impl CaptureSink for SessionMarkerSink {
+    fn on_record(&mut self, ts: SimTime, dir: CaptureDir, frame: &Bytes) {
+        self.records += 1;
+        let Some(payload) = payload_of(frame) else {
+            return;
+        };
+        for h in &mut self.rounds {
+            match dir {
+                CaptureDir::Tx => {
+                    if contains(&payload, &h.req) {
+                        h.req_tx.note(ts);
+                    }
+                }
+                CaptureDir::Rx => {
+                    if contains(&payload, &h.resp) {
+                        h.resp_rx.note(ts);
+                    }
+                }
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Marker kinds a server-side record can evidence. The order indexes
+/// the per-slot counter array: `[req_tx, req_rx, resp_tx, resp_rx]`.
+const KIND_DIRS: usize = 4;
+
+fn kind_dir_index(is_resp: bool, dir: CaptureDir) -> usize {
+    (usize::from(is_resp) << 1) | usize::from(dir == CaptureDir::Rx)
+}
+
+/// One round's scan patterns for the server index.
+#[derive(Debug, Clone)]
+struct RoundPatterns {
+    round: u8,
+    /// Request-marker prefix up to (excluding) the token digits.
+    req_prefix: Vec<u8>,
+    /// Whether the request marker ends at the token with **no**
+    /// terminator (HTTP methods) — token matching is then by decimal
+    /// byte prefix, `contains`' ambiguity preserved. Space-terminated
+    /// markers match the whole digit run exactly, followed by a space.
+    req_is_open_ended: bool,
+    /// Response-marker prefix; `None` when the response marker equals
+    /// the request marker (echo transports), in which case the request
+    /// counters stand for both.
+    resp_prefix: Option<Vec<u8>>,
+}
+
+/// Streaming replacement for the *second full parse* of the server tap
+/// under impairment: an incremental per-direction marker index.
+///
+/// The batch path answers "was any marker of (round, token) seen more
+/// than once in one direction of the server capture?" by re-grepping
+/// the entire retained trace per session × round — O(sessions × rounds
+/// × frames) over a capture that grows with the whole crowd's traffic.
+/// This index instead scans each record once at capture time for the
+/// per-round marker *prefixes* (session-count-independent work), decodes
+/// the token digits that follow, and bumps a counter per
+/// `(session, round, marker, direction)`. [`ServerMarkerIndex::round_retransmitted`]
+/// is then an O(1) lookup.
+#[derive(Debug)]
+pub struct ServerMarkerIndex {
+    patterns: Vec<RoundPatterns>,
+    /// Registered token → slot base (`slot * rounds` indexes `counts`).
+    tokens: HashMap<u64, u32>,
+    /// Decimal forms of the registered tokens, for byte-prefix checks.
+    token_digits: Vec<Vec<u8>>,
+    /// `[req_tx, req_rx, resp_tx, resp_rx]` per (token slot × round).
+    counts: Vec<[u32; KIND_DIRS]>,
+    rounds: usize,
+    /// Scratch for per-record dedup: `contains` is a per-record boolean,
+    /// so two occurrences of one marker inside one payload count once.
+    seen_scratch: Vec<(u32, usize)>,
+}
+
+impl ServerMarkerIndex {
+    /// An index for `rounds` rounds of `method` probes from the sessions
+    /// whose marker tokens are `tokens`.
+    pub fn new(method: MethodId, rounds: u8, tokens: &[u64]) -> ServerMarkerIndex {
+        let patterns = (1..=rounds)
+            .map(|r| {
+                if method.is_http_based() {
+                    RoundPatterns {
+                        round: r,
+                        req_prefix: format!("m={}&r={}&t=", method.label(), r).into_bytes(),
+                        req_is_open_ended: true,
+                        resp_prefix: Some(format!("pong r={} t=", r).into_bytes()),
+                    }
+                } else {
+                    RoundPatterns {
+                        round: r,
+                        req_prefix: format!("probe m={} r={} t=", method.label(), r).into_bytes(),
+                        req_is_open_ended: false,
+                        resp_prefix: None,
+                    }
+                }
+            })
+            .collect();
+        let token_map: HashMap<u64, u32> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u32))
+            .collect();
+        ServerMarkerIndex {
+            patterns,
+            token_digits: tokens.iter().map(|t| t.to_string().into_bytes()).collect(),
+            counts: vec![[0; KIND_DIRS]; tokens.len() * rounds as usize],
+            rounds: rounds as usize,
+            tokens: token_map,
+            seen_scratch: Vec::new(),
+        }
+    }
+
+    /// `ParsedCapture::round_retransmitted`, answered from the index:
+    /// whether either of the round's markers hit more than one record
+    /// in any one direction.
+    pub fn round_retransmitted(&self, round: u8, token: u64) -> bool {
+        let Some(&slot) = self.tokens.get(&token) else {
+            return false;
+        };
+        let Some(ri) = self.patterns.iter().position(|p| p.round == round) else {
+            return false;
+        };
+        self.counts[slot as usize * self.rounds + ri]
+            .iter()
+            .any(|&c| c > 1)
+    }
+
+    /// Note marker occurrences for the digit run following a prefix
+    /// occurrence at `digits_at` in `payload`.
+    fn note_occurrence(
+        &mut self,
+        payload: &[u8],
+        digits_at: usize,
+        round_idx: usize,
+        open_ended: bool,
+        is_resp: bool,
+    ) {
+        let rest = &payload[digits_at.min(payload.len())..];
+        let run_len = rest.iter().take_while(|b| b.is_ascii_digit()).count();
+        if run_len == 0 {
+            return;
+        }
+        if open_ended {
+            // No terminator in the needle: token T hits iff T's decimal
+            // form is a byte prefix of the digit run — exactly where
+            // `contains(payload, prefix + digits(T))` succeeds. Walking
+            // the run's prefixes and looking each up covers every
+            // registered token that matches, without O(sessions) work.
+            for k in 1..=run_len.min(20) {
+                let sub = &rest[..k];
+                // Registered tokens are canonical decimal (no leading
+                // zeros except "0" itself), so a zero-led sub-run can
+                // only be token 0 at k == 1.
+                if k > 1 && sub[0] == b'0' {
+                    break;
+                }
+                let Some(tok) = parse_u64(sub) else { break };
+                if let Some(&slot) = self.tokens.get(&tok) {
+                    self.seen_scratch
+                        .push((slot, round_idx * 2 + usize::from(is_resp)));
+                }
+            }
+        } else {
+            // The needle ends with a space: the whole digit run must be
+            // the token's decimal form and the next byte a space.
+            if rest.get(run_len) != Some(&b' ') {
+                return;
+            }
+            let Some(tok) = parse_u64(&rest[..run_len]) else {
+                return;
+            };
+            if let Some(&slot) = self.tokens.get(&tok) {
+                // Exact-match needles can't hit a non-canonical run.
+                if self.token_digits[slot as usize] == rest[..run_len] {
+                    self.seen_scratch
+                        .push((slot, round_idx * 2 + usize::from(is_resp)));
+                }
+            }
+        }
+    }
+}
+
+/// Checked decimal parse of an ASCII digit slice.
+fn parse_u64(digits: &[u8]) -> Option<u64> {
+    let mut v: u64 = 0;
+    for &d in digits {
+        v = v.checked_mul(10)?.checked_add(u64::from(d - b'0'))?;
+    }
+    Some(v)
+}
+
+/// All start positions of `needle` in `haystack` (naive scan — payloads
+/// are single frames and needles are short fixed prefixes).
+fn find_all(haystack: &[u8], needle: &[u8], mut f: impl FnMut(usize)) {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return;
+    }
+    for (i, w) in haystack.windows(needle.len()).enumerate() {
+        if w == needle {
+            f(i);
+        }
+    }
+}
+
+impl CaptureSink for ServerMarkerIndex {
+    fn on_record(&mut self, _ts: SimTime, dir: CaptureDir, frame: &Bytes) {
+        let Some(payload) = payload_of(frame) else {
+            return;
+        };
+        debug_assert!(self.seen_scratch.is_empty());
+        for ri in 0..self.patterns.len() {
+            // Clone the short prefix needles so `note_occurrence` can
+            // borrow `self` mutably while we decode.
+            let (req_prefix, open_ended, resp_prefix) = {
+                let p = &self.patterns[ri];
+                (
+                    p.req_prefix.clone(),
+                    p.req_is_open_ended,
+                    p.resp_prefix.clone(),
+                )
+            };
+            let mut req_sites = Vec::new();
+            find_all(&payload, &req_prefix, |i| req_sites.push(i));
+            for at in req_sites {
+                self.note_occurrence(&payload, at + req_prefix.len(), ri, open_ended, false);
+            }
+            if let Some(rp) = resp_prefix {
+                let mut resp_sites = Vec::new();
+                find_all(&payload, &rp, |i| resp_sites.push(i));
+                for at in resp_sites {
+                    self.note_occurrence(&payload, at + rp.len(), ri, false, true);
+                }
+            }
+        }
+        // `contains` is per-record: dedup before counting so multiple
+        // occurrences of one marker in one payload count as one hit.
+        let mut seen = std::mem::take(&mut self.seen_scratch);
+        seen.sort_unstable();
+        seen.dedup();
+        for (slot, round_resp) in seen.drain(..) {
+            let (ri, is_resp) = (round_resp / 2, round_resp % 2 == 1);
+            let idx = kind_dir_index(is_resp, dir);
+            self.counts[slot as usize * self.rounds + ri][idx] += 1;
+        }
+        self.seen_scratch = seen;
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A sink that drops every record unexamined — for taps whose contents
+/// the pipeline never reads (the server tap of a clean cell, whose
+/// batch path never parses it either) while still recycling frames.
+#[derive(Debug, Default)]
+pub struct DiscardSink {
+    records: u64,
+}
+
+impl DiscardSink {
+    /// Records dropped.
+    pub fn records_seen(&self) -> u64 {
+        self.records
+    }
+}
+
+impl CaptureSink for DiscardSink {
+    fn on_record(&mut self, _ts: SimTime, _dir: CaptureDir, _frame: &Bytes) {
+        self.records += 1;
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    use bnm_sim::capture::CaptureBuffer;
+    use bnm_sim::wire::{
+        EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, TcpFlags, TcpSegment,
+    };
+
+    use crate::matching::ParsedCapture;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn tcp_frame(payload: &[u8]) -> Bytes {
+        let seg = TcpSegment {
+            src_port: 5,
+            dst_port: 80,
+            seq: 1,
+            ack: 1,
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            window: 1000,
+            mss: None,
+            payload: Bytes::copy_from_slice(payload),
+        };
+        let ip = Ipv4Packet {
+            src: A,
+            dst: B,
+            protocol: IpProtocol::Tcp,
+            ttl: 64,
+            ident: 1,
+            payload: seg.emit(A, B),
+        };
+        EthernetFrame {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            ethertype: EtherType::Ipv4,
+            payload: ip.emit(),
+        }
+        .emit()
+    }
+
+    /// Feed the same records to a retaining buffer (batch reference) and
+    /// to the sinks; return the batch parse.
+    fn batch_of(records: &[(u64, CaptureDir, &[u8])]) -> ParsedCapture {
+        let mut buf = CaptureBuffer::new("ref");
+        for (ms, dir, payload) in records {
+            buf.record(SimTime::from_millis(*ms), *dir, tcp_frame(payload));
+        }
+        ParsedCapture::parse(&buf)
+    }
+
+    fn feed_sink(sink: &mut dyn CaptureSink, records: &[(u64, CaptureDir, &[u8])]) {
+        for (ms, dir, payload) in records {
+            sink.on_record(SimTime::from_millis(*ms), *dir, &tcp_frame(payload));
+        }
+    }
+
+    #[test]
+    fn session_sink_matches_like_parsed_capture() {
+        let records: &[(u64, CaptureDir, &[u8])] = &[
+            (
+                10,
+                CaptureDir::Tx,
+                b"GET /probe?m=xhr_get&r=1&t=7 HTTP/1.1\r\n\r\n",
+            ),
+            (
+                61,
+                CaptureDir::Rx,
+                b"HTTP/1.1 200 OK\r\n\r\npong r=1 t=7 .....",
+            ),
+            (
+                80,
+                CaptureDir::Tx,
+                b"GET /probe?m=xhr_get&r=2&t=7 HTTP/1.1\r\n\r\n",
+            ),
+            (
+                131,
+                CaptureDir::Rx,
+                b"HTTP/1.1 200 OK\r\n\r\npong r=2 t=7 .....",
+            ),
+        ];
+        let batch = batch_of(records);
+        let mut sink = SessionMarkerSink::new(MethodId::XhrGet, 2, 7);
+        feed_sink(&mut sink, records);
+        for r in 1..=2 {
+            assert_eq!(
+                sink.match_round(r),
+                batch.match_round(MethodId::XhrGet, r, 7),
+                "round {r}"
+            );
+        }
+        assert_eq!(sink.records_seen(), 4);
+    }
+
+    #[test]
+    fn session_sink_reports_every_error_like_batch() {
+        // Retransmitted request, then a round with no response, then an
+        // out-of-order round.
+        let records: &[(u64, CaptureDir, &[u8])] = &[
+            (10, CaptureDir::Tx, b"m=xhr_get&r=1&t=9 "),
+            (210, CaptureDir::Tx, b"m=xhr_get&r=1&t=9 "),
+            (261, CaptureDir::Rx, b"pong r=1 t=9 "),
+            (300, CaptureDir::Tx, b"m=xhr_get&r=2&t=9 "),
+        ];
+        let batch = batch_of(records);
+        let mut sink = SessionMarkerSink::new(MethodId::XhrGet, 3, 9);
+        feed_sink(&mut sink, records);
+        for r in 1..=3 {
+            assert_eq!(
+                sink.match_round(r),
+                batch.match_round(MethodId::XhrGet, r, 9),
+                "round {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_sink_handles_echo_transports() {
+        let marker: &[u8] = b"probe m=java_tcp r=1 t=3 .......";
+        let records: &[(u64, CaptureDir, &[u8])] =
+            &[(5, CaptureDir::Tx, marker), (55, CaptureDir::Rx, marker)];
+        let batch = batch_of(records);
+        let mut sink = SessionMarkerSink::new(MethodId::JavaTcp, 1, 3);
+        feed_sink(&mut sink, records);
+        assert_eq!(
+            sink.match_round(1),
+            batch.match_round(MethodId::JavaTcp, 1, 3)
+        );
+    }
+
+    /// The decisive semantic test: tokens whose decimal forms prefix
+    /// each other. `contains` makes token 1 hit a frame carrying token
+    /// 10 for open-ended HTTP request markers (and only for those);
+    /// the index must reproduce that bit-exactly.
+    #[test]
+    fn server_index_preserves_decimal_prefix_ambiguity() {
+        let t_short = 1u64;
+        let t_long = 10u64;
+        let records: &[(u64, CaptureDir, &[u8])] = &[
+            // One "real" occurrence for token 1...
+            (10, CaptureDir::Rx, b"m=xhr_get&r=1&t=1 HTTP/1.1"),
+            // ...and token 10's request, which ALSO hits token 1's
+            // open-ended needle "m=xhr_get&r=1&t=1".
+            (11, CaptureDir::Rx, b"m=xhr_get&r=1&t=10 HTTP/1.1"),
+            // Responses are space-terminated: no cross-hit.
+            (12, CaptureDir::Tx, b"pong r=1 t=1 "),
+            (13, CaptureDir::Tx, b"pong r=1 t=10 "),
+        ];
+        let batch = batch_of(records);
+        let mut idx = ServerMarkerIndex::new(MethodId::XhrGet, 2, &[t_short, t_long]);
+        feed_sink(&mut idx, records);
+        for &tok in &[t_short, t_long] {
+            for r in 1..=2 {
+                assert_eq!(
+                    idx.round_retransmitted(r, tok),
+                    batch.round_retransmitted(MethodId::XhrGet, r, tok),
+                    "token {tok} round {r}"
+                );
+            }
+        }
+        // Token 1's request marker was hit twice (once by its own frame,
+        // once inside token 10's) — the batch rule calls that
+        // retransmitted, and so must the index.
+        assert!(idx.round_retransmitted(1, t_short));
+        assert!(!idx.round_retransmitted(1, t_long));
+    }
+
+    #[test]
+    fn server_index_detects_downstream_duplicates() {
+        let records: &[(u64, CaptureDir, &[u8])] = &[
+            (35, CaptureDir::Rx, b"m=xhr_get&r=1&t=7 "),
+            (36, CaptureDir::Tx, b"pong r=1 t=7 "),
+            (236, CaptureDir::Tx, b"pong r=1 t=7 "),
+        ];
+        let batch = batch_of(records);
+        let mut idx = ServerMarkerIndex::new(MethodId::XhrGet, 2, &[7]);
+        feed_sink(&mut idx, records);
+        assert!(idx.round_retransmitted(1, 7));
+        assert_eq!(
+            idx.round_retransmitted(1, 7),
+            batch.round_retransmitted(MethodId::XhrGet, 1, 7)
+        );
+        assert!(!idx.round_retransmitted(2, 7));
+    }
+
+    /// Edge cases: digit runs cut off by the frame end (no terminator),
+    /// non-digit continuations, duplicate occurrences within one
+    /// payload, and echo markers — all against the batch oracle.
+    #[test]
+    fn server_index_edge_cases_agree_with_batch() {
+        let tokens = &[0u64, 7, 70, 4294967296 /* 1<<32: session 1 rep 0 */];
+        let records: &[(u64, CaptureDir, &[u8])] = &[
+            // Truncated digit run at end of payload: space-terminated
+            // needles must NOT hit.
+            (1, CaptureDir::Tx, b"pong r=1 t=7"),
+            // Non-digit after the run: "t=7x" — open-ended token 7 hits
+            // ("m=...&t=7" is a substring), exact "pong r=1 t=7 " would
+            // not.
+            (2, CaptureDir::Rx, b"m=xhr_get&r=1&t=7x"),
+            // Two occurrences of the same marker in one payload: one hit
+            // (contains is per-record).
+            (
+                3,
+                CaptureDir::Rx,
+                b"m=xhr_get&r=1&t=70 ... m=xhr_get&r=1&t=70",
+            ),
+            // Token 0 and the 1<<32 composite.
+            (4, CaptureDir::Rx, b"m=xhr_get&r=2&t=0 "),
+            (5, CaptureDir::Rx, b"m=xhr_get&r=2&t=4294967296 "),
+            (6, CaptureDir::Tx, b"pong r=2 t=4294967296 "),
+            (7, CaptureDir::Tx, b"pong r=2 t=4294967296 "),
+        ];
+        let batch = batch_of(records);
+        let mut idx = ServerMarkerIndex::new(MethodId::XhrGet, 2, tokens);
+        feed_sink(&mut idx, records);
+        for &tok in tokens {
+            for r in 1..=2 {
+                assert_eq!(
+                    idx.round_retransmitted(r, tok),
+                    batch.round_retransmitted(MethodId::XhrGet, r, tok),
+                    "token {tok} round {r}"
+                );
+            }
+        }
+        // The duplicated pong makes (round 2, 1<<32) retransmitted.
+        assert!(idx.round_retransmitted(2, 4294967296));
+    }
+
+    #[test]
+    fn server_index_echo_methods_agree_with_batch() {
+        let records: &[(u64, CaptureDir, &[u8])] = &[
+            (5, CaptureDir::Rx, b"probe m=java_tcp r=1 t=3 ......."),
+            (6, CaptureDir::Tx, b"probe m=java_tcp r=1 t=3 ......."),
+            (206, CaptureDir::Tx, b"probe m=java_tcp r=1 t=3 ......."),
+            (300, CaptureDir::Rx, b"probe m=java_tcp r=2 t=3 ......."),
+            (301, CaptureDir::Tx, b"probe m=java_tcp r=2 t=3 ......."),
+        ];
+        let batch = batch_of(records);
+        let mut idx = ServerMarkerIndex::new(MethodId::JavaTcp, 2, &[3]);
+        feed_sink(&mut idx, records);
+        for r in 1..=2 {
+            assert_eq!(
+                idx.round_retransmitted(r, 3),
+                batch.round_retransmitted(MethodId::JavaTcp, r, 3),
+                "round {r}"
+            );
+        }
+        assert!(idx.round_retransmitted(1, 3));
+        assert!(!idx.round_retransmitted(2, 3));
+    }
+
+    #[test]
+    fn discard_sink_only_counts() {
+        let mut s = DiscardSink::default();
+        s.on_record(SimTime::ZERO, CaptureDir::Tx, &tcp_frame(b"anything"));
+        s.on_record(SimTime::ZERO, CaptureDir::Rx, &Bytes::from_static(b"junk"));
+        assert_eq!(s.records_seen(), 2);
+    }
+}

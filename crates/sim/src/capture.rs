@@ -11,6 +11,8 @@
 //! timestamping noise with a uniform ± jitter bound. The default is exact
 //! timestamps.
 
+use std::any::Any;
+
 use bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -57,6 +59,27 @@ pub enum TimestampNoise {
     },
 }
 
+/// Streaming consumer for a tap: sees every record as it is stamped, in
+/// capture order, instead of the tap retaining it.
+///
+/// With a sink installed the tap holds no frame past the `on_record`
+/// call — the refcounted frame view drops as soon as the sink returns,
+/// so pooled buffers recycle mid-run instead of accumulating until the
+/// scenario ends. The sink observes exactly what a retaining tap would
+/// have stored: the same noise-stamped timestamp (the noise RNG stream
+/// and the monotonicity clamp are shared code), the same direction, the
+/// same (snap-length-truncated) frame view. A run with a sink is
+/// therefore bit-equivalent to a retained run followed by a replay of
+/// `records()` — the parity the streaming pipeline relies on.
+pub trait CaptureSink: std::fmt::Debug {
+    /// Observe one stamped record. `frame` is only valid for the call.
+    fn on_record(&mut self, ts: SimTime, dir: CaptureDir, frame: &Bytes);
+    /// Downcast support for retrieving concrete sink state after a run.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
 /// A buffer of captured frames for one tap.
 #[derive(Debug)]
 pub struct CaptureBuffer {
@@ -69,6 +92,11 @@ pub struct CaptureBuffer {
     /// Snap length: frames longer than this are truncated in the record
     /// (the original length is not preserved — experiments use full snap).
     snaplen: usize,
+    /// Streaming consumer; when present, records are fed to it instead
+    /// of being retained.
+    sink: Option<Box<dyn CaptureSink>>,
+    /// Total records stamped, retained or streamed.
+    total: u64,
 }
 
 impl CaptureBuffer {
@@ -80,6 +108,8 @@ impl CaptureBuffer {
             noise: TimestampNoise::Exact,
             last_ts: SimTime::ZERO,
             snaplen: usize::MAX,
+            sink: None,
+            total: 0,
         }
     }
 
@@ -123,11 +153,46 @@ impl CaptureBuffer {
         } else {
             frame
         };
-        self.records.push(CaptureRecord {
-            ts: stamped,
-            dir,
-            frame,
-        });
+        self.total += 1;
+        if let Some(sink) = &mut self.sink {
+            sink.on_record(stamped, dir, &frame);
+            // `frame` drops here — the underlying buffer recycles now.
+        } else {
+            self.records.push(CaptureRecord {
+                ts: stamped,
+                dir,
+                frame,
+            });
+        }
+    }
+
+    /// Install a streaming sink: subsequent records are fed to it and
+    /// not retained. Records captured before the switch stay in place.
+    pub fn set_sink(&mut self, sink: Box<dyn CaptureSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// The installed sink, if any.
+    pub fn sink_mut(&mut self) -> Option<&mut (dyn CaptureSink + 'static)> {
+        self.sink.as_deref_mut()
+    }
+
+    /// Remove and return the sink (e.g. to extract its accumulated
+    /// state after a run); the tap reverts to retaining records.
+    pub fn take_sink(&mut self) -> Option<Box<dyn CaptureSink>> {
+        self.sink.take()
+    }
+
+    /// Move all retained records out of the tap, leaving it empty.
+    ///
+    /// This is the batch-mode half of the streaming pipeline: once a
+    /// session's capture has been drained for matching, the consumer
+    /// drops the records as it finishes with them and the pooled frame
+    /// buffers recycle without waiting for the whole scenario's taps to
+    /// be torn down. Noise state (the monotonicity clamp) is preserved,
+    /// so a tap can keep recording after a drain.
+    pub fn drain(&mut self) -> Vec<CaptureRecord> {
+        std::mem::take(&mut self.records)
     }
 
     /// All records in capture order.
@@ -135,12 +200,19 @@ impl CaptureBuffer {
         &self.records
     }
 
-    /// Number of captured frames.
+    /// Total records stamped over the tap's lifetime, counting both
+    /// retained and streamed (sink-consumed) records.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of retained frames (streamed records are not counted;
+    /// see [`CaptureBuffer::total_recorded`]).
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
-    /// Whether nothing was captured.
+    /// Whether nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
@@ -228,5 +300,85 @@ mod tests {
         buf.record(SimTime::ZERO, CaptureDir::Tx, Bytes::from_static(b"a"));
         buf.clear();
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn drain_moves_records_out_and_keeps_recording() {
+        let mut buf = CaptureBuffer::new("t");
+        buf.record(
+            SimTime::from_millis(1),
+            CaptureDir::Tx,
+            Bytes::from_static(b"a"),
+        );
+        buf.record(
+            SimTime::from_millis(2),
+            CaptureDir::Rx,
+            Bytes::from_static(b"b"),
+        );
+        let drained = buf.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(buf.is_empty());
+        buf.record(
+            SimTime::from_millis(3),
+            CaptureDir::Tx,
+            Bytes::from_static(b"c"),
+        );
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.total_recorded(), 3);
+    }
+
+    /// Mirror sink used to prove stream-vs-retain equivalence.
+    #[derive(Debug, Default)]
+    struct Mirror {
+        seen: Vec<(SimTime, CaptureDir, Vec<u8>)>,
+    }
+    impl CaptureSink for Mirror {
+        fn on_record(&mut self, ts: SimTime, dir: CaptureDir, frame: &Bytes) {
+            self.seen.push((ts, dir, frame.to_vec()));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn sink_observes_exactly_what_retention_would_store() {
+        // Two taps with identical noise streams, one retaining and one
+        // streaming: the sink must see the same stamps, directions and
+        // (snap-truncated) bytes the retained tap stores.
+        let mk_noise = || TimestampNoise::UniformLag {
+            bound_ns: 250_000,
+            rng: rng::stream(41, "cap"),
+        };
+        let mut retained = CaptureBuffer::new("a")
+            .with_noise(mk_noise())
+            .with_snaplen(4);
+        let mut streamed = CaptureBuffer::new("b")
+            .with_noise(mk_noise())
+            .with_snaplen(4);
+        streamed.set_sink(Box::new(Mirror::default()));
+        for i in 0..200u64 {
+            let dir = if i % 3 == 0 {
+                CaptureDir::Tx
+            } else {
+                CaptureDir::Rx
+            };
+            let frame = Bytes::copy_from_slice(&[i as u8; 6]);
+            retained.record(SimTime::from_nanos(i * 50), dir, frame.clone());
+            streamed.record(SimTime::from_nanos(i * 50), dir, frame);
+        }
+        assert!(streamed.is_empty(), "streaming tap must retain nothing");
+        assert_eq!(streamed.total_recorded(), 200);
+        let sink = streamed.take_sink().unwrap();
+        let mirror = sink.as_any().downcast_ref::<Mirror>().unwrap();
+        assert_eq!(mirror.seen.len(), retained.len());
+        for (got, want) in mirror.seen.iter().zip(retained.records()) {
+            assert_eq!(got.0, want.ts);
+            assert_eq!(got.1, want.dir);
+            assert_eq!(got.2, want.frame.to_vec());
+        }
     }
 }

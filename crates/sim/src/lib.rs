@@ -43,7 +43,7 @@ pub mod switch;
 pub mod time;
 pub mod wire;
 
-pub use capture::{CaptureBuffer, CaptureRecord, TapId};
+pub use capture::{CaptureBuffer, CaptureRecord, CaptureSink, TapId};
 pub use engine::{Ctx, Engine, EngineError, Node, NodeId, PortNo};
 pub use fault::{FaultSpec, Impairment};
 pub use link::{LinkId, LinkSpec};

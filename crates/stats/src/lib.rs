@@ -15,6 +15,9 @@
 //!   overhead corrupts jitter measurement; we quantify it).
 //! * [`ascii`] — terminal renderings of box plots and CDFs for the
 //!   experiment binaries.
+//! * [`sketch::QuantileSketch`] — bounded-memory streaming quantiles
+//!   with relative-error guarantees, for crowd-scale sweeps whose raw
+//!   per-session samples would otherwise grow with the client count.
 
 pub mod ascii;
 pub mod boxplot;
@@ -22,10 +25,12 @@ pub mod cdf;
 pub mod ci;
 pub mod jitter;
 pub mod ks;
+pub mod sketch;
 pub mod summary;
 
 pub use boxplot::BoxStats;
 pub use cdf::Cdf;
 pub use ci::MeanCi;
 pub use ks::{ks_two_sample, KsTest};
+pub use sketch::QuantileSketch;
 pub use summary::Summary;

@@ -1,0 +1,376 @@
+//! Streaming quantile sketches for crowd-scale runs.
+//!
+//! A 1,000-client contend sweep produces per-session Δd sample vectors
+//! whose total size grows as `clients × reps × rounds`; keeping every
+//! raw `f64` alive until reporting defeats the bounded-memory goal of
+//! the streaming pipeline. [`QuantileSketch`] replaces a raw vector
+//! with a log-bucketed histogram in the spirit of DDSketch: values are
+//! counted in geometrically-spaced buckets, so the sketch answers any
+//! quantile with a *relative* error bound that is independent of the
+//! number of samples, while storing only the occupied buckets.
+//!
+//! # Error bound
+//!
+//! With accuracy parameter `α` the bucket boundaries grow by
+//! `γ = (1 + α) / (1 − α)` per bucket and a bucket is summarised by its
+//! geometric midpoint, so every recorded value `v` with
+//! `|v| > ZERO_EPSILON` is represented by a value `r` with
+//!
+//! ```text
+//! |r − v| ≤ (√γ − 1) · |v|        (√γ − 1 ≈ α for small α)
+//! ```
+//!
+//! Values with `|v| ≤ ZERO_EPSILON` land in a single zero bucket and
+//! carry an absolute error of at most `ZERO_EPSILON`. Bucket *counts*
+//! are exact, so the sketch locates the true order statistic's bucket
+//! exactly and [`QuantileSketch::quantile`] — which interpolates
+//! between the ranks `⌊h⌋` and `⌈h⌉` at `h = p·(n−1)`, mirroring the
+//! R-7 rule of [`crate::summary::quantile`] — satisfies
+//!
+//! ```text
+//! |quantile(p) − R7(p)| ≤ (√γ − 1) · max(|x_⌊h⌋|, |x_⌈h⌉|) + ZERO_EPSILON
+//! ```
+//!
+//! where `x_i` are the sorted raw samples. The proptest in
+//! `tests/properties.rs` holds the implementation to exactly this
+//! bound on arbitrary inputs.
+
+use std::collections::BTreeMap;
+
+/// Absolute half-width of the zero bucket: values at or below this
+/// magnitude are stored as "zero" and reproduce with at most this
+/// absolute error. Δd samples are milliseconds, so 1e-9 ms = 1 fs is
+/// far below both the simulator's nanosecond clock and any physical
+/// meaning.
+pub const ZERO_EPSILON: f64 = 1e-9;
+
+/// Default relative accuracy (1%): a Δd median of 16 ms reproduces
+/// within ±0.16 ms, an order of magnitude under the paper's 0.3 ms
+/// software-capture noise floor.
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// A mergeable streaming quantile sketch with relative-error
+/// guarantees (see the module docs for the exact bound).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Relative accuracy parameter α.
+    alpha: f64,
+    /// Bucket growth factor γ = (1+α)/(1−α).
+    gamma: f64,
+    /// ln(γ), cached for key computation.
+    ln_gamma: f64,
+    /// Occupied buckets: key 0 is the zero bucket, key `k > 0` covers
+    /// `(ZERO_EPSILON·γ^(k−1), ZERO_EPSILON·γ^k]`, negative keys mirror
+    /// for negative values. `BTreeMap` iterates keys in ascending
+    /// order, which is ascending value order.
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new(DEFAULT_ALPHA)
+    }
+}
+
+impl QuantileSketch {
+    /// A sketch with relative accuracy `alpha`, clamped to
+    /// `[1e-4, 0.25]` (coarser is meaningless, finer needless).
+    pub fn new(alpha: f64) -> Self {
+        let alpha = alpha.clamp(1e-4, 0.25);
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            alpha,
+            gamma,
+            ln_gamma: gamma.ln(),
+            buckets: BTreeMap::new(),
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// The accuracy parameter the sketch was built with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The guaranteed relative error bound, `√γ − 1`.
+    pub fn relative_error_bound(&self) -> f64 {
+        self.gamma.sqrt() - 1.0
+    }
+
+    /// Record one value. Non-finite values are ignored (and flagged in
+    /// debug builds — the pipeline never produces them).
+    pub fn insert(&mut self, v: f64) {
+        debug_assert!(v.is_finite(), "sketch fed non-finite value {v}");
+        if !v.is_finite() {
+            return;
+        }
+        *self.buckets.entry(self.key(v)).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Record every value in `vs`.
+    pub fn extend(&mut self, vs: &[f64]) {
+        for &v in vs {
+            self.insert(v);
+        }
+    }
+
+    /// Fold another sketch into this one. Both must use the same
+    /// accuracy parameter (they bucket incompatibly otherwise).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert_eq!(
+            self.alpha.to_bits(),
+            other.alpha.to_bits(),
+            "merging sketches with different accuracies"
+        );
+        for (&k, &c) in &other.buckets {
+            *self.buckets.entry(k).or_insert(0) += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum of the recorded values (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum of the recorded values (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact mean of the recorded values (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of occupied buckets — the sketch's actual footprint,
+    /// `O(log(max/min) / α)` regardless of sample count.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The `p`-quantile (`0 ≤ p ≤ 1`) under the R-7 fractional-rank
+    /// rule, within the error bound in the module docs. NaN when empty.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let h = p * (self.count - 1) as f64;
+        let lo = h.floor() as u64;
+        let hi = h.ceil() as u64;
+        let frac = h - lo as f64;
+        let v_lo = self.value_at_rank(lo);
+        if lo == hi {
+            return v_lo;
+        }
+        let v_hi = self.value_at_rank(hi);
+        v_lo + (v_hi - v_lo) * frac
+    }
+
+    /// Convenience: the median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Representative value for the bucket holding the 0-based rank
+    /// `r` order statistic, clamped into the exact `[min, max]` range
+    /// (clamping only ever moves the representative *toward* the true
+    /// order statistic, so the error bound is preserved). The extreme
+    /// ranks are the tracked min/max themselves, so they come back
+    /// exact rather than as bucket midpoints.
+    fn value_at_rank(&self, r: u64) -> f64 {
+        if r == 0 {
+            return self.min;
+        }
+        if r + 1 >= self.count {
+            return self.max;
+        }
+        let mut cum = 0u64;
+        for (&k, &c) in &self.buckets {
+            cum += c;
+            if cum > r {
+                return self.representative(k).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Bucket index for a value (see `buckets` field docs).
+    fn key(&self, v: f64) -> i32 {
+        let mag = v.abs();
+        if mag <= ZERO_EPSILON {
+            return 0;
+        }
+        // ceil() rather than floor()+1 so an exact boundary value
+        // stays in the bucket it is the upper edge of.
+        let k = ((mag / ZERO_EPSILON).ln() / self.ln_gamma).ceil().max(1.0) as i32;
+        if v < 0.0 {
+            -k
+        } else {
+            k
+        }
+    }
+
+    /// Geometric midpoint of bucket `k`.
+    fn representative(&self, k: i32) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let mag = ZERO_EPSILON * self.gamma.powf(f64::from(k.abs()) - 0.5);
+        if k < 0 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::quantile as r7;
+
+    fn assert_within_bound(sketch: &QuantileSketch, sorted: &[f64], p: f64) {
+        let n = sorted.len();
+        let h = p * (n - 1) as f64;
+        let (lo, hi) = (h.floor() as usize, h.ceil() as usize);
+        let eps = sketch.relative_error_bound();
+        let bound = eps * sorted[lo].abs().max(sorted[hi].abs()) + ZERO_EPSILON;
+        let got = sketch.quantile(p);
+        let want = r7(sorted, p);
+        assert!(
+            (got - want).abs() <= bound * (1.0 + 1e-9),
+            "p={p}: sketch {got} vs exact {want}, bound {bound}"
+        );
+    }
+
+    #[test]
+    fn empty_sketch_is_nan() {
+        let s = QuantileSketch::default();
+        assert!(s.quantile(0.5).is_nan());
+        assert!(s.min().is_nan());
+        assert!(s.mean().is_nan());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn single_value_reproduces_exactly() {
+        let mut s = QuantileSketch::default();
+        s.insert(16.25);
+        // min/max clamping pins a single sample exactly.
+        assert_eq!(s.quantile(0.0), 16.25);
+        assert_eq!(s.quantile(0.5), 16.25);
+        assert_eq!(s.quantile(1.0), 16.25);
+    }
+
+    #[test]
+    fn quantiles_track_r7_within_bound() {
+        let mut s = QuantileSketch::new(0.01);
+        // Deterministic skewed data spanning several decades, with
+        // negatives and zeros mixed in.
+        let mut x = 0x9E37_79B9u64;
+        let mut data = Vec::new();
+        for i in 0..5000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = match i % 7 {
+                0 => 0.0,
+                1 => -((x % 1000) as f64) / 10.0,
+                _ => (x % 1_000_000) as f64 / 100.0,
+            };
+            data.push(v);
+            s.insert(v);
+        }
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert_within_bound(&s, &data, p);
+        }
+        assert_eq!(s.count(), 5000);
+        // Footprint stays tiny relative to the sample count.
+        assert!(s.bucket_count() < 2200, "buckets: {}", s.bucket_count());
+    }
+
+    #[test]
+    fn merge_equals_inserting_everything() {
+        let mut a = QuantileSketch::new(0.02);
+        let mut b = QuantileSketch::new(0.02);
+        let mut all = QuantileSketch::new(0.02);
+        for i in 0..100 {
+            let v = (i * i) as f64 / 3.0;
+            if i % 2 == 0 {
+                a.insert(v);
+            } else {
+                b.insert(v);
+            }
+            all.insert(v);
+        }
+        a.merge(&b);
+        // Bucket contents and extremes match exactly; the running sum
+        // only up to fp association order.
+        assert_eq!(a.buckets, all.buckets);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert_eq!(a.quantile(0.5), all.quantile(0.5));
+    }
+
+    #[test]
+    fn identical_streams_give_identical_sketches() {
+        let mk = || {
+            let mut s = QuantileSketch::default();
+            s.extend(&[3.5, -1.0, 0.0, 88.25, 3.5]);
+            s
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    #[should_panic(expected = "different accuracies")]
+    fn merging_mismatched_accuracies_panics() {
+        let mut a = QuantileSketch::new(0.01);
+        a.merge(&QuantileSketch::new(0.05));
+    }
+}

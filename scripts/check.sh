@@ -51,6 +51,14 @@ cargo test -q --test impairment
 echo "==> cargo test -q --test scenario_parity"
 cargo test -q --test scenario_parity
 
+# The streaming post-processing pipeline's guarantees: streaming
+# capture consumption and parallel per-session matching are both
+# bit-identical to the batch/serial paths, bounded retention sketches
+# stay within their error bound, and the frame pool's high-water mark
+# stays flat per client.
+echo "==> cargo test -q --test streaming_parity"
+cargo test -q --test streaming_parity
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -70,13 +78,20 @@ if [[ $quick -eq 0 && $fast -eq 0 ]]; then
   fi
 fi
 
-# Engine benchmark, quick mode: one timed crowd run per scheduler
-# (wheel+pool vs the reference BinaryHeap baseline), events/sec and
-# peak RSS written to BENCH_engine.json at the repo root.
+# Benchmarks, quick mode: one timed crowd run per configuration —
+# engine (wheel+pool vs the reference BinaryHeap) and the streaming
+# post-processing pipeline (streaming vs batch at the 1,000-client
+# impaired tier) — written to BENCH_engine.json / BENCH_pipeline.json
+# at the repo root, then gated against the committed baselines.
 if [[ $bench -eq 1 ]]; then
   echo "==> engine bench (quick mode) -> BENCH_engine.json"
   BNM_BENCH_QUICK=1 BNM_BENCH_OUT="$PWD/BENCH_engine.json" \
     cargo bench -p bnm-bench --bench engine
+  echo "==> pipeline bench (quick mode) -> BENCH_pipeline.json"
+  BNM_BENCH_QUICK=1 BNM_BENCH_PIPELINE_OUT="$PWD/BENCH_pipeline.json" \
+    cargo bench -p bnm-bench --bench pipeline
+  echo "==> bench regression gate"
+  scripts/bench_compare.sh
 fi
 
 echo "OK"

@@ -31,7 +31,7 @@ pub use bnm_time as timeapi;
 pub use bnm_core::exec::{self, ExecStats, Executor, Progress};
 pub use bnm_core::{
     Appraisal, CellBuilder, CellResult, ContentionSpec, ExperimentCell, ExperimentRunner,
-    FaultSpec, Impairment, RunError, RuntimeSel, Verdict,
+    FaultSpec, Impairment, RunError, RuntimeSel, StreamingSpec, Verdict,
 };
 
 /// The curated working set for driving experiments.
@@ -61,7 +61,8 @@ pub mod prelude {
     pub use bnm_core::{
         Appraisal, CellBuilder, CellResult, ContentionSpec, ExperimentCell, ExperimentRunner,
         FaultSpec, Impairment, RepOutcome, RoundMeasurement, RunError, RuntimeSel, Scenario,
-        ScenarioBuilder, SessionSamples, SessionSpec, Testbed, TestbedBuilder, Verdict,
+        ScenarioBuilder, SessionSamples, SessionSpec, StreamingSpec, Testbed, TestbedBuilder,
+        Verdict,
     };
     pub use bnm_methods::MethodId;
     pub use bnm_obs::{Component, Trace, TraceData};

@@ -224,6 +224,50 @@ proptest! {
         prop_assert!(quantile(&sorted, lo) <= quantile(&sorted, hi) + 1e-9);
     }
 
+    // The streaming sketch must agree with the exact R-7 quantiles it
+    // replaces in bounded-retention mode, within its documented bound:
+    // a relative error of `relative_error_bound()` on the value axis
+    // (plus the tiny absolute epsilon that the zero bucket absorbs).
+    // Signs, duplicates and wide magnitude spreads are all fair game.
+    #[test]
+    fn sketch_quantiles_match_exact_r7_within_bound(
+        data in proptest::collection::vec(-1e6f64..1e6, 1..400),
+        ps in proptest::collection::vec(0.0f64..=1.0, 1..20),
+        split in any::<usize>(),
+    ) {
+        use bnm::stats::QuantileSketch;
+
+        // Build one sketch by straight insertion and one by merging two
+        // halves: both must satisfy the bound (merge adds no error).
+        let mut whole = QuantileSketch::default();
+        whole.extend(&data);
+        let cut = split % data.len();
+        let mut left = QuantileSketch::default();
+        left.extend(&data[..cut]);
+        let mut right = QuantileSketch::default();
+        right.extend(&data[cut..]);
+        left.merge(&right);
+
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let scale = sorted.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+        for sk in [&whole, &left] {
+            prop_assert_eq!(sk.count(), data.len() as u64);
+            let bound = sk.relative_error_bound() * scale + 1e-8;
+            for &p in &ps {
+                let exact = quantile(&sorted, p);
+                let est = sk.quantile(p);
+                prop_assert!(
+                    (est - exact).abs() <= bound,
+                    "p={}: sketch {} vs exact {} (bound {})", p, est, exact, bound
+                );
+            }
+            // Extremes are exact: the sketch tracks min/max directly.
+            prop_assert_eq!(sk.quantile(0.0), sorted[0]);
+            prop_assert_eq!(sk.quantile(1.0), sorted[sorted.len() - 1]);
+        }
+    }
+
     #[test]
     fn cdf_levels_masses_sum_to_one(data in proptest::collection::vec(-100f64..100.0, 1..80), tol in 0.1f64..20.0) {
         let c = Cdf::of(&data);
