@@ -1,0 +1,144 @@
+//! Continuous-monitoring benchmark: the `bnm serve` replay loop.
+//!
+//! The workload is a monitored contention cell — 8 XHR clients sharing
+//! a server link at the contention sweep's per-client rate, with 2%
+//! frame loss and the serve streaming spec (streaming capture, bounded
+//! per-session retention) — driven round by round through
+//! `Monitor::step` exactly as `bnm serve` drives it. Two costs matter
+//! for a long-running monitor and both are reported:
+//!
+//! * `rounds_per_sec` — how fast the monitor folds simulated rounds
+//!   into its windowed sketches (the steady-state throughput of the
+//!   serve loop).
+//! * `snapshot_ms` — the cost of one mid-run `ReportSnapshot` poll,
+//!   averaged over many polls. Polling must stay cheap enough to call
+//!   every few (virtual) seconds without perturbing the loop.
+//!
+//! The footprint gauges (`live_pans`, `sketch_buckets`) are recorded so
+//! the regression gate can also catch an unbounded-memory regression:
+//! they must reflect the window spans, not the round count.
+//!
+//! Quick mode (`BNM_BENCH_QUICK=1`, what `scripts/check.sh --bench`
+//! runs) times one monitored run and writes `BENCH_serve.json` (to
+//! `$BNM_BENCH_SERVE_OUT` or the current directory).
+
+use criterion::{criterion_group, Criterion};
+
+use bnm_bench::meta;
+use bnm_browser::BrowserKind;
+use bnm_core::config::{ContentionSpec, StreamingSpec};
+use bnm_core::{ExperimentCell, Impairment, Monitor, RuntimeSel};
+use bnm_methods::MethodId;
+use bnm_time::OsKind;
+
+/// Monitored clients: enough contention for the shared link to queue.
+const CLIENTS: u32 = 8;
+/// Per-client share of the server link (the sweep's crowd constant).
+const PER_CLIENT_BPS: u64 = 6_250;
+/// Frame loss on the shared link, so rounds exercise the exclusion
+/// path the monitor folds into its windowed counters.
+const LOSS: f64 = 0.02;
+/// Virtual-time rounds folded in quick mode.
+const ROUNDS: u32 = 120;
+/// Snapshot polls timed in quick mode.
+const POLLS: u32 = 200;
+
+fn monitored_cell() -> ExperimentCell {
+    ExperimentCell::builder(
+        MethodId::XhrGet,
+        RuntimeSel::Browser(BrowserKind::Chrome),
+        OsKind::Ubuntu1204,
+    )
+    .reps(1)
+    .seed(0x5E17_BEEF)
+    .contention(
+        ContentionSpec::clients(CLIENTS).with_server_link_rate(PER_CLIENT_BPS * u64::from(CLIENTS)),
+    )
+    .impairment(Impairment::loss(LOSS))
+    .streaming(StreamingSpec::serve())
+    .build()
+    .expect("monitored cell is runnable")
+}
+
+/// Fold `rounds` rounds into a fresh monitor; wall seconds spent.
+fn timed_rounds(monitor: &mut Monitor, rounds: u32) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..rounds {
+        monitor.step();
+    }
+    start.elapsed().as_secs_f64()
+}
+
+// ---------------------------------------------------------------------
+// Criterion mode: smaller round counts so the statistics pass stays
+// tractable.
+
+fn bench_serve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    g.bench_function("monitor_10_rounds", |b| {
+        b.iter(|| {
+            let mut m = Monitor::new(monitored_cell()).expect("runnable");
+            timed_rounds(&mut m, 10)
+        })
+    });
+    g.bench_function("snapshot", |b| {
+        let mut m = Monitor::new(monitored_cell()).expect("runnable");
+        timed_rounds(&mut m, 10);
+        b.iter(|| m.snapshot())
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------------
+// Quick mode: one monitored run with the acceptance numbers written to
+// BENCH_serve.json.
+
+fn quick_serve_report() {
+    let mut monitor = Monitor::new(monitored_cell()).expect("monitored cell is runnable");
+    let fold_secs = timed_rounds(&mut monitor, ROUNDS);
+    let rounds_per_sec = f64::from(ROUNDS) / fold_secs.max(1e-9);
+
+    let start = std::time::Instant::now();
+    let mut last_samples = 0;
+    for _ in 0..POLLS {
+        last_samples = monitor.snapshot().samples;
+    }
+    let snapshot_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(POLLS);
+    assert!(last_samples > 0, "monitored run produced no samples");
+
+    let fp = monitor.footprint();
+    let live_pans = fp.sketch_pans + fp.counter_pans;
+    let json = format!(
+        "{{\n  \"bench\": \"serve_monitor\",\n  \"meta\": {},\n  \"clients\": {CLIENTS},\n  \"loss\": {LOSS},\n  \"rounds\": {ROUNDS},\n  \"rounds_per_sec\": {rounds_per_sec:.2},\n  \"snapshot_ms\": {snapshot_ms:.4},\n  \"live_pans\": {live_pans},\n  \"sketch_buckets\": {}\n}}\n",
+        meta::json_object(),
+        fp.sketch_buckets
+    );
+    let out = std::env::var("BNM_BENCH_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_serve.json");
+    println!("serve monitor bench ({CLIENTS} clients, {LOSS} loss, {ROUNDS} rounds)");
+    println!("  fold      {fold_secs:>9.3} s  ({rounds_per_sec:.1} rounds/s)");
+    println!("  snapshot  {snapshot_ms:>9.4} ms/poll over {POLLS} polls");
+    println!(
+        "  footprint {live_pans} live pans, {} sketch buckets",
+        fp.sketch_buckets
+    );
+    println!("  wrote {out}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serve
+}
+
+fn main() {
+    if std::env::var("BNM_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        quick_serve_report();
+        return;
+    }
+    benches();
+}

@@ -9,11 +9,30 @@ use bnm_bench::{heading, run_cells};
 use bnm_browser::BrowserKind;
 use bnm_core::appraisal::Appraisal;
 use bnm_core::impact::{JitterImpact, ThroughputImpact};
-use bnm_core::report::summary_line;
+use bnm_core::report::{Render, Table, Value};
 use bnm_core::{ExperimentCell, RuntimeSel};
 use bnm_methods::MethodId;
 use bnm_stats::Summary;
 use bnm_time::OsKind;
+
+/// One appraisal row per cell, the columns `summary_line` used to print.
+fn appraisal_table(title: &str, results: &[(ExperimentCell, bnm_core::CellResult)]) -> Table {
+    let mut table = Table::new(title, &["cell", "d1_median", "d2_median", "iqr", "verdict"]);
+    for (cell, result) in results {
+        let Ok(a) = Appraisal::try_of(result) else {
+            eprintln!("no samples for {}", cell.label());
+            continue;
+        };
+        table.row(vec![
+            Value::Text(cell.label()),
+            Value::Num(a.d1.median),
+            Value::Num(a.d2.median),
+            Value::Num(a.pooled.iqr()),
+            Value::Text(format!("{:?}", a.verdict)),
+        ]);
+    }
+    table
+}
 
 fn run_bin(name: &str) {
     // Re-exec the sibling binaries so each prints its own report; the
@@ -40,7 +59,6 @@ fn main() {
     let (seed, n) = (args.seed, args.reps);
 
     heading("Extension: appraisal verdicts per method (best runtime per OS, §5 framing)");
-    let mut csv = String::from("cell,d1_median,d2_median,iqr,verdict\n");
     let mut cells = Vec::new();
     for method in MethodId::ALL {
         for (rt, os) in [
@@ -58,22 +76,9 @@ fn main() {
         }
     }
     let results = run_cells(cells);
-    for (cell, result) in &results {
-        let Ok(a) = Appraisal::try_of(result) else {
-            eprintln!("no samples for {}", cell.label());
-            continue;
-        };
-        println!("{}", summary_line(cell, &a));
-        csv.push_str(&format!(
-            "\"{}\",{:.3},{:.3},{:.3},{:?}\n",
-            cell.label(),
-            a.d1.median,
-            a.d2.median,
-            a.pooled.iqr(),
-            a.verdict
-        ));
-    }
-    args.save_artifact("appraisals.csv", &csv);
+    let table = appraisal_table("Appraisal verdicts (best runtime per OS)", &results);
+    println!("{}", table.render(args.format.report_format()));
+    args.save_artifact("appraisals.csv", &table.to_csv());
 
     heading("Extension: mobile WebKit runtime (§7) — native methods only");
     let mobile_cells: Vec<ExperimentCell> = MethodId::ALL
@@ -85,13 +90,9 @@ fn main() {
         })
         .filter(ExperimentCell::is_runnable)
         .collect();
-    for (cell, result) in run_cells(mobile_cells) {
-        let Ok(a) = Appraisal::try_of(&result) else {
-            eprintln!("no samples for {}", cell.label());
-            continue;
-        };
-        println!("{}", summary_line(&cell, &a));
-    }
+    let mobile_results = run_cells(mobile_cells);
+    let table = appraisal_table("Mobile WebKit appraisals", &mobile_results);
+    println!("{}", table.render(args.format.report_format()));
     println!(
         "Reading: without plug-ins, WebSocket is \"the remaining choice for performing\n\
          socket-based measurement in both fixed and mobile network platforms\" (§2.1)."

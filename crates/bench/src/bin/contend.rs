@@ -17,6 +17,7 @@ use bnm_bench::cli::BenchArgs;
 use bnm_bench::heading;
 use bnm_browser::BrowserKind;
 use bnm_core::config::{ContentionSpec, StreamingSpec};
+use bnm_core::report::{DistSummary, Render, Table, Value};
 use bnm_core::{CellResult, Executor, ExperimentCell, RunError, RuntimeSel};
 use bnm_methods::MethodId;
 use bnm_time::OsKind;
@@ -34,13 +35,7 @@ fn rate_bps() -> u64 {
 }
 
 fn median(v: &[f64]) -> f64 {
-    let mut s = v.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    if s.is_empty() {
-        f64::NAN
-    } else {
-        s[s.len() / 2]
-    }
+    DistSummary::of_samples(v).p50
 }
 
 /// One tier end to end, returning the result plus the frame pool's
@@ -51,6 +46,56 @@ fn run_tier(cell: &ExperimentCell) -> Result<(CellResult, bytes::pool::PoolStats
     let (mut results, stats) = Executor::new().run_with_stats(std::slice::from_ref(cell), |_| {});
     let r = results.pop().expect("one result per cell")?;
     Ok((r, stats.pool))
+}
+
+/// Run one (method, clients, rate) tier and append its row.
+#[allow(clippy::too_many_arguments)] // a sweep point is genuinely this wide
+fn tier_row(
+    table: &mut Table,
+    method: MethodId,
+    browser: BrowserKind,
+    os: OsKind,
+    clients: u32,
+    rate: u64,
+    reps: u32,
+    seed: u64,
+    streaming: Option<StreamingSpec>,
+) {
+    let label = format!("{} / {}", method.display_name(), browser.initial());
+    let mut builder = ExperimentCell::builder(method, RuntimeSel::Browser(browser), os)
+        .reps(reps)
+        .seed(seed)
+        .contention(ContentionSpec::clients(clients).with_server_link_rate(rate));
+    if let Some(s) = streaming {
+        builder = builder.streaming(s);
+    }
+    let cell = builder.build().expect("sweep cells are runnable");
+    let (r, pool) = match run_tier(&cell) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("skipping {label} @ {clients} clients: {e}");
+            return;
+        }
+    };
+    // Pool every session's samples: each of the N clients is a
+    // measuring client, and the paper's question — "what does the
+    // browser add on top of the wire RTT?" — applies to each.
+    let d1: Vec<f64> = r.sessions.iter().flat_map(|s| s.d1.clone()).collect();
+    let d2: Vec<f64> = r.sessions.iter().flat_map(|s| s.d2.clone()).collect();
+    table.row(vec![
+        Value::Text(method.label().to_string()),
+        Value::Text(browser.initial().to_string()),
+        Value::Int(clients as i64),
+        Value::Int(rate as i64),
+        Value::Num(median(&d1)),
+        Value::Num(median(&d2)),
+        Value::Int(d1.len() as i64),
+        Value::Int(d2.len() as i64),
+        Value::Int(r.excluded_rounds as i64),
+        Value::Int(r.failures as i64),
+        Value::Int(pool.live_peak),
+        Value::Int(pool.allocated as i64),
+    ]);
 }
 
 fn main() {
@@ -69,69 +114,32 @@ fn main() {
     ];
     let counts = [1u32, 2, 4, 8, 16, 32, 64];
 
-    println!(
-        "{:<24} {:>8}  {:>9} {:>9} {:>7} {:>9} {:>9}",
-        "method / runtime", "clients", "Δd1 med", "Δd2 med", "n", "excluded", "failures"
-    );
-    let mut csv = String::from(
-        "method,runtime,clients,rate_bps,d1_median_ms,d2_median_ms,d1_n,d2_n,\
-         excluded_rounds,failures,pool_live_peak,pool_allocated\n",
+    let mut table = Table::new(
+        format!(
+            "Δd vs concurrent clients ({n} reps, seed {:#x}, legacy link {rate} bps)",
+            args.seed
+        ),
+        &[
+            "method",
+            "runtime",
+            "clients",
+            "rate_bps",
+            "d1_median_ms",
+            "d2_median_ms",
+            "d1_n",
+            "d2_n",
+            "excluded_rounds",
+            "failures",
+            "pool_live_peak",
+            "pool_allocated",
+        ],
     );
     for (method, browser, os) in methods {
-        let label = format!("{} / {}", method.display_name(), browser.initial());
         for c in counts {
-            let cell = ExperimentCell::builder(method, RuntimeSel::Browser(browser), os)
-                .reps(n)
-                .seed(args.seed)
-                .contention(ContentionSpec::clients(c).with_server_link_rate(rate))
-                .build()
-                .expect("sweep cells are runnable");
-            let (r, pool) = match run_tier(&cell) {
-                Ok(out) => out,
-                Err(e) => {
-                    eprintln!("skipping {label} @ {c} clients: {e}");
-                    continue;
-                }
-            };
-            // Pool every session's samples: each of the N clients is a
-            // measuring client, and the paper's question — "what does the
-            // browser add on top of the wire RTT?" — applies to each.
-            let d1: Vec<f64> = r.sessions.iter().flat_map(|s| s.d1.clone()).collect();
-            let d2: Vec<f64> = r.sessions.iter().flat_map(|s| s.d2.clone()).collect();
-            println!(
-                "{label:<24} {c:>8}  {:>9.3} {:>9.3} {:>7} {:>9} {:>9}",
-                median(&d1),
-                median(&d2),
-                d1.len() + d2.len(),
-                r.excluded_rounds,
-                r.failures
-            );
-            csv.push_str(&format!(
-                "{},{},{},{},{:.4},{:.4},{},{},{},{},{},{}\n",
-                method.label(),
-                browser.initial(),
-                c,
-                rate,
-                median(&d1),
-                median(&d2),
-                d1.len(),
-                d2.len(),
-                r.excluded_rounds,
-                r.failures,
-                pool.live_peak,
-                pool.allocated
-            ));
+            tier_row(&mut table, method, browser, os, c, rate, n, args.seed, None);
         }
-        println!();
     }
-    println!(
-        "Reading: the Flash methods' Δd medians (Δd1 for GET, both rounds for POST)\n\
-         climb with the client count — their in-round TCP handshakes queue behind the\n\
-         other sessions' traffic on the narrowed shared server link, and that wait sits\n\
-         *before* tN_s, inside the browser-timed interval. The reused-connection\n\
-         methods barely move: for them the crowd's queueing falls between tN_s and\n\
-         tN_r, which Eq. 1 subtracts away."
-    );
+
     // ---- Crowd regime: 128 .. 1,000 clients -------------------------
     //
     // At these scales a fixed link would starve every session, so the
@@ -141,77 +149,49 @@ fn main() {
     // held constant is therefore *fairness*, and what the sweep shows is
     // pure crowd-size effect: whether a method's Δd degrades simply
     // because 1,000 handshakes and probes interleave on one line.
+    //
+    // Crowd tiers run the streaming pipeline with bounded retention:
+    // frames recycle at capture time instead of accumulating a tier's
+    // whole capture, and the per-session samples spill to sketches past
+    // 64 raw values (at crowd reps <= 2 every raw sample is retained,
+    // so the medians are exactly the batch pipeline's — asserted
+    // bit-for-bit by tests/streaming_parity.rs).
     let per_client = (rate / 64).max(1);
     let crowd_reps = n.min(2);
     let crowd_counts = [128u32, 256, 512, 1000];
-    heading("Crowd regime: constant per-client share of the server link");
-    println!(
-        "{:<24} {:>8} {:>12}  {:>9} {:>9} {:>7} {:>9} {:>9}",
-        "method / runtime",
-        "clients",
-        "rate bps",
-        "Δd1 med",
-        "Δd2 med",
-        "n",
-        "excluded",
-        "failures"
-    );
     for (method, browser, os) in [
         (MethodId::WebSocket, BrowserKind::Chrome, OsKind::Ubuntu1204),
         (MethodId::XhrGet, BrowserKind::Chrome, OsKind::Ubuntu1204),
     ] {
-        let label = format!("{} / {}", method.display_name(), browser.initial());
         for c in crowd_counts {
-            let crowd_rate = per_client * u64::from(c);
-            // Crowd tiers run the streaming pipeline with bounded
-            // retention: frames recycle at capture time instead of
-            // accumulating a tier's whole capture, and the per-session
-            // samples spill to sketches past 64 raw values (at crowd
-            // reps <= 2 every raw sample is retained, so the medians
-            // are exactly the batch pipeline's — asserted bit-for-bit
-            // by tests/streaming_parity.rs).
-            let cell = ExperimentCell::builder(method, RuntimeSel::Browser(browser), os)
-                .reps(crowd_reps)
-                .seed(args.seed)
-                .contention(ContentionSpec::clients(c).with_server_link_rate(crowd_rate))
-                .streaming(StreamingSpec::bounded(64))
-                .build()
-                .expect("crowd cells are runnable");
-            let (r, pool) = match run_tier(&cell) {
-                Ok(out) => out,
-                Err(e) => {
-                    eprintln!("skipping {label} @ {c} clients: {e}");
-                    continue;
-                }
-            };
-            let d1: Vec<f64> = r.sessions.iter().flat_map(|s| s.d1.clone()).collect();
-            let d2: Vec<f64> = r.sessions.iter().flat_map(|s| s.d2.clone()).collect();
-            println!(
-                "{label:<24} {c:>8} {crowd_rate:>12}  {:>9.3} {:>9.3} {:>7} {:>9} {:>9}",
-                median(&d1),
-                median(&d2),
-                d1.len() + d2.len(),
-                r.excluded_rounds,
-                r.failures
-            );
-            csv.push_str(&format!(
-                "{},{},{},{},{:.4},{:.4},{},{},{},{},{},{}\n",
-                method.label(),
-                browser.initial(),
+            tier_row(
+                &mut table,
+                method,
+                browser,
+                os,
                 c,
-                crowd_rate,
-                median(&d1),
-                median(&d2),
-                d1.len(),
-                d2.len(),
-                r.excluded_rounds,
-                r.failures,
-                pool.live_peak,
-                pool.allocated
-            ));
+                per_client * u64::from(c),
+                crowd_reps,
+                args.seed,
+                Some(StreamingSpec::bounded(64)),
+            );
         }
-        println!();
     }
-    let path = args.save_artifact("contend.csv", &csv);
+
+    table.note(
+        "Reading: the Flash methods' Δd medians (Δd1 for GET, both rounds for POST) \
+         climb with the client count — their in-round TCP handshakes queue behind the \
+         other sessions' traffic on the narrowed shared server link, and that wait sits \
+         *before* tN_s, inside the browser-timed interval. The reused-connection \
+         methods barely move: for them the crowd's queueing falls between tN_s and \
+         tN_r, which Eq. 1 subtracts away.",
+    );
+    table.note(
+        "Crowd tiers (128+) hold the per-client link share constant at the 64-client \
+         endpoint's, so they show pure crowd-size effect under the streaming pipeline \
+         with bounded retention.",
+    );
+    println!("{}", table.render(args.format.report_format()));
+    let path = args.save_artifact("contend.csv", &table.to_csv());
     println!("Artifact written to {}", path.display());
 }

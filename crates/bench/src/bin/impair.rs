@@ -11,19 +11,10 @@
 use bnm_bench::cli::BenchArgs;
 use bnm_bench::heading;
 use bnm_browser::BrowserKind;
+use bnm_core::report::{DistSummary, Render, Table, Value};
 use bnm_core::{ExperimentCell, ExperimentRunner, Impairment, RuntimeSel};
 use bnm_methods::MethodId;
 use bnm_time::OsKind;
-
-fn median(v: &[f64]) -> f64 {
-    let mut s = v.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    if s.is_empty() {
-        f64::NAN
-    } else {
-        s[s.len() / 2]
-    }
-}
 
 fn main() {
     let args = BenchArgs::parse();
@@ -41,12 +32,20 @@ fn main() {
     ];
     let loss_pcts = [0.0f64, 0.5, 1.0, 2.0, 5.0];
 
-    println!(
-        "{:<24} {:>7}  {:>9} {:>9} {:>9} {:>9}",
-        "method / runtime", "loss%", "Δd1 med", "Δd2 med", "excluded", "failures"
-    );
-    let mut csv = String::from(
-        "method,runtime,loss_pct,d1_median_ms,d2_median_ms,d1_n,d2_n,excluded_rounds,failures\n",
+    let med = |v: &[f64]| DistSummary::of_samples(v).p50;
+    let mut table = Table::new(
+        format!("Δd vs loss ({n} reps, seed {:#x})", args.seed),
+        &[
+            "method",
+            "runtime",
+            "loss_pct",
+            "d1_median_ms",
+            "d2_median_ms",
+            "d1_n",
+            "d2_n",
+            "excluded_rounds",
+            "failures",
+        ],
     );
     for (method, browser, os) in methods {
         let label = format!("{} / {}", method.display_name(), browser.initial());
@@ -64,35 +63,27 @@ fn main() {
                     continue;
                 }
             };
-            println!(
-                "{label:<24} {pct:>7.1}  {:>9.3} {:>9.3} {:>9} {:>9}",
-                median(&r.d1),
-                median(&r.d2),
-                r.excluded_rounds,
-                r.failures
-            );
-            csv.push_str(&format!(
-                "{},{},{},{:.4},{:.4},{},{},{},{}\n",
-                method.label(),
-                browser.initial(),
-                pct,
-                median(&r.d1),
-                median(&r.d2),
-                r.d1.len(),
-                r.d2.len(),
-                r.excluded_rounds,
-                r.failures
-            ));
+            table.row(vec![
+                Value::Text(method.label().to_string()),
+                Value::Text(browser.initial().to_string()),
+                Value::Num(pct),
+                Value::Num(med(&r.d1)),
+                Value::Num(med(&r.d2)),
+                Value::Int(r.d1.len() as i64),
+                Value::Int(r.d2.len() as i64),
+                Value::Int(r.excluded_rounds as i64),
+                Value::Int(r.failures as i64),
+            ]);
         }
-        println!();
     }
-    println!(
-        "Reading: the Δd medians barely move across the loss sweep — excluded rounds\n\
-         (those whose probes were retransmitted) absorb the RTO penalty, so the included\n\
-         rounds keep estimating the clean browser overhead, exactly as the paper's\n\
-         exclusion rule intends. Without it, every leaked retransmission would inflate\n\
-         Δd by a full retransmission timeout."
+    table.note(
+        "Reading: the Δd medians barely move across the loss sweep — excluded rounds \
+         (those whose probes were retransmitted) absorb the RTO penalty, so the included \
+         rounds keep estimating the clean browser overhead, exactly as the paper's \
+         exclusion rule intends. Without it, every leaked retransmission would inflate \
+         Δd by a full retransmission timeout.",
     );
-    let path = args.save_artifact("impair.csv", &csv);
+    println!("{}", table.render(args.format.report_format()));
+    let path = args.save_artifact("impair.csv", &table.to_csv());
     println!("Artifact written to {}", path.display());
 }

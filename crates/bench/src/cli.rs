@@ -29,6 +29,18 @@ pub enum OutputFormat {
     Csv,
 }
 
+impl OutputFormat {
+    /// The core rendering backend this artifact format maps onto.
+    /// `Text` and `Csv` both keep stdout human-readable (the CSV lives
+    /// in the artifact file); `Json` switches stdout to JSON too.
+    pub fn report_format(self) -> bnm_core::report::ReportFormat {
+        match self {
+            OutputFormat::Json => bnm_core::report::ReportFormat::Json,
+            OutputFormat::Text | OutputFormat::Csv => bnm_core::report::ReportFormat::Text,
+        }
+    }
+}
+
 /// Parsed arguments shared by every regenerator binary.
 #[derive(Debug, Clone)]
 pub struct BenchArgs {

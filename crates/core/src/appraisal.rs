@@ -9,6 +9,7 @@
 use bnm_stats::{BoxStats, Cdf, MeanCi, Summary};
 
 use crate::error::RunError;
+use crate::report::DistSummary;
 use crate::runner::CellResult;
 
 /// Accuracy verdict for one cell.
@@ -119,6 +120,32 @@ impl Appraisal {
     pub fn cdfs(result: &CellResult) -> (Cdf, Cdf) {
         (Cdf::of(&result.d1), Cdf::of(&result.d2))
     }
+
+    /// Verdict for a pooled [`DistSummary`] — the digest form used by
+    /// [`crate::report::ReportSnapshot`], where raw samples may no
+    /// longer exist.
+    ///
+    /// The negative-fraction test is probed through the 10th
+    /// percentile: "more than `negative_fraction` of samples below the
+    /// cutoff" is exactly "p10 below the cutoff" when
+    /// `negative_fraction == 0.1` (the default), and a close
+    /// approximation otherwise. The median/IQR rules are applied to the
+    /// digest's `p50`/`iqr()` directly.
+    ///
+    /// The caller is responsible for `summary.count > 0`; an empty
+    /// digest has `NaN` quantiles, which fail every comparison and fall
+    /// through to [`Verdict::Unreliable`].
+    pub fn verdict_of_summary(summary: &DistSummary, th: &Thresholds) -> Verdict {
+        if summary.p10 < th.negative_cutoff_ms {
+            Verdict::UnderEstimates
+        } else if summary.p50.abs() <= th.accurate_median_ms && summary.iqr() <= th.stable_iqr_ms {
+            Verdict::Accurate
+        } else if summary.iqr() <= th.stable_iqr_ms {
+            Verdict::Calibratable
+        } else {
+            Verdict::Unreliable
+        }
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +216,34 @@ mod tests {
         let (c1, c2) = Appraisal::cdfs(&r);
         assert_eq!(c1.n(), 3);
         assert_eq!(c2.range(), (4.0, 6.0));
+    }
+
+    #[test]
+    fn summary_verdicts_agree_with_sample_verdicts() {
+        let cells = [
+            cell_with(
+                repeat(&[0.05, 0.08, 0.06, 0.09], 25),
+                repeat(&[0.10, 0.12, 0.11, 0.14], 25),
+            ),
+            cell_with(
+                repeat(&[3.9, 4.0, 4.1, 4.2], 25),
+                repeat(&[3.8, 4.0, 4.3], 25),
+            ),
+            cell_with(
+                repeat(&[20.0, 45.0, 80.0, 110.0, 30.0], 25),
+                repeat(&[25.0, 60.0, 95.0], 25),
+            ),
+            cell_with(
+                repeat(&[-4.3, -4.1, 11.5, -4.0], 25),
+                repeat(&[-4.2, 11.4, -3.9], 25),
+            ),
+        ];
+        for r in &cells {
+            let batch = appraise(r).verdict;
+            let digest = DistSummary::of_samples(&r.pooled());
+            let snap = Appraisal::verdict_of_summary(&digest, &Thresholds::default());
+            assert_eq!(snap, batch, "digest verdict diverged for {digest:?}");
+        }
     }
 
     #[test]

@@ -174,6 +174,19 @@ impl StreamingSpec {
         }
     }
 
+    /// The continuous-monitoring preset (`bnm serve` /
+    /// [`crate::monitor::Monitor`]): stream captures so the frame pool
+    /// stays flat, and keep only a small exact-sample prefix per
+    /// session — the monitor's own windows carry the statistics, so
+    /// per-round retention inside the rep is pure overhead.
+    pub const fn serve() -> StreamingSpec {
+        StreamingSpec {
+            stream_captures: true,
+            session_retention: Some(64),
+            match_workers: None,
+        }
+    }
+
     /// Override the matching worker count.
     pub const fn with_match_workers(mut self, workers: usize) -> StreamingSpec {
         self.match_workers = Some(workers);

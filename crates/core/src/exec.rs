@@ -411,55 +411,9 @@ impl Executor {
                 // Units are only scheduled for runnable cells.
                 unreachable!("outcome for a cell that was never scheduled");
             };
-            match o.outcome {
-                Ok(rep) => {
-                    result.excluded_rounds += rep.excluded;
-                    for (sid, excluded) in rep.excluded_by_session {
-                        result.session_mut(sid).excluded_rounds += excluded;
-                    }
-                    for m in rep.measurements {
-                        let v = m.delta_d_ms();
-                        // The flat d1/d2 sets stay session-0 only: they
-                        // are the single-client API, and in a scenario
-                        // session 0 is the reference client. Every
-                        // session's samples land in `sessions`. Under a
-                        // retention threshold they truncate like session
-                        // 0's raw vectors (the full distribution is in
-                        // its sketches).
-                        if m.session == 0 {
-                            let raw = match m.round {
-                                1 => Some(&mut result.d1),
-                                2 => Some(&mut result.d2),
-                                _ => None,
-                            };
-                            if let Some(raw) = raw {
-                                let keep = match retention {
-                                    None => true,
-                                    Some(limit) => raw.len() < limit as usize,
-                                };
-                                if keep {
-                                    raw.push(v);
-                                }
-                            }
-                        }
-                        result
-                            .session_mut(m.session)
-                            .push_round(m.round, v, retention);
-                        // Bounded mode keeps the full per-round
-                        // measurement rows only for the reference
-                        // session; a crowd's worth of rows is exactly
-                        // the O(sessions × reps) growth the mode bounds.
-                        if retention.is_none() || m.session == 0 {
-                            result.measurements.push(m);
-                        }
-                    }
-                    if let Some(t) = rep.trace {
-                        result.traces.push(t);
-                    }
-                    result.attributions.extend(rep.attribution);
-                }
-                Err(_) => result.failures += 1,
-            }
+            // The incremental fold itself lives on CellResult so the
+            // monitor and any other replay path aggregate identically.
+            result.fold_outcome(o.outcome, retention);
         }
     }
 }

@@ -41,6 +41,7 @@ pub mod exec;
 pub mod frames;
 pub mod impact;
 pub mod matching;
+pub mod monitor;
 pub mod recommend;
 pub mod report;
 pub mod runner;
@@ -59,6 +60,10 @@ pub use delta::RoundMeasurement;
 pub use error::RunError;
 pub use exec::{ExecStats, Executor, Progress};
 pub use matching::{MatchError, ParsedCapture};
+pub use monitor::{Monitor, MonitorConfig, MonitorFootprint};
+pub use report::{
+    DistSummary, Render, ReportFormat, ReportSnapshot, Table, TraceReport, Value, WindowReport,
+};
 pub use runner::{CellResult, ExperimentRunner, RepOutcome, SessionSamples};
 pub use scenario::{Scenario, ScenarioBuilder, SessionSpec};
 pub use streaming::{DiscardSink, ServerMarkerIndex, SessionMarkerSink};

@@ -11,6 +11,9 @@ use bnm_browser::BrowserKind;
 use bnm_methods::MethodId;
 use bnm_time::{OsKind, TimingApiKind};
 
+use crate::appraisal::Verdict;
+use crate::report::ReportSnapshot;
+
 /// Deployment constraints for method selection.
 #[derive(Debug, Clone, Copy)]
 pub struct Constraints {
@@ -138,6 +141,60 @@ pub fn timing_advice(method: MethodId) -> (TimingApiKind, &'static str) {
     }
 }
 
+/// A measurement-backed verdict for one cell, digested from the
+/// [`ReportSnapshot`] summary shape — the *same* shape whether the
+/// samples came from a batch run
+/// ([`crate::runner::CellResult::summary`]) or a live `bnm serve`
+/// monitor poll, so ranking logic never touches raw result fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredVerdict {
+    /// The cell label, e.g. `"WebSocket / C (U)"`.
+    pub label: String,
+    /// The appraisal verdict of the pooled lifetime distribution.
+    pub verdict: Verdict,
+    /// Pooled median Δd, ms.
+    pub median_ms: f64,
+    /// Pooled inter-quartile range, ms.
+    pub iqr_ms: f64,
+    /// Samples behind the verdict.
+    pub samples: u64,
+}
+
+/// Appraise one snapshot; `None` when it holds no samples yet.
+pub fn appraise_snapshot(snap: &ReportSnapshot) -> Option<MeasuredVerdict> {
+    let verdict = snap.verdict()?;
+    let pooled = &snap.total().pooled;
+    Some(MeasuredVerdict {
+        label: snap.label.clone(),
+        verdict,
+        median_ms: pooled.p50,
+        iqr_ms: pooled.iqr(),
+        samples: pooled.count,
+    })
+}
+
+/// Rank measured verdicts best-first: Accurate, then Calibratable,
+/// then UnderEstimates, then Unreliable; ties break on |median|.
+pub fn rank_measured(mut verdicts: Vec<MeasuredVerdict>) -> Vec<MeasuredVerdict> {
+    fn class(v: Verdict) -> u8 {
+        match v {
+            Verdict::Accurate => 0,
+            Verdict::Calibratable => 1,
+            Verdict::UnderEstimates => 2,
+            Verdict::Unreliable => 3,
+        }
+    }
+    verdicts.sort_by(|a, b| {
+        class(a.verdict).cmp(&class(b.verdict)).then(
+            a.median_ms
+                .abs()
+                .partial_cmp(&b.median_ms.abs())
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
+    });
+    verdicts
+}
+
 /// Browser-specific warnings (§5).
 pub fn browser_warnings(browser: BrowserKind) -> Vec<&'static str> {
     let mut w = Vec::new();
@@ -223,6 +280,53 @@ mod tests {
         let (api, why) = timing_advice(MethodId::JavaTcp);
         assert_eq!(api, TimingApiKind::JavaNanoTime);
         assert!(why.contains("nanoTime"));
+    }
+
+    #[test]
+    fn measured_verdicts_rank_by_class_then_bias() {
+        use crate::config::RuntimeSel;
+        use crate::runner::CellResult;
+        let snap = |label: &str, d: f64, spread: f64| {
+            let cell = crate::config::ExperimentCell::paper(
+                MethodId::XhrGet,
+                RuntimeSel::Browser(BrowserKind::Chrome),
+                bnm_time::OsKind::Ubuntu1204,
+            );
+            let r = CellResult {
+                d1: (0..20).map(|i| d + (i % 4) as f64 * spread).collect(),
+                d2: (0..20).map(|i| d + (i % 4) as f64 * spread).collect(),
+                ..CellResult::default()
+            };
+            let mut s = r.summary(&cell);
+            s.label = label.to_string();
+            s
+        };
+        let verdicts: Vec<MeasuredVerdict> = [
+            snap("erratic", 20.0, 30.0), // Unreliable
+            snap("biased", 8.0, 0.5),    // Calibratable
+            snap("good", 0.1, 0.1),      // Accurate
+        ]
+        .iter()
+        .filter_map(appraise_snapshot)
+        .collect();
+        let ranked = rank_measured(verdicts);
+        assert_eq!(ranked[0].label, "good");
+        assert_eq!(ranked[0].verdict, Verdict::Accurate);
+        assert_eq!(ranked[1].label, "biased");
+        assert_eq!(ranked[2].label, "erratic");
+        assert_eq!(ranked[2].verdict, Verdict::Unreliable);
+        assert_eq!(ranked[0].samples, 40);
+    }
+
+    #[test]
+    fn empty_snapshot_yields_no_measured_verdict() {
+        let cell = crate::config::ExperimentCell::paper(
+            MethodId::XhrGet,
+            crate::config::RuntimeSel::Browser(BrowserKind::Chrome),
+            bnm_time::OsKind::Ubuntu1204,
+        );
+        let snap = crate::runner::CellResult::default().summary(&cell);
+        assert_eq!(appraise_snapshot(&snap), None);
     }
 
     #[test]

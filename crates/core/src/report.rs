@@ -1,12 +1,650 @@
-//! Report formatting: figure-style rows, CSV export.
+//! The single rendering surface for every bnm output path.
+//!
+//! Historically each subcommand and bench binary hand-rolled its own
+//! text/JSON/CSV formatting. This module now owns all of it:
+//!
+//! * [`Render`] — the one trait every reportable artefact implements,
+//!   with [`Render::to_text`] / [`Render::to_json`] / [`Render::to_csv`]
+//!   backends selected by a [`ReportFormat`].
+//! * [`Table`] — a titled column/row table; the workhorse behind the
+//!   sweep subcommands (`impair`, `contend`, `tput`, `recommend`) and
+//!   the bench binaries.
+//! * [`ReportSnapshot`] — the pollable summary the continuous monitor
+//!   ([`crate::monitor::Monitor`]) emits and that
+//!   [`crate::runner::CellResult::summary`] produces for batch runs:
+//!   per-window distribution digests ([`WindowReport`] /
+//!   [`DistSummary`]) plus lifetime counters.
+//! * [`TraceReport`] — adapter rendering attribution rows through the
+//!   same trait.
+//!
+//! The figure-style helpers ([`panel_rows`], [`render_panel`],
+//! [`render_cdf_block`], [`to_csv`]) predate the trait and remain for
+//! the Figure 3/4 reproduction paths.
 
 use std::fmt::Write as _;
 
-use bnm_stats::{ascii, BoxStats, Cdf};
+use bnm_stats::{ascii, summary, BoxStats, Cdf, QuantileSketch};
 
-use crate::appraisal::Appraisal;
+use crate::appraisal::{Appraisal, Thresholds, Verdict};
+use crate::attribution::{self, RoundAttribution};
 use crate::config::ExperimentCell;
 use crate::runner::CellResult;
+
+// ---------------------------------------------------------------------------
+// Format selection and the Render trait
+// ---------------------------------------------------------------------------
+
+/// Output format shared by every subcommand's `--format` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportFormat {
+    /// Human-oriented aligned text (the default).
+    #[default]
+    Text,
+    /// A single JSON document.
+    Json,
+    /// Comma-separated values with a header line.
+    Csv,
+}
+
+impl std::str::FromStr for ReportFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ReportFormat, String> {
+        match s {
+            "text" => Ok(ReportFormat::Text),
+            "json" => Ok(ReportFormat::Json),
+            "csv" => Ok(ReportFormat::Csv),
+            other => Err(format!("unknown format '{other}' (text|json|csv)")),
+        }
+    }
+}
+
+/// Anything that can be rendered in all three report formats.
+///
+/// Every renderer returns a complete document ending in a newline.
+pub trait Render {
+    /// Aligned human-readable text.
+    fn to_text(&self) -> String;
+    /// One JSON document.
+    fn to_json(&self) -> String;
+    /// CSV with a header line.
+    fn to_csv(&self) -> String;
+
+    /// Dispatch on a [`ReportFormat`].
+    fn render(&self, fmt: ReportFormat) -> String {
+        match fmt {
+            ReportFormat::Text => self.to_text(),
+            ReportFormat::Json => self.to_json(),
+            ReportFormat::Csv => self.to_csv(),
+        }
+    }
+}
+
+/// A single table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Free text (JSON-escaped / CSV-quoted as needed).
+    Text(String),
+    /// An integer count.
+    Int(i64),
+    /// A float; non-finite values render as JSON `null` / text `nan`.
+    Num(f64),
+}
+
+impl Value {
+    fn text(&self) -> String {
+        match self {
+            Value::Text(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+            Value::Num(v) => fmt_num(*v),
+        }
+    }
+
+    fn csv(&self) -> String {
+        match self {
+            Value::Text(s) if s.contains(',') || s.contains('"') => {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            }
+            other => other.text(),
+        }
+    }
+
+    fn json(&self) -> String {
+        match self {
+            Value::Text(s) => json_string(s),
+            Value::Int(i) => i.to_string(),
+            Value::Num(v) if v.is_finite() => fmt_num(*v),
+            Value::Num(_) => "null".into(),
+        }
+    }
+}
+
+/// Render a float compactly: up to six decimals, trailing zeros
+/// trimmed, so counts print as `3` and medians as `4.125`.
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "nan".into();
+    }
+    let s = format!("{v:.6}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".into()
+    } else {
+        s.to_string()
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON rendering of a float field (non-finite becomes `null`).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        fmt_num(v)
+    } else {
+        "null".into()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+/// A titled table — the shared shape behind all sweep-style output.
+///
+/// Text mode prints the title, an aligned header and rows, then any
+/// notes as trailing paragraphs; CSV mode emits only header + rows
+/// (machine consumers don't want prose); JSON mode emits
+/// `{"title": …, "rows": [{column: value, …}, …]}`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    /// Table heading (text mode) / `"title"` (JSON mode).
+    pub title: String,
+    /// Column names; every row must have exactly this many cells.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Explanatory paragraphs appended in text mode only.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// A table with the given title and column names.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics if the cell count does not match the header.
+    pub fn row(&mut self, cells: Vec<Value>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "table '{}': row width {} != {} columns",
+            self.title,
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Append an explanatory paragraph (text mode only).
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+}
+
+impl Render for Table {
+    fn to_text(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "{}", self.title);
+        }
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::text).collect())
+            .collect();
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                cells
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(c.chars().count()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut line = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            let _ = write!(line, "{:>w$}  ", c, w = widths[i]);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        for row in &cells {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(line, "{:>w$}  ", cell, w = widths[i]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "\n{note}");
+        }
+        out
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"title\": {}, \"rows\": [",
+            json_string(&self.title)
+        );
+        for (ri, row) in self.rows.iter().enumerate() {
+            if ri > 0 {
+                out.push_str(", ");
+            }
+            out.push('{');
+            for (ci, cell) in row.iter().enumerate() {
+                if ci > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{}: {}", json_string(&self.columns[ci]), cell.json());
+            }
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Value::csv).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Distribution digests, windows, snapshots
+// ---------------------------------------------------------------------------
+
+/// A fixed-size digest of one Δd distribution: count, extremes, mean
+/// and the working set of quantiles. Quantiles are `NaN` when empty.
+///
+/// Built either exactly from retained samples (R-7 interpolation) or
+/// from a [`QuantileSketch`], in which case each quantile carries the
+/// sketch's documented relative-error bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistSummary {
+    /// Samples digested.
+    pub count: u64,
+    /// Exact minimum (`NaN` when empty).
+    pub min: f64,
+    /// Exact maximum (`NaN` when empty).
+    pub max: f64,
+    /// Exact mean (`NaN` when empty).
+    pub mean: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Lower quartile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// Upper quartile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+const PROBES: [f64; 6] = [0.10, 0.25, 0.50, 0.75, 0.90, 0.99];
+
+impl DistSummary {
+    /// The empty digest: count 0, everything else `NaN`.
+    pub fn empty() -> DistSummary {
+        DistSummary {
+            count: 0,
+            min: f64::NAN,
+            max: f64::NAN,
+            mean: f64::NAN,
+            p10: f64::NAN,
+            p25: f64::NAN,
+            p50: f64::NAN,
+            p75: f64::NAN,
+            p90: f64::NAN,
+            p99: f64::NAN,
+        }
+    }
+
+    /// Exact digest of already-sorted samples (R-7 quantiles).
+    pub fn of_sorted(sorted: &[f64]) -> DistSummary {
+        if sorted.is_empty() {
+            return DistSummary::empty();
+        }
+        let q: Vec<f64> = PROBES
+            .iter()
+            .map(|p| summary::quantile(sorted, *p))
+            .collect();
+        DistSummary {
+            count: sorted.len() as u64,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p10: q[0],
+            p25: q[1],
+            p50: q[2],
+            p75: q[3],
+            p90: q[4],
+            p99: q[5],
+        }
+    }
+
+    /// Exact digest of unsorted samples.
+    pub fn of_samples(xs: &[f64]) -> DistSummary {
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("Δd samples are finite"));
+        DistSummary::of_sorted(&sorted)
+    }
+
+    /// Digest of a sketch: exact count/min/max/mean, quantiles within
+    /// the sketch's relative-error bound.
+    pub fn of_sketch(sk: &QuantileSketch) -> DistSummary {
+        if sk.count() == 0 {
+            return DistSummary::empty();
+        }
+        DistSummary {
+            count: sk.count(),
+            min: sk.min(),
+            max: sk.max(),
+            mean: sk.mean(),
+            p10: sk.quantile(PROBES[0]),
+            p25: sk.quantile(PROBES[1]),
+            p50: sk.quantile(PROBES[2]),
+            p75: sk.quantile(PROBES[3]),
+            p90: sk.quantile(PROBES[4]),
+            p99: sk.quantile(PROBES[5]),
+        }
+    }
+
+    /// Inter-quartile range (`NaN` when empty).
+    pub fn iqr(&self) -> f64 {
+        self.p75 - self.p25
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+             \"p10\": {}, \"p25\": {}, \"p50\": {}, \"p75\": {}, \
+             \"p90\": {}, \"p99\": {}}}",
+            self.count,
+            json_num(self.min),
+            json_num(self.max),
+            json_num(self.mean),
+            json_num(self.p10),
+            json_num(self.p25),
+            json_num(self.p50),
+            json_num(self.p75),
+            json_num(self.p90),
+            json_num(self.p99),
+        )
+    }
+}
+
+/// One aggregation window of a [`ReportSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowReport {
+    /// Human label: `"1s"`, `"10s"`, `"1m"`, or `"total"`.
+    pub label: String,
+    /// Window span in virtual seconds; `None` for the lifetime window.
+    pub span_secs: Option<f64>,
+    /// Rounds attempted inside the window.
+    pub rounds: u64,
+    /// Rounds excluded for retransmissions inside the window.
+    pub excluded_rounds: u64,
+    /// Repetitions that failed outright inside the window.
+    pub failures: u64,
+    /// Round-1 Δd digest.
+    pub d1: DistSummary,
+    /// Round-2 Δd digest.
+    pub d2: DistSummary,
+    /// Δd1 ∪ Δd2 digest (the appraisal operates on this pool).
+    pub pooled: DistSummary,
+}
+
+impl WindowReport {
+    fn json(&self) -> String {
+        let span = match self.span_secs {
+            Some(s) => fmt_num(s),
+            None => "null".into(),
+        };
+        format!(
+            "{{\"window\": {}, \"span_secs\": {}, \"rounds\": {}, \
+             \"excluded_rounds\": {}, \"failures\": {}, \
+             \"d1\": {}, \"d2\": {}, \"pooled\": {}}}",
+            json_string(&self.label),
+            span,
+            self.rounds,
+            self.excluded_rounds,
+            self.failures,
+            self.d1.json(),
+            self.d2.json(),
+            self.pooled.json(),
+        )
+    }
+}
+
+/// The pollable summary shape shared by the continuous monitor and the
+/// batch runner ([`CellResult::summary`]).
+///
+/// `windows` always ends with the lifetime `"total"` window, so a batch
+/// summary is simply a snapshot with that single window. Snapshots are
+/// plain data and compare bit-exactly — serial and parallel runs of the
+/// same cell produce `==` snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSnapshot {
+    /// The measured cell, e.g. `"XHR GET / C (U)"`.
+    pub label: String,
+    /// Virtual time of the snapshot, seconds since the monitor started
+    /// (`0.0` for batch summaries).
+    pub at_secs: f64,
+    /// Lifetime rounds attempted.
+    pub rounds: u64,
+    /// Lifetime Δd samples folded.
+    pub samples: u64,
+    /// Lifetime excluded rounds.
+    pub excluded_rounds: u64,
+    /// Lifetime failed repetitions.
+    pub failures: u64,
+    /// Guaranteed relative error of the quantiles: `0.0` when they were
+    /// computed exactly, else the sketch's `√γ − 1` bound.
+    pub relative_error_bound: f64,
+    /// Aggregation windows, lifetime `"total"` last. Never empty.
+    pub windows: Vec<WindowReport>,
+}
+
+impl ReportSnapshot {
+    /// The lifetime window (always present, always last).
+    pub fn total(&self) -> &WindowReport {
+        self.windows.last().expect("snapshot has a total window")
+    }
+
+    /// Appraise the lifetime pooled distribution under the default
+    /// thresholds; `None` when no samples have been folded yet.
+    pub fn verdict(&self) -> Option<Verdict> {
+        let pooled = &self.total().pooled;
+        if pooled.count == 0 {
+            return None;
+        }
+        Some(Appraisal::verdict_of_summary(
+            pooled,
+            &Thresholds::default(),
+        ))
+    }
+}
+
+impl Render for ReportSnapshot {
+    fn to_text(&self) -> String {
+        let mut out = String::new();
+        let verdict = match self.verdict() {
+            Some(v) => format!("{v:?}"),
+            None => "-".into(),
+        };
+        let _ = writeln!(
+            out,
+            "{} @ {}s  rounds {}  samples {}  excluded {}  failures {}  verdict {}",
+            self.label,
+            fmt_num(self.at_secs),
+            self.rounds,
+            self.samples,
+            self.excluded_rounds,
+            self.failures,
+            verdict,
+        );
+        let mut t = Table::new(
+            "",
+            &[
+                "window", "rounds", "excl", "fail", "d1_p50", "d2_p50", "p10", "p50", "p90", "iqr",
+            ],
+        );
+        for w in &self.windows {
+            t.row(vec![
+                Value::Text(w.label.clone()),
+                Value::Int(w.rounds as i64),
+                Value::Int(w.excluded_rounds as i64),
+                Value::Int(w.failures as i64),
+                Value::Num(w.d1.p50),
+                Value::Num(w.d2.p50),
+                Value::Num(w.pooled.p10),
+                Value::Num(w.pooled.p50),
+                Value::Num(w.pooled.p90),
+                Value::Num(w.pooled.iqr()),
+            ]);
+        }
+        out.push_str(&t.to_text());
+        out
+    }
+
+    fn to_json(&self) -> String {
+        let verdict = match self.verdict() {
+            Some(v) => json_string(&format!("{v:?}")),
+            None => "null".into(),
+        };
+        let windows: Vec<String> = self.windows.iter().map(WindowReport::json).collect();
+        format!(
+            "{{\"label\": {}, \"at_secs\": {}, \"rounds\": {}, \"samples\": {}, \
+             \"excluded_rounds\": {}, \"failures\": {}, \
+             \"relative_error_bound\": {}, \"verdict\": {}, \
+             \"windows\": [{}]}}\n",
+            json_string(&self.label),
+            json_num(self.at_secs),
+            self.rounds,
+            self.samples,
+            self.excluded_rounds,
+            self.failures,
+            json_num(self.relative_error_bound),
+            verdict,
+            windows.join(", "),
+        )
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "label,at_secs,window,span_secs,rounds,excluded_rounds,failures,\
+             series,count,min,p10,p25,p50,p75,p90,p99,max,mean\n",
+        );
+        for w in &self.windows {
+            for (series, d) in [("d1", &w.d1), ("d2", &w.d2), ("pooled", &w.pooled)] {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    Value::Text(self.label.clone()).csv(),
+                    fmt_num(self.at_secs),
+                    w.label,
+                    w.span_secs.map(fmt_num).unwrap_or_default(),
+                    w.rounds,
+                    w.excluded_rounds,
+                    w.failures,
+                    series,
+                    d.count,
+                    fmt_num(d.min),
+                    fmt_num(d.p10),
+                    fmt_num(d.p25),
+                    fmt_num(d.p50),
+                    fmt_num(d.p75),
+                    fmt_num(d.p90),
+                    fmt_num(d.p99),
+                    fmt_num(d.max),
+                    fmt_num(d.mean),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// [`Render`] adapter over attribution rows, so `bnm trace` shares the
+/// one `--format` code path.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceReport<'a> {
+    /// The attributed rounds to render.
+    pub attributions: &'a [RoundAttribution],
+}
+
+impl<'a> TraceReport<'a> {
+    /// Wrap attribution rows for rendering.
+    pub fn new(attributions: &'a [RoundAttribution]) -> Self {
+        TraceReport { attributions }
+    }
+}
+
+impl Render for TraceReport<'_> {
+    fn to_text(&self) -> String {
+        attribution::render_table(self.attributions)
+    }
+
+    fn to_json(&self) -> String {
+        attribution::to_json(self.attributions)
+    }
+
+    fn to_csv(&self) -> String {
+        attribution::to_csv(self.attributions)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure-style helpers (pre-trait, kept for the Figure 3/4 paths)
+// ---------------------------------------------------------------------------
 
 /// A labelled box-plot row of a Figure 3 panel.
 #[derive(Debug, Clone)]
@@ -106,6 +744,10 @@ pub fn to_csv(cell: &ExperimentCell, result: &CellResult) -> String {
 }
 
 /// A one-line summary of an appraisal, for harness stdout.
+#[deprecated(
+    since = "0.4.0",
+    note = "build a ReportSnapshot (CellResult::summary) and use the Render trait"
+)]
 pub fn summary_line(cell: &ExperimentCell, a: &Appraisal) -> String {
     format!(
         "{:40} Δd1 med {:8.2}  Δd2 med {:8.2}  IQR {:6.2}  mean {}  verdict {:?}",
@@ -171,6 +813,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn summary_line_mentions_verdict() {
         let a = Appraisal::try_of(&result()).unwrap();
         let line = summary_line(&cell(), &a);
@@ -191,5 +834,165 @@ mod tests {
         let s = render_cdf_block("Δd1 CDF", &c, 40, 8);
         assert!(s.contains("Δd1 CDF"));
         assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn table_renders_all_three_formats() {
+        let mut t = Table::new("sweep", &["method", "clients", "d1_median_ms"]);
+        t.row(vec![
+            Value::Text("xhr_get".into()),
+            Value::Int(4),
+            Value::Num(3.125),
+        ]);
+        t.row(vec![
+            Value::Text("ws".into()),
+            Value::Int(8),
+            Value::Num(f64::NAN),
+        ]);
+        t.note("Reading: medians grow with contention.");
+
+        let text = t.to_text();
+        assert!(text.contains("sweep"));
+        assert!(text.contains("xhr_get"));
+        assert!(text.contains("3.125"));
+        assert!(text.contains("Reading:"));
+
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "method,clients,d1_median_ms");
+        assert_eq!(lines[1], "xhr_get,4,3.125");
+        assert!(!csv.contains("Reading:"), "notes are text-only");
+
+        let json = t.to_json();
+        assert!(json.contains("\"title\": \"sweep\""));
+        assert!(json.contains("\"clients\": 4"));
+        assert!(json.contains("\"d1_median_ms\": null"), "NaN -> null");
+    }
+
+    #[test]
+    fn csv_cells_with_commas_are_quoted() {
+        let mut t = Table::new("", &["label", "n"]);
+        t.row(vec![
+            Value::Text("XHR GET / C (U), impaired".into()),
+            Value::Int(1),
+        ]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"XHR GET / C (U), impaired\",1"));
+    }
+
+    #[test]
+    fn dist_summary_exact_matches_r7() {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.5).collect();
+        let d = DistSummary::of_samples(&xs);
+        assert_eq!(d.count, 40);
+        assert_eq!(d.min, 0.0);
+        assert_eq!(d.max, 19.5);
+        assert_eq!(d.p50, summary::quantile(&xs, 0.5));
+        assert!((d.iqr() - (d.p75 - d.p25)).abs() < 1e-12);
+        let e = DistSummary::empty();
+        assert_eq!(e.count, 0);
+        assert!(e.p50.is_nan());
+    }
+
+    #[test]
+    fn dist_summary_of_sketch_within_bound() {
+        let xs: Vec<f64> = (1..200).map(|i| i as f64 * 0.25).collect();
+        let mut sk = QuantileSketch::new(0.01);
+        for x in &xs {
+            sk.insert(*x);
+        }
+        let d = DistSummary::of_sketch(&sk);
+        let exact = DistSummary::of_samples(&xs);
+        assert_eq!(d.count, exact.count);
+        assert_eq!(d.min, exact.min);
+        assert_eq!(d.max, exact.max);
+        let eps = sk.relative_error_bound();
+        for (a, b) in [(d.p10, exact.p10), (d.p50, exact.p50), (d.p90, exact.p90)] {
+            assert!((a - b).abs() <= eps * b.abs() + 1e-9, "{a} vs {b}");
+        }
+    }
+
+    fn snapshot() -> ReportSnapshot {
+        ReportSnapshot {
+            label: "XHR GET / C (U)".into(),
+            at_secs: 2.0,
+            rounds: 2,
+            samples: 4,
+            excluded_rounds: 0,
+            failures: 0,
+            relative_error_bound: 0.0,
+            windows: vec![
+                WindowReport {
+                    label: "1s".into(),
+                    span_secs: Some(1.0),
+                    rounds: 1,
+                    excluded_rounds: 0,
+                    failures: 0,
+                    d1: DistSummary::of_samples(&[4.0]),
+                    d2: DistSummary::of_samples(&[3.0]),
+                    pooled: DistSummary::of_samples(&[4.0, 3.0]),
+                },
+                WindowReport {
+                    label: "total".into(),
+                    span_secs: None,
+                    rounds: 2,
+                    excluded_rounds: 0,
+                    failures: 0,
+                    d1: DistSummary::of_samples(&[4.0, 4.5]),
+                    d2: DistSummary::of_samples(&[3.0, 3.5]),
+                    pooled: DistSummary::of_samples(&[4.0, 4.5, 3.0, 3.5]),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_renders_all_three_formats() {
+        let s = snapshot();
+        assert_eq!(s.total().label, "total");
+
+        let text = s.to_text();
+        assert!(text.contains("XHR GET / C (U)"));
+        assert!(text.contains("total"));
+        assert!(text.contains("verdict"));
+
+        let json = s.to_json();
+        for key in [
+            "\"label\"",
+            "\"windows\"",
+            "\"p50\"",
+            "\"rounds\"",
+            "\"verdict\"",
+        ] {
+            assert!(json.contains(key), "json missing {key}: {json}");
+        }
+        assert!(json.contains("\"span_secs\": null"), "total window span");
+
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        // Header + 3 series per window.
+        assert_eq!(lines.len(), 1 + 3 * 2);
+        assert!(lines[0].starts_with("label,at_secs,window"));
+    }
+
+    #[test]
+    fn snapshot_verdict_uses_pooled_total() {
+        let s = snapshot();
+        // Medians well above 1 ms but IQR below 5 ms -> Calibratable.
+        assert_eq!(s.verdict(), Some(Verdict::Calibratable));
+        let mut empty = s.clone();
+        for w in &mut empty.windows {
+            w.pooled = DistSummary::empty();
+        }
+        assert_eq!(empty.verdict(), None);
+    }
+
+    #[test]
+    fn report_format_parses() {
+        use std::str::FromStr as _;
+        assert_eq!(ReportFormat::from_str("text").unwrap(), ReportFormat::Text);
+        assert_eq!(ReportFormat::from_str("json").unwrap(), ReportFormat::Json);
+        assert_eq!(ReportFormat::from_str("csv").unwrap(), ReportFormat::Csv);
+        assert!(ReportFormat::from_str("yaml").is_err());
     }
 }

@@ -23,6 +23,7 @@ use crate::delta::RoundMeasurement;
 use crate::error::RunError;
 use crate::exec::Executor;
 use crate::matching::{MatchError, ParsedCapture};
+use crate::report::{DistSummary, ReportSnapshot, WindowReport};
 use crate::scenario::{Scenario, SessionSpec};
 use crate::streaming::{DiscardSink, ServerMarkerIndex, SessionMarkerSink};
 use crate::testbed::{Testbed, TestbedConfig};
@@ -108,24 +109,27 @@ impl SessionSamples {
     }
 
     /// The `p`-quantile of one round's Δd over **all** recorded samples:
-    /// exact R-7 on the raw vector when every sample was retained, the
-    /// sketch's bounded-error estimate otherwise.
+    /// exact R-7 on the raw vector whenever it retained every sample —
+    /// including bounded-retention runs that never hit their threshold
+    /// (`count <= k`) — and the sketch's bounded-error estimate only
+    /// when samples were actually truncated away.
     pub fn quantile(&self, round: u8, p: f64) -> f64 {
-        match &self.sketches {
-            Some(sk) => match round {
-                1 => sk.d1.quantile(p),
-                _ => sk.d2.quantile(p),
-            },
-            None => {
-                let raw = match round {
-                    1 => &self.d1,
-                    _ => &self.d2,
-                };
-                let mut sorted = raw.clone();
-                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                bnm_stats::summary::quantile(&sorted, p)
+        let raw = match round {
+            1 => &self.d1,
+            _ => &self.d2,
+        };
+        if let Some(sk) = &self.sketches {
+            let sketch = match round {
+                1 => &sk.d1,
+                _ => &sk.d2,
+            };
+            if sketch.count() > raw.len() as u64 {
+                return sketch.quantile(p);
             }
         }
+        let mut sorted = raw.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        bnm_stats::summary::quantile(&sorted, p)
     }
 
     /// Median Δd of one round over all recorded samples.
@@ -219,6 +223,125 @@ impl CellResult {
                 );
                 &mut self.sessions[i]
             }
+        }
+    }
+
+    /// Fold one repetition's outcome into this result — the incremental
+    /// aggregation step shared by the executor's merge and anything
+    /// replaying [`RepOutcome`]s (repetitions fold in ascending
+    /// `(cell, rep)` order for bit-identical parallel/serial output).
+    ///
+    /// `retention` is the cell's
+    /// [`crate::config::StreamingSpec::session_retention`]: `None`
+    /// keeps every raw sample, `Some(k)` truncates raw vectors at `k`
+    /// and sketches the full distribution instead.
+    pub fn fold_outcome(&mut self, outcome: Result<RepOutcome, RunError>, retention: Option<u32>) {
+        match outcome {
+            Ok(rep) => {
+                self.excluded_rounds += rep.excluded;
+                for (sid, excluded) in rep.excluded_by_session {
+                    self.session_mut(sid).excluded_rounds += excluded;
+                }
+                for m in rep.measurements {
+                    let v = m.delta_d_ms();
+                    // The flat d1/d2 sets stay session-0 only: they
+                    // are the single-client API, and in a scenario
+                    // session 0 is the reference client. Every
+                    // session's samples land in `sessions`. Under a
+                    // retention threshold they truncate like session
+                    // 0's raw vectors (the full distribution is in
+                    // its sketches).
+                    if m.session == 0 {
+                        let raw = match m.round {
+                            1 => Some(&mut self.d1),
+                            2 => Some(&mut self.d2),
+                            _ => None,
+                        };
+                        if let Some(raw) = raw {
+                            let keep = match retention {
+                                None => true,
+                                Some(limit) => raw.len() < limit as usize,
+                            };
+                            if keep {
+                                raw.push(v);
+                            }
+                        }
+                    }
+                    self.session_mut(m.session)
+                        .push_round(m.round, v, retention);
+                    // Bounded mode keeps the full per-round
+                    // measurement rows only for the reference
+                    // session; a crowd's worth of rows is exactly
+                    // the O(sessions × reps) growth the mode bounds.
+                    if retention.is_none() || m.session == 0 {
+                        self.measurements.push(m);
+                    }
+                }
+                if let Some(t) = rep.trace {
+                    self.traces.push(t);
+                }
+                self.attributions.extend(rep.attribution);
+            }
+            Err(_) => self.failures += 1,
+        }
+    }
+
+    /// Digest this batch result into the same [`ReportSnapshot`] shape
+    /// the continuous monitor emits, as a single lifetime `"total"`
+    /// window.
+    ///
+    /// The Δd digests cover the reference session (the flat
+    /// `d1`/`d2` view, exact R-7 quantiles whenever the raw samples
+    /// were fully retained, sketch-backed otherwise), while `samples`
+    /// counts every session's folded samples. Serial and parallel runs
+    /// of the same cell produce `==` snapshots.
+    pub fn summary(&self, cell: &ExperimentCell) -> ReportSnapshot {
+        let s0_sketches = self.session(0).and_then(|s| s.sketches.as_ref());
+        let digest = |raw: &[f64], sketch: Option<&QuantileSketch>| -> (DistSummary, bool) {
+            match sketch {
+                // Sketch only when raw truncated samples away.
+                Some(sk) if sk.count() > raw.len() as u64 => (DistSummary::of_sketch(sk), true),
+                _ => (DistSummary::of_samples(raw), false),
+            }
+        };
+        let (d1, d1_sketched) = digest(&self.d1, s0_sketches.map(|s| &s.d1));
+        let (d2, d2_sketched) = digest(&self.d2, s0_sketches.map(|s| &s.d2));
+        let sketched = d1_sketched || d2_sketched;
+        let pooled = match (sketched, s0_sketches) {
+            (true, Some(sk)) => {
+                let mut both = sk.d1.clone();
+                both.merge(&sk.d2);
+                DistSummary::of_sketch(&both)
+            }
+            _ => DistSummary::of_samples(&self.pooled()),
+        };
+        let samples = if self.sessions.is_empty() {
+            (self.d1.len() + self.d2.len()) as u64
+        } else {
+            self.sessions.iter().map(|s| s.count(1) + s.count(2)).sum()
+        };
+        let relative_error_bound = match (sketched, s0_sketches) {
+            (true, Some(sk)) => sk.d1.relative_error_bound(),
+            _ => 0.0,
+        };
+        ReportSnapshot {
+            label: cell.label(),
+            at_secs: 0.0,
+            rounds: cell.reps as u64,
+            samples,
+            excluded_rounds: self.excluded_rounds as u64,
+            failures: self.failures as u64,
+            relative_error_bound,
+            windows: vec![WindowReport {
+                label: "total".into(),
+                span_secs: None,
+                rounds: cell.reps as u64,
+                excluded_rounds: self.excluded_rounds as u64,
+                failures: self.failures as u64,
+                d1,
+                d2,
+                pooled,
+            }],
         }
     }
 }

@@ -272,57 +272,64 @@ impl ServerMarkerIndex {
             .iter()
             .any(|&c| c > 1)
     }
+}
 
-    /// Note marker occurrences for the digit run following a prefix
-    /// occurrence at `digits_at` in `payload`.
-    fn note_occurrence(
-        &mut self,
-        payload: &[u8],
-        digits_at: usize,
-        round_idx: usize,
-        open_ended: bool,
-        is_resp: bool,
-    ) {
-        let rest = &payload[digits_at.min(payload.len())..];
-        let run_len = rest.iter().take_while(|b| b.is_ascii_digit()).count();
-        if run_len == 0 {
+/// Note marker occurrences for the digit run following a prefix
+/// occurrence at `digits_at` in `payload`.
+///
+/// A free function over the index's *disjoint* fields (token lookup
+/// tables in, dedup scratch out) so [`ServerMarkerIndex::on_record`]
+/// can call it from inside a [`find_all`] closure while iterating the
+/// patterns by shared reference — no per-record needle clones or
+/// occurrence-site buffers.
+#[allow(clippy::too_many_arguments)] // disjoint-borrow split of &mut self
+fn note_occurrence(
+    tokens: &HashMap<u64, u32>,
+    token_digits: &[Vec<u8>],
+    seen_scratch: &mut Vec<(u32, usize)>,
+    payload: &[u8],
+    digits_at: usize,
+    round_idx: usize,
+    open_ended: bool,
+    is_resp: bool,
+) {
+    let rest = &payload[digits_at.min(payload.len())..];
+    let run_len = rest.iter().take_while(|b| b.is_ascii_digit()).count();
+    if run_len == 0 {
+        return;
+    }
+    if open_ended {
+        // No terminator in the needle: token T hits iff T's decimal
+        // form is a byte prefix of the digit run — exactly where
+        // `contains(payload, prefix + digits(T))` succeeds. Walking
+        // the run's prefixes and looking each up covers every
+        // registered token that matches, without O(sessions) work.
+        for k in 1..=run_len.min(20) {
+            let sub = &rest[..k];
+            // Registered tokens are canonical decimal (no leading
+            // zeros except "0" itself), so a zero-led sub-run can
+            // only be token 0 at k == 1.
+            if k > 1 && sub[0] == b'0' {
+                break;
+            }
+            let Some(tok) = parse_u64(sub) else { break };
+            if let Some(&slot) = tokens.get(&tok) {
+                seen_scratch.push((slot, round_idx * 2 + usize::from(is_resp)));
+            }
+        }
+    } else {
+        // The needle ends with a space: the whole digit run must be
+        // the token's decimal form and the next byte a space.
+        if rest.get(run_len) != Some(&b' ') {
             return;
         }
-        if open_ended {
-            // No terminator in the needle: token T hits iff T's decimal
-            // form is a byte prefix of the digit run — exactly where
-            // `contains(payload, prefix + digits(T))` succeeds. Walking
-            // the run's prefixes and looking each up covers every
-            // registered token that matches, without O(sessions) work.
-            for k in 1..=run_len.min(20) {
-                let sub = &rest[..k];
-                // Registered tokens are canonical decimal (no leading
-                // zeros except "0" itself), so a zero-led sub-run can
-                // only be token 0 at k == 1.
-                if k > 1 && sub[0] == b'0' {
-                    break;
-                }
-                let Some(tok) = parse_u64(sub) else { break };
-                if let Some(&slot) = self.tokens.get(&tok) {
-                    self.seen_scratch
-                        .push((slot, round_idx * 2 + usize::from(is_resp)));
-                }
-            }
-        } else {
-            // The needle ends with a space: the whole digit run must be
-            // the token's decimal form and the next byte a space.
-            if rest.get(run_len) != Some(&b' ') {
-                return;
-            }
-            let Some(tok) = parse_u64(&rest[..run_len]) else {
-                return;
-            };
-            if let Some(&slot) = self.tokens.get(&tok) {
-                // Exact-match needles can't hit a non-canonical run.
-                if self.token_digits[slot as usize] == rest[..run_len] {
-                    self.seen_scratch
-                        .push((slot, round_idx * 2 + usize::from(is_resp)));
-                }
+        let Some(tok) = parse_u64(&rest[..run_len]) else {
+            return;
+        };
+        if let Some(&slot) = tokens.get(&tok) {
+            // Exact-match needles can't hit a non-canonical run.
+            if token_digits[slot as usize] == rest[..run_len] {
+                seen_scratch.push((slot, round_idx * 2 + usize::from(is_resp)));
             }
         }
     }
@@ -356,28 +363,41 @@ impl CaptureSink for ServerMarkerIndex {
             return;
         };
         debug_assert!(self.seen_scratch.is_empty());
-        for ri in 0..self.patterns.len() {
-            // Clone the short prefix needles so `note_occurrence` can
-            // borrow `self` mutably while we decode.
-            let (req_prefix, open_ended, resp_prefix) = {
-                let p = &self.patterns[ri];
-                (
-                    p.req_prefix.clone(),
+        // Split the borrow: patterns iterate shared while the dedup
+        // scratch fills — no per-record needle clones or site buffers.
+        let ServerMarkerIndex {
+            patterns,
+            tokens,
+            token_digits,
+            seen_scratch,
+            ..
+        } = self;
+        for (ri, p) in patterns.iter().enumerate() {
+            find_all(&payload, &p.req_prefix, |i| {
+                note_occurrence(
+                    tokens,
+                    token_digits,
+                    seen_scratch,
+                    &payload,
+                    i + p.req_prefix.len(),
+                    ri,
                     p.req_is_open_ended,
-                    p.resp_prefix.clone(),
-                )
-            };
-            let mut req_sites = Vec::new();
-            find_all(&payload, &req_prefix, |i| req_sites.push(i));
-            for at in req_sites {
-                self.note_occurrence(&payload, at + req_prefix.len(), ri, open_ended, false);
-            }
-            if let Some(rp) = resp_prefix {
-                let mut resp_sites = Vec::new();
-                find_all(&payload, &rp, |i| resp_sites.push(i));
-                for at in resp_sites {
-                    self.note_occurrence(&payload, at + rp.len(), ri, false, true);
-                }
+                    false,
+                );
+            });
+            if let Some(rp) = &p.resp_prefix {
+                find_all(&payload, rp, |i| {
+                    note_occurrence(
+                        tokens,
+                        token_digits,
+                        seen_scratch,
+                        &payload,
+                        i + rp.len(),
+                        ri,
+                        false,
+                        true,
+                    );
+                });
             }
         }
         // `contains` is per-record: dedup before counting so multiple

@@ -1,0 +1,141 @@
+//! Per-window counters over virtual time.
+//!
+//! The continuous-monitoring loop counts rounds, exclusions and
+//! failures per window ("last second", "last minute", …). Like the
+//! sketch windows in `bnm-stats`, a [`WindowedCounter`] keeps one
+//! integer per live *pan* (the tumbling base interval) and rotates pans
+//! out as the caller's virtual clock advances, so memory is bounded by
+//! the span regardless of how long the monitor runs. Rotation is driven
+//! entirely by the timestamps handed in — never wall time — so the
+//! counters stay deterministic.
+
+use std::collections::VecDeque;
+
+/// A sliding window of integer counts over virtual time.
+///
+/// Covers the `span_pans` pans ending at the pan of the most recent
+/// timestamp seen; `span_pans == 1` makes it tumbling. Timestamps must
+/// be non-decreasing; increments older than the live window are
+/// dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowedCounter {
+    pan_ns: u64,
+    span_pans: usize,
+    /// Live `(pan index, count)` pairs, ascending; only pans that were
+    /// incremented exist, and at most `span_pans` are live.
+    pans: VecDeque<(u64, u64)>,
+}
+
+impl WindowedCounter {
+    /// A window of `span_pans` pans of `pan_ns` nanoseconds each; both
+    /// are clamped to at least 1.
+    pub fn new(pan_ns: u64, span_pans: usize) -> WindowedCounter {
+        WindowedCounter {
+            pan_ns: pan_ns.max(1),
+            span_pans: span_pans.max(1),
+            pans: VecDeque::new(),
+        }
+    }
+
+    /// Pan width in nanoseconds.
+    pub fn pan_ns(&self) -> u64 {
+        self.pan_ns
+    }
+
+    /// Window span in pans.
+    pub fn span_pans(&self) -> usize {
+        self.span_pans
+    }
+
+    fn pan_of(&self, t_ns: u64) -> u64 {
+        t_ns / self.pan_ns
+    }
+
+    /// Advance the window's clock to `t_ns`, dropping pans outside the
+    /// span ending at `t_ns`'s pan.
+    pub fn advance(&mut self, t_ns: u64) {
+        let oldest_live = self.pan_of(t_ns).saturating_sub(self.span_pans as u64 - 1);
+        while self.pans.front().is_some_and(|(pan, _)| *pan < oldest_live) {
+            self.pans.pop_front();
+        }
+    }
+
+    /// Add `n` to the window at virtual time `t_ns`, rotating first.
+    pub fn add(&mut self, t_ns: u64, n: u64) {
+        self.advance(t_ns);
+        if n == 0 {
+            return;
+        }
+        let pan = self.pan_of(t_ns);
+        if self.pans.back().is_some_and(|(last, _)| *last > pan) {
+            // Older than the live window: already rotated past.
+            return;
+        }
+        match self.pans.back_mut() {
+            Some((last, count)) if *last == pan => *count += n,
+            _ => self.pans.push_back((pan, n)),
+        }
+    }
+
+    /// Sum of counts currently inside the window.
+    pub fn total(&self) -> u64 {
+        self.pans.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Live pans — never more than [`WindowedCounter::span_pans`].
+    pub fn live_pans(&self) -> usize {
+        self.pans.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u64 = 1_000_000_000;
+
+    #[test]
+    fn tumbling_counter_resets_each_pan() {
+        let mut c = WindowedCounter::new(S, 1);
+        c.add(0, 2);
+        c.add(S / 2, 3);
+        assert_eq!(c.total(), 5);
+        c.add(S, 1);
+        assert_eq!(c.total(), 1);
+        assert_eq!(c.live_pans(), 1);
+    }
+
+    #[test]
+    fn sliding_counter_rotates_and_bounds_pans() {
+        let mut c = WindowedCounter::new(S, 3);
+        for t in 0..10u64 {
+            c.add(t * S, 1);
+        }
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.live_pans(), 3);
+        c.advance(11 * S); // window now pans 9..=11; only pan 9 has a count
+        assert_eq!(c.total(), 1);
+        c.advance(100 * S);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.live_pans(), 0);
+    }
+
+    #[test]
+    fn zero_increments_do_not_materialise_pans() {
+        let mut c = WindowedCounter::new(S, 4);
+        c.add(0, 0);
+        c.add(S, 0);
+        assert_eq!(c.live_pans(), 0);
+        c.add(2 * S, 7);
+        assert_eq!(c.total(), 7);
+        assert_eq!(c.live_pans(), 1);
+    }
+
+    #[test]
+    fn stale_increments_are_dropped() {
+        let mut c = WindowedCounter::new(S, 2);
+        c.add(5 * S, 1);
+        c.add(0, 99);
+        assert_eq!(c.total(), 1);
+    }
+}

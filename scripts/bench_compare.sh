@@ -12,6 +12,8 @@
 #                        not grow
 #   BENCH_pipeline.json  streaming seconds and streaming peak RSS must
 #                        not grow
+#   BENCH_serve.json     monitor rounds/sec must not drop, snapshot
+#                        latency must not grow
 #
 # A report missing from HEAD is skipped with a note (first commit of a
 # new bench has no baseline yet); a report missing from the working tree
@@ -104,9 +106,32 @@ compare_pipeline() {
   rm -f "$tmp"
 }
 
+compare_serve() {
+  local file=BENCH_serve.json
+  if [[ ! -f $file ]]; then
+    echo "!! $file not in working tree; run scripts/check.sh --bench" >&2
+    fail=1
+    return
+  fi
+  local base
+  if ! base=$(baseline_of $file); then
+    echo "-- $file: no committed baseline, skipping"
+    return
+  fi
+  local tmp
+  tmp=$(mktemp)
+  printf '%s\n' "$base" >"$tmp"
+  check "serve: monitor rounds/sec" \
+    "$(json_num "$tmp" rounds_per_sec 1)" "$(json_num $file rounds_per_sec 1)" min
+  check "serve: snapshot ms" \
+    "$(json_num "$tmp" snapshot_ms 1)" "$(json_num $file snapshot_ms 1)" max
+  rm -f "$tmp"
+}
+
 echo "bench regression gate (tolerance ${tol}%)"
 compare_engine
 compare_pipeline
+compare_serve
 
 if [[ $fail -ne 0 ]]; then
   echo "bench_compare: REGRESSION detected" >&2

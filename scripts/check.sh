@@ -59,6 +59,13 @@ cargo test -q --test scenario_parity
 echo "==> cargo test -q --test streaming_parity"
 cargo test -q --test streaming_parity
 
+# The continuous-monitoring layer's guarantees: windowed sketch
+# quantiles agree with exact batch quantiles within the documented
+# bound, windows rotate exactly at pan boundaries, snapshots are
+# scheduling-independent, and a 1,000-round run's footprint stays flat.
+echo "==> cargo test -q --test monitor_parity"
+cargo test -q --test monitor_parity
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -76,6 +83,17 @@ if [[ $quick -eq 0 && $fast -eq 0 ]]; then
     echo "contend smoke produced $rows rows, expected >= 4" >&2
     exit 1
   fi
+
+  # Serve smoke: a 2 s virtual-time monitored run polled once, with the
+  # snapshot JSON spot-checked for the schema's required keys.
+  echo "==> serve smoke: 2s monitored run, one JSON snapshot"
+  serve_json=$(./target/release/bnm serve --duration 2 --every 2 --format json)
+  for key in '"label"' '"windows"' '"p50"' '"rounds"'; do
+    if ! printf '%s' "$serve_json" | grep -q "$key"; then
+      echo "serve snapshot JSON missing key $key" >&2
+      exit 1
+    fi
+  done
 fi
 
 # Benchmarks, quick mode: one timed crowd run per configuration —
@@ -90,6 +108,9 @@ if [[ $bench -eq 1 ]]; then
   echo "==> pipeline bench (quick mode) -> BENCH_pipeline.json"
   BNM_BENCH_QUICK=1 BNM_BENCH_PIPELINE_OUT="$PWD/BENCH_pipeline.json" \
     cargo bench -p bnm-bench --bench pipeline
+  echo "==> serve bench (quick mode) -> BENCH_serve.json"
+  BNM_BENCH_QUICK=1 BNM_BENCH_SERVE_OUT="$PWD/BENCH_serve.json" \
+    cargo bench -p bnm-bench --bench serve
   echo "==> bench regression gate"
   scripts/bench_compare.sh
 fi

@@ -31,7 +31,8 @@ pub use bnm_time as timeapi;
 pub use bnm_core::exec::{self, ExecStats, Executor, Progress};
 pub use bnm_core::{
     Appraisal, CellBuilder, CellResult, ContentionSpec, ExperimentCell, ExperimentRunner,
-    FaultSpec, Impairment, RunError, RuntimeSel, StreamingSpec, Verdict,
+    FaultSpec, Impairment, Monitor, MonitorConfig, MonitorFootprint, Render, ReportFormat,
+    ReportSnapshot, RunError, RuntimeSel, StreamingSpec, Verdict,
 };
 
 /// The curated working set for driving experiments.
@@ -60,7 +61,8 @@ pub mod prelude {
     pub use bnm_core::exec::{ExecStats, Executor, Progress};
     pub use bnm_core::{
         Appraisal, CellBuilder, CellResult, ContentionSpec, ExperimentCell, ExperimentRunner,
-        FaultSpec, Impairment, RepOutcome, RoundMeasurement, RunError, RuntimeSel, Scenario,
+        FaultSpec, Impairment, Monitor, MonitorConfig, MonitorFootprint, Render, RepOutcome,
+        ReportFormat, ReportSnapshot, RoundMeasurement, RunError, RuntimeSel, Scenario,
         ScenarioBuilder, SessionSamples, SessionSpec, StreamingSpec, Testbed, TestbedBuilder,
         Verdict,
     };

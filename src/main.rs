@@ -6,25 +6,30 @@
 //! bnm trace [options]              run traced and attribute Δd to components
 //! bnm impair [options]             run a cell on an impaired network
 //! bnm contend [options]            Δd vs concurrent clients on a shared link
+//! bnm serve [options]              continuous monitoring with periodic snapshots
 //! bnm probe [--os windows|ubuntu]  the Figure 5 granularity probe
 //! bnm ping                          ICMP baseline over the testbed
 //! bnm tput [options]               throughput-estimate accuracy
 //! bnm recommend [constraints]      §5 method recommendations
 //! ```
+//!
+//! Every data-producing subcommand shares one `--format {text,json,csv}`
+//! code path: it builds a [`Render`]able (`Table`, `ReportSnapshot` or
+//! `TraceReport`) and emits it — no per-command formatters.
 
 #![deny(deprecated)]
 
 use std::collections::HashMap;
 
-use bnm::core::attribution;
-
 use bnm::browser::BrowserKind;
 use bnm::core::appraisal::Appraisal;
 use bnm::core::baseline::ping_baseline;
 use bnm::core::recommend::{self, Constraints};
+use bnm::core::report::{Table, TraceReport, Value};
 use bnm::core::throughput::run_bulk_rep;
 use bnm::core::{
-    ContentionSpec, ExperimentCell, ExperimentRunner, FaultSpec, Impairment, RuntimeSel,
+    ContentionSpec, DistSummary, ExperimentCell, ExperimentRunner, FaultSpec, Impairment, Monitor,
+    MonitorConfig, Render, ReportFormat, RuntimeSel, StreamingSpec,
 };
 use bnm::methods::{table1_rows, MethodId};
 use bnm::sim::time::{SimDuration, SimTime};
@@ -81,10 +86,15 @@ fn usage() -> ! {
            contend [--method L] [--browser B] [--os O] [--clients N] [--reps N]\n        \
                  [--seed S] [--rate-mbps R] [--format text|json|csv]\n        \
                  Δd vs concurrent clients sharing one server link (N in [1,4096])\n  \
+           serve [--method L] [--browser B] [--os O] [--clients N] [--rate-mbps R]\n        \
+                 [--loss P] [--seed S] [--duration SECS] [--every SECS] [--period MS]\n        \
+                 [--format text|json|csv]     continuous monitoring: windowed snapshots\n  \
            probe [--os O]                        timestamp-granularity probe (Figure 5)\n  \
            ping                                  ICMP baseline over the testbed\n  \
-           tput [--method L] [--size BYTES]      throughput-estimate accuracy\n  \
-           recommend [--mobile] [--no-plugins] [--no-ports] [--strict-origin]\n\
+           tput [--method L] [--size BYTES] [--format text|json|csv]\n        \
+                 throughput-estimate accuracy\n  \
+           recommend [--mobile] [--no-plugins] [--no-ports] [--strict-origin]\n        \
+                 [--format text|json|csv]     §5 method recommendations\n\
          \nmethod labels: {}",
         MethodId::ALL
             .iter()
@@ -93,6 +103,25 @@ fn usage() -> ! {
             .join(", ")
     );
     std::process::exit(2);
+}
+
+/// The one `--format` flag shared by every data-producing subcommand.
+fn parse_format(flags: &HashMap<String, String>) -> ReportFormat {
+    match flags.get("format") {
+        None => ReportFormat::Text,
+        Some(f) => f.parse().unwrap_or_else(|_| usage()),
+    }
+}
+
+/// Emit a renderable in the chosen format — text gets a trailing-newline
+/// print, csv/json come out exactly as rendered.
+fn emit(r: &impl Render, fmt: ReportFormat) {
+    let out = r.render(fmt);
+    if out.ends_with('\n') {
+        print!("{out}");
+    } else {
+        println!("{out}");
+    }
 }
 
 fn main() {
@@ -106,6 +135,7 @@ fn main() {
         "trace" => cmd_trace(&flags),
         "impair" => cmd_impair(&flags),
         "contend" => cmd_contend(&flags),
+        "serve" => cmd_serve(&flags),
         "probe" => cmd_probe(&flags),
         "ping" => cmd_ping(),
         "tput" => cmd_tput(&flags),
@@ -226,10 +256,7 @@ fn cmd_trace(flags: &HashMap<String, String>) {
         .get("seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0xB32B_2013);
-    let format = flags.get("format").map(String::as_str).unwrap_or("text");
-    if !matches!(format, "text" | "json" | "csv") {
-        usage();
-    }
+    let format = parse_format(flags);
 
     let cell = match ExperimentCell::builder(method, RuntimeSel::Browser(browser), os)
         .reps(reps)
@@ -251,27 +278,23 @@ fn cmd_trace(flags: &HashMap<String, String>) {
         }
     };
 
-    match format {
-        "json" => println!("{}", attribution::to_json(&result.attributions)),
-        "csv" => print!("{}", attribution::to_csv(&result.attributions)),
-        _ => {
-            println!(
-                "Δd attribution for {} ({} reps, seed {seed:#x}), ms:\n",
-                cell.label(),
-                reps
-            );
-            print!("{}", attribution::render_table(&result.attributions));
-            if result.failures > 0 {
-                println!("({} repetitions failed)", result.failures);
-            }
-        }
+    if format == ReportFormat::Text {
+        println!(
+            "Δd attribution for {} ({} reps, seed {seed:#x}), ms:\n",
+            cell.label(),
+            reps
+        );
+    }
+    emit(&TraceReport::new(&result.attributions), format);
+    if format == ReportFormat::Text && result.failures > 0 {
+        println!("({} repetitions failed)", result.failures);
     }
 
     // Raw event dump for the first repetition, in the same format.
     if flags.contains_key("events") {
         if let Some(t) = result.traces.first() {
             match format {
-                "json" => println!("{}", t.to_json()),
+                ReportFormat::Json => println!("{}", t.to_json()),
                 _ => print!("{}", t.to_csv()),
             }
         }
@@ -296,10 +319,7 @@ fn cmd_impair(flags: &HashMap<String, String>) {
         .get("seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0xB32B_2013);
-    let format = flags.get("format").map(String::as_str).unwrap_or("text");
-    if !matches!(format, "text" | "json" | "csv") {
-        usage();
-    }
+    let format = parse_format(flags);
     let prob = |name: &str| -> f64 {
         let p = flags.get(name).and_then(|v| v.parse().ok()).unwrap_or(0.0);
         if !(0.0..=1.0).contains(&p) {
@@ -342,80 +362,45 @@ fn cmd_impair(flags: &HashMap<String, String>) {
             std::process::exit(1);
         }
     };
-    let med = |v: &[f64]| {
-        let mut s = v.to_vec();
-        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        if s.is_empty() {
-            f64::NAN
-        } else {
-            s[s.len() / 2]
-        }
-    };
-    match format {
-        "json" => println!(
-            "{{\"cell\":{:?},\"loss\":{},\"corrupt\":{},\"duplicate\":{},\"jitter_ms\":{},\
-             \"d1_median_ms\":{},\"d2_median_ms\":{},\"d1_n\":{},\"d2_n\":{},\
-             \"excluded_rounds\":{},\"failures\":{}}}",
+    let med = |v: &[f64]| DistSummary::of_samples(v).p50;
+    let mut table = Table::new(
+        format!(
+            "{} on an impaired network ({} reps, seed {seed:#x})",
             cell.label(),
-            spec.drop_chance,
-            spec.corrupt_chance,
-            spec.duplicate_chance,
-            jitter_ms,
-            med(&result.d1),
-            med(&result.d2),
-            result.d1.len(),
-            result.d2.len(),
-            result.excluded_rounds,
-            result.failures
+            reps
         ),
-        "csv" => {
-            println!(
-                "cell,loss,corrupt,duplicate,jitter_ms,d1_median_ms,d2_median_ms,d1_n,d2_n,\
-                 excluded_rounds,failures"
-            );
-            println!(
-                "{},{},{},{},{},{},{},{},{},{},{}",
-                cell.label(),
-                spec.drop_chance,
-                spec.corrupt_chance,
-                spec.duplicate_chance,
-                jitter_ms,
-                med(&result.d1),
-                med(&result.d2),
-                result.d1.len(),
-                result.d2.len(),
-                result.excluded_rounds,
-                result.failures
-            );
-        }
-        _ => {
-            println!(
-                "{} on an impaired network ({} reps, seed {seed:#x}):",
-                cell.label(),
-                reps
-            );
-            println!(
-                "  loss {:.1}%  corrupt {:.1}%  duplicate {:.1}%  jitter ≤ {jitter_ms} ms",
-                spec.drop_chance * 100.0,
-                spec.corrupt_chance * 100.0,
-                spec.duplicate_chance * 100.0
-            );
-            println!(
-                "  Δd1 median {:8.3} ms over {} rounds",
-                med(&result.d1),
-                result.d1.len()
-            );
-            println!(
-                "  Δd2 median {:8.3} ms over {} rounds",
-                med(&result.d2),
-                result.d2.len()
-            );
-            println!(
-                "  excluded {} retransmitted round(s), {} failed repetition(s)",
-                result.excluded_rounds, result.failures
-            );
-        }
-    }
+        &[
+            "cell",
+            "loss",
+            "corrupt",
+            "duplicate",
+            "jitter_ms",
+            "d1_median_ms",
+            "d2_median_ms",
+            "d1_n",
+            "d2_n",
+            "excluded_rounds",
+            "failures",
+        ],
+    );
+    table.row(vec![
+        Value::Text(cell.label()),
+        Value::Num(spec.drop_chance),
+        Value::Num(spec.corrupt_chance),
+        Value::Num(spec.duplicate_chance),
+        Value::Num(jitter_ms),
+        Value::Num(med(&result.d1)),
+        Value::Num(med(&result.d2)),
+        Value::Int(result.d1.len() as i64),
+        Value::Int(result.d2.len() as i64),
+        Value::Int(result.excluded_rounds as i64),
+        Value::Int(result.failures as i64),
+    ]);
+    table.note(
+        "Rounds hit by retransmission are excluded per §3.2; medians are R-7 \
+         over the surviving rounds.",
+    );
+    emit(&table, format);
 }
 
 fn cmd_contend(flags: &HashMap<String, String>) {
@@ -451,10 +436,7 @@ fn cmd_contend(flags: &HashMap<String, String>) {
         usage();
     }
     let rate_bps = (rate_mbps * 1e6) as u64;
-    let format = flags.get("format").map(String::as_str).unwrap_or("text");
-    if !matches!(format, "text" | "json" | "csv") {
-        usage();
-    }
+    let format = parse_format(flags);
 
     // Sweep the powers of two up to the requested cap (the cap itself is
     // always included so `--clients 48` still ends at 48).
@@ -463,34 +445,25 @@ fn cmd_contend(flags: &HashMap<String, String>) {
         .collect();
     counts.push(max_clients);
 
-    let med = |v: &[f64]| {
-        let mut s = v.to_vec();
-        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        if s.is_empty() {
-            f64::NAN
-        } else {
-            s[s.len() / 2]
-        }
-    };
-
-    if format == "text" {
-        println!(
+    let med = |v: &[f64]| DistSummary::of_samples(v).p50;
+    let mut table = Table::new(
+        format!(
             "{} vs concurrent clients on a {rate_mbps} Mbps server link \
-             ({reps} reps, seed {seed:#x}):",
+             ({reps} reps, seed {seed:#x})",
             method.display_name()
-        );
-        println!(
-            "  {:>8} {:>12} {:>12} {:>7} {:>9} {:>9}",
-            "clients", "Δd1 med ms", "Δd2 med ms", "n", "excluded", "failures"
-        );
-    } else if format == "csv" {
-        println!(
-            "cell,clients,rate_mbps,d1_median_ms,d2_median_ms,d1_n,d2_n,\
-             excluded_rounds,failures"
-        );
-    }
-    let mut json_rows = Vec::new();
-    let mut cell_label = String::new();
+        ),
+        &[
+            "cell",
+            "clients",
+            "rate_mbps",
+            "d1_median_ms",
+            "d2_median_ms",
+            "d1_n",
+            "d2_n",
+            "excluded_rounds",
+            "failures",
+        ],
+    );
     for c in counts {
         let cell = match ExperimentCell::builder(method, RuntimeSel::Browser(browser), os)
             .reps(reps)
@@ -504,7 +477,6 @@ fn cmd_contend(flags: &HashMap<String, String>) {
                 std::process::exit(1);
             }
         };
-        cell_label = cell.label();
         let result = match ExperimentRunner::try_run(&cell) {
             Ok(r) => r,
             Err(e) => {
@@ -523,49 +495,155 @@ fn cmd_contend(flags: &HashMap<String, String>) {
             .iter()
             .flat_map(|s| s.d2.iter().copied())
             .collect();
-        match format {
-            "json" => json_rows.push(format!(
-                "{{\"clients\":{c},\"d1_median_ms\":{},\"d2_median_ms\":{},\
-                 \"d1_n\":{},\"d2_n\":{},\"excluded_rounds\":{},\"failures\":{}}}",
-                med(&d1),
-                med(&d2),
-                d1.len(),
-                d2.len(),
-                result.excluded_rounds,
-                result.failures
-            )),
-            "csv" => println!(
-                "{},{c},{rate_mbps},{},{},{},{},{},{}",
-                cell.label(),
-                med(&d1),
-                med(&d2),
-                d1.len(),
-                d2.len(),
-                result.excluded_rounds,
-                result.failures
-            ),
-            _ => println!(
-                "  {c:>8} {:>12.3} {:>12.3} {:>7} {:>9} {:>9}",
-                med(&d1),
-                med(&d2),
-                d1.len() + d2.len(),
-                result.excluded_rounds,
-                result.failures
-            ),
-        }
+        table.row(vec![
+            Value::Text(cell.label()),
+            Value::Int(c as i64),
+            Value::Num(rate_mbps),
+            Value::Num(med(&d1)),
+            Value::Num(med(&d2)),
+            Value::Int(d1.len() as i64),
+            Value::Int(d2.len() as i64),
+            Value::Int(result.excluded_rounds as i64),
+            Value::Int(result.failures as i64),
+        ]);
     }
-    if format == "json" {
-        println!(
-            "{{\"cell\":{cell_label:?},\"rate_mbps\":{rate_mbps},\"sweep\":[{}]}}",
-            json_rows.join(",")
-        );
-    } else if format == "text" {
-        println!(
-            "\nFresh-connection methods (Flash GET round 1, Flash POST every round)\n\
-             queue their in-round handshake behind the crowd's traffic — that wait\n\
-             lands before tN_s and inflates Δd. Connection-reusing methods shed the\n\
-             crowd's queueing because it falls between tN_s and tN_r (Eq. 1)."
-        );
+    table.note(
+        "Fresh-connection methods (Flash GET round 1, Flash POST every round) \
+         queue their in-round handshake behind the crowd's traffic — that wait \
+         lands before tN_s and inflates Δd. Connection-reusing methods shed the \
+         crowd's queueing because it falls between tN_s and tN_r (Eq. 1).",
+    );
+    emit(&table, format);
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) {
+    let method = flags
+        .get("method")
+        .map(|m| method_by_label(m).unwrap_or_else(|| usage()))
+        .unwrap_or(MethodId::XhrGet);
+    let browser = flags
+        .get("browser")
+        .map(|b| browser_by_name(b).unwrap_or_else(|| usage()))
+        .unwrap_or(BrowserKind::Chrome);
+    let os = flags
+        .get("os")
+        .map(|o| os_by_name(o).unwrap_or_else(|| usage()))
+        .unwrap_or(OsKind::Ubuntu1204);
+    let clients: u32 = flags
+        .get("clients")
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(1);
+    if !(1..=4096).contains(&clients) {
+        usage();
+    }
+    let rate_mbps: Option<f64> = flags.get("rate-mbps").and_then(|v| v.parse().ok());
+    if rate_mbps.is_some_and(|r| r <= 0.0 || !r.is_finite()) {
+        usage();
+    }
+    let loss: f64 = flags
+        .get("loss")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&loss) {
+        usage();
+    }
+    let seed: u64 = flags
+        .get("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xB32B_2013);
+    let duration_secs: f64 = flags
+        .get("duration")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60.0);
+    let every_secs: f64 = flags
+        .get("every")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    let period_ms: f64 = flags
+        .get("period")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000.0);
+    if duration_secs <= 0.0 || every_secs <= 0.0 || period_ms <= 0.0 {
+        usage();
+    }
+    let format = parse_format(flags);
+
+    // The monitor owns the round loop, so the cell's rep count is only a
+    // label-level detail; streaming capture with bounded retention keeps
+    // per-round memory flat no matter how long the run goes.
+    let mut builder = ExperimentCell::builder(method, RuntimeSel::Browser(browser), os)
+        .reps(1)
+        .seed(seed)
+        .streaming(StreamingSpec::serve());
+    if clients > 1 || rate_mbps.is_some() {
+        let mut spec = ContentionSpec::clients(clients);
+        if let Some(r) = rate_mbps {
+            spec = spec.with_server_link_rate((r * 1e6) as u64);
+        }
+        builder = builder.contention(spec);
+    }
+    if loss > 0.0 {
+        let spec = FaultSpec {
+            drop_chance: loss,
+            ..FaultSpec::CLEAN
+        };
+        builder = builder.impairment(Impairment {
+            up: spec,
+            down: spec,
+            jitter: SimDuration::ZERO,
+        });
+    }
+    let cell = match builder.build() {
+        Ok(cell) => cell,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+
+    let cfg = MonitorConfig {
+        round_period: SimDuration::from_millis_f64(period_ms),
+        ..MonitorConfig::default()
+    };
+    let mut monitor = match Monitor::with_config(cell, cfg) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+
+    let end = SimTime::ZERO + SimDuration::from_secs_f64(duration_secs);
+    let every = SimDuration::from_secs_f64(every_secs);
+    let mut polls = 0u32;
+    while monitor.now() < end {
+        let remaining = SimDuration::from_nanos(end.as_nanos() - monitor.now().as_nanos());
+        let slice = if every.as_nanos() < remaining.as_nanos() {
+            every
+        } else {
+            remaining
+        };
+        monitor.run_for(slice);
+        let snap = monitor.snapshot();
+        let out = snap.render(format);
+        match format {
+            // One CSV header for the whole run: strip it off every poll
+            // after the first so the stream stays machine-readable.
+            ReportFormat::Csv if polls > 0 => {
+                if let Some((_, rest)) = out.split_once('\n') {
+                    print!("{rest}");
+                }
+            }
+            ReportFormat::Csv => print!("{out}"),
+            ReportFormat::Json => println!("{out}"),
+            ReportFormat::Text => {
+                if polls > 0 {
+                    println!();
+                }
+                print!("{out}");
+            }
+        }
+        polls += 1;
     }
 }
 
@@ -624,22 +702,25 @@ fn cmd_tput(flags: &HashMap<String, String>) {
         .get("size")
         .and_then(|s| s.parse().ok())
         .unwrap_or(128 * 1024);
+    let format = parse_format(flags);
     let cell = ExperimentCell::paper(
         method,
         RuntimeSel::Browser(BrowserKind::Chrome),
         OsKind::Ubuntu1204,
     );
-    println!("Throughput check: {} downloading {} bytes …", method, size);
+    let mut table = Table::new(
+        format!("Throughput check: {} downloading {} bytes", method, size),
+        &["round", "wire_mbps", "measured_mbps", "underestimated_pct"],
+    );
     match run_bulk_rep(&cell, 0, size) {
         Ok(ms) => {
             for m in ms {
-                println!(
-                    "round {}: wire {:7.2} Mbit/s  measured {:7.2} Mbit/s  under-estimated {:5.1}%",
-                    m.round,
-                    m.wire_bps() / 1e6,
-                    m.browser_bps() / 1e6,
-                    m.underestimation() * 100.0
-                );
+                table.row(vec![
+                    Value::Int(m.round as i64),
+                    Value::Num(m.wire_bps() / 1e6),
+                    Value::Num(m.browser_bps() / 1e6),
+                    Value::Num(m.underestimation() * 100.0),
+                ]);
             }
         }
         Err(e) => {
@@ -647,6 +728,7 @@ fn cmd_tput(flags: &HashMap<String, String>) {
             std::process::exit(1);
         }
     }
+    emit(&table, format);
 }
 
 fn cmd_recommend(flags: &HashMap<String, String>) {
@@ -656,18 +738,21 @@ fn cmd_recommend(flags: &HashMap<String, String>) {
         can_open_ports: !flags.contains_key("no-ports"),
         strict_cross_origin: flags.contains_key("strict-origin"),
     };
-    println!("Constraints: {c:?}\n");
+    let format = parse_format(flags);
+    let mut table = Table::new(
+        format!("§5 method recommendations under {c:?}"),
+        &["rank", "method", "timing", "rationale"],
+    );
     for (i, rec) in recommend::recommend_methods(&c).iter().enumerate() {
-        println!(
-            "{}. {:<24} timing {}\n   {}",
-            i + 1,
-            rec.method.display_name(),
-            rec.timing,
-            rec.rationale
-        );
+        table.row(vec![
+            Value::Int((i + 1) as i64),
+            Value::Text(rec.method.display_name().to_string()),
+            Value::Text(rec.timing.to_string()),
+            Value::Text(rec.rationale.to_string()),
+        ]);
     }
-    println!("\nDiscouraged:");
     for (m, why) in recommend::discouraged() {
-        println!("  ✗ {:<14} — {}", m.display_name(), why);
+        table.note(format!("Discouraged: {} — {}", m.display_name(), why));
     }
+    emit(&table, format);
 }
