@@ -44,6 +44,10 @@ pub enum ProbeTransport {
     UdpEcho,
     /// Message echo over a WebSocket connection.
     WebSocketEcho,
+    /// Unreliable/unordered datagram echo over a WebRTC data channel
+    /// (`maxRetransmits: 0`): probes can be lost, reordered or
+    /// duplicated in flight — never retransmitted.
+    WebRtcData,
 }
 
 impl ProbeTransport {
@@ -61,6 +65,7 @@ impl ProbeTransport {
             ProbeTransport::TcpEcho => "TCP",
             ProbeTransport::UdpEcho => "UDP",
             ProbeTransport::WebSocketEcho => "WebSocket",
+            ProbeTransport::WebRtcData => "WebRTC data channel",
         }
     }
 }

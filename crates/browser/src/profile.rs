@@ -530,6 +530,12 @@ impl BrowserProfile {
                 seg("js_exec", Component::Dispatch, p.js_exec),
                 seg("ws_send", Parse, p.ws_send),
             ],
+            // The data-channel `send()` costs what a WebSocket send does:
+            // both serialize a small message and hand it to the stack.
+            (Technology::Native, ProbeTransport::WebRtcData) => vec![
+                seg("js_exec", Component::Dispatch, p.js_exec),
+                seg("dc_send", Parse, p.ws_send),
+            ],
             (Technology::Flash, ProbeTransport::HttpGet | ProbeTransport::HttpPost) => {
                 vec![
                     seg("flash_url_send", Parse, p.flash_url_send),
@@ -584,6 +590,9 @@ impl BrowserProfile {
             }
             (Technology::Native, ProbeTransport::WebSocketEcho) => {
                 path.push(seg("ws_recv", Parse, p.ws_recv));
+            }
+            (Technology::Native, ProbeTransport::WebRtcData) => {
+                path.push(seg("dc_recv", Parse, p.ws_recv));
             }
             (Technology::Flash, ProbeTransport::HttpGet | ProbeTransport::HttpPost) => {
                 path.push(seg("flash_bridge", Bridge, p.flash_bridge));
@@ -644,7 +653,9 @@ impl BrowserProfile {
     /// First-use (round 1) instantiation cost for a technology/transport.
     pub fn first_use_cost(&self, tech: Technology, transport: ProbeTransport) -> DelayModel {
         match (tech, transport) {
-            (Technology::Native, ProbeTransport::WebSocketEcho) => self.first_use.ws,
+            (Technology::Native, ProbeTransport::WebSocketEcho | ProbeTransport::WebRtcData) => {
+                self.first_use.ws
+            }
             (Technology::Native, _) => self.first_use.xhr,
             (Technology::Flash, ProbeTransport::TcpEcho) => self.first_use.flash_socket,
             (Technology::Flash, _) => self.first_use.flash_http,

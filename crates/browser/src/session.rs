@@ -31,6 +31,7 @@ use bnm_http::websocket::{self, Frame, FrameDecoder, Opcode};
 use bnm_obs::{Component, Trace};
 use bnm_sim::rng;
 use bnm_sim::time::SimDuration;
+use bnm_sim::wire::{ChunkKind, DataChunk};
 use bnm_tcp::stack::SockEvent;
 use bnm_tcp::udp::UdpRx;
 use bnm_tcp::{HostApp, HostCtx, SocketId};
@@ -92,6 +93,8 @@ pub struct SessionConfig {
     pub echo_port: u16,
     /// UDP echo port.
     pub udp_port: u16,
+    /// WebRTC data-channel port on the server.
+    pub webrtc_port: u16,
     /// The method to execute.
     pub plan: ProbePlan,
     /// The runtime cost profile.
@@ -120,7 +123,21 @@ enum Step {
     StartRound(u8),
     DoSend(u8),
     StampEnd(u8),
+    /// Re-send the DCEP OPEN if no ACK arrived (the handshake is the
+    /// one reliable part of the channel; probes are never retried).
+    RtcOpenRetry,
+    /// Read `tB_s` and traverse the send path for probe `seq`.
+    RtcBegin(u8),
+    /// Put probe `seq` on the wire.
+    RtcSend(u8),
+    /// Read `tB_r` for a delivered probe `seq`.
+    RtcStamp(u8),
+    /// End of the tail wait: late probes are counted lost.
+    RtcFinish,
 }
+
+/// WebRTC data-channel stream id used for probes.
+const RTC_STREAM: u16 = 1;
 
 /// What a connection is for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +166,9 @@ enum Phase {
     AwaitConnect(u8),
     AwaitResponse(u8),
     AwaitStampEnd(u8),
+    /// The WebRTC probe train is in flight: probes overlap, each keyed
+    /// by its sequence number rather than a single scalar round.
+    RtcMeasuring,
     Done,
 }
 
@@ -176,6 +196,15 @@ pub struct BrowserSession {
     /// Target of the in-flight GET (inserted into the cache on completion).
     inflight_get: Option<String>,
     tb_s: f64,
+    /// Per-probe `tB_s` for the WebRTC train (probes overlap in flight).
+    rtc_tb_s: HashMap<u8, f64>,
+    /// Probes whose message event already fired (browser-level dedupe:
+    /// a duplicated datagram re-fires the event, the script keys by seq).
+    rtc_seen: std::collections::HashSet<u8>,
+    /// DCEP ACK received; the data channel is open.
+    rtc_acked: bool,
+    /// DCEP OPEN transmissions so far.
+    rtc_open_tries: u32,
     result: SessionResult,
     trace: Trace,
     /// Diagnostics: how many TCP connections this session opened.
@@ -207,6 +236,10 @@ impl BrowserSession {
             http_cache: std::collections::HashSet::new(),
             inflight_get: None,
             tb_s: 0.0,
+            rtc_tb_s: HashMap::new(),
+            rtc_seen: std::collections::HashSet::new(),
+            rtc_acked: false,
+            rtc_open_tries: 0,
             result: SessionResult::default(),
             trace: cfg.trace.clone(),
             connections_opened: 0,
@@ -492,6 +525,192 @@ impl BrowserSession {
                 ctx.udp_send(port, (self.cfg.server_ip, self.cfg.udp_port), payload);
                 self.phase = Phase::AwaitResponse(round);
             }
+            ProbeTransport::WebRtcData => {
+                unreachable!("webrtc probes are driven by the Rtc* steps")
+            }
+        }
+    }
+
+    /// Transmit a DCEP OPEN and arm the retry timer. The handshake is
+    /// reliable (DCEP rides SCTP's reliable delivery in real stacks);
+    /// it happens before measurement, so retries never taint probes.
+    fn rtc_send_open(&mut self, ctx: &mut HostCtx) {
+        let port = self.udp_port_local.expect("dc bound");
+        ctx.udp_send(
+            port,
+            (self.cfg.server_ip, self.cfg.webrtc_port),
+            DataChunk::open(RTC_STREAM).emit(),
+        );
+        self.rtc_open_tries += 1;
+        self.schedule(ctx, SimDuration::from_millis(200), Step::RtcOpenRetry);
+    }
+
+    /// Channel open: schedule the whole paced probe train plus the tail
+    /// wait. Probes overlap in flight (gap 20 ms < RTT), so loss and
+    /// reordering show up exactly as the network produced them.
+    fn rtc_start_train(&mut self, ctx: &mut HostCtx) {
+        self.phase = Phase::RtcMeasuring;
+        let rounds = self.cfg.plan.rounds;
+        for seq in 1..=rounds {
+            let at = SimDuration::from_millis(5 + 20 * (seq as u64 - 1));
+            self.schedule(ctx, at, Step::RtcBegin(seq));
+        }
+        let last = 5 + 20 * (rounds as u64 - 1);
+        self.schedule(ctx, SimDuration::from_millis(last + 1000), Step::RtcFinish);
+    }
+
+    /// Read `tB_s` and traverse the send path for probe `seq` —
+    /// the same quantization/dispatch modelling as [`Self::begin_round`],
+    /// keyed per probe because several are in flight at once.
+    fn rtc_begin(&mut self, ctx: &mut HostCtx, seq: u8) {
+        if self.phase != Phase::RtcMeasuring {
+            return;
+        }
+        let now = ctx.now();
+        self.trace.set_round(Some(seq));
+        let tb_s = self.api.read(now);
+        self.rtc_tb_s.insert(seq, tb_s);
+        self.trace
+            .instant(now.as_nanos(), "session", "round.start", Some(tb_s));
+        let mut t_ns = now.as_nanos();
+        let call = self.api.call_cost();
+        if self.trace.is_enabled() {
+            self.trace.span(
+                t_ns,
+                t_ns + call.as_nanos(),
+                "session",
+                "timing_api_call",
+                Some(Component::Dispatch),
+            );
+        }
+        t_ns += call.as_nanos();
+        let mut delay = call;
+        if seq == 1 {
+            let fu = self
+                .cfg
+                .profile
+                .first_use_cost(self.cfg.plan.technology, self.cfg.plan.transport);
+            let d = fu.sample(&mut self.rng);
+            if self.trace.is_enabled() {
+                self.trace.span(
+                    t_ns,
+                    t_ns + d.as_nanos(),
+                    "session",
+                    "first_use",
+                    Some(Component::Init),
+                );
+            }
+            t_ns += d.as_nanos();
+            delay += d;
+        }
+        let send_path =
+            self.cfg
+                .profile
+                .send_path(self.cfg.plan.technology, self.cfg.plan.transport, seq);
+        delay += self.sample_path(t_ns, &send_path);
+        self.trace.set_round(None);
+        self.schedule(ctx, delay, Step::RtcSend(seq));
+    }
+
+    /// Put probe `seq` on the wire as a sequence-numbered data chunk.
+    fn rtc_send(&mut self, ctx: &mut HostCtx, seq: u8) {
+        if self.phase != Phase::RtcMeasuring {
+            return;
+        }
+        let port = self.udp_port_local.expect("dc bound");
+        let chunk = DataChunk::data(RTC_STREAM, seq as u32, self.socket_payload(seq));
+        ctx.udp_send(
+            port,
+            (self.cfg.server_ip, self.cfg.webrtc_port),
+            chunk.emit(),
+        );
+    }
+
+    /// A datagram arrived on the data channel.
+    fn rtc_on_udp(&mut self, ctx: &mut HostCtx, rx: UdpRx) {
+        let Ok(chunk) = DataChunk::parse(&rx.payload) else {
+            return;
+        };
+        match chunk.kind {
+            ChunkKind::DcepAck => {
+                if self.phase == Phase::SocketSetup && !self.rtc_acked {
+                    self.rtc_acked = true;
+                    self.rtc_start_train(ctx);
+                }
+            }
+            ChunkKind::Data => {
+                if self.phase != Phase::RtcMeasuring {
+                    return;
+                }
+                if chunk.seq == 0 || chunk.seq > self.cfg.plan.rounds as u32 {
+                    return;
+                }
+                let seq = chunk.seq as u8;
+                // Dedupe duplicated datagrams; ignore echoes for probes
+                // whose tB_s was never stamped (cannot happen in-order,
+                // but a guard keeps the arithmetic honest).
+                if !self.rtc_tb_s.contains_key(&seq) || !self.rtc_seen.insert(seq) {
+                    return;
+                }
+                self.trace.set_round(Some(seq));
+                let recv_path = self.cfg.profile.recv_path(
+                    self.cfg.plan.technology,
+                    self.cfg.plan.transport,
+                    seq,
+                );
+                let mut t_ns = ctx.now().as_nanos();
+                let path_delay = self.sample_path(t_ns, &recv_path);
+                t_ns += path_delay.as_nanos();
+                let call = self.api.call_cost();
+                if self.trace.is_enabled() {
+                    self.trace.span(
+                        t_ns,
+                        t_ns + call.as_nanos(),
+                        "session",
+                        "timing_api_call",
+                        Some(Component::Dispatch),
+                    );
+                }
+                self.trace.set_round(None);
+                self.schedule(ctx, path_delay + call, Step::RtcStamp(seq));
+            }
+            ChunkKind::DcepOpen => {}
+        }
+    }
+
+    /// Read `tB_r` for probe `seq` and record the round. Results are
+    /// pushed in arrival order, so browser-side reordering is visible.
+    fn rtc_stamp(&mut self, ctx: &mut HostCtx, seq: u8) {
+        if self.phase != Phase::RtcMeasuring {
+            return;
+        }
+        let now = ctx.now();
+        self.trace.set_round(Some(seq));
+        let tb_r = self.api.read(now);
+        self.trace
+            .instant(now.as_nanos(), "session", "round.end", Some(tb_r));
+        self.trace.set_round(None);
+        let tb_s = self.rtc_tb_s[&seq];
+        self.result.rounds.push(RoundResult {
+            round: seq,
+            tb_s_ms: tb_s,
+            tb_r_ms: tb_r,
+            opened_new_connection: false,
+        });
+    }
+
+    /// Tail wait elapsed: whatever has not arrived is lost. A lossy run
+    /// still completes — missing probes are the measurement.
+    fn rtc_finish(&mut self, ctx: &mut HostCtx) {
+        if self.phase != Phase::RtcMeasuring {
+            return;
+        }
+        self.result.completed = true;
+        self.phase = Phase::Done;
+        let mut socks: Vec<SocketId> = self.conns.keys().copied().collect();
+        socks.sort_unstable();
+        for s in socks {
+            ctx.close(s);
         }
     }
 
@@ -611,6 +830,16 @@ impl BrowserSession {
             ProbeTransport::UdpEcho => {
                 self.udp_port_local = Some(ctx.udp_bind_ephemeral());
                 self.start_rounds(ctx);
+            }
+            ProbeTransport::WebRtcData => {
+                assert!(
+                    self.cfg.profile.supports_websocket,
+                    "plan requires WebRTC but {:?} predates it",
+                    self.cfg.profile.runtime
+                );
+                self.udp_port_local = Some(ctx.udp_bind_ephemeral());
+                self.rtc_send_open(ctx);
+                self.phase = Phase::SocketSetup;
             }
             _ => self.start_rounds(ctx),
         }
@@ -777,10 +1006,13 @@ impl HostApp for BrowserSession {
     }
 
     fn on_udp(&mut self, ctx: &mut HostCtx, rx: UdpRx) {
-        if Some(rx.local_port) == self.udp_port_local {
-            if let Phase::AwaitResponse(round) = self.phase {
-                self.response_complete(ctx, round);
-            }
+        if Some(rx.local_port) != self.udp_port_local {
+            return;
+        }
+        if self.cfg.plan.transport == ProbeTransport::WebRtcData {
+            self.rtc_on_udp(ctx, rx);
+        } else if let Phase::AwaitResponse(round) = self.phase {
+            self.response_complete(ctx, round);
         }
     }
 
@@ -793,6 +1025,21 @@ impl HostApp for BrowserSession {
             Step::StartRound(r) => self.begin_round(ctx, r),
             Step::DoSend(r) => self.do_send(ctx, r),
             Step::StampEnd(r) => self.stamp_end(ctx, r),
+            Step::RtcOpenRetry => {
+                if !self.rtc_acked && self.phase == Phase::SocketSetup {
+                    if self.rtc_open_tries >= 50 {
+                        // Give up: the channel never opened. `completed`
+                        // stays false and the rep reports a failure.
+                        self.phase = Phase::Done;
+                    } else {
+                        self.rtc_send_open(ctx);
+                    }
+                }
+            }
+            Step::RtcBegin(seq) => self.rtc_begin(ctx, seq),
+            Step::RtcSend(seq) => self.rtc_send(ctx, seq),
+            Step::RtcStamp(seq) => self.rtc_stamp(ctx, seq),
+            Step::RtcFinish => self.rtc_finish(ctx),
         }
     }
 }
@@ -820,6 +1067,7 @@ mod tests {
             http_port: 80,
             echo_port: 8081,
             udp_port: 7,
+            webrtc_port: 3478,
             plan,
             profile,
             machine,
@@ -1015,6 +1263,7 @@ mod tests {
                 http_port: 80,
                 echo_port: 8081,
                 udp_port: 7,
+                webrtc_port: 3478,
                 plan: plan(
                     "java_tcp",
                     Technology::JavaApplet,
@@ -1051,6 +1300,35 @@ mod tests {
         }
         assert!(total == 24);
         assert!(negatives > 0, "no under-estimation in {total} rounds");
+    }
+
+    #[test]
+    fn webrtc_train_delivers_every_probe_on_a_clean_network() {
+        let mut p = plan(
+            "webrtc",
+            Technology::Native,
+            ProbeTransport::WebRtcData,
+            TimingApiKind::JsDateGetTime,
+        );
+        p.rounds = 8;
+        let (e, c, s) = run_session(p, BrowserKind::Chrome, OsKind::Ubuntu1204);
+        let rounds = rounds_of(&e, c);
+        assert_eq!(rounds.len(), 8, "clean network loses nothing");
+        // Every probe seq appears exactly once.
+        let mut seqs: Vec<u8> = rounds.iter().map(|r| r.round).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (1..=8).collect::<Vec<_>>());
+        for r in &rounds {
+            let rtt = r.browser_rtt_ms();
+            // 50 ms one-way server delay => ~50 ms echo RTT, small
+            // overhead (Date.getTime() quantization can round to 50).
+            assert!(rtt >= 49.0, "probe {} rtt {rtt}", r.round);
+            assert!(rtt < 60.0, "probe {} rtt {rtt}", r.round);
+            assert!(!r.opened_new_connection);
+        }
+        let stats = &e.node_ref::<Host<WebServer>>(s).app().stats;
+        assert_eq!(stats.webrtc_opens, 1);
+        assert_eq!(stats.webrtc_echoes, 8);
     }
 
     #[test]
@@ -1102,6 +1380,7 @@ mod cache_tests {
             http_port: 80,
             echo_port: 8081,
             udp_port: 7,
+            webrtc_port: 3478,
             plan,
             profile,
             machine,

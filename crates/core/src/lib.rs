@@ -59,7 +59,7 @@ pub use config::{CellBuilder, ContentionSpec, ExperimentCell, RuntimeSel, Stream
 pub use delta::RoundMeasurement;
 pub use error::RunError;
 pub use exec::{ExecStats, Executor, Progress};
-pub use matching::{MatchError, ParsedCapture};
+pub use matching::{MatchError, ParsedCapture, ProbeStatus, ProbeVerdict};
 pub use monitor::{Monitor, MonitorConfig, MonitorFootprint};
 pub use report::{
     DistSummary, Render, ReportFormat, ReportSnapshot, Table, TraceReport, Value, WindowReport,

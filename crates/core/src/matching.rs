@@ -172,6 +172,125 @@ impl ParsedCapture {
     }
 }
 
+/// Delivery status of one datagram probe, judged from both taps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeStatus {
+    /// Probe reached the server and its echo reached the client.
+    Delivered,
+    /// Probe left the client but never appeared at the server tap.
+    LostUpstream,
+    /// Echo left the server but never appeared at the client tap.
+    LostDownstream,
+}
+
+/// Wire-truth verdict for one sequence-numbered datagram probe.
+///
+/// Unlike the TCP matcher, a duplicated or reordered datagram is *not* an
+/// exclusion: there is no transport retransmitting underneath the
+/// browser, so every on-wire event is the probe itself. Datagram rounds
+/// are therefore appraised per probe — delivered probes yield one-way
+/// delays, the rest become the loss statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeVerdict {
+    /// Sequence number (1-based, mirrors the session's round numbers).
+    pub seq: u8,
+    /// Delivery outcome.
+    pub status: ProbeStatus,
+    /// A copy of the probe or its echo appeared more than once in one
+    /// direction of either tap.
+    pub duplicated: bool,
+    /// The echo arrived at the client after the echo of a higher
+    /// sequence number (RFC 4737-style reordering, judged at arrival).
+    pub reordered: bool,
+    /// Client-tap stamps, for the Δd pipeline. `Some` iff delivered.
+    pub wire: Option<WireTimes>,
+    /// Client Tx → server Rx, ms. `Some` when the probe reached the
+    /// server, even if its echo was later lost downstream.
+    pub owd_up_ms: Option<f64>,
+    /// Server Tx → client Rx, ms. `Some` iff delivered.
+    pub owd_down_ms: Option<f64>,
+}
+
+/// Match every probe of a datagram train against both taps.
+///
+/// `client` and `server` are the two WinDump views. For each sequence
+/// number `1..=train_len` the probe marker is searched in all four
+/// (tap, direction) quadrants: client-Tx is the probe leaving, server-Rx
+/// the probe arriving, server-Tx the echo leaving, client-Rx the echo
+/// arriving. Echo transports reuse the request bytes, so direction is
+/// the only disambiguator — same trick as [`match_round`], applied
+/// across two captures.
+///
+/// Verdicts are returned in sequence order; reordering is judged from
+/// client-Rx arrival stamps across the whole train.
+pub fn match_datagram_train(
+    client: &ParsedCapture,
+    server: &ParsedCapture,
+    method: MethodId,
+    train_len: u8,
+    token: u64,
+) -> Vec<ProbeVerdict> {
+    let mut verdicts: Vec<ProbeVerdict> = (1..=train_len)
+        .map(|seq| {
+            let marker = request_marker(method, seq, token);
+            let probe_tx = client.hits(CaptureDir::Tx, &marker);
+            let probe_at_server = server.hits(CaptureDir::Rx, &marker);
+            let echo_tx = server.hits(CaptureDir::Tx, &marker);
+            let echo_rx = client.hits(CaptureDir::Rx, &marker);
+            let duplicated = [&probe_tx, &probe_at_server, &echo_tx, &echo_rx]
+                .iter()
+                .any(|h| h.len() > 1);
+            let status = if probe_at_server.is_empty() {
+                ProbeStatus::LostUpstream
+            } else if echo_rx.is_empty() {
+                ProbeStatus::LostDownstream
+            } else {
+                ProbeStatus::Delivered
+            };
+            let owd_up_ms = match (probe_tx.first(), probe_at_server.first()) {
+                (Some(&s), Some(&r)) => Some(r.signed_millis_since(s)),
+                _ => None,
+            };
+            let owd_down_ms = match (echo_tx.first(), echo_rx.first()) {
+                (Some(&s), Some(&r)) => Some(r.signed_millis_since(s)),
+                _ => None,
+            };
+            let wire = match (probe_tx.first(), echo_rx.first()) {
+                (Some(&s), Some(&r)) if status == ProbeStatus::Delivered => {
+                    Some(WireTimes { tn_s: s, tn_r: r })
+                }
+                _ => None,
+            };
+            ProbeVerdict {
+                seq,
+                status,
+                duplicated,
+                reordered: false,
+                wire,
+                owd_up_ms,
+                owd_down_ms,
+            }
+        })
+        .collect();
+
+    // Reordering: walk delivered echoes in client-arrival order; a probe
+    // arriving after one with a higher sequence number is reordered.
+    let mut arrivals: Vec<(SimTime, u8)> = verdicts
+        .iter()
+        .filter_map(|v| v.wire.map(|w| (w.tn_r, v.seq)))
+        .collect();
+    arrivals.sort();
+    let mut max_seq = 0u8;
+    for (_, seq) in arrivals {
+        if seq < max_seq {
+            verdicts[seq as usize - 1].reordered = true;
+        } else {
+            max_seq = seq;
+        }
+    }
+    verdicts
+}
+
 /// Find `tN_s`/`tN_r` for one round in a client-side capture.
 ///
 /// One-shot convenience over [`ParsedCapture`]; callers matching many
@@ -232,6 +351,175 @@ mod tests {
             buf.record(SimTime::from_millis(*ms), *dir, tcp_frame(payload, 5, 80));
         }
         buf
+    }
+
+    fn udp_frame(payload: &[u8]) -> Bytes {
+        let dgram = bnm_sim::wire::UdpDatagram {
+            src_port: 40000,
+            dst_port: 3478,
+            payload: Bytes::copy_from_slice(payload),
+        };
+        let ip = Ipv4Packet {
+            src: A,
+            dst: B,
+            protocol: IpProtocol::Udp,
+            ttl: 64,
+            ident: 1,
+            payload: dgram.emit(A, B),
+        };
+        EthernetFrame {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            ethertype: EtherType::Ipv4,
+            payload: ip.emit(),
+        }
+        .emit()
+    }
+
+    /// Build a parsed capture of datagram probes, each record a DATA
+    /// chunk wrapping the probe marker — the shape the webrtc session
+    /// puts on the wire.
+    fn datagram_capture(records: &[(u64, CaptureDir, u8)], token: u64) -> ParsedCapture {
+        let mut buf = CaptureBuffer::new("dgram");
+        for (us, dir, seq) in records {
+            let marker = request_marker(MethodId::WebRtc, *seq, token);
+            let chunk = bnm_sim::wire::DataChunk::data(1, *seq as u32, Bytes::from(marker));
+            buf.record(
+                SimTime::from_micros(*us),
+                *dir,
+                udp_frame(chunk.emit().as_ref()),
+            );
+        }
+        ParsedCapture::parse(&buf)
+    }
+
+    #[test]
+    fn datagram_train_all_delivered() {
+        let token = 9;
+        // Probes 1..=3, 20 ms apart, 25 ms each way.
+        let client = datagram_capture(
+            &[
+                (0, CaptureDir::Tx, 1),
+                (20_000, CaptureDir::Tx, 2),
+                (40_000, CaptureDir::Tx, 3),
+                (50_000, CaptureDir::Rx, 1),
+                (70_000, CaptureDir::Rx, 2),
+                (90_000, CaptureDir::Rx, 3),
+            ],
+            token,
+        );
+        let server = datagram_capture(
+            &[
+                (25_000, CaptureDir::Rx, 1),
+                (25_100, CaptureDir::Tx, 1),
+                (45_000, CaptureDir::Rx, 2),
+                (45_100, CaptureDir::Tx, 2),
+                (65_000, CaptureDir::Rx, 3),
+                (65_100, CaptureDir::Tx, 3),
+            ],
+            token,
+        );
+        let v = match_datagram_train(&client, &server, MethodId::WebRtc, 3, token);
+        assert_eq!(v.len(), 3);
+        for (i, p) in v.iter().enumerate() {
+            assert_eq!(p.seq as usize, i + 1);
+            assert_eq!(p.status, ProbeStatus::Delivered);
+            assert!(!p.duplicated && !p.reordered);
+            assert!((p.owd_up_ms.unwrap() - 25.0).abs() < 1e-9);
+            assert!((p.owd_down_ms.unwrap() - 24.9).abs() < 1e-9);
+        }
+        let w = v[1].wire.unwrap();
+        assert_eq!(w.tn_s, SimTime::from_micros(20_000));
+        assert_eq!(w.tn_r, SimTime::from_micros(70_000));
+    }
+
+    #[test]
+    fn datagram_losses_are_attributed_to_a_direction() {
+        let token = 4;
+        // Probe 1 lost upstream (never reaches the server); probe 2's
+        // echo lost downstream; probe 3 delivered.
+        let client = datagram_capture(
+            &[
+                (0, CaptureDir::Tx, 1),
+                (20_000, CaptureDir::Tx, 2),
+                (40_000, CaptureDir::Tx, 3),
+                (90_000, CaptureDir::Rx, 3),
+            ],
+            token,
+        );
+        let server = datagram_capture(
+            &[
+                (45_000, CaptureDir::Rx, 2),
+                (45_100, CaptureDir::Tx, 2),
+                (65_000, CaptureDir::Rx, 3),
+                (65_100, CaptureDir::Tx, 3),
+            ],
+            token,
+        );
+        let v = match_datagram_train(&client, &server, MethodId::WebRtc, 3, token);
+        assert_eq!(v[0].status, ProbeStatus::LostUpstream);
+        assert!(v[0].wire.is_none() && v[0].owd_up_ms.is_none());
+        assert_eq!(v[1].status, ProbeStatus::LostDownstream);
+        // The upstream leg still yields a one-way delay.
+        assert!((v[1].owd_up_ms.unwrap() - 25.0).abs() < 1e-9);
+        assert!(v[1].owd_down_ms.is_none() && v[1].wire.is_none());
+        assert_eq!(v[2].status, ProbeStatus::Delivered);
+    }
+
+    #[test]
+    fn datagram_reordering_judged_at_client_arrival() {
+        let token = 2;
+        // Echo of probe 2 overtakes echo of probe 3? No — probe 2's echo
+        // arrives AFTER probe 3's: probe 2 is the reordered one.
+        let client = datagram_capture(
+            &[
+                (0, CaptureDir::Tx, 1),
+                (20_000, CaptureDir::Tx, 2),
+                (40_000, CaptureDir::Tx, 3),
+                (50_000, CaptureDir::Rx, 1),
+                (90_000, CaptureDir::Rx, 3),
+                (95_000, CaptureDir::Rx, 2),
+            ],
+            token,
+        );
+        let server = datagram_capture(
+            &[
+                (25_000, CaptureDir::Rx, 1),
+                (25_100, CaptureDir::Tx, 1),
+                (45_000, CaptureDir::Rx, 2),
+                (45_100, CaptureDir::Tx, 2),
+                (65_000, CaptureDir::Rx, 3),
+                (65_100, CaptureDir::Tx, 3),
+            ],
+            token,
+        );
+        let v = match_datagram_train(&client, &server, MethodId::WebRtc, 3, token);
+        assert!(!v[0].reordered);
+        assert!(v[1].reordered, "late probe 2 must be flagged");
+        assert!(!v[2].reordered);
+        assert_eq!(v[1].status, ProbeStatus::Delivered);
+    }
+
+    #[test]
+    fn datagram_duplicate_is_flagged_not_excluded() {
+        let token = 6;
+        let client = datagram_capture(
+            &[
+                (0, CaptureDir::Tx, 1),
+                (50_000, CaptureDir::Rx, 1),
+                (51_000, CaptureDir::Rx, 1), // duplicated echo
+            ],
+            token,
+        );
+        let server = datagram_capture(
+            &[(25_000, CaptureDir::Rx, 1), (25_100, CaptureDir::Tx, 1)],
+            token,
+        );
+        let v = match_datagram_train(&client, &server, MethodId::WebRtc, 1, token);
+        assert_eq!(v[0].status, ProbeStatus::Delivered);
+        assert!(v[0].duplicated);
+        // First arrival is the one that counts.
+        assert_eq!(v[0].wire.unwrap().tn_r, SimTime::from_micros(50_000));
     }
 
     #[test]

@@ -329,6 +329,7 @@ impl Monitor {
             failures: self.failures,
             relative_error_bound: self.lifetime_d1.relative_error_bound(),
             windows,
+            datagram: None,
         }
     }
 

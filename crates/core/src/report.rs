@@ -102,9 +102,15 @@ impl Value {
 
     fn csv(&self) -> String {
         match self {
-            Value::Text(s) if s.contains(',') || s.contains('"') => {
+            // RFC 4180 §2: fields containing commas, quotes or line
+            // breaks are quoted, with internal quotes doubled. Line
+            // breaks stay verbatim inside the quotes.
+            Value::Text(s) if s.contains([',', '"', '\n', '\r']) => {
                 format!("\"{}\"", s.replace('"', "\"\""))
             }
+            // A NaN cell renders as an empty field, mirroring the JSON
+            // `null` — "nan" is not a number any CSV consumer parses.
+            Value::Num(v) if !v.is_finite() => String::new(),
             other => other.text(),
         }
     }
@@ -161,6 +167,16 @@ fn json_num(v: f64) -> String {
         fmt_num(v)
     } else {
         "null".into()
+    }
+}
+
+/// CSV rendering of a float field (non-finite becomes an empty field,
+/// the CSV analogue of JSON `null`).
+fn csv_num(v: f64) -> String {
+    if v.is_finite() {
+        fmt_num(v)
+    } else {
+        String::new()
     }
 }
 
@@ -464,6 +480,86 @@ impl WindowReport {
     }
 }
 
+/// Per-probe datagram digest attached to a [`ReportSnapshot`] when the
+/// cell ran an unreliable-transport method: delivery counters plus
+/// one-way-delay and jitter distributions. Losses are measurements here
+/// (nothing retransmits under the browser), so `sent - delivered` *is*
+/// the loss statistic rather than an exclusion count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatagramReport {
+    /// Probes put on the wire.
+    pub sent: u64,
+    /// Probes whose echo reached the client NIC.
+    pub delivered: u64,
+    /// Probes lost before the server tap.
+    pub lost_upstream: u64,
+    /// Echoes lost after the server tap.
+    pub lost_downstream: u64,
+    /// Probes duplicated on the wire.
+    pub duplicated: u64,
+    /// Probes whose echo arrived after a higher sequence number's.
+    pub reordered: u64,
+    /// Upstream one-way delay digest (client Tx → server Rx), ms.
+    pub owd_up: DistSummary,
+    /// Downstream one-way delay digest (server Tx → client Rx), ms.
+    pub owd_down: DistSummary,
+    /// RFC 3550 jitter from wire transit pairs, one sample per rep.
+    pub wire_jitter: DistSummary,
+    /// The same estimator over browser stamps — the inflation the
+    /// paper's §2.2 warns about is the gap to `wire_jitter`.
+    pub browser_jitter: DistSummary,
+}
+
+impl DatagramReport {
+    /// Digest a session's accumulated datagram samples.
+    pub fn of(d: &crate::runner::DatagramSamples) -> DatagramReport {
+        DatagramReport {
+            sent: d.sent,
+            delivered: d.delivered,
+            lost_upstream: d.lost_upstream,
+            lost_downstream: d.lost_downstream,
+            duplicated: d.duplicated,
+            reordered: d.reordered,
+            owd_up: DistSummary::of_samples(&d.owd_up_ms),
+            owd_down: DistSummary::of_samples(&d.owd_down_ms),
+            wire_jitter: DistSummary::of_samples(&d.wire_jitter_ms),
+            browser_jitter: DistSummary::of_samples(&d.browser_jitter_ms),
+        }
+    }
+
+    /// Fraction of sent probes lost (`NaN` when nothing was sent).
+    pub fn loss_rate(&self) -> f64 {
+        (self.sent - self.delivered) as f64 / self.sent as f64
+    }
+
+    /// Fraction of sent probes reordered (`NaN` when nothing was sent).
+    pub fn reorder_rate(&self) -> f64 {
+        self.reordered as f64 / self.sent as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"sent\": {}, \"delivered\": {}, \"lost_upstream\": {}, \
+             \"lost_downstream\": {}, \"duplicated\": {}, \"reordered\": {}, \
+             \"loss_rate\": {}, \"reorder_rate\": {}, \
+             \"owd_up\": {}, \"owd_down\": {}, \
+             \"wire_jitter\": {}, \"browser_jitter\": {}}}",
+            self.sent,
+            self.delivered,
+            self.lost_upstream,
+            self.lost_downstream,
+            self.duplicated,
+            self.reordered,
+            json_num(self.loss_rate()),
+            json_num(self.reorder_rate()),
+            self.owd_up.json(),
+            self.owd_down.json(),
+            self.wire_jitter.json(),
+            self.browser_jitter.json(),
+        )
+    }
+}
+
 /// The pollable summary shape shared by the continuous monitor and the
 /// batch runner ([`CellResult::summary`]).
 ///
@@ -491,6 +587,9 @@ pub struct ReportSnapshot {
     pub relative_error_bound: f64,
     /// Aggregation windows, lifetime `"total"` last. Never empty.
     pub windows: Vec<WindowReport>,
+    /// Per-probe datagram digest — `Some` only for datagram methods
+    /// (the reference session's view, like `windows`' Δd digests).
+    pub datagram: Option<DatagramReport>,
 }
 
 impl ReportSnapshot {
@@ -531,6 +630,23 @@ impl Render for ReportSnapshot {
             self.failures,
             verdict,
         );
+        if let Some(dg) = &self.datagram {
+            let _ = writeln!(
+                out,
+                "datagram: sent {}  delivered {}  lost {}↑ {}↓  dup {}  reordered {}  \
+                 owd p50 {}↑ {}↓ ms  jitter wire {} / browser {} ms",
+                dg.sent,
+                dg.delivered,
+                dg.lost_upstream,
+                dg.lost_downstream,
+                dg.duplicated,
+                dg.reordered,
+                fmt_num(dg.owd_up.p50),
+                fmt_num(dg.owd_down.p50),
+                fmt_num(dg.wire_jitter.p50),
+                fmt_num(dg.browser_jitter.p50),
+            );
+        }
         let mut t = Table::new(
             "",
             &[
@@ -561,11 +677,15 @@ impl Render for ReportSnapshot {
             None => "null".into(),
         };
         let windows: Vec<String> = self.windows.iter().map(WindowReport::json).collect();
+        let datagram = match &self.datagram {
+            Some(dg) => dg.json(),
+            None => "null".into(),
+        };
         format!(
             "{{\"label\": {}, \"at_secs\": {}, \"rounds\": {}, \"samples\": {}, \
              \"excluded_rounds\": {}, \"failures\": {}, \
              \"relative_error_bound\": {}, \"verdict\": {}, \
-             \"windows\": [{}]}}\n",
+             \"datagram\": {}, \"windows\": [{}]}}\n",
             json_string(&self.label),
             json_num(self.at_secs),
             self.rounds,
@@ -574,6 +694,7 @@ impl Render for ReportSnapshot {
             self.failures,
             json_num(self.relative_error_bound),
             verdict,
+            datagram,
             windows.join(", "),
         )
     }
@@ -583,30 +704,46 @@ impl Render for ReportSnapshot {
             "label,at_secs,window,span_secs,rounds,excluded_rounds,failures,\
              series,count,min,p10,p25,p50,p75,p90,p99,max,mean\n",
         );
+        let mut series_row = |w: &WindowReport, series: &str, d: &DistSummary| {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                Value::Text(self.label.clone()).csv(),
+                fmt_num(self.at_secs),
+                w.label,
+                w.span_secs.map(fmt_num).unwrap_or_default(),
+                w.rounds,
+                w.excluded_rounds,
+                w.failures,
+                series,
+                d.count,
+                csv_num(d.min),
+                csv_num(d.p10),
+                csv_num(d.p25),
+                csv_num(d.p50),
+                csv_num(d.p75),
+                csv_num(d.p90),
+                csv_num(d.p99),
+                csv_num(d.max),
+                csv_num(d.mean),
+            );
+        };
         for w in &self.windows {
             for (series, d) in [("d1", &w.d1), ("d2", &w.d2), ("pooled", &w.pooled)] {
-                let _ = writeln!(
-                    out,
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-                    Value::Text(self.label.clone()).csv(),
-                    fmt_num(self.at_secs),
-                    w.label,
-                    w.span_secs.map(fmt_num).unwrap_or_default(),
-                    w.rounds,
-                    w.excluded_rounds,
-                    w.failures,
-                    series,
-                    d.count,
-                    fmt_num(d.min),
-                    fmt_num(d.p10),
-                    fmt_num(d.p25),
-                    fmt_num(d.p50),
-                    fmt_num(d.p75),
-                    fmt_num(d.p90),
-                    fmt_num(d.p99),
-                    fmt_num(d.max),
-                    fmt_num(d.mean),
-                );
+                series_row(w, series, d);
+            }
+        }
+        // Datagram digests ride along as extra series of the lifetime
+        // window, so one header serves the whole document.
+        if let Some(dg) = &self.datagram {
+            let total = self.total().clone();
+            for (series, d) in [
+                ("owd_up", &dg.owd_up),
+                ("owd_down", &dg.owd_down),
+                ("wire_jitter", &dg.wire_jitter),
+                ("browser_jitter", &dg.browser_jitter),
+            ] {
+                series_row(&total, series, d);
             }
         }
         out
@@ -881,6 +1018,33 @@ mod tests {
     }
 
     #[test]
+    fn csv_cells_with_quotes_and_newlines_follow_rfc4180() {
+        let mut t = Table::new("", &["label", "n"]);
+        t.row(vec![
+            Value::Text("tricky \", \n cell".into()),
+            Value::Int(1),
+        ]);
+        t.row(vec![Value::Text("cr\rcell".into()), Value::Int(2)]);
+        let csv = t.to_csv();
+        // Quotes doubled, the field quoted, the newline verbatim inside.
+        assert!(
+            csv.contains("\"tricky \"\", \n cell\",1"),
+            "bad quoting: {csv:?}"
+        );
+        assert!(csv.contains("\"cr\rcell\",2"), "CR must quote: {csv:?}");
+    }
+
+    #[test]
+    fn csv_nan_cell_is_an_empty_field() {
+        let mut t = Table::new("", &["label", "v"]);
+        t.row(vec![Value::Text("ws".into()), Value::Num(f64::NAN)]);
+        let csv = t.to_csv();
+        assert!(csv.contains("ws,\n"), "NaN cell must be empty: {csv:?}");
+        // Text mode keeps the explicit marker.
+        assert!(t.to_text().contains("nan"));
+    }
+
+    #[test]
     fn dist_summary_exact_matches_r7() {
         let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.5).collect();
         let d = DistSummary::of_samples(&xs);
@@ -943,6 +1107,7 @@ mod tests {
                     pooled: DistSummary::of_samples(&[4.0, 4.5, 3.0, 3.5]),
                 },
             ],
+            datagram: None,
         }
     }
 

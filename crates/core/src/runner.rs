@@ -22,8 +22,8 @@ use crate::config::{ExperimentCell, RuntimeSel};
 use crate::delta::RoundMeasurement;
 use crate::error::RunError;
 use crate::exec::Executor;
-use crate::matching::{MatchError, ParsedCapture};
-use crate::report::{DistSummary, ReportSnapshot, WindowReport};
+use crate::matching::{match_datagram_train, MatchError, ParsedCapture, ProbeStatus};
+use crate::report::{DatagramReport, DistSummary, ReportSnapshot, WindowReport};
 use crate::scenario::{Scenario, SessionSpec};
 use crate::streaming::{DiscardSink, ServerMarkerIndex, SessionMarkerSink};
 use crate::testbed::{Testbed, TestbedConfig};
@@ -41,6 +41,68 @@ pub struct SessionSketches {
     pub d2: QuantileSketch,
 }
 
+/// Per-probe datagram statistics for one session, accumulated over a
+/// cell's repetitions — the wire-truth appraisal of an unreliable
+/// transport ([`bnm_methods::MethodId::is_datagram`]). Losses here are
+/// *measurements*, not exclusions: there is no transport retransmitting
+/// under the browser, so every probe's fate is scored individually.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DatagramSamples {
+    /// Probes the session put on the wire.
+    pub sent: u64,
+    /// Probes whose echo reached the client NIC.
+    pub delivered: u64,
+    /// Probes that never reached the server tap.
+    pub lost_upstream: u64,
+    /// Probes whose echo left the server but never arrived.
+    pub lost_downstream: u64,
+    /// Probes seen more than once in one direction of either tap.
+    pub duplicated: u64,
+    /// Probes whose echo arrived after a higher sequence number's.
+    pub reordered: u64,
+    /// Per-probe upstream one-way delay (client Tx → server Rx), ms.
+    pub owd_up_ms: Vec<f64>,
+    /// Per-probe downstream one-way delay (server Tx → client Rx), ms.
+    pub owd_down_ms: Vec<f64>,
+    /// One RFC 3550 §6.4.1 jitter estimate per repetition, computed from
+    /// wire transit pairs of the downstream leg in arrival order.
+    pub wire_jitter_ms: Vec<f64>,
+    /// The same estimator over the *browser's* per-probe stamps — what a
+    /// script using this method would report. The gap to
+    /// [`DatagramSamples::wire_jitter_ms`] is the paper's §2.2 point:
+    /// unstable delay overhead inflates jitter measurements.
+    pub browser_jitter_ms: Vec<f64>,
+}
+
+impl DatagramSamples {
+    /// Fraction of sent probes that did not complete the echo, 0..=1
+    /// (`NaN` when nothing was sent).
+    pub fn loss_rate(&self) -> f64 {
+        (self.sent - self.delivered) as f64 / self.sent as f64
+    }
+
+    /// Fraction of sent probes flagged reordered (`NaN` when nothing
+    /// was sent).
+    pub fn reorder_rate(&self) -> f64 {
+        self.reordered as f64 / self.sent as f64
+    }
+
+    /// Fold another repetition's statistics into this accumulator.
+    pub fn merge(&mut self, other: &DatagramSamples) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.lost_upstream += other.lost_upstream;
+        self.lost_downstream += other.lost_downstream;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.owd_up_ms.extend_from_slice(&other.owd_up_ms);
+        self.owd_down_ms.extend_from_slice(&other.owd_down_ms);
+        self.wire_jitter_ms.extend_from_slice(&other.wire_jitter_ms);
+        self.browser_jitter_ms
+            .extend_from_slice(&other.browser_jitter_ms);
+    }
+}
+
 /// One session's Δd sample sets within a cell (ascending session-id
 /// order inside [`CellResult::sessions`]).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -51,13 +113,18 @@ pub struct SessionSamples {
     /// mode this keeps only the first `session_retention` samples; the
     /// full distribution lives in [`SessionSamples::sketches`].
     pub d1: Vec<f64>,
-    /// Δd of the second round per repetition, ms (same retention rule).
+    /// Δd of rounds two and up per repetition, ms (same retention
+    /// rule). Two-round methods put exactly round 2 here; datagram
+    /// trains pool every later probe.
     pub d2: Vec<f64>,
     /// Rounds of this session excluded for wire retransmissions.
     pub excluded_rounds: u32,
     /// Streaming sketches over *all* samples — `Some` only when the
     /// cell ran with a retention threshold.
     pub sketches: Option<SessionSketches>,
+    /// Per-probe datagram statistics — `Some` only for datagram
+    /// methods, accumulated over all repetitions.
+    pub datagram: Option<DatagramSamples>,
 }
 
 impl SessionSamples {
@@ -75,8 +142,7 @@ impl SessionSamples {
     pub(crate) fn push_round(&mut self, round: u8, v: f64, retention: Option<u32>) {
         let raw = match round {
             1 => &mut self.d1,
-            2 => &mut self.d2,
-            _ => return,
+            _ => &mut self.d2,
         };
         match retention {
             None => raw.push(v),
@@ -113,6 +179,10 @@ impl SessionSamples {
     /// including bounded-retention runs that never hit their threshold
     /// (`count <= k`) — and the sketch's bounded-error estimate only
     /// when samples were actually truncated away.
+    ///
+    /// Returns `NaN` when the round has no samples (e.g. every probe of
+    /// a datagram cell was lost); it never panics. Report renderers map
+    /// the `NaN` to JSON `null` / an empty CSV field.
     pub fn quantile(&self, round: u8, p: f64) -> f64 {
         let raw = match round {
             1 => &self.d1,
@@ -126,6 +196,9 @@ impl SessionSamples {
             if sketch.count() > raw.len() as u64 {
                 return sketch.quantile(p);
             }
+        }
+        if raw.is_empty() {
+            return f64::NAN;
         }
         let mut sorted = raw.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -181,6 +254,9 @@ pub struct RepOutcome {
     pub excluded: u32,
     /// The exclusion count broken down by session id (ascending).
     pub excluded_by_session: Vec<(u64, u32)>,
+    /// Per-session datagram statistics (ascending session id). Empty
+    /// for reliable-transport methods.
+    pub datagram: Vec<(u64, DatagramSamples)>,
 }
 
 impl CellResult {
@@ -242,6 +318,12 @@ impl CellResult {
                 for (sid, excluded) in rep.excluded_by_session {
                     self.session_mut(sid).excluded_rounds += excluded;
                 }
+                for (sid, d) in rep.datagram {
+                    self.session_mut(sid)
+                        .datagram
+                        .get_or_insert_with(DatagramSamples::default)
+                        .merge(&d);
+                }
                 for m in rep.measurements {
                     let v = m.delta_d_ms();
                     // The flat d1/d2 sets stay session-0 only: they
@@ -253,18 +335,15 @@ impl CellResult {
                     // its sketches).
                     if m.session == 0 {
                         let raw = match m.round {
-                            1 => Some(&mut self.d1),
-                            2 => Some(&mut self.d2),
-                            _ => None,
+                            1 => &mut self.d1,
+                            _ => &mut self.d2,
                         };
-                        if let Some(raw) = raw {
-                            let keep = match retention {
-                                None => true,
-                                Some(limit) => raw.len() < limit as usize,
-                            };
-                            if keep {
-                                raw.push(v);
-                            }
+                        let keep = match retention {
+                            None => true,
+                            Some(limit) => raw.len() < limit as usize,
+                        };
+                        if keep {
+                            raw.push(v);
                         }
                     }
                     self.session_mut(m.session)
@@ -342,6 +421,10 @@ impl CellResult {
                 d2,
                 pooled,
             }],
+            datagram: self
+                .session(0)
+                .and_then(|s| s.datagram.as_ref())
+                .map(DatagramReport::of),
         }
     }
 }
@@ -437,7 +520,11 @@ impl ExperimentRunner {
             trace,
         );
         let token = u64::from(rep);
-        let streaming = cell.streaming.stream_captures;
+        let is_datagram = cell.method.is_datagram();
+        // Datagram appraisal needs full stamps from *both* taps (one-way
+        // delays come from the mid-path view), which the marker sinks do
+        // not retain — datagram cells always parse batch-style.
+        let streaming = cell.streaming.stream_captures && !is_datagram;
         if streaming {
             // Streaming mode: marker sinks consume every record at
             // capture time (identically stamped and truncated to what a
@@ -460,6 +547,7 @@ impl ExperimentRunner {
         let rounds = session.result().rounds.clone();
         let mut out = Vec::with_capacity(rounds.len());
         let mut excluded = 0u32;
+        let mut datagram = Vec::new();
         if streaming {
             let client_sink = Self::take_session_sink(&mut tb.engine, tb.client_tap);
             let server_index = Self::take_server_index(&mut tb.engine, tb.server_tap);
@@ -472,6 +560,23 @@ impl ExperimentRunner {
                 &mut out,
                 &mut excluded,
             )?;
+        } else if is_datagram {
+            // Per-probe appraisal from both taps: the server view is
+            // mandatory even on a clean network — it carries the
+            // mid-path stamps the one-way delays are computed from.
+            let parsed = ParsedCapture::parse(tb.engine.tap(tb.client_tap));
+            let server_parsed = ParsedCapture::parse(tb.engine.tap(tb.server_tap));
+            let d = Self::fold_datagram_session(
+                cell.method,
+                plan_rounds,
+                token,
+                0,
+                &rounds,
+                &parsed,
+                &server_parsed,
+                &mut out,
+            );
+            datagram.push((0, d));
         } else {
             // Parse each capture once; every round then matches against
             // the pre-parsed records instead of re-decoding the whole
@@ -518,6 +623,7 @@ impl ExperimentRunner {
             attribution,
             excluded,
             excluded_by_session: vec![(0, excluded)],
+            datagram,
         })
     }
 
@@ -578,7 +684,8 @@ impl ExperimentRunner {
             Trace::disabled()
         };
         let mut sc = Scenario::build_traced(&tb_cfg, specs, u64::from(rep), trace);
-        let streaming = cell.streaming.stream_captures;
+        let is_datagram = cell.method.is_datagram();
+        let streaming = cell.streaming.stream_captures && !is_datagram;
         if streaming {
             let tokens: Vec<u64> = (0..sc.len())
                 .map(|i| bnm_browser::session_token(sc.session_id(i), u64::from(rep)))
@@ -601,6 +708,7 @@ impl ExperimentRunner {
         let mut out = Vec::new();
         let mut excluded_total = 0u32;
         let mut excluded_by_session = Vec::with_capacity(sc.len());
+        let mut datagram = Vec::new();
         if streaming {
             let server_index = Self::take_server_index(&mut sc.engine, sc.server_tap);
             for i in 0..sc.len() {
@@ -629,7 +737,7 @@ impl ExperimentRunner {
             // ascending session order, and a session's first match error
             // is reported exactly where the serial loop would have
             // stopped, so output is bit-identical to serial matching.
-            let server_parsed = (!cell.impairment.is_clean())
+            let server_parsed = (is_datagram || !cell.impairment.is_clean())
                 .then(|| ParsedCapture::parse(sc.engine.tap(sc.server_tap)));
             let mut items: Vec<SessionMatchItem> = (0..sc.len())
                 .map(|i| {
@@ -647,12 +755,15 @@ impl ExperimentRunner {
             }
             let workers = Self::match_worker_count(cell, items.len());
             let matched = crate::exec::fan_out(items, workers, |_, item| {
-                Self::match_session(cell, item, server_parsed.as_ref())
+                Self::match_session(cell, plan_rounds, item, server_parsed.as_ref())
             });
             for res in matched {
-                let (sid, measurements, excluded) = res?;
+                let (sid, measurements, excluded, dgram) = res?;
                 excluded_total += excluded;
                 excluded_by_session.push((sid, excluded));
+                if let Some(d) = dgram {
+                    datagram.push((sid, d));
+                }
                 out.extend(measurements);
             }
         }
@@ -673,6 +784,7 @@ impl ExperimentRunner {
             attribution,
             excluded: excluded_total,
             excluded_by_session,
+            datagram,
         })
     }
 
@@ -796,12 +908,30 @@ impl ExperimentRunner {
     /// Match one session's drained records: parse once, match every
     /// round, apply the server-side retransmission rule. Stops at the
     /// session's first hard error, exactly like the serial loop.
+    /// Datagram methods take the per-probe path instead and never
+    /// exclude rounds.
     fn match_session(
         cell: &ExperimentCell,
+        plan_rounds: u8,
         item: SessionMatchItem,
         server_parsed: Option<&ParsedCapture>,
-    ) -> Result<(u64, Vec<RoundMeasurement>, u32), RunError> {
+    ) -> Result<(u64, Vec<RoundMeasurement>, u32, Option<DatagramSamples>), RunError> {
         let parsed = ParsedCapture::parse_records(&item.records);
+        if cell.method.is_datagram() {
+            let server = server_parsed.expect("datagram matching always parses the server tap");
+            let mut out = Vec::new();
+            let d = Self::fold_datagram_session(
+                cell.method,
+                plan_rounds,
+                item.token,
+                item.sid,
+                &item.rounds,
+                &parsed,
+                server,
+                &mut out,
+            );
+            return Ok((item.sid, out, 0, Some(d)));
+        }
         let mut out = Vec::with_capacity(item.rounds.len());
         let mut excluded = 0u32;
         for r in item.rounds {
@@ -825,7 +955,83 @@ impl ExperimentRunner {
                 wire,
             });
         }
-        Ok((item.sid, out, excluded))
+        Ok((item.sid, out, excluded, None))
+    }
+
+    /// Appraise one session's datagram train from both taps: score
+    /// every probe's fate, emit a [`RoundMeasurement`] per delivered
+    /// probe the browser saw (arrival order, so reordering stays
+    /// visible downstream), and compute the repetition's RFC 3550
+    /// jitter twice — from wire transit pairs and from the browser's
+    /// own stamps.
+    #[allow(clippy::too_many_arguments)]
+    fn fold_datagram_session(
+        method: bnm_methods::MethodId,
+        train_len: u8,
+        token: u64,
+        sid: u64,
+        rounds: &[bnm_browser::RoundResult],
+        client: &ParsedCapture,
+        server: &ParsedCapture,
+        out: &mut Vec<RoundMeasurement>,
+    ) -> DatagramSamples {
+        let verdicts = match_datagram_train(client, server, method, train_len, token);
+        let mut d = DatagramSamples {
+            sent: u64::from(train_len),
+            ..DatagramSamples::default()
+        };
+        for v in &verdicts {
+            match v.status {
+                ProbeStatus::Delivered => d.delivered += 1,
+                ProbeStatus::LostUpstream => d.lost_upstream += 1,
+                ProbeStatus::LostDownstream => d.lost_downstream += 1,
+            }
+            if v.duplicated {
+                d.duplicated += 1;
+            }
+            if v.reordered {
+                d.reordered += 1;
+            }
+            if let Some(owd) = v.owd_up_ms {
+                d.owd_up_ms.push(owd);
+            }
+            if let Some(owd) = v.owd_down_ms {
+                d.owd_down_ms.push(owd);
+            }
+        }
+        // Δd rows: each delivered probe whose echo the browser stamped.
+        // `rounds` is already in the order the script saw the echoes.
+        for r in rounds {
+            let verdict = r
+                .round
+                .checked_sub(1)
+                .and_then(|i| verdicts.get(usize::from(i)));
+            if let Some(wire) = verdict.and_then(|v| v.wire) {
+                out.push(RoundMeasurement {
+                    session: sid,
+                    round: r.round,
+                    browser: *r,
+                    wire,
+                });
+            }
+        }
+        // Wire jitter: downstream transit pairs (echo leaves server,
+        // echo reaches client) ordered by client arrival.
+        let mut transit: Vec<(f64, f64)> = verdicts
+            .iter()
+            .filter_map(|v| {
+                let arrive = v.wire?.tn_r.as_millis_f64();
+                Some((arrive - v.owd_down_ms?, arrive))
+            })
+            .collect();
+        transit.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("capture stamps are finite"));
+        d.wire_jitter_ms
+            .push(bnm_stats::jitter::rfc3550_transit_jitter(&transit));
+        let browser_pairs: Vec<(f64, f64)> =
+            rounds.iter().map(|r| (r.tb_s_ms, r.tb_r_ms)).collect();
+        d.browser_jitter_ms
+            .push(bnm_stats::jitter::rfc3550_transit_jitter(&browser_pairs));
+        d
     }
 
     /// Resolve the runtime profile for a cell, or report why it cannot
@@ -867,6 +1073,7 @@ mod tests {
     use bnm_time::{OsKind, TimingApiKind};
 
     use crate::config::ContentionSpec;
+    use crate::report::Render as _;
 
     fn small_cell(method: MethodId, browser: BrowserKind, os: OsKind) -> ExperimentCell {
         ExperimentCell::paper(method, RuntimeSel::Browser(browser), os).with_reps(10)
@@ -1079,6 +1286,137 @@ mod tests {
                 att.residual_ms
             );
         }
+    }
+
+    /// A clean-network WebRTC cell delivers the whole train, appraises
+    /// every probe individually, and its per-probe metrics match the
+    /// wire-truth capture counts exactly.
+    #[test]
+    fn webrtc_cell_appraises_every_probe() {
+        let cell =
+            small_cell(MethodId::WebRtc, BrowserKind::Chrome, OsKind::Ubuntu1204).with_reps(4);
+        let r = run(&cell);
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.excluded_rounds, 0, "datagram cells never exclude");
+        // 16 probes per rep: probe 1 lands in d1, probes 2..=16 in d2.
+        assert_eq!(r.d1.len(), 4);
+        assert_eq!(r.d2.len(), 4 * 15);
+        assert_eq!(r.measurements.len(), 4 * 16);
+        let d = r.sessions[0].datagram.as_ref().unwrap();
+        assert_eq!(d.sent, 64);
+        assert_eq!(d.delivered, 64);
+        assert_eq!(
+            d.lost_upstream + d.lost_downstream + d.duplicated + d.reordered,
+            0
+        );
+        assert_eq!(d.owd_up_ms.len(), 64);
+        assert_eq!(d.owd_down_ms.len(), 64);
+        // One-way legs sum to the ~50 ms wire RTT per probe.
+        for (up, down) in d.owd_up_ms.iter().zip(&d.owd_down_ms) {
+            assert!(*up > 0.0 && *down > 0.0, "owd {up}/{down}");
+            let rtt = up + down;
+            assert!(rtt > 50.0 && rtt < 51.0, "owd sum {rtt}");
+        }
+        // One jitter sample per rep, from each estimator.
+        assert_eq!(d.wire_jitter_ms.len(), 4);
+        assert_eq!(d.browser_jitter_ms.len(), 4);
+        for &j in &d.wire_jitter_ms {
+            assert!((0.0..2.0).contains(&j), "wire jitter {j}");
+        }
+        // Date.getTime quantization can shave a fraction of a ms off the
+        // browser RTT, so Δd may dip slightly negative — but overhead
+        // stays far below the handshake regime.
+        for &dd in &r.pooled() {
+            assert!(dd > -1.5 && dd < 60.0, "Δd {dd}");
+        }
+        // The snapshot carries the datagram digest through Render.
+        let snap = r.summary(&cell);
+        let dg = snap.datagram.as_ref().unwrap();
+        assert_eq!(dg.sent, 64);
+        assert!((dg.loss_rate()).abs() < 1e-12);
+        assert!(snap.to_json().contains("\"datagram\": {"));
+        assert!(snap.to_csv().contains("owd_up"));
+    }
+
+    /// Under loss, WebRTC probes that vanish become the loss statistic —
+    /// failures stay zero (the DCEP handshake retransmits) and the Δd
+    /// sample count equals the wire-truth delivered count.
+    #[test]
+    fn webrtc_loss_is_measured_not_excluded() {
+        let cell = small_cell(MethodId::WebRtc, BrowserKind::Chrome, OsKind::Ubuntu1204)
+            .with_reps(6)
+            .with_seed(11)
+            .with_impairment(crate::Impairment::loss(0.15));
+        let r = run(&cell);
+        assert_eq!(r.failures, 0, "handshake must survive loss");
+        assert_eq!(r.excluded_rounds, 0);
+        let d = r.sessions[0].datagram.as_ref().unwrap();
+        assert_eq!(d.sent, 6 * 16);
+        assert_eq!(
+            d.delivered + d.lost_upstream + d.lost_downstream,
+            d.sent,
+            "every probe is accounted for"
+        );
+        assert!(d.delivered < d.sent, "15% loss must bite at this seed");
+        // Wire-truth count exactness: one Δd row per delivered probe.
+        assert_eq!(r.measurements.len() as u64, d.delivered);
+        assert_eq!(d.owd_down_ms.len() as u64, d.delivered);
+    }
+
+    /// Determinism holds for the datagram path too.
+    #[test]
+    fn webrtc_same_seed_same_result() {
+        let cell = small_cell(MethodId::WebRtc, BrowserKind::Chrome, OsKind::Ubuntu1204)
+            .with_reps(3)
+            .with_seed(5)
+            .with_impairment(crate::Impairment::loss(0.05));
+        let a = run(&cell);
+        let b = run(&cell);
+        assert_eq!(a.d1, b.d1);
+        assert_eq!(a.d2, b.d2);
+        assert_eq!(a.sessions[0].datagram, b.sessions[0].datagram);
+    }
+
+    /// Traced WebRTC reps attribute every delivered probe's Δd down to
+    /// rounding — the <1 µs closure criterion, per probe.
+    #[test]
+    fn traced_webrtc_rep_attributes_per_probe() {
+        let cell = small_cell(MethodId::WebRtc, BrowserKind::Chrome, OsKind::Ubuntu1204)
+            .with_reps(2)
+            .with_trace();
+        let r = run(&cell);
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.traces.len(), 2);
+        assert_eq!(r.attributions.len(), 2 * 16);
+        for att in &r.attributions {
+            assert!(
+                att.residual_ms.abs() < 1e-3,
+                "probe {} residual {} ms",
+                att.round,
+                att.residual_ms
+            );
+        }
+    }
+
+    /// Empty sample sets answer quantile queries with NaN, never a
+    /// panic — the zero-delivered-probe cell must render cleanly.
+    #[test]
+    fn empty_session_quantiles_are_nan_not_panic() {
+        let s = SessionSamples::default();
+        assert!(s.quantile(1, 0.5).is_nan());
+        assert!(s.median(2).is_nan());
+        assert_eq!(s.count(1), 0);
+        // A cell whose every rep failed still summarises and renders.
+        let r = CellResult {
+            failures: 4,
+            ..CellResult::default()
+        };
+        let cell = small_cell(MethodId::WebRtc, BrowserKind::Chrome, OsKind::Ubuntu1204);
+        let snap = r.summary(&cell);
+        assert_eq!(snap.total().pooled.count, 0);
+        assert!(snap.verdict().is_none());
+        let csv = r.summary(&cell).to_csv();
+        assert!(!csv.contains("nan"), "NaN must not leak into CSV: {csv}");
     }
 
     /// An unrunnable Table 2 hole reports `Unrunnable` rather than

@@ -205,6 +205,7 @@ impl Scenario {
                 http_port: cfg.server.http_port,
                 echo_port: cfg.server.tcp_echo_port,
                 udp_port: cfg.server.udp_echo_port,
+                webrtc_port: cfg.server.webrtc_port,
                 plan: spec.plan,
                 profile: spec.profile,
                 machine: spec.machine,

@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use bytes::Bytes;
 
 use bnm_sim::time::SimDuration;
+use bnm_sim::wire::{ChunkKind, DataChunk};
 use bnm_tcp::stack::SockEvent;
 use bnm_tcp::udp::UdpRx;
 use bnm_tcp::{HostApp, HostCtx, SocketId};
@@ -38,6 +39,8 @@ pub struct ServerConfig {
     pub tcp_echo_port: u16,
     /// UDP echo port.
     pub udp_echo_port: u16,
+    /// WebRTC data-channel port (DCEP handshake + datagram echo).
+    pub webrtc_port: u16,
     /// Per-request server think time (0 in the baseline testbed).
     pub handler_delay: SimDuration,
     /// Size of the served container page.
@@ -52,6 +55,7 @@ impl Default for ServerConfig {
             http_port: 80,
             tcp_echo_port: 8081,
             udp_echo_port: 7,
+            webrtc_port: 3478,
             handler_delay: SimDuration::ZERO,
             container_page_size: 2048,
             probe_response_size: 64,
@@ -111,6 +115,10 @@ pub struct ServerStats {
     pub tcp_echo_bytes: u64,
     /// UDP datagrams echoed.
     pub udp_echoes: u64,
+    /// WebRTC data channels opened (DCEP OPEN answered with ACK).
+    pub webrtc_opens: u64,
+    /// WebRTC data chunks echoed.
+    pub webrtc_echoes: u64,
     /// Requests answered 404.
     pub not_found: u64,
     /// Bulk (throughput-test) bytes served.
@@ -425,6 +433,7 @@ impl HostApp for WebServer {
         ctx.listen(self.cfg.http_port);
         ctx.listen(self.cfg.tcp_echo_port);
         ctx.udp_bind(self.cfg.udp_echo_port);
+        ctx.udp_bind(self.cfg.webrtc_port);
     }
 
     fn on_event(&mut self, ctx: &mut HostCtx, ev: SockEvent) {
@@ -469,6 +478,24 @@ impl HostApp for WebServer {
         if rx.local_port == self.cfg.udp_echo_port {
             self.stats.udp_echoes += 1;
             ctx.udp_send(rx.local_port, rx.from, rx.payload);
+        } else if rx.local_port == self.cfg.webrtc_port {
+            // WebRTC data-channel endpoint: answer DCEP opens, echo data
+            // chunks verbatim (seq included, so the client sees exactly
+            // what the network delivered — no retransmit, no reorder-fix).
+            let Ok(chunk) = DataChunk::parse(&rx.payload) else {
+                return;
+            };
+            match chunk.kind {
+                ChunkKind::DcepOpen => {
+                    self.stats.webrtc_opens += 1;
+                    ctx.udp_send(rx.local_port, rx.from, DataChunk::ack(chunk.stream).emit());
+                }
+                ChunkKind::Data => {
+                    self.stats.webrtc_echoes += 1;
+                    ctx.udp_send(rx.local_port, rx.from, rx.payload);
+                }
+                ChunkKind::DcepAck => {}
+            }
         }
     }
 
@@ -707,6 +734,64 @@ mod tests {
             Some(&b"udp r=1"[..])
         );
         assert_eq!(e.node_ref::<Host<WebServer>>(s).app().stats.udp_echoes, 1);
+    }
+
+    #[test]
+    fn webrtc_open_then_data_echo() {
+        struct RtcProbe {
+            port: Option<u16>,
+            acked: bool,
+            echoed: Option<DataChunk>,
+        }
+        impl HostApp for RtcProbe {
+            fn on_boot(&mut self, ctx: &mut HostCtx) {
+                let p = ctx.udp_bind_ephemeral();
+                self.port = Some(p);
+                ctx.udp_send(p, (SERVER_IP, 3478), DataChunk::open(1).emit());
+            }
+            fn on_event(&mut self, _: &mut HostCtx, _: SockEvent) {}
+            fn on_udp(&mut self, ctx: &mut HostCtx, rx: UdpRx) {
+                let chunk = DataChunk::parse(&rx.payload).expect("chunk");
+                match chunk.kind {
+                    ChunkKind::DcepAck => {
+                        self.acked = true;
+                        ctx.udp_send(
+                            self.port.unwrap(),
+                            (SERVER_IP, 3478),
+                            DataChunk::data(1, 7, Bytes::from_static(b"probe m=webrtc r=7 t=0 "))
+                                .emit(),
+                        );
+                    }
+                    ChunkKind::Data => self.echoed = Some(chunk),
+                    ChunkKind::DcepOpen => {}
+                }
+            }
+        }
+        let mut e = Engine::new();
+        let c = e.add_node(Box::new(Host::new(
+            HostConfig::new("client", MacAddr::local(2), CLIENT_IP)
+                .with_neighbor(SERVER_IP, MacAddr::local(1)),
+            RtcProbe {
+                port: None,
+                acked: false,
+                echoed: None,
+            },
+        )));
+        let s = e.add_node(Box::new(Host::new(
+            HostConfig::new("server", MacAddr::local(1), SERVER_IP)
+                .with_neighbor(CLIENT_IP, MacAddr::local(2)),
+            WebServer::new(ServerConfig::default()),
+        )));
+        e.connect(c, 0, s, 0, LinkSpec::fast_ethernet());
+        e.run();
+        let probe = e.node_ref::<Host<RtcProbe>>(c).app();
+        assert!(probe.acked, "DCEP open answered");
+        let echoed = probe.echoed.as_ref().expect("data chunk echoed");
+        assert_eq!(echoed.seq, 7);
+        assert_eq!(&echoed.payload[..], b"probe m=webrtc r=7 t=0 ");
+        let stats = &e.node_ref::<Host<WebServer>>(s).app().stats;
+        assert_eq!(stats.webrtc_opens, 1);
+        assert_eq!(stats.webrtc_echoes, 1);
     }
 }
 

@@ -34,6 +34,11 @@ pub enum MethodId {
     /// Java applet UDP socket — `DatagramSocket` (Table 1 row, not run by
     /// the paper; implemented here as an extension).
     JavaUdp,
+    /// WebRTC data channel — unreliable/unordered datagrams
+    /// (`maxRetransmits: 0`), a post-paper extension: the only method
+    /// family that exposes per-probe one-way delay, jitter, loss and
+    /// reordering instead of a TCP-smoothed RTT.
+    WebRtc,
 }
 
 impl MethodId {
@@ -66,6 +71,29 @@ impl MethodId {
         MethodId::JavaUdp,
     ];
 
+    /// Every method including post-paper extensions (the WebRTC data
+    /// channel). [`MethodId::ALL`] keeps the Table 1 set intact; CLI
+    /// lookups and sweeps that accept extensions iterate this instead.
+    pub const EXTENDED: [MethodId; 12] = [
+        MethodId::XhrGet,
+        MethodId::XhrPost,
+        MethodId::Dom,
+        MethodId::WebSocket,
+        MethodId::FlashGet,
+        MethodId::FlashPost,
+        MethodId::FlashTcp,
+        MethodId::JavaGet,
+        MethodId::JavaPost,
+        MethodId::JavaTcp,
+        MethodId::JavaUdp,
+        MethodId::WebRtc,
+    ];
+
+    /// Probes per repetition for the WebRTC train (legacy methods run 2
+    /// rounds; a datagram method needs a train for loss/reordering to be
+    /// observable per repetition).
+    pub const WEBRTC_TRAIN_LEN: u8 = 16;
+
     /// The three Java-applet methods of Table 4.
     pub const JAVA: [MethodId; 3] = [MethodId::JavaGet, MethodId::JavaPost, MethodId::JavaTcp];
 
@@ -83,6 +111,7 @@ impl MethodId {
             MethodId::JavaPost => "java_post",
             MethodId::JavaTcp => "java_tcp",
             MethodId::JavaUdp => "java_udp",
+            MethodId::WebRtc => "webrtc",
         }
     }
 
@@ -100,6 +129,7 @@ impl MethodId {
             MethodId::JavaPost => "Java applet POST",
             MethodId::JavaTcp => "Java applet TCP socket",
             MethodId::JavaUdp => "Java applet UDP socket",
+            MethodId::WebRtc => "WebRTC data channel",
         }
     }
 
@@ -114,9 +144,11 @@ impl MethodId {
     /// Implementation technology (Table 1).
     pub fn technology(self) -> Technology {
         match self {
-            MethodId::XhrGet | MethodId::XhrPost | MethodId::Dom | MethodId::WebSocket => {
-                Technology::Native
-            }
+            MethodId::XhrGet
+            | MethodId::XhrPost
+            | MethodId::Dom
+            | MethodId::WebSocket
+            | MethodId::WebRtc => Technology::Native,
             MethodId::FlashGet | MethodId::FlashPost | MethodId::FlashTcp => Technology::Flash,
             MethodId::JavaGet | MethodId::JavaPost | MethodId::JavaTcp | MethodId::JavaUdp => {
                 Technology::JavaApplet
@@ -136,12 +168,20 @@ impl MethodId {
             MethodId::FlashTcp | MethodId::JavaTcp => ProbeTransport::TcpEcho,
             MethodId::JavaUdp => ProbeTransport::UdpEcho,
             MethodId::WebSocket => ProbeTransport::WebSocketEcho,
+            MethodId::WebRtc => ProbeTransport::WebRtcData,
         }
     }
 
     /// HTTP-based (vs socket-based), the paper's primary split.
     pub fn is_http_based(self) -> bool {
         self.transport().is_http()
+    }
+
+    /// Unreliable-datagram transport: probes are sequence-numbered,
+    /// losses are a measured statistic rather than an exclusion, and the
+    /// runner appraises each probe individually from both taps.
+    pub fn is_datagram(self) -> bool {
+        matches!(self.transport(), ProbeTransport::WebRtcData)
     }
 
     /// The timing API the method's real-world implementations use
@@ -165,14 +205,16 @@ impl MethodId {
             }
             MethodId::JavaGet | MethodId::JavaPost => SameOrigin::Bypassable, // signed applet
             MethodId::JavaTcp | MethodId::JavaUdp => SameOrigin::Unrestricted,
-            MethodId::WebSocket => SameOrigin::Unrestricted,
+            MethodId::WebSocket | MethodId::WebRtc => SameOrigin::Unrestricted,
         }
     }
 
     /// Whether a runtime profile can execute this method (plug-in and
     /// WebSocket availability).
     pub fn available_in(self, profile: &BrowserProfile) -> bool {
-        if self == MethodId::WebSocket {
+        // WebSocket support doubles as the era proxy for WebRTC: both
+        // need a post-2011 native engine.
+        if self == MethodId::WebSocket || self == MethodId::WebRtc {
             return profile.supports_websocket;
         }
         match profile.runtime {
@@ -186,18 +228,23 @@ impl MethodId {
     /// Build the executable plan, optionally overriding the timing API
     /// (the paper's Table 4 swaps Java methods to `System.nanoTime()`).
     pub fn plan(self, timing_override: Option<TimingApiKind>) -> ProbePlan {
-        ProbePlan::new(
+        let mut plan = ProbePlan::new(
             self.label(),
             self.technology(),
             self.transport(),
             timing_override.unwrap_or_else(|| self.default_timing()),
-        )
+        );
+        if self == MethodId::WebRtc {
+            plan.rounds = Self::WEBRTC_TRAIN_LEN;
+        }
+        plan
     }
 
     /// Path-quality metrics the method can measure (Table 1 column).
     pub fn metrics(self) -> &'static str {
         match self {
             MethodId::JavaUdp => "RTT, Tput, Loss",
+            MethodId::WebRtc => "OWD, Jitter, Loss, Reordering",
             _ => "RTT, Tput",
         }
     }
@@ -216,6 +263,7 @@ impl MethodId {
             | MethodId::JavaPost
             | MethodId::JavaTcp
             | MethodId::JavaUdp => "Netalyzr, HMN, JavaNws, Pingtest, NDT, AuditMyPC",
+            MethodId::WebRtc => "WebRTC-based probes (Nakagawa's tool, MopEye-style apps)",
         }
     }
 }
@@ -343,5 +391,26 @@ mod tests {
     fn udp_measures_loss() {
         assert!(MethodId::JavaUdp.metrics().contains("Loss"));
         assert!(!MethodId::JavaTcp.metrics().contains("Loss"));
+    }
+
+    #[test]
+    fn webrtc_is_an_extension_outside_table1() {
+        // The Table 1 sets stay untouched; EXTENDED = ALL + WebRtc.
+        assert!(!MethodId::ALL.contains(&MethodId::WebRtc));
+        assert_eq!(MethodId::EXTENDED.len(), MethodId::ALL.len() + 1);
+        assert_eq!(MethodId::EXTENDED[..11], MethodId::ALL);
+        assert_eq!(MethodId::WebRtc.figure3_panel(), None);
+        let p = MethodId::WebRtc.plan(None);
+        assert_eq!(p.rounds, MethodId::WEBRTC_TRAIN_LEN);
+        assert!(!p.transport.is_http());
+        assert!(MethodId::WebRtc.metrics().contains("Reordering"));
+    }
+
+    #[test]
+    fn webrtc_needs_a_modern_engine() {
+        let ie = BrowserProfile::build(BrowserKind::Ie9, OsKind::Windows7).unwrap();
+        let chrome = BrowserProfile::build(BrowserKind::Chrome, OsKind::Windows7).unwrap();
+        assert!(!MethodId::WebRtc.available_in(&ie));
+        assert!(MethodId::WebRtc.available_in(&chrome));
     }
 }

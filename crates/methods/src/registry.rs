@@ -38,6 +38,8 @@ fn technology_cell(id: MethodId) -> &'static str {
         MethodId::JavaGet | MethodId::JavaPost | MethodId::JavaTcp | MethodId::JavaUdp => {
             "Java applet"
         }
+        // Not a Table 1 row; the cell exists for extension listings.
+        MethodId::WebRtc => "WebRTC",
     }
 }
 

@@ -6,12 +6,14 @@
 //! same workflow as running WinDump/tcpdump next to a browser.
 
 pub mod checksum;
+pub mod datagram;
 pub mod ethernet;
 pub mod icmp;
 pub mod ipv4;
 pub mod tcp;
 pub mod udp;
 
+pub use datagram::{ChunkKind, DataChunk};
 pub use ethernet::{EtherType, EthernetFrame, MacAddr};
 pub use icmp::IcmpEcho;
 pub use ipv4::{IpProtocol, Ipv4Packet};

@@ -14,6 +14,8 @@
 #                        not grow
 #   BENCH_serve.json     monitor rounds/sec must not drop, snapshot
 #                        latency must not grow
+#   BENCH_webrtc.json    datagram reps/sec must not drop, peak RSS must
+#                        not grow
 #
 # A report missing from HEAD is skipped with a note (first commit of a
 # new bench has no baseline yet); a report missing from the working tree
@@ -128,10 +130,33 @@ compare_serve() {
   rm -f "$tmp"
 }
 
+compare_webrtc() {
+  local file=BENCH_webrtc.json
+  if [[ ! -f $file ]]; then
+    echo "!! $file not in working tree; run scripts/check.sh --bench" >&2
+    fail=1
+    return
+  fi
+  local base
+  if ! base=$(baseline_of $file); then
+    echo "-- $file: no committed baseline, skipping"
+    return
+  fi
+  local tmp
+  tmp=$(mktemp)
+  printf '%s\n' "$base" >"$tmp"
+  check "webrtc: datagram reps/sec" \
+    "$(json_num "$tmp" reps_per_sec 1)" "$(json_num $file reps_per_sec 1)" min
+  check "webrtc: peak RSS KiB" \
+    "$(json_num "$tmp" peak_rss_kib 1)" "$(json_num $file peak_rss_kib 1)" max
+  rm -f "$tmp"
+}
+
 echo "bench regression gate (tolerance ${tol}%)"
 compare_engine
 compare_pipeline
 compare_serve
+compare_webrtc
 
 if [[ $fail -ne 0 ]]; then
   echo "bench_compare: REGRESSION detected" >&2

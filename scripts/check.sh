@@ -66,6 +66,14 @@ cargo test -q --test streaming_parity
 echo "==> cargo test -q --test monitor_parity"
 cargo test -q --test monitor_parity
 
+# The datagram (WebRTC) method's guarantees: per-probe verdicts match
+# the wire-truth capture counts exactly, measured loss tracks the
+# injected rate instead of excluding rounds, attribution closes the Δd
+# budget on delivered probes, and datagram cells keep the executor's
+# serial/parallel bit parity.
+echo "==> cargo test -q --test webrtc_parity"
+cargo test -q --test webrtc_parity
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -111,6 +119,9 @@ if [[ $bench -eq 1 ]]; then
   echo "==> serve bench (quick mode) -> BENCH_serve.json"
   BNM_BENCH_QUICK=1 BNM_BENCH_SERVE_OUT="$PWD/BENCH_serve.json" \
     cargo bench -p bnm-bench --bench serve
+  echo "==> webrtc bench (quick mode) -> BENCH_webrtc.json"
+  BNM_BENCH_QUICK=1 BNM_BENCH_WEBRTC_OUT="$PWD/BENCH_webrtc.json" \
+    cargo bench -p bnm-bench --bench webrtc
   echo "==> bench regression gate"
   scripts/bench_compare.sh
 fi

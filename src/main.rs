@@ -55,7 +55,8 @@ fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
 }
 
 fn method_by_label(label: &str) -> Option<MethodId> {
-    MethodId::ALL.into_iter().find(|m| m.label() == label)
+    // EXTENDED = the Table 1 eleven plus post-paper additions (webrtc).
+    MethodId::EXTENDED.into_iter().find(|m| m.label() == label)
 }
 
 fn browser_by_name(name: &str) -> Option<BrowserKind> {
@@ -89,6 +90,9 @@ fn usage() -> ! {
            serve [--method L] [--browser B] [--os O] [--clients N] [--rate-mbps R]\n        \
                  [--loss P] [--seed S] [--duration SECS] [--every SECS] [--period MS]\n        \
                  [--format text|json|csv]     continuous monitoring: windowed snapshots\n  \
+           webrtc [--browser B] [--os O] [--reps N] [--seed S] [--loss P] [--jitter MS]\n        \
+                 [--format text|json|csv]     WebRTC data channel: per-probe OWD,\n        \
+                 RFC 3550 jitter, loss and reordering from both taps\n  \
            probe [--os O]                        timestamp-granularity probe (Figure 5)\n  \
            ping                                  ICMP baseline over the testbed\n  \
            tput [--method L] [--size BYTES] [--format text|json|csv]\n        \
@@ -96,7 +100,7 @@ fn usage() -> ! {
            recommend [--mobile] [--no-plugins] [--no-ports] [--strict-origin]\n        \
                  [--format text|json|csv]     §5 method recommendations\n\
          \nmethod labels: {}",
-        MethodId::ALL
+        MethodId::EXTENDED
             .iter()
             .map(|m| m.label())
             .collect::<Vec<_>>()
@@ -136,6 +140,7 @@ fn main() {
         "impair" => cmd_impair(&flags),
         "contend" => cmd_contend(&flags),
         "serve" => cmd_serve(&flags),
+        "webrtc" => cmd_webrtc(&flags),
         "probe" => cmd_probe(&flags),
         "ping" => cmd_ping(),
         "tput" => cmd_tput(&flags),
@@ -158,6 +163,25 @@ fn cmd_list() {
             row.method,
             row.same_origin,
             row.metrics
+        );
+    }
+    // Post-paper extensions live outside Table 1.
+    for m in MethodId::EXTENDED {
+        if MethodId::ALL.contains(&m) {
+            continue;
+        }
+        println!(
+            "{:<12} {:<13} {:<12} {:<10} {:<11} {}  (extension)",
+            m.label(),
+            if m.is_http_based() {
+                "HTTP-based"
+            } else {
+                "Socket-based"
+            },
+            m.display_name(),
+            m.transport().name(),
+            m.same_origin().cell(),
+            m.metrics()
         );
     }
 }
@@ -381,8 +405,12 @@ fn cmd_impair(flags: &HashMap<String, String>) {
             "d2_n",
             "excluded_rounds",
             "failures",
+            "dgram_delivered",
+            "dgram_lost",
+            "dgram_reordered",
         ],
     );
+    let (dg_delivered, dg_lost, dg_reordered) = datagram_cells(&result);
     table.row(vec![
         Value::Text(cell.label()),
         Value::Num(spec.drop_chance),
@@ -395,12 +423,44 @@ fn cmd_impair(flags: &HashMap<String, String>) {
         Value::Int(result.d2.len() as i64),
         Value::Int(result.excluded_rounds as i64),
         Value::Int(result.failures as i64),
+        dg_delivered,
+        dg_lost,
+        dg_reordered,
     ]);
     table.note(
         "Rounds hit by retransmission are excluded per §3.2; medians are R-7 \
-         over the surviving rounds.",
+         over the surviving rounds. The dgram_* columns are populated only for \
+         datagram methods (webrtc), whose losses are measured, not excluded.",
     );
     emit(&table, format);
+}
+
+/// The three `dgram_*` sweep cells: per-probe counters summed over every
+/// session for datagram methods, empty fields otherwise.
+fn datagram_cells(result: &bnm::core::runner::CellResult) -> (Value, Value, Value) {
+    let stats: Vec<_> = result
+        .sessions
+        .iter()
+        .filter_map(|s| s.datagram.as_ref())
+        .collect();
+    if stats.is_empty() {
+        return (
+            Value::Text(String::new()),
+            Value::Text(String::new()),
+            Value::Text(String::new()),
+        );
+    }
+    let delivered: u64 = stats.iter().map(|d| d.delivered).sum();
+    let lost: u64 = stats
+        .iter()
+        .map(|d| d.lost_upstream + d.lost_downstream)
+        .sum();
+    let reordered: u64 = stats.iter().map(|d| d.reordered).sum();
+    (
+        Value::Int(delivered as i64),
+        Value::Int(lost as i64),
+        Value::Int(reordered as i64),
+    )
 }
 
 fn cmd_contend(flags: &HashMap<String, String>) {
@@ -462,6 +522,9 @@ fn cmd_contend(flags: &HashMap<String, String>) {
             "d2_n",
             "excluded_rounds",
             "failures",
+            "dgram_delivered",
+            "dgram_lost",
+            "dgram_reordered",
         ],
     );
     for c in counts {
@@ -495,6 +558,7 @@ fn cmd_contend(flags: &HashMap<String, String>) {
             .iter()
             .flat_map(|s| s.d2.iter().copied())
             .collect();
+        let (dg_delivered, dg_lost, dg_reordered) = datagram_cells(&result);
         table.row(vec![
             Value::Text(cell.label()),
             Value::Int(c as i64),
@@ -505,6 +569,9 @@ fn cmd_contend(flags: &HashMap<String, String>) {
             Value::Int(d2.len() as i64),
             Value::Int(result.excluded_rounds as i64),
             Value::Int(result.failures as i64),
+            dg_delivered,
+            dg_lost,
+            dg_reordered,
         ]);
     }
     table.note(
@@ -516,11 +583,83 @@ fn cmd_contend(flags: &HashMap<String, String>) {
     emit(&table, format);
 }
 
+/// `bnm webrtc` — run the WebRTC data-channel cell and emit its
+/// per-probe appraisal: OWD both ways, RFC 3550 jitter (wire vs
+/// browser), loss and reordering, plus the usual Δd digests.
+fn cmd_webrtc(flags: &HashMap<String, String>) {
+    let browser = flags
+        .get("browser")
+        .map(|b| browser_by_name(b).unwrap_or_else(|| usage()))
+        .unwrap_or(BrowserKind::Chrome);
+    let os = flags
+        .get("os")
+        .map(|o| os_by_name(o).unwrap_or_else(|| usage()))
+        .unwrap_or(OsKind::Ubuntu1204);
+    let reps: u32 = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(25);
+    let seed: u64 = flags
+        .get("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xB32B_2013);
+    let loss: f64 = flags
+        .get("loss")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&loss) {
+        usage();
+    }
+    let jitter_ms: f64 = flags
+        .get("jitter")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    let format = parse_format(flags);
+
+    let mut builder = ExperimentCell::builder(MethodId::WebRtc, RuntimeSel::Browser(browser), os)
+        .reps(reps)
+        .seed(seed);
+    if loss > 0.0 || jitter_ms > 0.0 {
+        let spec = FaultSpec {
+            drop_chance: loss,
+            ..FaultSpec::CLEAN
+        };
+        builder = builder.impairment(Impairment {
+            up: spec,
+            down: spec,
+            jitter: SimDuration::from_millis_f64(jitter_ms),
+        });
+    }
+    let cell = match builder.build() {
+        Ok(cell) => cell,
+        Err(e @ bnm::RunError::Unrunnable { .. }) => {
+            eprintln!("{e} (WebRTC needs a WebSocket-era engine, Table 2)");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let result = match ExperimentRunner::try_run(&cell) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    emit(&result.summary(&cell), format);
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) {
     let method = flags
         .get("method")
         .map(|m| method_by_label(m).unwrap_or_else(|| usage()))
         .unwrap_or(MethodId::XhrGet);
+    if method.is_datagram() {
+        eprintln!(
+            "serve drives streaming marker sinks, which cannot recover \
+             per-probe one-way delays; use `bnm webrtc` for datagram methods"
+        );
+        std::process::exit(2);
+    }
     let browser = flags
         .get("browser")
         .map(|b| browser_by_name(b).unwrap_or_else(|| usage()))
