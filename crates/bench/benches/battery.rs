@@ -1,0 +1,103 @@
+//! Battery benchmark: the `bnm battery` scored suite end to end.
+//!
+//! The workload is one full quick-depth battery — every scenario family
+//! (clean, impaired, contended, bufferbloat, its AQM variant, and the
+//! time-varying schedule) crossed with the method roster, run through
+//! the work-stealing executor and folded into the scored report. This
+//! is the heaviest single command the CLI exposes, and the scenario
+//! families deliberately stress the link-dynamics layer (CoDel
+//! admission, lazy rate evaluation), so the bench doubles as a
+//! regression gate on that path:
+//!
+//! * `seconds` — wall time of one quick battery run, report rendering
+//!   included.
+//! * `entries_per_sec` — scored (scenario × method) entries produced
+//!   per second.
+//! * `peak_rss_kib` — the process high-water mark, which must reflect
+//!   the bounded per-cell retention, not the battery's total sample
+//!   volume.
+//!
+//! Quick mode (`BNM_BENCH_QUICK=1`, what `scripts/check.sh --bench`
+//! runs) times one battery and writes `BENCH_battery.json` (to
+//! `$BNM_BENCH_BATTERY_OUT` or the current directory).
+
+use criterion::{criterion_group, Criterion};
+
+use bnm_bench::meta;
+use bnm_core::exec::Executor;
+use bnm_core::{run_battery, BatteryConfig, BatteryReport, Render};
+
+/// Repetitions per cell in the timed battery (the CLI's `--quick`
+/// depth).
+const REPS: u32 = 5;
+/// Seed for the timed battery, distinct from the CLI default so a
+/// committed `results/battery.json` and the bench never share RNG
+/// streams.
+const SEED: u64 = 0xB32B_BE2C;
+
+fn timed_battery() -> (BatteryReport, f64) {
+    let cfg = BatteryConfig {
+        reps: REPS,
+        seed: SEED,
+    };
+    let exec = Executor::new();
+    let start = std::time::Instant::now();
+    let report = run_battery(&cfg, &exec).expect("battery run");
+    let _rendered = report.to_json();
+    (report, start.elapsed().as_secs_f64())
+}
+
+// ---------------------------------------------------------------------
+// Criterion mode: the statistics pass over whole-battery runs.
+
+fn bench_battery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("battery");
+    g.sample_size(10);
+    g.bench_function("quick_suite", |b| b.iter(timed_battery));
+    g.finish();
+}
+
+// ---------------------------------------------------------------------
+// Quick mode: one battery with the acceptance numbers written to
+// BENCH_battery.json.
+
+fn quick_battery_report() {
+    let (report, seconds) = timed_battery();
+    let entries: usize = report.scenarios.iter().map(|s| s.entries.len()).sum();
+    assert!(entries > 0, "battery produced no scored entries");
+    let entries_per_sec = entries as f64 / seconds.max(1e-9);
+    let rss = meta::peak_rss_kib();
+
+    let json = format!(
+        "{{\n  \"bench\": \"battery\",\n  \"meta\": {},\n  \"reps\": {REPS},\n  \"scenarios\": {},\n  \"entries\": {entries},\n  \"seconds\": {seconds:.3},\n  \"entries_per_sec\": {entries_per_sec:.2},\n  \"peak_rss_kib\": {rss}\n}}\n",
+        meta::json_object(),
+        report.scenarios.len(),
+    );
+    let out =
+        std::env::var("BNM_BENCH_BATTERY_OUT").unwrap_or_else(|_| "BENCH_battery.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_battery.json");
+    println!(
+        "battery bench ({} scenarios x roster, {REPS} reps)",
+        report.scenarios.len()
+    );
+    println!("  suite     {seconds:>9.3} s  ({entries_per_sec:.1} entries/s, {entries} entries)");
+    println!("  peak RSS  {rss:>9} KiB");
+    println!("  wrote {out}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_battery
+}
+
+fn main() {
+    if std::env::var("BNM_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        quick_battery_report();
+        return;
+    }
+    benches();
+}

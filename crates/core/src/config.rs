@@ -3,7 +3,7 @@
 use bnm_browser::BrowserKind;
 use bnm_methods::MethodId;
 use bnm_sim::time::SimDuration;
-use bnm_sim::Impairment;
+use bnm_sim::{Impairment, LinkShape};
 use bnm_time::{OsKind, TimingApiKind};
 
 use crate::error::RunError;
@@ -246,6 +246,13 @@ pub struct ExperimentCell {
     /// this shared bottleneck so handshakes queue behind concurrent
     /// sessions' traffic.
     pub server_link_rate_bps: Option<u64>,
+    /// Dynamic shaping of the server's access link: per-direction spec
+    /// overrides, time-varying rate schedules and the queue discipline
+    /// ([`LinkShape`]). The default installs nothing, keeping the
+    /// paper's static link bit-for-bit; the battery's `bloat` and
+    /// `varying` scenarios plug deep drop-tail queues, CoDel and rate
+    /// schedules in here.
+    pub link_shape: LinkShape,
     /// How the pipeline consumes captures and stores samples (the
     /// streaming extension; [`StreamingSpec::batch`] — the default —
     /// reproduces the retained-capture pipeline byte for byte).
@@ -279,6 +286,7 @@ impl ExperimentCell {
             trace: false,
             clients: 1,
             server_link_rate_bps: None,
+            link_shape: LinkShape::default(),
             streaming: StreamingSpec::batch(),
         }
     }
@@ -332,6 +340,13 @@ impl ExperimentCell {
     /// sample retention + matching parallelism together).
     pub fn with_streaming(mut self, spec: StreamingSpec) -> Self {
         self.streaming = spec;
+        self
+    }
+
+    /// Shape the server's access link (asymmetric specs, rate schedules,
+    /// queue discipline).
+    pub fn with_link_shape(mut self, shape: LinkShape) -> Self {
+        self.link_shape = shape;
         self
     }
 
@@ -468,6 +483,12 @@ impl CellBuilder {
         self
     }
 
+    /// Shape the server's access link (see [`LinkShape`]).
+    pub fn link_shape(mut self, shape: LinkShape) -> Self {
+        self.cell.link_shape = shape;
+        self
+    }
+
     /// Validate and produce the cell.
     ///
     /// Fails with [`RunError::Unrunnable`] when the runtime cannot
@@ -481,6 +502,10 @@ impl CellBuilder {
         }
         self.cell.contention().validate()?;
         self.cell.streaming.validate()?;
+        self.cell
+            .link_shape
+            .validate()
+            .map_err(RunError::InvalidInput)?;
         if !self.cell.is_runnable() {
             return Err(RunError::unrunnable(&self.cell));
         }
@@ -651,6 +676,26 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(bounded.streaming, StreamingSpec::bounded(32));
+
+        // A degenerate link shape (zero-rate override) is rejected with
+        // the spec's own message; a valid CoDel shape passes.
+        assert_eq!(
+            chrome()
+                .link_shape(LinkShape {
+                    down_spec: Some(bnm_sim::LinkSpec {
+                        rate_bps: 0,
+                        ..bnm_sim::LinkSpec::fast_ethernet()
+                    }),
+                    ..LinkShape::default()
+                })
+                .build(),
+            Err(RunError::InvalidInput("link rate_bps must be positive"))
+        );
+        let shaped = chrome()
+            .link_shape(LinkShape::symmetric(bnm_sim::LinkDynamics::codel()))
+            .build()
+            .unwrap();
+        assert!(!shaped.link_shape.is_static());
 
         // build_unchecked lets both through for later filtering.
         let cell = ExperimentCell::builder(

@@ -33,6 +33,7 @@
 pub mod appraisal;
 pub mod attribution;
 pub mod baseline;
+pub mod battery;
 pub mod calibration;
 pub mod config;
 pub mod delta;
@@ -54,7 +55,10 @@ pub mod throughput;
 
 pub use appraisal::{Appraisal, Verdict};
 pub use attribution::RoundAttribution;
-pub use bnm_sim::{FaultSpec, Impairment};
+pub use battery::{
+    run_battery, BatteryConfig, BatteryEntry, BatteryReport, BatteryScenario, ScenarioOutcome,
+};
+pub use bnm_sim::{FaultSpec, Impairment, LinkDynamics, LinkShape, QueueDiscipline, RateSchedule};
 pub use config::{CellBuilder, ContentionSpec, ExperimentCell, RuntimeSel, StreamingSpec};
 pub use delta::RoundMeasurement;
 pub use error::RunError;
@@ -62,7 +66,8 @@ pub use exec::{ExecStats, Executor, Progress};
 pub use matching::{MatchError, ParsedCapture, ProbeStatus, ProbeVerdict};
 pub use monitor::{Monitor, MonitorConfig, MonitorFootprint};
 pub use report::{
-    DistSummary, Render, ReportFormat, ReportSnapshot, Table, TraceReport, Value, WindowReport,
+    DistSummary, LinkReport, Render, ReportFormat, ReportSnapshot, Table, TraceReport, Value,
+    WindowReport,
 };
 pub use runner::{CellResult, ExperimentRunner, RepOutcome, SessionSamples};
 pub use scenario::{Scenario, ScenarioBuilder, SessionSpec};

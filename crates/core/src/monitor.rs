@@ -330,6 +330,7 @@ impl Monitor {
             relative_error_bound: self.lifetime_d1.relative_error_bound(),
             windows,
             datagram: None,
+            link: None,
         }
     }
 

@@ -158,18 +158,55 @@ pub struct MeasuredVerdict {
     pub iqr_ms: f64,
     /// Samples behind the verdict.
     pub samples: u64,
+    /// Repetitions that failed outright (incomplete session).
+    pub failures: u64,
+    /// Measured probe loss for datagram methods, 0..=1 (`0.0` for
+    /// reliable transports — their losses surface as retransmissions,
+    /// i.e. excluded rounds, not missing samples).
+    pub loss_rate: f64,
+}
+
+impl MeasuredVerdict {
+    /// A 0–100 deployment score for ranking methods within one network
+    /// scenario. The verdict class sets the base (the paper's §4/§5
+    /// taxonomy), then measured evidence subtracts: bias (|median Δd|)
+    /// and spread (IQR) each cost up to 15 points at 2 ms per point,
+    /// any outright failure costs 10, and datagram loss costs a point
+    /// per percent up to 15. Deterministic in the snapshot, so serial
+    /// and parallel runs score identically.
+    pub fn score(&self) -> f64 {
+        let base = match self.verdict {
+            Verdict::Accurate => 100.0,
+            Verdict::Calibratable => 75.0,
+            Verdict::UnderEstimates => 50.0,
+            Verdict::Unreliable => 25.0,
+        };
+        let bias = (self.median_ms.abs() / 2.0).min(15.0);
+        let spread = (self.iqr_ms / 2.0).min(15.0);
+        let fail = if self.failures > 0 { 10.0 } else { 0.0 };
+        let loss = (self.loss_rate * 100.0).min(15.0);
+        (base - bias - spread - fail - loss).max(0.0)
+    }
 }
 
 /// Appraise one snapshot; `None` when it holds no samples yet.
 pub fn appraise_snapshot(snap: &ReportSnapshot) -> Option<MeasuredVerdict> {
     let verdict = snap.verdict()?;
     let pooled = &snap.total().pooled;
+    let loss_rate = snap
+        .datagram
+        .as_ref()
+        .filter(|d| d.sent > 0)
+        .map(|d| d.loss_rate())
+        .unwrap_or(0.0);
     Some(MeasuredVerdict {
         label: snap.label.clone(),
         verdict,
         median_ms: pooled.p50,
         iqr_ms: pooled.iqr(),
         samples: pooled.count,
+        failures: snap.failures,
+        loss_rate,
     })
 }
 
@@ -316,6 +353,31 @@ mod tests {
         assert_eq!(ranked[2].label, "erratic");
         assert_eq!(ranked[2].verdict, Verdict::Unreliable);
         assert_eq!(ranked[0].samples, 40);
+    }
+
+    #[test]
+    fn scores_order_by_class_and_penalties() {
+        let v = |verdict, median_ms: f64, iqr_ms: f64, failures, loss_rate| MeasuredVerdict {
+            label: "x".into(),
+            verdict,
+            median_ms,
+            iqr_ms,
+            samples: 100,
+            failures,
+            loss_rate,
+        };
+        let clean = v(Verdict::Accurate, 0.2, 0.1, 0, 0.0);
+        assert!(clean.score() > 99.0, "{}", clean.score());
+        // Bias and spread bite at 2 ms per point, capped at 15 each.
+        let bloated = v(Verdict::Calibratable, 40.0, 60.0, 0, 0.0);
+        assert_eq!(bloated.score(), 75.0 - 15.0 - 15.0);
+        // Failures and loss subtract too, and the floor is zero.
+        assert!(v(Verdict::Accurate, 0.0, 0.0, 1, 0.0).score() == 90.0);
+        assert!(v(Verdict::Accurate, 0.0, 0.0, 0, 0.07).score() == 93.0);
+        assert_eq!(v(Verdict::Unreliable, 99.0, 99.0, 9, 1.0).score(), 0.0);
+        // Class dominates: a tight Unreliable never beats a clean
+        // Accurate.
+        assert!(clean.score() > v(Verdict::Unreliable, 0.0, 0.0, 0, 0.0).score());
     }
 
     #[test]

@@ -127,7 +127,7 @@ impl Value {
 
 /// Render a float compactly: up to six decimals, trailing zeros
 /// trimmed, so counts print as `3` and medians as `4.125`.
-fn fmt_num(v: f64) -> String {
+pub(crate) fn fmt_num(v: f64) -> String {
     if !v.is_finite() {
         return "nan".into();
     }
@@ -141,7 +141,7 @@ fn fmt_num(v: f64) -> String {
 }
 
 /// Escape a string as a JSON string literal.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -162,7 +162,7 @@ fn json_string(s: &str) -> String {
 }
 
 /// JSON rendering of a float field (non-finite becomes `null`).
-fn json_num(v: f64) -> String {
+pub(crate) fn json_num(v: f64) -> String {
     if v.is_finite() {
         fmt_num(v)
     } else {
@@ -560,6 +560,46 @@ impl DatagramReport {
     }
 }
 
+/// Queue telemetry of the server's access link, accumulated over a
+/// cell's repetitions: drop counters (drop-tail overflow + AQM drops)
+/// and queue-depth high-water marks, per direction. "Down" is the
+/// direction the server transmits. This is what makes a bufferbloat run
+/// explainable: a deep drop-tail queue shows a large
+/// `down_queue_peak_bytes` with zero drops, while the CoDel variant
+/// shows drops and a shallow peak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkReport {
+    /// Frames dropped at the downstream queue (server → clients).
+    pub down_queue_drops: u64,
+    /// Frames dropped at the upstream queue (clients → server).
+    pub up_queue_drops: u64,
+    /// Downstream queue-depth high-water mark, bytes.
+    pub down_queue_peak_bytes: u64,
+    /// Upstream queue-depth high-water mark, bytes.
+    pub up_queue_peak_bytes: u64,
+}
+
+impl LinkReport {
+    /// Fold another repetition's telemetry in: drops sum, peaks max.
+    pub fn merge(&mut self, other: &LinkReport) {
+        self.down_queue_drops += other.down_queue_drops;
+        self.up_queue_drops += other.up_queue_drops;
+        self.down_queue_peak_bytes = self.down_queue_peak_bytes.max(other.down_queue_peak_bytes);
+        self.up_queue_peak_bytes = self.up_queue_peak_bytes.max(other.up_queue_peak_bytes);
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"down_queue_drops\": {}, \"up_queue_drops\": {}, \
+             \"down_queue_peak_bytes\": {}, \"up_queue_peak_bytes\": {}}}",
+            self.down_queue_drops,
+            self.up_queue_drops,
+            self.down_queue_peak_bytes,
+            self.up_queue_peak_bytes,
+        )
+    }
+}
+
 /// The pollable summary shape shared by the continuous monitor and the
 /// batch runner ([`CellResult::summary`]).
 ///
@@ -590,6 +630,10 @@ pub struct ReportSnapshot {
     /// Per-probe datagram digest — `Some` only for datagram methods
     /// (the reference session's view, like `windows`' Δd digests).
     pub datagram: Option<DatagramReport>,
+    /// Server-access-link queue telemetry — `Some` for batch summaries
+    /// (the runner reads the engine's gauges after every repetition),
+    /// `None` for monitor polls, which do not own the engine.
+    pub link: Option<LinkReport>,
 }
 
 impl ReportSnapshot {
@@ -647,6 +691,16 @@ impl Render for ReportSnapshot {
                 fmt_num(dg.browser_jitter.p50),
             );
         }
+        if let Some(link) = &self.link {
+            let _ = writeln!(
+                out,
+                "link queue: drops {}↓ {}↑  peak {}↓ {}↑ bytes",
+                link.down_queue_drops,
+                link.up_queue_drops,
+                link.down_queue_peak_bytes,
+                link.up_queue_peak_bytes,
+            );
+        }
         let mut t = Table::new(
             "",
             &[
@@ -681,11 +735,15 @@ impl Render for ReportSnapshot {
             Some(dg) => dg.json(),
             None => "null".into(),
         };
+        let link = match &self.link {
+            Some(l) => l.json(),
+            None => "null".into(),
+        };
         format!(
             "{{\"label\": {}, \"at_secs\": {}, \"rounds\": {}, \"samples\": {}, \
              \"excluded_rounds\": {}, \"failures\": {}, \
              \"relative_error_bound\": {}, \"verdict\": {}, \
-             \"datagram\": {}, \"windows\": [{}]}}\n",
+             \"datagram\": {}, \"link\": {}, \"windows\": [{}]}}\n",
             json_string(&self.label),
             json_num(self.at_secs),
             self.rounds,
@@ -695,6 +753,7 @@ impl Render for ReportSnapshot {
             json_num(self.relative_error_bound),
             verdict,
             datagram,
+            link,
             windows.join(", "),
         )
     }
@@ -702,12 +761,25 @@ impl Render for ReportSnapshot {
     fn to_csv(&self) -> String {
         let mut out = String::from(
             "label,at_secs,window,span_secs,rounds,excluded_rounds,failures,\
-             series,count,min,p10,p25,p50,p75,p90,p99,max,mean\n",
+             series,count,min,p10,p25,p50,p75,p90,p99,max,mean,\
+             link_down_drops,link_up_drops,link_down_peak_bytes,link_up_peak_bytes\n",
         );
+        // Link telemetry repeats on every row (it is per-cell, not
+        // per-window); empty fields when the snapshot carries none.
+        let link_cols = match &self.link {
+            Some(l) => format!(
+                "{},{},{},{}",
+                l.down_queue_drops,
+                l.up_queue_drops,
+                l.down_queue_peak_bytes,
+                l.up_queue_peak_bytes
+            ),
+            None => ",,,".into(),
+        };
         let mut series_row = |w: &WindowReport, series: &str, d: &DistSummary| {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 Value::Text(self.label.clone()).csv(),
                 fmt_num(self.at_secs),
                 w.label,
@@ -726,6 +798,7 @@ impl Render for ReportSnapshot {
                 csv_num(d.p99),
                 csv_num(d.max),
                 csv_num(d.mean),
+                link_cols,
             );
         };
         for w in &self.windows {
@@ -1108,6 +1181,7 @@ mod tests {
                 },
             ],
             datagram: None,
+            link: None,
         }
     }
 
@@ -1138,6 +1212,54 @@ mod tests {
         // Header + 3 series per window.
         assert_eq!(lines.len(), 1 + 3 * 2);
         assert!(lines[0].starts_with("label,at_secs,window"));
+    }
+
+    #[test]
+    fn snapshot_link_telemetry_renders_in_all_formats() {
+        let mut s = snapshot();
+        // No telemetry: JSON null, CSV fields empty.
+        assert!(s.to_json().contains("\"link\": null"));
+        assert!(s.to_csv().lines().nth(1).unwrap().ends_with(",,,"));
+        s.link = Some(LinkReport {
+            down_queue_drops: 7,
+            up_queue_drops: 0,
+            down_queue_peak_bytes: 65536,
+            up_queue_peak_bytes: 1514,
+        });
+        let text = s.to_text();
+        assert!(text.contains("link queue"), "{text}");
+        let json = s.to_json();
+        assert!(json.contains("\"down_queue_drops\": 7"), "{json}");
+        assert!(json.contains("\"down_queue_peak_bytes\": 65536"), "{json}");
+        let csv = s.to_csv();
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("link_down_drops,link_up_drops,link_down_peak_bytes,link_up_peak_bytes"));
+        assert!(csv.lines().nth(1).unwrap().ends_with("7,0,65536,1514"));
+        // Merging sums drops and maxes peaks.
+        let mut a = LinkReport {
+            down_queue_drops: 2,
+            up_queue_drops: 1,
+            down_queue_peak_bytes: 100,
+            up_queue_peak_bytes: 900,
+        };
+        a.merge(&LinkReport {
+            down_queue_drops: 3,
+            up_queue_drops: 0,
+            down_queue_peak_bytes: 700,
+            up_queue_peak_bytes: 10,
+        });
+        assert_eq!(
+            a,
+            LinkReport {
+                down_queue_drops: 5,
+                up_queue_drops: 1,
+                down_queue_peak_bytes: 700,
+                up_queue_peak_bytes: 900,
+            }
+        );
     }
 
     #[test]

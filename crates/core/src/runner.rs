@@ -23,7 +23,7 @@ use crate::delta::RoundMeasurement;
 use crate::error::RunError;
 use crate::exec::Executor;
 use crate::matching::{match_datagram_train, MatchError, ParsedCapture, ProbeStatus};
-use crate::report::{DatagramReport, DistSummary, ReportSnapshot, WindowReport};
+use crate::report::{DatagramReport, DistSummary, LinkReport, ReportSnapshot, WindowReport};
 use crate::scenario::{Scenario, SessionSpec};
 use crate::streaming::{DiscardSink, ServerMarkerIndex, SessionMarkerSink};
 use crate::testbed::{Testbed, TestbedConfig};
@@ -237,6 +237,9 @@ pub struct CellResult {
     /// Per-session sample sets, ascending session id. A single-client
     /// cell has exactly one entry (session 0) mirroring `d1`/`d2`.
     pub sessions: Vec<SessionSamples>,
+    /// Server-access-link queue telemetry over all repetitions: drops
+    /// sum, queue-depth peaks max.
+    pub link: LinkReport,
 }
 
 /// One repetition's full outcome: the measurements plus — when the cell
@@ -257,6 +260,8 @@ pub struct RepOutcome {
     /// Per-session datagram statistics (ascending session id). Empty
     /// for reliable-transport methods.
     pub datagram: Vec<(u64, DatagramSamples)>,
+    /// Queue telemetry of the server's access link for this repetition.
+    pub link: LinkReport,
 }
 
 impl CellResult {
@@ -315,6 +320,7 @@ impl CellResult {
         match outcome {
             Ok(rep) => {
                 self.excluded_rounds += rep.excluded;
+                self.link.merge(&rep.link);
                 for (sid, excluded) in rep.excluded_by_session {
                     self.session_mut(sid).excluded_rounds += excluded;
                 }
@@ -425,6 +431,7 @@ impl CellResult {
                 .session(0)
                 .and_then(|s| s.datagram.as_ref())
                 .map(DatagramReport::of),
+            link: Some(self.link),
         }
     }
 }
@@ -501,6 +508,7 @@ impl ExperimentRunner {
             capture_noise_ns: cell.capture_noise_ns,
             seed: rng::derive_seed(cell.seed, "capture"),
             impairment: cell.impairment,
+            server_shape: cell.link_shape.clone(),
             ..TestbedConfig::default()
         };
         let plan = cell.method.plan(cell.timing_override);
@@ -540,6 +548,7 @@ impl ExperimentRunner {
             );
         }
         tb.run();
+        let link = Self::read_link_report(&tb.engine, tb.server_link, tb.server, tb.switch);
         let session = tb.session();
         if !session.result().completed {
             return Err(RunError::Match(MatchError::ResponseNotFound));
@@ -624,6 +633,7 @@ impl ExperimentRunner {
             excluded,
             excluded_by_session: vec![(0, excluded)],
             datagram,
+            link,
         })
     }
 
@@ -647,6 +657,7 @@ impl ExperimentRunner {
             capture_noise_ns: cell.capture_noise_ns,
             seed: rng::derive_seed(cell.seed, "capture"),
             impairment: cell.impairment,
+            server_shape: cell.link_shape.clone(),
             ..TestbedConfig::default()
         };
         if let Some(rate) = cell.server_link_rate_bps {
@@ -700,6 +711,7 @@ impl ExperimentRunner {
             );
         }
         sc.run();
+        let link = Self::read_link_report(&sc.engine, sc.server_link, sc.server, sc.switch);
         for i in 0..sc.len() {
             if !sc.session(i).result().completed {
                 return Err(RunError::Match(MatchError::ResponseNotFound));
@@ -785,7 +797,25 @@ impl ExperimentRunner {
             excluded: excluded_total,
             excluded_by_session,
             datagram,
+            link,
         })
+    }
+
+    /// Read the server access link's queue gauges off a finished engine:
+    /// downstream is the direction the server transmits, upstream the
+    /// switch's side of the same link.
+    fn read_link_report(
+        engine: &bnm_sim::Engine,
+        link: bnm_sim::LinkId,
+        server: bnm_sim::NodeId,
+        switch: bnm_sim::NodeId,
+    ) -> LinkReport {
+        LinkReport {
+            down_queue_drops: engine.queue_drops(link, server),
+            up_queue_drops: engine.queue_drops(link, switch),
+            down_queue_peak_bytes: engine.queue_peak_bytes(link, server) as u64,
+            up_queue_peak_bytes: engine.queue_peak_bytes(link, switch) as u64,
+        }
     }
 
     /// Install streaming marker sinks on a run's taps before it starts:

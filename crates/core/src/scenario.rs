@@ -25,7 +25,7 @@ use bnm_http::server::WebServer;
 use bnm_obs::{Trace, TraceData};
 use bnm_sim::capture::{CaptureBuffer, TimestampNoise};
 use bnm_sim::engine::{Engine, NodeId, PortNo};
-use bnm_sim::link::LinkSpec;
+use bnm_sim::link::{LinkId, LinkSpec};
 use bnm_sim::rng;
 use bnm_sim::switch::Switch;
 use bnm_sim::time::{SimDuration, SimTime};
@@ -112,6 +112,11 @@ pub struct Scenario {
     pub client_taps: Vec<TapId>,
     /// The tap at the server's NIC.
     pub server_tap: TapId,
+    /// The server's access link — the shared bottleneck. Queue-drop
+    /// counters and queue-depth gauges are read off it after a run
+    /// ([`bnm_sim::Engine::queue_drops`] /
+    /// [`bnm_sim::Engine::queue_peak_bytes`]).
+    pub server_link: LinkId,
     pub(crate) trace: Trace,
     pub(crate) session_ids: Vec<u64>,
 }
@@ -262,7 +267,26 @@ impl Scenario {
         // experiment can narrow it. The default is the same fast Ethernet
         // as always — the legacy clean path is untouched.
         let server_link = engine.connect(server, 0, switch, n as PortNo, cfg.server_link);
+        // Per-direction spec overrides (asymmetric rates, per-direction
+        // queue bounds) install *before* the netem delay below, so the
+        // delay lands on the final spec. "Down" is the direction the
+        // server transmits (server → clients), "up" the reverse.
+        if let Some(spec) = cfg.server_shape.down_spec {
+            engine.set_link_spec(server_link, server, spec);
+        }
+        if let Some(spec) = cfg.server_shape.up_spec {
+            engine.set_link_spec(server_link, switch, spec);
+        }
         engine.set_one_way_delay(server_link, server, cfg.server_delay);
+        // Dynamics wiring is gated exactly like the impairments below: a
+        // static shape installs nothing, keeping the clean build
+        // bit-identical to the historical engine.
+        if !cfg.server_shape.down.is_static() {
+            engine.set_dynamics(server_link, server, cfg.server_shape.down.clone());
+        }
+        if !cfg.server_shape.up.is_static() {
+            engine.set_dynamics(server_link, switch, cfg.server_shape.up.clone());
+        }
 
         // Impairment wiring is fully gated, exactly as in the legacy
         // build: a clean Impairment installs nothing. Client 0 keeps the
@@ -347,6 +371,7 @@ impl Scenario {
             switch,
             client_taps,
             server_tap,
+            server_link,
             trace,
             session_ids,
         }
@@ -513,6 +538,16 @@ impl ScenarioBuilder {
         if self.specs.windows(2).any(|w| w[0].id == w[1].id) {
             return Err(RunError::InvalidInput("duplicate session id in scenario"));
         }
+        // Degenerate link parameters (zero rate, zero queue bound) would
+        // panic or hang deep inside the engine; reject them here.
+        self.cfg
+            .server_link
+            .validate()
+            .map_err(RunError::InvalidInput)?;
+        self.cfg
+            .server_shape
+            .validate()
+            .map_err(RunError::InvalidInput)?;
         Ok(Scenario::build_inner(
             &self.cfg,
             self.specs,

@@ -14,9 +14,10 @@ use bnm_browser::{BrowserProfile, BrowserSession, ProbePlan, ProbeTransport};
 use bnm_http::server::{ServerConfig, WebServer};
 use bnm_obs::{Trace, TraceData};
 use bnm_sim::engine::{Engine, NodeId};
-use bnm_sim::link::LinkSpec;
+use bnm_sim::link::{LinkId, LinkSpec};
 use bnm_sim::time::{SimDuration, SimTime};
 use bnm_sim::wire::MacAddr;
+use bnm_sim::LinkShape;
 use bnm_sim::{Impairment, TapId};
 use bnm_tcp::Host;
 use bnm_time::MachineTimer;
@@ -63,6 +64,13 @@ pub struct TestbedConfig {
     /// default is the paper's 100 Mbps fast Ethernet; the `contend`
     /// experiment narrows it to make the shared bottleneck bite.
     pub server_link: LinkSpec,
+    /// Dynamic shaping of the server's access link: per-direction spec
+    /// overrides (asymmetric rates), time-varying rate schedules and the
+    /// queue discipline ([`LinkShape`]). The default installs nothing —
+    /// the clean build stays bit-identical — while the `bloat` and
+    /// `varying` battery scenarios plug in deep drop-tail queues, CoDel
+    /// and rate schedules here.
+    pub server_shape: LinkShape,
     /// Optional cross-traffic source contending on the server link.
     pub cross_traffic: Option<CrossTraffic>,
     /// Network impairment: `up` applies to the client's egress, `down`
@@ -81,6 +89,7 @@ impl Default for TestbedConfig {
             server: ServerConfig::default(),
             seed: 1,
             server_link: LinkSpec::fast_ethernet(),
+            server_shape: LinkShape::default(),
             cross_traffic: None,
             impairment: Impairment::NONE,
         }
@@ -149,6 +158,9 @@ pub struct Testbed {
     pub client_tap: TapId,
     /// A second tap at the server's NIC (for the server-side extension).
     pub server_tap: TapId,
+    /// The server's access link (queue-drop and queue-depth gauges are
+    /// read off it after a run).
+    pub server_link: LinkId,
     trace: Trace,
 }
 
@@ -216,6 +228,7 @@ impl Testbed {
             switch,
             client_taps,
             server_tap,
+            server_link,
             trace,
             session_ids: _,
         } = scenario;
@@ -226,6 +239,7 @@ impl Testbed {
             switch,
             client_tap: client_taps[0],
             server_tap,
+            server_link,
             trace,
         }
     }
@@ -301,6 +315,14 @@ impl TestbedBuilder {
         self
     }
 
+    /// Shape the server's access link: per-direction spec overrides,
+    /// time-varying rate schedules and queue disciplines (defaults to
+    /// the unshaped static link).
+    pub fn server_shape(mut self, shape: LinkShape) -> Self {
+        self.cfg.server_shape = shape;
+        self
+    }
+
     /// Add a cross-traffic source on the server link.
     pub fn cross_traffic(mut self, ct: CrossTraffic) -> Self {
         self.cfg.cross_traffic = Some(ct);
@@ -369,6 +391,16 @@ impl TestbedBuilder {
                 "plan requires WebSocket but the runtime lacks it",
             ));
         }
+        // A zero-rate or zero-queue link would panic (or silently hang)
+        // deep inside the engine; report it as a typed error up front.
+        self.cfg
+            .server_link
+            .validate()
+            .map_err(RunError::InvalidInput)?;
+        self.cfg
+            .server_shape
+            .validate()
+            .map_err(RunError::InvalidInput)?;
         let trace = if self.trace {
             Trace::enabled()
         } else {
@@ -475,6 +507,56 @@ mod tests {
             Err(e) => e,
         };
         assert!(matches!(err, RunError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_link_specs() {
+        let profile = BrowserProfile::build(BrowserKind::Chrome, OsKind::Ubuntu1204).unwrap();
+        let base = || {
+            Testbed::builder()
+                .plan(xhr_plan())
+                .profile(profile.clone())
+                .machine(MachineTimer::new(OsKind::Ubuntu1204, 7))
+        };
+        let zero_rate = base()
+            .server_link(LinkSpec {
+                rate_bps: 0,
+                ..LinkSpec::fast_ethernet()
+            })
+            .build();
+        assert_eq!(
+            zero_rate.err(),
+            Some(RunError::InvalidInput("link rate_bps must be positive"))
+        );
+        let zero_queue = base()
+            .server_link(LinkSpec {
+                queue_limit_bytes: 0,
+                ..LinkSpec::fast_ethernet()
+            })
+            .build();
+        assert_eq!(
+            zero_queue.err(),
+            Some(RunError::InvalidInput(
+                "link queue_limit_bytes must be positive"
+            ))
+        );
+        let bad_shape = base()
+            .server_shape(LinkShape {
+                down_spec: Some(LinkSpec {
+                    rate_bps: 0,
+                    ..LinkSpec::fast_ethernet()
+                }),
+                ..LinkShape::default()
+            })
+            .build();
+        assert!(matches!(bad_shape, Err(RunError::InvalidInput(_))));
+        // A valid shape builds and runs.
+        let mut tb = base()
+            .server_shape(LinkShape::symmetric(bnm_sim::LinkDynamics::codel()))
+            .build()
+            .unwrap();
+        tb.run();
+        assert!(tb.session().result().completed);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use bnm_obs::Trace;
 use bytes::Bytes;
 
 use crate::capture::{CaptureBuffer, CaptureDir, TapId};
+use crate::dynamics::{CoDelState, LinkDynamics, QueueDiscipline};
 use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultAction, FaultInjector, FaultSpec};
 use crate::link::{Dir, Endpoint, Link, LinkId, LinkJitter, LinkSpec};
@@ -269,6 +270,19 @@ impl Engine {
         tap
     }
 
+    /// Resolve the direction of `link` transmitted by `from`, panicking
+    /// (a wiring bug) when `from` is not an endpoint.
+    fn dir_of(&self, link: LinkId, from: NodeId) -> Dir {
+        let l = &self.links[link];
+        if l.a.node == from {
+            Dir::AToB
+        } else if l.b.node == from {
+            Dir::BToA
+        } else {
+            panic!("node {from} is not an endpoint of link {link}");
+        }
+    }
+
     /// Install fault injection on one direction of a link. `from` names
     /// the transmitting node of the affected direction.
     pub fn set_fault(
@@ -278,15 +292,8 @@ impl Engine {
         spec: FaultSpec,
         rng: rand::rngs::SmallRng,
     ) {
-        let l = &mut self.links[link];
-        let dir = if l.a.node == from {
-            Dir::AToB
-        } else if l.b.node == from {
-            Dir::BToA
-        } else {
-            panic!("node {from} is not an endpoint of link {link}");
-        };
-        l.dir_state(dir).fault = Some(FaultInjector::new(spec, rng));
+        let dir = self.dir_of(link, from);
+        self.links[link].dir_state(dir).fault = Some(FaultInjector::new(spec, rng));
     }
 
     /// Override the netem-style extra one-way delay on the direction of
@@ -294,15 +301,35 @@ impl Engine {
     /// `tc qdisc add dev eth0 root netem delay …`: the paper applies 50 ms
     /// to the server's egress only.
     pub fn set_one_way_delay(&mut self, link: LinkId, from: NodeId, delay: SimDuration) {
-        let l = &mut self.links[link];
-        let dir = if l.a.node == from {
-            Dir::AToB
-        } else if l.b.node == from {
-            Dir::BToA
-        } else {
-            panic!("node {from} is not an endpoint of link {link}");
-        };
-        l.dir_state(dir).extra_delay = delay;
+        let dir = self.dir_of(link, from);
+        self.links[link].dir_state(dir).spec.extra_delay = delay;
+    }
+
+    /// Replace the [`LinkSpec`] of the direction of `link` transmitted
+    /// by `from` — asymmetric rates, per-direction queue bounds. The
+    /// other direction keeps the spec `connect` installed.
+    ///
+    /// Panics on a spec that fails [`LinkSpec::validate`]; builders are
+    /// expected to have rejected it with a typed error already.
+    pub fn set_link_spec(&mut self, link: LinkId, from: NodeId, spec: LinkSpec) {
+        spec.validate()
+            .unwrap_or_else(|e| panic!("invalid link spec: {e}"));
+        let dir = self.dir_of(link, from);
+        self.links[link].dir_state(dir).spec = spec;
+    }
+
+    /// Install [`LinkDynamics`] (rate schedule + queue discipline) on
+    /// the direction of `link` transmitted by `from`. The default
+    /// dynamics reproduce the static drop-tail link bit-for-bit, so
+    /// builders only call this for non-static shapes.
+    pub fn set_dynamics(&mut self, link: LinkId, from: NodeId, dynamics: LinkDynamics) {
+        dynamics
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid link dynamics: {e}"));
+        let dir = self.dir_of(link, from);
+        let st = self.links[link].dir_state(dir);
+        st.dynamics = dynamics;
+        st.codel = CoDelState::default();
     }
 
     /// Install netem-style uniform delay jitter on the direction of
@@ -317,15 +344,8 @@ impl Engine {
         bound: SimDuration,
         rng: rand::rngs::SmallRng,
     ) {
-        let l = &mut self.links[link];
-        let dir = if l.a.node == from {
-            Dir::AToB
-        } else if l.b.node == from {
-            Dir::BToA
-        } else {
-            panic!("node {from} is not an endpoint of link {link}");
-        };
-        l.dir_state(dir).jitter = Some(LinkJitter { bound, rng });
+        let dir = self.dir_of(link, from);
+        self.links[link].dir_state(dir).jitter = Some(LinkJitter { bound, rng });
     }
 
     /// Read a capture buffer.
@@ -393,13 +413,24 @@ impl Engine {
     }
 
     /// Queue-drop counter for the direction of `link` transmitted by
-    /// `from`.
+    /// `from` (drop-tail overflows plus AQM drops).
     pub fn queue_drops(&self, link: LinkId, from: NodeId) -> u64 {
         let l = &self.links[link];
         if l.a.node == from {
             l.a_to_b.queue_drops
         } else {
             l.b_to_a.queue_drops
+        }
+    }
+
+    /// High-water mark of queued bytes for the direction of `link`
+    /// transmitted by `from` — how deep the standing queue ever got.
+    pub fn queue_peak_bytes(&self, link: LinkId, from: NodeId) -> usize {
+        let l = &self.links[link];
+        if l.a.node == from {
+            l.a_to_b.queue_peak_bytes
+        } else {
+            l.b_to_a.queue_peak_bytes
         }
     }
 
@@ -482,10 +513,7 @@ impl Engine {
             .unwrap_or_else(|| panic!("port {port} on node {node} is not wired"));
         let t = self.now;
         let ep = Endpoint { node, port };
-        let (dir, spec) = {
-            let l = &self.links[link_id];
-            (l.dir_from(ep).expect("endpoint mismatch"), l.spec)
-        };
+        let dir = self.links[link_id].dir_from(ep).expect("endpoint mismatch");
 
         // Transmit-side taps see the frame as the host hands it to the
         // wire, before fault injection — smoltcp's "dropped packets still
@@ -525,23 +553,41 @@ impl Engine {
             }
             let len = f.len();
             let st = self.links[link_id].dir_state(dir);
-            if st.queued_bytes + len > spec.queue_limit_bytes {
+            if st.queued_bytes + len > st.spec.queue_limit_bytes {
                 st.queue_drops += 1;
                 self.trace
                     .instant(t.as_nanos(), "link", "drop", Some(len as f64));
                 self.trace.count("link.queue_drops", 1);
                 continue;
             }
+            let start = st.busy_until.max(t);
+            // AQM admission: CoDel judges the frame by the queueing
+            // delay it would experience. Drop-tail installs no check.
+            if let QueueDiscipline::CoDel { target, interval } = st.dynamics.discipline {
+                let delay = start.saturating_since(t);
+                if st.codel.should_drop(t, delay, target, interval) {
+                    st.queue_drops += 1;
+                    self.trace
+                        .instant(t.as_nanos(), "link", "aqm_drop", Some(len as f64));
+                    self.trace.count("link.queue_drops", 1);
+                    continue;
+                }
+            }
             // Per-frame jitter draw on top of the fixed extra delay
             // (netem's uniform delay variation).
-            let extra = st.extra_delay
+            let extra = st.spec.extra_delay
                 + st.jitter
                     .as_mut()
                     .map_or(SimDuration::ZERO, LinkJitter::draw);
-            let start = st.busy_until.max(t);
-            let tx_done = start + SimDuration::serialization(len, spec.rate_bps);
+            // The rate is evaluated lazily at the instant serialization
+            // starts; a static schedule yields the spec rate, making
+            // this expression bit-identical to the fixed-rate path.
+            let rate = st.dynamics.schedule.rate_at(start, st.spec.rate_bps);
+            let tx_done = start + SimDuration::serialization(len, rate);
             st.busy_until = tx_done;
             st.queued_bytes += len;
+            st.queue_peak_bytes = st.queue_peak_bytes.max(st.queued_bytes);
+            let propagation = st.spec.propagation;
             if self.trace.is_enabled() {
                 self.trace
                     .instant(t.as_nanos(), "link", "enqueue", Some(len as f64));
@@ -569,7 +615,7 @@ impl Engine {
                     bytes: len,
                 },
             );
-            let arrival = tx_done + spec.propagation + extra;
+            let arrival = tx_done + propagation + extra;
             let sink = self.links[link_id].sink(dir);
             // Receive-side taps stamp at arrival.
             let n_sink_taps = self.links[link_id].sink_taps(dir).len();
@@ -852,6 +898,152 @@ mod tests {
         assert_ne!(clean, jittered);
         // Same seed, same draws: bit-identical reruns.
         assert_eq!(run(true), run(true));
+    }
+
+    #[test]
+    fn asymmetric_specs_apply_per_direction() {
+        // Slow the echo direction only: the request serializes at
+        // 100 Mbps, the reply at 8 Mbps (100 B -> 100 us).
+        let (mut e, p, s) = two_node_setup(LinkSpec::fast_ethernet(), 1);
+        e.set_link_spec(
+            0,
+            s,
+            LinkSpec {
+                rate_bps: 8_000_000,
+                ..LinkSpec::fast_ethernet()
+            },
+        );
+        e.run();
+        let pinger = e.node_ref::<Pinger>(p);
+        let rtt = pinger.replies[0].saturating_since(pinger.sent_at[0]);
+        // 8us + 5us out, 100us + 5us back.
+        assert_eq!(rtt.as_nanos(), (8_000 + 5_000) + (100_000 + 5_000));
+    }
+
+    #[test]
+    fn static_dynamics_change_nothing() {
+        let run = |install: bool| {
+            let (mut e, _, s) = two_node_setup(LinkSpec::fast_ethernet(), 10);
+            if install {
+                e.set_dynamics(0, 0, crate::dynamics::LinkDynamics::default());
+            }
+            e.run();
+            e.node_ref::<Echo>(s)
+                .received
+                .iter()
+                .map(|(t, _)| *t)
+                .collect::<Vec<SimTime>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn rate_schedule_is_evaluated_lazily_at_serialization_start() {
+        use crate::dynamics::{LinkDynamics, RateSchedule};
+        let spec = LinkSpec {
+            rate_bps: 8_000_000, // 100 B -> 100 us
+            propagation: SimDuration::ZERO,
+            extra_delay: SimDuration::ZERO,
+            queue_limit_bytes: 1 << 20,
+        };
+        let (mut e, _, s) = two_node_setup(spec, 3);
+        // From t = 150 us the link slows 10x. Frame 1 (starts at 0) and
+        // frame 2 (starts at 100 us) serialize at the base rate; frame 3
+        // starts at 200 us and observes the step.
+        e.set_dynamics(
+            0,
+            0,
+            LinkDynamics::scheduled(RateSchedule::Steps(vec![(
+                SimTime::from_micros(150),
+                800_000,
+            )])),
+        );
+        e.run();
+        let times: Vec<u64> = e
+            .node_ref::<Echo>(s)
+            .received
+            .iter()
+            .map(|(t, _)| t.as_micros())
+            .collect();
+        assert_eq!(times, vec![100, 200, 1200]);
+    }
+
+    #[test]
+    fn codel_sheds_standing_queue_that_drop_tail_keeps() {
+        use crate::dynamics::LinkDynamics;
+        // One 100-byte frame every 5 ms into a 10 ms-per-frame link:
+        // the standing queue grows without bound under drop-tail, while
+        // CoDel starts shedding once the would-be wait has exceeded its
+        // target for a full interval.
+        struct Spaced {
+            count: usize,
+        }
+        impl Node for Spaced {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                for i in 0..self.count {
+                    ctx.set_timer(SimDuration::from_millis(5 * i as u64), i as u64);
+                }
+            }
+            fn on_frame(&mut self, _: &mut Ctx, _: PortNo, _: Bytes) {}
+            fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+                ctx.send_frame(0, Bytes::from(vec![token as u8; 100]));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let spec = LinkSpec {
+            rate_bps: 80_000, // 100 B -> 10 ms serialization
+            propagation: SimDuration::ZERO,
+            extra_delay: SimDuration::ZERO,
+            queue_limit_bytes: 1 << 20,
+        };
+        let run = |aqm: bool| {
+            let mut e = Engine::new();
+            let p = e.add_node(Box::new(Spaced { count: 100 }));
+            let s = e.add_node(Box::new(Echo {
+                received: Vec::new(),
+            }));
+            e.connect(p, 0, s, 0, spec);
+            if aqm {
+                e.set_dynamics(0, p, LinkDynamics::codel());
+            }
+            e.run();
+            (
+                e.node_ref::<Echo>(s).received.len(),
+                e.queue_drops(0, p),
+                e.queue_peak_bytes(0, p),
+            )
+        };
+        let (tail_rx, tail_drops, tail_peak) = run(false);
+        let (aqm_rx, aqm_drops, aqm_peak) = run(true);
+        assert_eq!(tail_rx, 100);
+        assert_eq!(tail_drops, 0);
+        assert!(aqm_drops >= 3, "codel must keep shedding: {aqm_drops}");
+        assert_eq!(aqm_rx + aqm_drops as usize, 100);
+        assert!(
+            aqm_peak < tail_peak,
+            "codel bounds the queue: {aqm_peak} vs {tail_peak}"
+        );
+    }
+
+    #[test]
+    fn queue_peak_gauge_tracks_high_water() {
+        let spec = LinkSpec {
+            rate_bps: 8_000_000,
+            propagation: SimDuration::ZERO,
+            extra_delay: SimDuration::ZERO,
+            queue_limit_bytes: 1 << 20,
+        };
+        let (mut e, p, _) = two_node_setup(spec, 5);
+        e.run();
+        // All five 100-byte frames arrive at once: the peak holds all
+        // of them even after the queue drains.
+        assert_eq!(e.queue_peak_bytes(0, p), 500);
+        assert_eq!(e.queue_drops(0, p), 0);
     }
 
     #[test]

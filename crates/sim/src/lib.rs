@@ -32,6 +32,7 @@
 //! * [`switch::Switch`] — a learning L2 switch.
 
 pub mod capture;
+pub mod dynamics;
 pub mod engine;
 pub mod event;
 pub mod fault;
@@ -44,6 +45,7 @@ pub mod time;
 pub mod wire;
 
 pub use capture::{CaptureBuffer, CaptureRecord, CaptureSink, TapId};
+pub use dynamics::{LinkDynamics, LinkShape, QueueDiscipline, RateSchedule};
 pub use engine::{Ctx, Engine, EngineError, Node, NodeId, PortNo};
 pub use fault::{FaultSpec, Impairment};
 pub use link::{LinkId, LinkSpec};

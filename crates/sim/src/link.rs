@@ -10,6 +10,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::capture::TapId;
+use crate::dynamics::{CoDelState, LinkDynamics};
 use crate::engine::{NodeId, PortNo};
 use crate::fault::FaultInjector;
 use crate::time::{SimDuration, SimTime};
@@ -36,8 +37,12 @@ impl Dir {
     }
 }
 
-/// Static parameters of one link (both directions share them).
-#[derive(Debug, Clone, Copy)]
+/// Static parameters of one link direction.
+///
+/// [`crate::engine::Engine::connect`] seeds both directions with the
+/// same spec; [`crate::engine::Engine::set_link_spec`] can then override
+/// one direction for asymmetric links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkSpec {
     /// Line rate in bits per second.
     pub rate_bps: u64,
@@ -79,6 +84,19 @@ impl LinkSpec {
             queue_limit_bytes: 1024 * 1024,
         }
     }
+
+    /// Check the spec's documented preconditions. A zero rate would
+    /// panic deep in [`SimDuration::serialization`]; a zero queue bound
+    /// silently drops every frame and hangs any protocol above it.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.rate_bps == 0 {
+            return Err("link rate_bps must be positive");
+        }
+        if self.queue_limit_bytes == 0 {
+            return Err("link queue_limit_bytes must be positive");
+        }
+        Ok(())
+    }
 }
 
 /// One endpoint of a link.
@@ -91,20 +109,31 @@ pub struct Endpoint {
 }
 
 /// Mutable per-direction state.
+///
+/// The direction owns its [`LinkSpec`] — the single source of truth for
+/// rate, propagation, queue bound *and* `extra_delay` (historically
+/// `extra_delay` was duplicated here; per-direction overrides like the
+/// paper's server-side 50 ms now mutate `spec.extra_delay` directly).
 #[derive(Debug)]
 pub(crate) struct DirState {
+    /// This direction's static parameters (seeded from the link's
+    /// construction spec, overridable per direction).
+    pub spec: LinkSpec,
+    /// This direction's rate schedule and queue discipline.
+    pub dynamics: LinkDynamics,
+    /// CoDel controller state (inert under drop-tail).
+    pub codel: CoDelState,
     /// When the transmitter becomes free.
     pub busy_until: SimTime,
     /// Bytes currently queued or serializing.
     pub queued_bytes: usize,
-    /// Frames dropped at the queue.
+    /// High-water mark of `queued_bytes` — the gauge that makes
+    /// bufferbloat runs explainable.
+    pub queue_peak_bytes: usize,
+    /// Frames dropped at the queue (drop-tail overflow and AQM drops).
     pub queue_drops: u64,
     /// Fault injection for this direction.
     pub fault: Option<FaultInjector>,
-    /// Netem-style extra one-way delay for this direction (initialized
-    /// from the spec; can be overridden per direction — the paper's 50 ms
-    /// applies to the server's egress only).
-    pub extra_delay: SimDuration,
     /// Netem-style uniform jitter on `extra_delay` (the `netem delay
     /// 50ms 2ms` second argument): each frame draws an extra delay in
     /// `[0, bound]` from a dedicated stream. `None` = no jitter.
@@ -133,22 +162,25 @@ impl LinkJitter {
 }
 
 impl DirState {
-    pub(crate) fn new(extra_delay: SimDuration) -> Self {
+    pub(crate) fn new(spec: LinkSpec) -> Self {
         DirState {
+            spec,
+            dynamics: LinkDynamics::default(),
+            codel: CoDelState::default(),
             busy_until: SimTime::ZERO,
             queued_bytes: 0,
+            queue_peak_bytes: 0,
             queue_drops: 0,
             fault: None,
-            extra_delay,
             jitter: None,
         }
     }
 }
 
-/// A full-duplex link between two endpoints.
+/// A full-duplex link between two endpoints. Each direction carries its
+/// own spec and dynamics (see [`DirState`]).
 #[derive(Debug)]
 pub(crate) struct Link {
-    pub spec: LinkSpec,
     pub a: Endpoint,
     pub b: Endpoint,
     pub a_to_b: DirState,
@@ -162,11 +194,10 @@ pub(crate) struct Link {
 impl Link {
     pub(crate) fn new(spec: LinkSpec, a: Endpoint, b: Endpoint) -> Self {
         Link {
-            spec,
             a,
             b,
-            a_to_b: DirState::new(spec.extra_delay),
-            b_to_a: DirState::new(spec.extra_delay),
+            a_to_b: DirState::new(spec),
+            b_to_a: DirState::new(spec),
             taps_a: Vec::new(),
             taps_b: Vec::new(),
         }

@@ -17,8 +17,13 @@ pub struct Switch {
     table: HashMap<MacAddr, PortNo>,
     /// Frames forwarded so far.
     pub forwarded: u64,
+    /// Frames flooded (unknown destination or broadcast).
+    pub flooded: u64,
     /// Frames dropped because they failed to parse as Ethernet.
     pub parse_drops: u64,
+    /// Bytes handed to each egress port — the switch-side view of the
+    /// load a shaped bottleneck link is asked to carry.
+    egress_bytes: Vec<u64>,
 }
 
 impl Switch {
@@ -28,13 +33,26 @@ impl Switch {
             ports,
             table: HashMap::new(),
             forwarded: 0,
+            flooded: 0,
             parse_drops: 0,
+            egress_bytes: vec![0; ports],
         }
     }
 
     /// The learned MAC table (for tests/diagnostics).
     pub fn table(&self) -> &HashMap<MacAddr, PortNo> {
         &self.table
+    }
+
+    /// Bytes handed to egress `port` so far (before that link's queue
+    /// discipline ruled on them).
+    pub fn egress_bytes(&self, port: PortNo) -> u64 {
+        self.egress_bytes.get(port).copied().unwrap_or(0)
+    }
+
+    fn forward(&mut self, ctx: &mut Ctx, out: PortNo, frame: Bytes) {
+        self.egress_bytes[out] += frame.len() as u64;
+        ctx.send_frame(out, frame);
     }
 }
 
@@ -52,14 +70,15 @@ impl Node for Switch {
         match self.table.get(&eth.dst) {
             Some(&out) if !eth.dst.is_broadcast() => {
                 if out != port {
-                    ctx.send_frame(out, frame);
+                    self.forward(ctx, out, frame);
                 }
             }
             _ => {
                 // Flood to every other port.
+                self.flooded += 1;
                 for out in 0..self.ports {
                     if out != port {
-                        ctx.send_frame(out, frame.clone());
+                        self.forward(ctx, out, frame.clone());
                     }
                 }
             }
@@ -187,6 +206,22 @@ mod tests {
         for &l in &leaves[1..] {
             assert_eq!(e.node_ref::<Leaf>(l).inbox.len(), 1);
         }
+    }
+
+    #[test]
+    fn egress_bytes_and_floods_are_accounted() {
+        let (mut e, leaves, sw) = star(3);
+        // Unknown destination: flood out of ports 1 and 2.
+        e.node_mut::<Leaf>(leaves[0])
+            .plan
+            .push((SimDuration::ZERO, MacAddr::local(9)));
+        e.run();
+        let s = e.node_ref::<Switch>(sw);
+        assert_eq!(s.flooded, 1);
+        assert_eq!(s.egress_bytes(0), 0, "never back out the ingress port");
+        assert!(s.egress_bytes(1) > 0);
+        assert_eq!(s.egress_bytes(1), s.egress_bytes(2));
+        assert_eq!(s.egress_bytes(99), 0, "out-of-range port reads zero");
     }
 
     #[test]

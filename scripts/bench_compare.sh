@@ -16,6 +16,8 @@
 #                        latency must not grow
 #   BENCH_webrtc.json    datagram reps/sec must not drop, peak RSS must
 #                        not grow
+#   BENCH_battery.json   scored entries/sec must not drop, peak RSS
+#                        must not grow
 #
 # A report missing from HEAD is skipped with a note (first commit of a
 # new bench has no baseline yet); a report missing from the working tree
@@ -152,11 +154,34 @@ compare_webrtc() {
   rm -f "$tmp"
 }
 
+compare_battery() {
+  local file=BENCH_battery.json
+  if [[ ! -f $file ]]; then
+    echo "!! $file not in working tree; run scripts/check.sh --bench" >&2
+    fail=1
+    return
+  fi
+  local base
+  if ! base=$(baseline_of $file); then
+    echo "-- $file: no committed baseline, skipping"
+    return
+  fi
+  local tmp
+  tmp=$(mktemp)
+  printf '%s\n' "$base" >"$tmp"
+  check "battery: scored entries/sec" \
+    "$(json_num "$tmp" entries_per_sec 1)" "$(json_num $file entries_per_sec 1)" min
+  check "battery: peak RSS KiB" \
+    "$(json_num "$tmp" peak_rss_kib 1)" "$(json_num $file peak_rss_kib 1)" max
+  rm -f "$tmp"
+}
+
 echo "bench regression gate (tolerance ${tol}%)"
 compare_engine
 compare_pipeline
 compare_serve
 compare_webrtc
+compare_battery
 
 if [[ $fail -ne 0 ]]; then
   echo "bench_compare: REGRESSION detected" >&2

@@ -74,6 +74,14 @@ cargo test -q --test monitor_parity
 echo "==> cargo test -q --test webrtc_parity"
 cargo test -q --test webrtc_parity
 
+# The link-dynamics layer's guarantees: an all-static shape stays
+# bit-identical to the fixed-rate path, the bufferbloat scenario pair
+# shows the Δd inflation the AQM variant relieves, CoDel bounds the
+# engine-level standing queue, and shaped cells plus the whole scored
+# battery keep the executor's serial/parallel bit parity.
+echo "==> cargo test -q --test dynamics_parity"
+cargo test -q --test dynamics_parity
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -102,6 +110,18 @@ if [[ $quick -eq 0 && $fast -eq 0 ]]; then
       exit 1
     fi
   done
+
+  # Battery smoke: the scored suite at quick depth, with the report JSON
+  # spot-checked for the schema's required keys and every scenario
+  # family present.
+  echo "==> battery smoke: quick scored suite, JSON report"
+  battery_json=$(./target/release/bnm battery --quick --format json)
+  for key in '"battery"' '"scenarios"' '"verdict"' '"score"' '"bufferbloat"' '"bufferbloat-aqm"' '"time-varying"'; do
+    if ! printf '%s' "$battery_json" | grep -q "$key"; then
+      echo "battery report JSON missing key $key" >&2
+      exit 1
+    fi
+  done
 fi
 
 # Benchmarks, quick mode: one timed crowd run per configuration —
@@ -122,6 +142,9 @@ if [[ $bench -eq 1 ]]; then
   echo "==> webrtc bench (quick mode) -> BENCH_webrtc.json"
   BNM_BENCH_QUICK=1 BNM_BENCH_WEBRTC_OUT="$PWD/BENCH_webrtc.json" \
     cargo bench -p bnm-bench --bench webrtc
+  echo "==> battery bench (quick mode) -> BENCH_battery.json"
+  BNM_BENCH_QUICK=1 BNM_BENCH_BATTERY_OUT="$PWD/BENCH_battery.json" \
+    cargo bench -p bnm-bench --bench battery
   echo "==> bench regression gate"
   scripts/bench_compare.sh
 fi

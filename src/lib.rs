@@ -30,9 +30,10 @@ pub use bnm_time as timeapi;
 // `Executor` or `ExperimentRunner::try_run`, and handle `RunError`.
 pub use bnm_core::exec::{self, ExecStats, Executor, Progress};
 pub use bnm_core::{
-    Appraisal, CellBuilder, CellResult, ContentionSpec, ExperimentCell, ExperimentRunner,
-    FaultSpec, Impairment, Monitor, MonitorConfig, MonitorFootprint, Render, ReportFormat,
-    ReportSnapshot, RunError, RuntimeSel, StreamingSpec, Verdict,
+    run_battery, Appraisal, BatteryConfig, BatteryReport, BatteryScenario, CellBuilder, CellResult,
+    ContentionSpec, ExperimentCell, ExperimentRunner, FaultSpec, Impairment, LinkDynamics,
+    LinkReport, LinkShape, Monitor, MonitorConfig, MonitorFootprint, QueueDiscipline, RateSchedule,
+    Render, ReportFormat, ReportSnapshot, RunError, RuntimeSel, StreamingSpec, Verdict,
 };
 
 /// The curated working set for driving experiments.
@@ -60,11 +61,12 @@ pub mod prelude {
     pub use bnm_core::attribution::RoundAttribution;
     pub use bnm_core::exec::{ExecStats, Executor, Progress};
     pub use bnm_core::{
-        Appraisal, CellBuilder, CellResult, ContentionSpec, ExperimentCell, ExperimentRunner,
-        FaultSpec, Impairment, Monitor, MonitorConfig, MonitorFootprint, Render, RepOutcome,
-        ReportFormat, ReportSnapshot, RoundMeasurement, RunError, RuntimeSel, Scenario,
-        ScenarioBuilder, SessionSamples, SessionSpec, StreamingSpec, Testbed, TestbedBuilder,
-        Verdict,
+        run_battery, Appraisal, BatteryConfig, BatteryReport, BatteryScenario, CellBuilder,
+        CellResult, ContentionSpec, ExperimentCell, ExperimentRunner, FaultSpec, Impairment,
+        LinkDynamics, LinkReport, LinkShape, Monitor, MonitorConfig, MonitorFootprint,
+        QueueDiscipline, RateSchedule, Render, RepOutcome, ReportFormat, ReportSnapshot,
+        RoundMeasurement, RunError, RuntimeSel, Scenario, ScenarioBuilder, SessionSamples,
+        SessionSpec, StreamingSpec, Testbed, TestbedBuilder, Verdict,
     };
     pub use bnm_methods::MethodId;
     pub use bnm_obs::{Component, Trace, TraceData};

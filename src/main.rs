@@ -11,6 +11,7 @@
 //! bnm ping                          ICMP baseline over the testbed
 //! bnm tput [options]               throughput-estimate accuracy
 //! bnm recommend [constraints]      §5 method recommendations
+//! bnm battery [options]            the full scored appraisal battery
 //! ```
 //!
 //! Every data-producing subcommand shares one `--format {text,json,csv}`
@@ -98,7 +99,11 @@ fn usage() -> ! {
            tput [--method L] [--size BYTES] [--format text|json|csv]\n        \
                  throughput-estimate accuracy\n  \
            recommend [--mobile] [--no-plugins] [--no-ports] [--strict-origin]\n        \
-                 [--format text|json|csv]     §5 method recommendations\n\
+                 [--format text|json|csv]     §5 method recommendations\n  \
+           battery [--quick] [--reps N] [--seed S] [--serial]\n        \
+                 [--format text|json|csv]     run every method across the clean,\n        \
+                 impaired, contended, bufferbloat (drop-tail vs CoDel) and\n        \
+                 time-varying scenarios; rank by measured deployment score\n\
          \nmethod labels: {}",
         MethodId::EXTENDED
             .iter()
@@ -145,6 +150,7 @@ fn main() {
         "ping" => cmd_ping(),
         "tput" => cmd_tput(&flags),
         "recommend" => cmd_recommend(&flags),
+        "battery" => cmd_battery(&flags),
         _ => usage(),
     }
 }
@@ -868,6 +874,40 @@ fn cmd_tput(flags: &HashMap<String, String>) {
         }
     }
     emit(&table, format);
+}
+
+/// `bnm battery` — the full scored appraisal suite: every roster method
+/// across the clean, impaired, contended, bufferbloat (drop-tail and
+/// CoDel) and time-varying scenarios, ranked per scenario by the
+/// measured deployment score.
+fn cmd_battery(flags: &HashMap<String, String>) {
+    let mut cfg = if flags.contains_key("quick") {
+        bnm::BatteryConfig::quick()
+    } else {
+        bnm::BatteryConfig::default()
+    };
+    if let Some(reps) = flags.get("reps") {
+        cfg.reps = reps.parse().unwrap_or_else(|_| usage());
+        if cfg.reps == 0 {
+            usage();
+        }
+    }
+    if let Some(seed) = flags.get("seed") {
+        cfg.seed = seed.parse().unwrap_or_else(|_| usage());
+    }
+    let format = parse_format(flags);
+    let exec = if flags.contains_key("serial") {
+        bnm::Executor::serial()
+    } else {
+        bnm::Executor::new()
+    };
+    match bnm::run_battery(&cfg, &exec) {
+        Ok(report) => emit(&report, format),
+        Err(e) => {
+            eprintln!("battery failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn cmd_recommend(flags: &HashMap<String, String>) {
